@@ -1,0 +1,83 @@
+//! Criterion companion to experiment E6: per-operation latency of the
+//! hash-set implementations, including the cost of a full transactional
+//! resize.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use polytm::Stm;
+use polytm_bench::{make_hash_impl, HASH_IMPLS};
+use polytm_structures::TxHashSet;
+
+/// Short measurement windows: the full suite must finish in minutes on a
+/// single-core CI box. Bump these for publication-quality numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_ops_prefilled_4k");
+    for name in HASH_IMPLS {
+        let (set, _stm) = make_hash_impl(name, 64);
+        for k in 0..4096u64 {
+            set.insert(k);
+        }
+        let mut k = 0u64;
+        g.bench_with_input(BenchmarkId::new("contains", name), name, |b, _| {
+            b.iter(|| {
+                k = (k + 13) % 8192;
+                black_box(set.contains(k))
+            })
+        });
+        let mut j = 1u64;
+        g.bench_with_input(BenchmarkId::new("toggle", name), name, |b, _| {
+            b.iter(|| {
+                j = (j + 31) % 8192;
+                if !set.insert(j) {
+                    set.remove(j);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_transactional_resize(c: &mut Criterion) {
+    // The §1 motivating operation: how expensive is an atomic full-table
+    // resize, as a function of the table's population?
+    let mut g = c.benchmark_group("tx_resize");
+    g.sample_size(20);
+    for &n in &[256u64, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let stm = Arc::new(Stm::new());
+                    // max_load high enough that inserts never auto-resize.
+                    let h = TxHashSet::new(stm, 8, usize::MAX / 2);
+                    for k in 0..n {
+                        h.insert(k);
+                    }
+                    h
+                },
+                |h| {
+                    // Force the precondition: resize only acts when a
+                    // bucket overflows, so rebuild through the public
+                    // explicit API.
+                    black_box(h.resize());
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_ops, bench_transactional_resize
+}
+criterion_main!(benches);

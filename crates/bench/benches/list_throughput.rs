@@ -1,0 +1,82 @@
+//! Criterion companion to experiment E4: single-operation latency on the
+//! sorted-list implementations at a fixed population. (The multi-thread
+//! throughput sweep lives in the `tables` binary; criterion measures the
+//! per-op cost precisely.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use polytm_bench::{make_list_impl, LIST_IMPLS};
+
+const SIZE: u64 = 512;
+
+/// Short measurement windows: the full suite must finish in minutes on a
+/// single-core CI box. Bump these for publication-quality numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+fn prefilled(name: &str) -> Box<dyn polytm_workload::ConcurrentSet + Send + Sync> {
+    let (set, _stm) = make_list_impl(name);
+    for k in (0..SIZE).step_by(2) {
+        set.insert(k);
+    }
+    set
+}
+
+fn bench_contains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("list_contains_512");
+    for name in LIST_IMPLS {
+        let set = prefilled(name);
+        let mut k = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                k = (k + 7) % SIZE;
+                black_box(set.contains(k))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut g = c.benchmark_group("list_insert_remove_512");
+    for name in LIST_IMPLS {
+        let set = prefilled(name);
+        let mut k = 1u64;
+        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                k = (k + 2) % SIZE;
+                // Toggle: insert if odd key absent, else remove.
+                if !set.insert(k) {
+                    set.remove(k);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_traversal_tail(c: &mut Criterion) {
+    // Worst-case traversal: membership of the largest key (full walk for
+    // the list-shaped structures). This is where elastic windows vs
+    // opaque read sets differ most in memory footprint.
+    let mut g = c.benchmark_group("list_contains_tail_512");
+    for name in ["tx-elastic", "tx-opaque", "hoh-lock", "harris-michael"] {
+        let set = prefilled(name);
+        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| black_box(set.contains(SIZE - 2)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_contains, bench_insert_remove, bench_traversal_tail
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Benchmarks of the formal-model machinery: acceptance checking and
+//! interleaving enumeration (E2/E3's inner loops), plus the STM replayer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use polytm_schedule::{
+    accepts, enumerate_interleavings, figure1_interleaving, figure1_program, replay,
+    Synchronization,
+};
+
+/// Short measurement windows: the full suite must finish in minutes on a
+/// single-core CI box. Bump these for publication-quality numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+fn bench_accepts_figure1(c: &mut Criterion) {
+    let program = figure1_program();
+    let inter = figure1_interleaving();
+    let mut g = c.benchmark_group("accepts_figure1");
+    for (name, sync) in [
+        ("lock", Synchronization::LockBased),
+        ("mono", Synchronization::Monomorphic),
+        ("poly", Synchronization::Polymorphic),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(accepts(&program, &inter, sync).accepted))
+        });
+    }
+    g.finish();
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let program = figure1_program();
+    c.bench_function("enumerate_figure1_interleavings_420", |b| {
+        b.iter(|| black_box(enumerate_interleavings(&program).len()))
+    });
+}
+
+fn bench_sweep_all_interleavings(c: &mut Criterion) {
+    // The Theorem-2 inner loop on the Figure 1 program: check all 420
+    // interleavings under both synchronizations.
+    let program = figure1_program();
+    let inters = enumerate_interleavings(&program);
+    c.bench_function("sweep_420_interleavings_mono_vs_poly", |b| {
+        b.iter(|| {
+            let mut accepted = (0u32, 0u32);
+            for i in &inters {
+                if accepts(&program, i, Synchronization::Monomorphic).accepted {
+                    accepted.0 += 1;
+                }
+                if accepts(&program, i, Synchronization::Polymorphic).accepted {
+                    accepted.1 += 1;
+                }
+            }
+            black_box(accepted)
+        })
+    });
+}
+
+fn bench_replay_figure1(c: &mut Criterion) {
+    let program = figure1_program();
+    let inter = figure1_interleaving();
+    let mut g = c.benchmark_group("replay_figure1");
+    g.sample_size(30);
+    g.bench_function("polymorphic", |b| {
+        b.iter(|| {
+            black_box(replay(&program, &inter, Synchronization::Polymorphic).unwrap().accepted)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+    bench_accepts_figure1,
+    bench_enumerate,
+    bench_sweep_all_interleavings,
+    bench_replay_figure1
+
+}
+criterion_main!(benches);

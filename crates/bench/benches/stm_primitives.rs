@@ -1,0 +1,104 @@
+//! Microbenchmarks of the STM primitives: transaction start/commit
+//! overhead, per-read and per-write cost under each semantics.
+//! Complements E4/E6 (which measure whole data structures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use polytm::{Semantics, Stm, TxParams};
+
+/// Short measurement windows: the full suite must finish in minutes on a
+/// single-core CI box. Bump these for publication-quality numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+fn bench_empty_transaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("empty_txn");
+    for (name, sem) in [
+        ("opaque", Semantics::Opaque),
+        ("elastic", Semantics::elastic()),
+        ("snapshot", Semantics::Snapshot),
+        ("irrevocable", Semantics::Irrevocable),
+    ] {
+        let stm = Stm::new();
+        g.bench_function(name, |b| {
+            b.iter(|| stm.run(TxParams::new(sem), |_tx| Ok(black_box(0u64))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_read_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_chain_32");
+    for (name, sem) in [
+        ("opaque", Semantics::Opaque),
+        ("elastic_w2", Semantics::elastic()),
+        ("elastic_w8", Semantics::Elastic { window: 8 }),
+        ("snapshot", Semantics::Snapshot),
+    ] {
+        let stm = Stm::new();
+        let vars: Vec<_> = (0..32).map(|i| stm.new_tvar(i as i64)).collect();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                stm.run(TxParams::new(sem), |tx| {
+                    let mut acc = 0i64;
+                    for v in &vars {
+                        acc += v.read(tx)?;
+                    }
+                    Ok(black_box(acc))
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_write_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_commit");
+    for n in [1usize, 4, 16] {
+        let stm = Stm::new();
+        let vars: Vec<_> = (0..n).map(|_| stm.new_tvar(0i64)).collect();
+        g.bench_with_input(BenchmarkId::new("opaque", n), &n, |b, _| {
+            b.iter(|| {
+                stm.run(TxParams::default(), |tx| {
+                    for v in &vars {
+                        v.modify(tx, |x| x + 1)?;
+                    }
+                    Ok(())
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_uncontended_counter(c: &mut Criterion) {
+    let stm = Stm::new();
+    let x = stm.new_tvar(0u64);
+    c.bench_function("rmw_single_var", |b| {
+        b.iter(|| stm.run(TxParams::default(), |tx| x.modify(tx, |v| v + 1)))
+    });
+}
+
+fn bench_nontransactional_read(c: &mut Criterion) {
+    let stm = Stm::new();
+    let x = stm.new_tvar(7u64);
+    c.bench_function("load_committed", |b| b.iter(|| black_box(x.load_committed())));
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+    bench_empty_transaction,
+    bench_read_chain,
+    bench_write_commit,
+    bench_uncontended_counter,
+    bench_nontransactional_read
+
+}
+criterion_main!(benches);

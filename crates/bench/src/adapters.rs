@@ -1,0 +1,270 @@
+//! [`ConcurrentSet`] adapters for every implementation under test, so the
+//! workload driver can sweep them uniformly.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use polytm::{Semantics, Stm};
+use polytm_lockfree::{MichaelHashSet, SplitOrderedSet};
+use polytm_locks::{HandOverHandList, StripedHashSet};
+use polytm_structures::{TxHashSet, TxList, TxSkipList};
+use polytm_workload::ConcurrentSet;
+
+// ---------------------------------------------------------------------
+// Transactional structures
+// ---------------------------------------------------------------------
+
+/// TxList under any per-op semantics.
+pub struct TxListSet(pub TxList);
+
+impl ConcurrentSet for TxListSet {
+    fn contains(&self, key: u64) -> bool {
+        self.0.contains(key as i64)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.0.insert(key as i64)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key as i64)
+    }
+}
+
+/// TxSkipList under any per-op semantics.
+pub struct TxSkipListSet(pub TxSkipList);
+
+impl ConcurrentSet for TxSkipListSet {
+    fn contains(&self, key: u64) -> bool {
+        self.0.contains(key as i64)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.0.insert(key as i64)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key as i64)
+    }
+}
+
+/// TxHashSet under any per-op semantics.
+pub struct TxHashAdapter(pub TxHashSet);
+
+impl ConcurrentSet for TxHashAdapter {
+    fn contains(&self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.0.insert(key)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock-based structures
+// ---------------------------------------------------------------------
+
+/// Hand-over-hand list adapter.
+pub struct HohSet(pub HandOverHandList);
+
+impl ConcurrentSet for HohSet {
+    fn contains(&self, key: u64) -> bool {
+        self.0.contains(key as i64)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.0.insert(key as i64)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key as i64)
+    }
+}
+
+/// Striped-lock hash adapter.
+pub struct StripedSet(pub StripedHashSet);
+
+impl ConcurrentSet for StripedSet {
+    fn contains(&self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.0.insert(key)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key)
+    }
+}
+
+/// Coarse global-lock set: the "one big lock" floor every comparison
+/// should clear.
+pub struct GlobalLockSet(pub Mutex<BTreeSet<u64>>);
+
+impl ConcurrentSet for GlobalLockSet {
+    fn contains(&self, key: u64) -> bool {
+        self.0.lock().contains(&key)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.0.lock().insert(key)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.lock().remove(&key)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock-free structures
+// ---------------------------------------------------------------------
+
+/// Harris–Michael list adapter.
+pub struct LockFreeListSet(pub polytm_lockfree::LockFreeList);
+
+impl ConcurrentSet for LockFreeListSet {
+    fn contains(&self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.0.insert(key)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key)
+    }
+}
+
+/// Michael hash-table adapter.
+pub struct MichaelSet(pub MichaelHashSet);
+
+impl ConcurrentSet for MichaelSet {
+    fn contains(&self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.0.insert(key)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key)
+    }
+}
+
+/// Split-ordered list adapter.
+pub struct SplitSet(pub SplitOrderedSet);
+
+impl ConcurrentSet for SplitSet {
+    fn contains(&self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.0.insert(key)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------
+
+/// The list-shaped implementations swept by E4/E5.
+pub const LIST_IMPLS: &[&str] =
+    &["tx-elastic", "tx-opaque", "tx-skiplist", "hoh-lock", "harris-michael", "global-lock"];
+
+/// Construct a list implementation by name; the returned boxed set also
+/// carries its own `Stm` where applicable (exposed via `stm` for stats).
+pub fn make_list_impl(name: &str) -> (Box<dyn ConcurrentSet + Send + Sync>, Option<Arc<Stm>>) {
+    match name {
+        "tx-elastic" => {
+            let stm = Arc::new(Stm::new());
+            (Box::new(TxListSet(TxList::new(Arc::clone(&stm)))), Some(stm))
+        }
+        "tx-opaque" => {
+            let stm = Arc::new(Stm::new());
+            (
+                Box::new(TxListSet(TxList::with_op_semantics(
+                    Arc::clone(&stm),
+                    Semantics::Opaque,
+                ))),
+                Some(stm),
+            )
+        }
+        "tx-skiplist" => {
+            let stm = Arc::new(Stm::new());
+            (Box::new(TxSkipListSet(TxSkipList::new(Arc::clone(&stm)))), Some(stm))
+        }
+        "hoh-lock" => (Box::new(HohSet(HandOverHandList::new())), None),
+        "harris-michael" => {
+            (Box::new(LockFreeListSet(polytm_lockfree::LockFreeList::new())), None)
+        }
+        "global-lock" => (Box::new(GlobalLockSet(Mutex::new(BTreeSet::new()))), None),
+        other => panic!("unknown list implementation {other:?}"),
+    }
+}
+
+/// The hash-shaped implementations swept by E6.
+pub const HASH_IMPLS: &[&str] =
+    &["tx-hash-elastic", "tx-hash-opaque", "striped-lock", "split-ordered", "michael-fixed"];
+
+/// Construct a hash implementation by name. `initial_buckets` seeds the
+/// resizable tables (Michael's fixed table gets it as its *only* size —
+/// that is its documented limitation).
+pub fn make_hash_impl(
+    name: &str,
+    initial_buckets: usize,
+) -> (Box<dyn ConcurrentSet + Send + Sync>, Option<Arc<Stm>>) {
+    match name {
+        "tx-hash-elastic" => {
+            let stm = Arc::new(Stm::new());
+            (Box::new(TxHashAdapter(TxHashSet::new(Arc::clone(&stm), initial_buckets, 8))), Some(stm))
+        }
+        "tx-hash-opaque" => {
+            let stm = Arc::new(Stm::new());
+            (
+                Box::new(TxHashAdapter(TxHashSet::with_op_semantics(
+                    Arc::clone(&stm),
+                    initial_buckets,
+                    8,
+                    Semantics::Opaque,
+                ))),
+                Some(stm),
+            )
+        }
+        "striped-lock" => (Box::new(StripedSet(StripedHashSet::new(initial_buckets, 8))), None),
+        "split-ordered" => (Box::new(SplitSet(SplitOrderedSet::new(1 << 16, 8))), None),
+        "michael-fixed" => (Box::new(MichaelSet(MichaelHashSet::new(initial_buckets))), None),
+        other => panic!("unknown hash implementation {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_list_impl_behaves_like_a_set() {
+        for name in LIST_IMPLS {
+            let (set, _stm) = make_list_impl(name);
+            assert!(set.insert(5), "{name}");
+            assert!(!set.insert(5), "{name}");
+            assert!(set.contains(5), "{name}");
+            assert!(!set.contains(6), "{name}");
+            assert!(set.remove(5), "{name}");
+            assert!(!set.remove(5), "{name}");
+        }
+    }
+
+    #[test]
+    fn every_hash_impl_behaves_like_a_set() {
+        for name in HASH_IMPLS {
+            let (set, _stm) = make_hash_impl(name, 8);
+            assert!(set.insert(42), "{name}");
+            assert!(!set.insert(42), "{name}");
+            assert!(set.contains(42), "{name}");
+            assert!(set.remove(42), "{name}");
+            assert!(!set.contains(42), "{name}");
+        }
+    }
+
+    #[test]
+    fn impl_lists_and_factories_agree() {
+        assert_eq!(LIST_IMPLS.len(), 6);
+        assert_eq!(HASH_IMPLS.len(), 5);
+    }
+}

@@ -1,0 +1,244 @@
+//! Contention management — the per-transaction liveness knob.
+//!
+//! The paper motivates polymorphism partly by "providing one liveness
+//! guarantee per transaction". Contention managers decide, at each
+//! conflict, whether the running transaction waits for the lock owner or
+//! aborts itself, and how long an aborted transaction backs off before
+//! retrying.
+
+use std::time::Duration;
+
+/// Identity and progress information about the transaction consulting the
+/// contention manager.
+#[derive(Debug, Clone, Copy)]
+pub struct TxMeta {
+    /// Birth timestamp: assigned once per [`crate::Stm::run`] call and
+    /// kept across retries, so long-suffering transactions age and win
+    /// priority under [`Greedy`].
+    pub birth_ts: u64,
+    /// Number of times this transaction has already aborted and retried.
+    pub retries: u32,
+}
+
+/// What to do about a conflict with a lock owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictDecision {
+    /// Spin briefly and re-examine the location.
+    Wait,
+    /// Abort the current attempt (the runtime will back off and retry).
+    AbortSelf,
+}
+
+/// Strategy consulted on every conflict and after every abort.
+pub trait ContentionManager: Send + Sync {
+    /// Called when `me` finds a location locked by the transaction with
+    /// birth timestamp `owner_ts` (0 if unknown). `spins` counts how many
+    /// times this particular conflict has already returned
+    /// [`ConflictDecision::Wait`].
+    fn on_conflict(&self, me: &TxMeta, owner_ts: u64, spins: u32) -> ConflictDecision;
+
+    /// How long to back off before retry number `retries`. `None` means
+    /// retry immediately.
+    fn backoff(&self, retries: u32) -> Option<Duration>;
+}
+
+/// Abort immediately on any conflict and retry without backoff. The
+/// classic baseline: lowest latency under low contention, livelock-prone
+/// under high contention.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Suicide;
+
+impl ContentionManager for Suicide {
+    fn on_conflict(&self, _me: &TxMeta, _owner_ts: u64, _spins: u32) -> ConflictDecision {
+        ConflictDecision::AbortSelf
+    }
+
+    fn backoff(&self, _retries: u32) -> Option<Duration> {
+        None
+    }
+}
+
+/// Abort on conflict, then back off exponentially (with a cap) before
+/// retrying. Randomization is deliberately left out to keep benchmark runs
+/// reproducible; the cap prevents unbounded sleeps.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound for the exponential growth.
+    pub cap: Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self { base: Duration::from_micros(2), cap: Duration::from_millis(1) }
+    }
+}
+
+impl ContentionManager for Backoff {
+    fn on_conflict(&self, _me: &TxMeta, _owner_ts: u64, spins: u32) -> ConflictDecision {
+        // Give the owner a brief chance to finish its commit before
+        // aborting: commits hold locks for a very short time.
+        if spins < 8 {
+            ConflictDecision::Wait
+        } else {
+            ConflictDecision::AbortSelf
+        }
+    }
+
+    fn backoff(&self, retries: u32) -> Option<Duration> {
+        let shift = retries.min(20);
+        let d = self.base.saturating_mul(1u32 << shift.min(16));
+        Some(d.min(self.cap))
+    }
+}
+
+/// Timestamp-priority (Greedy-style) management: the *older* transaction
+/// wins. A transaction that conflicts with a younger lock owner waits for
+/// it; a younger transaction aborts itself. A spin cap (`patience`) bounds
+/// the wait so that a stalled owner cannot block the system forever —
+/// trading the textbook priority guarantee for robustness, as production
+/// TMs do.
+#[derive(Debug, Clone, Copy)]
+pub struct Greedy {
+    /// Maximum number of waits before even an older transaction gives up
+    /// and aborts.
+    pub patience: u32,
+}
+
+impl Default for Greedy {
+    fn default() -> Self {
+        Self { patience: 1 << 14 }
+    }
+}
+
+impl ContentionManager for Greedy {
+    fn on_conflict(&self, me: &TxMeta, owner_ts: u64, spins: u32) -> ConflictDecision {
+        if spins >= self.patience {
+            return ConflictDecision::AbortSelf;
+        }
+        // owner_ts == 0 means the owner is unknown (lock observed between
+        // acquisition and owner registration); treat as younger and wait a
+        // moment.
+        if owner_ts == 0 || me.birth_ts < owner_ts {
+            ConflictDecision::Wait
+        } else {
+            ConflictDecision::AbortSelf
+        }
+    }
+
+    fn backoff(&self, retries: u32) -> Option<Duration> {
+        // Young (recently aborted) transactions yield a little so that the
+        // older transaction they lost against can finish.
+        if retries == 0 {
+            None
+        } else {
+            Some(Duration::from_micros(u64::from(retries.min(64))))
+        }
+    }
+}
+
+/// The contention managers shipped with polytm, selectable via
+/// [`crate::StmConfig`] without trait objects in user code.
+#[derive(Debug, Clone, Copy)]
+pub enum ConflictArbiter {
+    /// [`Suicide`].
+    Suicide(Suicide),
+    /// [`Backoff`].
+    Backoff(Backoff),
+    /// [`Greedy`].
+    Greedy(Greedy),
+}
+
+impl Default for ConflictArbiter {
+    fn default() -> Self {
+        ConflictArbiter::Backoff(Backoff::default())
+    }
+}
+
+impl ConflictArbiter {
+    /// Human-readable name for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConflictArbiter::Suicide(_) => "suicide",
+            ConflictArbiter::Backoff(_) => "backoff",
+            ConflictArbiter::Greedy(_) => "greedy",
+        }
+    }
+}
+
+impl ContentionManager for ConflictArbiter {
+    fn on_conflict(&self, me: &TxMeta, owner_ts: u64, spins: u32) -> ConflictDecision {
+        match self {
+            ConflictArbiter::Suicide(m) => m.on_conflict(me, owner_ts, spins),
+            ConflictArbiter::Backoff(m) => m.on_conflict(me, owner_ts, spins),
+            ConflictArbiter::Greedy(m) => m.on_conflict(me, owner_ts, spins),
+        }
+    }
+
+    fn backoff(&self, retries: u32) -> Option<Duration> {
+        match self {
+            ConflictArbiter::Suicide(m) => m.backoff(retries),
+            ConflictArbiter::Backoff(m) => m.backoff(retries),
+            ConflictArbiter::Greedy(m) => m.backoff(retries),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(ts: u64, retries: u32) -> TxMeta {
+        TxMeta { birth_ts: ts, retries }
+    }
+
+    #[test]
+    fn suicide_always_aborts_never_sleeps() {
+        let cm = Suicide;
+        assert_eq!(cm.on_conflict(&meta(1, 0), 2, 0), ConflictDecision::AbortSelf);
+        assert_eq!(cm.backoff(5), None);
+    }
+
+    #[test]
+    fn backoff_waits_briefly_then_aborts() {
+        let cm = Backoff::default();
+        assert_eq!(cm.on_conflict(&meta(1, 0), 2, 0), ConflictDecision::Wait);
+        assert_eq!(cm.on_conflict(&meta(1, 0), 2, 100), ConflictDecision::AbortSelf);
+    }
+
+    #[test]
+    fn backoff_grows_and_is_capped() {
+        let cm = Backoff { base: Duration::from_micros(1), cap: Duration::from_micros(100) };
+        let d1 = cm.backoff(0).unwrap();
+        let d2 = cm.backoff(3).unwrap();
+        let dmax = cm.backoff(30).unwrap();
+        assert!(d1 < d2, "backoff must grow");
+        assert_eq!(dmax, Duration::from_micros(100), "backoff must be capped");
+    }
+
+    #[test]
+    fn greedy_older_waits_younger_aborts() {
+        let cm = Greedy::default();
+        // I'm older (smaller ts) than the owner: wait.
+        assert_eq!(cm.on_conflict(&meta(1, 0), 9, 0), ConflictDecision::Wait);
+        // I'm younger: abort.
+        assert_eq!(cm.on_conflict(&meta(9, 0), 1, 0), ConflictDecision::AbortSelf);
+    }
+
+    #[test]
+    fn greedy_patience_is_bounded() {
+        let cm = Greedy { patience: 4 };
+        assert_eq!(cm.on_conflict(&meta(1, 0), 9, 4), ConflictDecision::AbortSelf);
+    }
+
+    #[test]
+    fn arbiter_dispatches() {
+        let a = ConflictArbiter::Suicide(Suicide);
+        assert_eq!(a.label(), "suicide");
+        assert_eq!(a.on_conflict(&meta(1, 0), 2, 0), ConflictDecision::AbortSelf);
+        let g = ConflictArbiter::Greedy(Greedy::default());
+        assert_eq!(g.label(), "greedy");
+        assert_eq!(g.on_conflict(&meta(1, 0), 2, 0), ConflictDecision::Wait);
+    }
+}

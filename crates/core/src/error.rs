@@ -1,0 +1,162 @@
+//! Transaction outcomes: abort causes and cancellation.
+
+use std::fmt;
+
+/// The result type returned by transactional operations and by the user
+/// closure passed to [`crate::Stm::run`].
+///
+/// `Err(Abort::...)` values produced by the library are *control flow*:
+/// [`crate::Stm::run`] intercepts them and re-executes the closure.
+/// Propagate them with `?`.
+pub type TxResult<T> = Result<T, Abort>;
+
+/// Why a transaction attempt cannot commit.
+///
+/// Except for [`Abort::Cancel`], every variant causes
+/// [`crate::Stm::run`]/[`crate::Stm::try_run`] to retry the transaction
+/// (possibly after contention-manager backoff, possibly upgraded to
+/// irrevocable semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Abort {
+    /// A read observed a location whose version is newer than the
+    /// transaction's read version and the semantics-specific repair
+    /// (opaque extension, elastic cut) was not possible.
+    ReadConflict {
+        /// Address of the conflicting location (stable for the lifetime of
+        /// the `TVar`; useful for diagnostics and contention management).
+        addr: usize,
+    },
+    /// A read or commit-time lock acquisition found the location locked by
+    /// another transaction and the contention manager chose to abort us.
+    Locked {
+        /// Address of the contended location.
+        addr: usize,
+        /// Birth timestamp of the lock owner, if known (0 when unknown).
+        owner: u64,
+    },
+    /// Commit-time validation of the read set failed.
+    ValidationFailed {
+        /// Address of the first invalid read-set entry.
+        addr: usize,
+    },
+    /// A snapshot transaction required a version older than the bounded
+    /// history retained by the location.
+    SnapshotUnavailable {
+        /// Address of the location whose history was too short.
+        addr: usize,
+    },
+    /// A write was attempted under read-only semantics
+    /// ([`crate::Semantics::Snapshot`]).
+    ReadOnlyViolation,
+    /// The user requested a retry (e.g. a condition is not yet satisfied).
+    /// The runtime re-executes the transaction after a backoff.
+    Retry,
+    /// The transaction requests restart under irrevocable semantics
+    /// (raised internally when a nested block needs a pessimistic parent).
+    RestartIrrevocable,
+    /// The user cancelled the transaction; surfaces as
+    /// [`Canceled`] from [`crate::Stm::try_run`].
+    Cancel,
+}
+
+impl Abort {
+    /// True when the runtime should transparently retry the transaction.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, Abort::Cancel)
+    }
+
+    /// Short machine-readable label used by the statistics counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Abort::ReadConflict { .. } => "read-conflict",
+            Abort::Locked { .. } => "locked",
+            Abort::ValidationFailed { .. } => "validation",
+            Abort::SnapshotUnavailable { .. } => "snapshot-unavailable",
+            Abort::ReadOnlyViolation => "read-only-violation",
+            Abort::Retry => "retry",
+            Abort::RestartIrrevocable => "restart-irrevocable",
+            Abort::Cancel => "cancel",
+        }
+    }
+}
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Abort::ReadConflict { addr } => write!(f, "read conflict at {addr:#x}"),
+            Abort::Locked { addr, owner } => {
+                write!(f, "location {addr:#x} locked by transaction {owner}")
+            }
+            Abort::ValidationFailed { addr } => {
+                write!(f, "read-set validation failed at {addr:#x}")
+            }
+            Abort::SnapshotUnavailable { addr } => {
+                write!(f, "snapshot version unavailable at {addr:#x}")
+            }
+            Abort::ReadOnlyViolation => write!(f, "write attempted in a read-only transaction"),
+            Abort::Retry => write!(f, "user-requested retry"),
+            Abort::RestartIrrevocable => write!(f, "restart requested under irrevocable semantics"),
+            Abort::Cancel => write!(f, "transaction cancelled by user"),
+        }
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Returned by [`crate::Stm::try_run`] when the closure cancelled the
+/// transaction via [`Abort::Cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Canceled;
+
+impl fmt::Display for Canceled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction cancelled")
+    }
+}
+
+impl std::error::Error for Canceled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_not_retryable_everything_else_is() {
+        assert!(!Abort::Cancel.is_retryable());
+        for a in [
+            Abort::ReadConflict { addr: 1 },
+            Abort::Locked { addr: 1, owner: 2 },
+            Abort::ValidationFailed { addr: 1 },
+            Abort::SnapshotUnavailable { addr: 1 },
+            Abort::ReadOnlyViolation,
+            Abort::Retry,
+            Abort::RestartIrrevocable,
+        ] {
+            assert!(a.is_retryable(), "{a} must be retryable");
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Abort::ReadConflict { addr: 0 }.label(),
+            Abort::Locked { addr: 0, owner: 0 }.label(),
+            Abort::ValidationFailed { addr: 0 }.label(),
+            Abort::SnapshotUnavailable { addr: 0 }.label(),
+            Abort::ReadOnlyViolation.label(),
+            Abort::Retry.label(),
+            Abort::RestartIrrevocable.label(),
+            Abort::Cancel.label(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", Abort::Locked { addr: 0xbeef, owner: 7 });
+        assert!(s.contains("0xbeef") && s.contains('7'));
+    }
+}

@@ -1,0 +1,97 @@
+//! # polytm — polymorphic software transactional memory
+//!
+//! This crate implements *transaction polymorphism* as introduced by
+//! Gramoli and Guerraoui, "Brief Announcement: Transaction Polymorphism"
+//! (SPAA 2011): a transactional memory in which every transaction is
+//! started with a **semantic parameter** and transactions with *distinct*
+//! semantics run concurrently over the same shared data.
+//!
+//! The paper's `start(p)` is [`Stm::run`]/[`Stm::try_run`] with a
+//! [`TxParams`] carrying a [`Semantics`]:
+//!
+//! * [`Semantics::Opaque`] — the paper's default `def`: a monomorphic,
+//!   opaque transaction (TL2-style: per-location versioned locks, a global
+//!   version clock, commit-time write locking and read-set validation).
+//! * [`Semantics::Elastic`] — the paper's `weak`: an *elastic* transaction
+//!   (Felber, Gramoli, Guerraoui, DISC 2009). Before its first write, an
+//!   elastic transaction may be **cut** into pieces: older reads fall out
+//!   of a sliding window and are no longer validated, so search-style
+//!   traversals tolerate concurrent updates behind them. This is exactly
+//!   what accepts the paper's Figure 1 schedule.
+//! * [`Semantics::Snapshot`] — a multi-versioned read-only transaction
+//!   that reads from a bounded per-location version chain and never
+//!   aborts on read-write conflicts.
+//! * [`Semantics::Irrevocable`] — a pessimistic transaction that is
+//!   guaranteed to commit (it serializes against all commits through a
+//!   global revocation gate), useful for transactions with side effects
+//!   and as the liveness fallback after repeated aborts.
+//!
+//! Shared data lives in [`TVar`]s. Values are published as immutable,
+//! epoch-reclaimed version nodes, so readers never observe torn values and
+//! the implementation contains no data races (see `DESIGN.md` at the
+//! repository root for the memory-safety argument).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use polytm::{Stm, Semantics, TxParams};
+//!
+//! let stm = Stm::new();
+//! let x = stm.new_tvar(0i64);
+//! let y = stm.new_tvar(10i64);
+//!
+//! // A monomorphic (default-semantics) transaction, as in the paper's
+//! // `start(def)`:
+//! let sum = stm.run(TxParams::new(Semantics::Opaque), |tx| {
+//!     let a = x.read(tx)?;
+//!     let b = y.read(tx)?;
+//!     x.write(tx, a + 1)?;
+//!     Ok(a + b)
+//! });
+//! assert_eq!(sum, 10);
+//!
+//! // The paper's `start(weak)`: an elastic search that tolerates
+//! // concurrent updates behind its sliding read window.
+//! let found = stm.run(TxParams::new(Semantics::elastic()), |tx| {
+//!     Ok(x.read(tx)? + y.read(tx)?)
+//! });
+//! assert_eq!(found, 11);
+//! ```
+//!
+//! ## Nesting
+//!
+//! The paper (§3) asks what the semantics of a *nested* transaction should
+//! be: the requested parameter, the parent's semantics, or the strongest
+//! of the two. All three composition policies are implemented; see
+//! [`NestingPolicy`] and [`Transaction::nested`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod cm;
+pub mod error;
+pub mod semantics;
+pub mod stats;
+pub mod stm;
+pub mod tarray;
+pub mod tvar;
+pub mod txn;
+pub(crate) mod varcore;
+
+pub use clock::GlobalClock;
+pub use cm::{Backoff, ConflictArbiter, ConflictDecision, ContentionManager, Greedy, Suicide, TxMeta};
+pub use error::{Abort, Canceled, TxResult};
+pub use semantics::{NestingPolicy, Semantics, Strength};
+pub use stats::{StatsSnapshot, StmStats};
+pub use stm::{Stm, StmConfig, TxParams};
+pub use tarray::TArray;
+pub use tvar::{TVar, TxValue};
+pub use txn::Transaction;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::{
+        Abort, NestingPolicy, Semantics, Stm, StmConfig, TVar, Transaction, TxParams, TxResult,
+    };
+}

@@ -1,0 +1,205 @@
+//! Transaction semantics — the paper's polymorphism parameter `p`.
+//!
+//! The paper defines the *semantics of an operation* as the assignment of
+//! its accesses to indivisible **critical steps**. A transactional memory
+//! supports polymorphism when `start(p)` accepts a semantic parameter and
+//! transactions with distinct `p` run concurrently. This module defines
+//! the semantics polytm ships and the composition rules for nested
+//! transactions (the paper's §3 open question).
+
+/// The semantic parameter passed at `start(p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Semantics {
+    /// The paper's default `def`: one critical step spanning **all**
+    /// accesses of the transaction. Implemented as an opaque TL2-style
+    /// transaction: all reads must mutually coexist at a single point of
+    /// the execution (the read version, possibly extended), and the write
+    /// set is published atomically.
+    Opaque,
+    /// The paper's `weak`: an *elastic* transaction whose accesses form a
+    /// sliding chain of overlapping critical steps `γ_i` of size
+    /// `window` — `r(x),r(y) ↦ γ1`, `r(y),r(z) ↦ γ2`, … (the sorted
+    /// linked-list `contains` example of the paper's Figure 1).
+    ///
+    /// Before its first write the transaction may be *cut*: reads that
+    /// slide out of the window stop being validated. From the first write
+    /// on, the remaining window plus all later accesses behave opaquely.
+    Elastic {
+        /// Size of the sliding critical-step window (≥ 1; the paper's
+        /// linked-list semantics corresponds to 2).
+        window: usize,
+    },
+    /// A multi-versioned **read-only** transaction: reads return the
+    /// newest committed version not newer than the transaction's start
+    /// time, taken from the location's bounded version history. Never
+    /// aborts on read-write conflicts; writing under this semantics fails
+    /// with [`crate::Abort::ReadOnlyViolation`].
+    Snapshot,
+    /// A pessimistic transaction that is guaranteed to commit exactly
+    /// once: it acquires the STM's *revocation gate* exclusively, so no
+    /// other transaction commits during its lifetime, and its writes are
+    /// applied eagerly. Use for transactions with irreversible side
+    /// effects, and as the automatic liveness fallback after repeated
+    /// aborts (see [`crate::StmConfig::irrevocable_fallback_after`]).
+    Irrevocable,
+}
+
+impl Semantics {
+    /// The paper's `weak` keyword: elastic semantics with the canonical
+    /// window of two accesses (a linked-list-style hand-over-hand chain
+    /// of critical steps).
+    pub const fn elastic() -> Self {
+        Semantics::Elastic { window: 2 }
+    }
+
+    /// The paper's `def` keyword (alias of [`Semantics::Opaque`]).
+    pub const fn default_semantics() -> Self {
+        Semantics::Opaque
+    }
+
+    /// Total strength order used by [`NestingPolicy::Strongest`].
+    pub fn strength(self) -> Strength {
+        match self {
+            Semantics::Snapshot => Strength(0),
+            Semantics::Elastic { .. } => Strength(1),
+            Semantics::Opaque => Strength(2),
+            Semantics::Irrevocable => Strength(3),
+        }
+    }
+
+    /// True when the semantics forbids writes.
+    pub fn is_read_only(self) -> bool {
+        matches!(self, Semantics::Snapshot)
+    }
+
+    /// Short label for statistics and table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Semantics::Opaque => "opaque",
+            Semantics::Elastic { .. } => "elastic",
+            Semantics::Snapshot => "snapshot",
+            Semantics::Irrevocable => "irrevocable",
+        }
+    }
+}
+
+impl Default for Semantics {
+    /// The paper: "omit it and the default semantics `def` will be used".
+    fn default() -> Self {
+        Semantics::Opaque
+    }
+}
+
+/// Opaque strength rank; larger is stronger (more restrictive).
+///
+/// `Snapshot < Elastic < Opaque < Irrevocable`. Snapshot ranks weakest
+/// because it constrains concurrent transactions the least (it never
+/// acquires locks nor validates), even though it offers its *own* reads a
+/// full consistent snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Strength(pub u8);
+
+/// How a nested transaction's requested semantics composes with its
+/// parent's — the three candidate answers enumerated in the paper's §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NestingPolicy {
+    /// "the semantics indicated by its parameter as if it was not nested"
+    Parameter,
+    /// "the parent transaction semantics"
+    Parent,
+    /// "the strongest of the two" (the default: it is the only policy of
+    /// the three that never weakens an enclosing guarantee).
+    #[default]
+    Strongest,
+}
+
+/// Effective semantics of a nested block under `policy`.
+///
+/// Composition never yields an unsound combination: requesting
+/// [`Semantics::Irrevocable`] inside an optimistic parent cannot be
+/// honoured in place (the parent's reads are revocable), so the runtime
+/// signals [`crate::Abort::RestartIrrevocable`] instead — see
+/// [`crate::Transaction::nested`].
+pub fn compose(parent: Semantics, requested: Semantics, policy: NestingPolicy) -> Semantics {
+    match policy {
+        NestingPolicy::Parameter => requested,
+        NestingPolicy::Parent => parent,
+        NestingPolicy::Strongest => {
+            if requested.strength() >= parent.strength() {
+                requested
+            } else {
+                parent
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_and_def_keywords() {
+        assert_eq!(Semantics::elastic(), Semantics::Elastic { window: 2 });
+        assert_eq!(Semantics::default_semantics(), Semantics::Opaque);
+        assert_eq!(Semantics::default(), Semantics::Opaque);
+    }
+
+    #[test]
+    fn strength_is_totally_ordered() {
+        assert!(Semantics::Snapshot.strength() < Semantics::elastic().strength());
+        assert!(Semantics::elastic().strength() < Semantics::Opaque.strength());
+        assert!(Semantics::Opaque.strength() < Semantics::Irrevocable.strength());
+    }
+
+    #[test]
+    fn only_snapshot_is_read_only() {
+        assert!(Semantics::Snapshot.is_read_only());
+        assert!(!Semantics::Opaque.is_read_only());
+        assert!(!Semantics::elastic().is_read_only());
+        assert!(!Semantics::Irrevocable.is_read_only());
+    }
+
+    #[test]
+    fn compose_parameter_policy_takes_request() {
+        let got = compose(Semantics::Opaque, Semantics::elastic(), NestingPolicy::Parameter);
+        assert_eq!(got, Semantics::elastic());
+    }
+
+    #[test]
+    fn compose_parent_policy_takes_parent() {
+        let got = compose(Semantics::Opaque, Semantics::elastic(), NestingPolicy::Parent);
+        assert_eq!(got, Semantics::Opaque);
+    }
+
+    #[test]
+    fn compose_strongest_policy_never_weakens() {
+        // weak nested in def -> def
+        assert_eq!(
+            compose(Semantics::Opaque, Semantics::elastic(), NestingPolicy::Strongest),
+            Semantics::Opaque
+        );
+        // def nested in weak -> def
+        assert_eq!(
+            compose(Semantics::elastic(), Semantics::Opaque, NestingPolicy::Strongest),
+            Semantics::Opaque
+        );
+        // equal strengths keep the request (window may differ)
+        assert_eq!(
+            compose(
+                Semantics::Elastic { window: 2 },
+                Semantics::Elastic { window: 4 },
+                NestingPolicy::Strongest
+            ),
+            Semantics::Elastic { window: 4 }
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Semantics::Opaque.label(), "opaque");
+        assert_eq!(Semantics::elastic().label(), "elastic");
+        assert_eq!(Semantics::Snapshot.label(), "snapshot");
+        assert_eq!(Semantics::Irrevocable.label(), "irrevocable");
+    }
+}

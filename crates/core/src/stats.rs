@@ -1,0 +1,214 @@
+//! Commit/abort accounting.
+//!
+//! Counters are relaxed atomics padded to cache lines; reading them while
+//! transactions run yields a consistent-enough snapshot for reporting
+//! (exact totals are only guaranteed quiescently).
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mutable counter block owned by an [`crate::Stm`].
+#[derive(Debug, Default)]
+pub struct StmStats {
+    commits: CachePadded<AtomicU64>,
+    aborts_read_conflict: CachePadded<AtomicU64>,
+    aborts_locked: CachePadded<AtomicU64>,
+    aborts_validation: CachePadded<AtomicU64>,
+    aborts_snapshot: CachePadded<AtomicU64>,
+    aborts_user_retry: CachePadded<AtomicU64>,
+    elastic_cuts: CachePadded<AtomicU64>,
+    extensions: CachePadded<AtomicU64>,
+    irrevocable_upgrades: CachePadded<AtomicU64>,
+    irrevocable_commits: CachePadded<AtomicU64>,
+}
+
+impl StmStats {
+    pub(crate) fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_irrevocable_commit(&self) {
+        self.irrevocable_commits.fetch_add(1, Ordering::Relaxed);
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_abort(&self, abort: crate::Abort) {
+        use crate::Abort::*;
+        let ctr = match abort {
+            ReadConflict { .. } => &self.aborts_read_conflict,
+            Locked { .. } => &self.aborts_locked,
+            ValidationFailed { .. } => &self.aborts_validation,
+            SnapshotUnavailable { .. } => &self.aborts_snapshot,
+            Retry => &self.aborts_user_retry,
+            // Cancellation, read-only violations and irrevocable restarts
+            // are not contention; count them as user retries for lack of a
+            // better bucket, except Cancel which is not counted at all.
+            ReadOnlyViolation | RestartIrrevocable => &self.aborts_user_retry,
+            Cancel => return,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cut(&self, n: u64) {
+        if n > 0 {
+            self.elastic_cuts.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_extension(&self) {
+        self.extensions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_irrevocable_upgrade(&self) {
+        self.irrevocable_upgrades.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts_read_conflict: self.aborts_read_conflict.load(Ordering::Relaxed),
+            aborts_locked: self.aborts_locked.load(Ordering::Relaxed),
+            aborts_validation: self.aborts_validation.load(Ordering::Relaxed),
+            aborts_snapshot: self.aborts_snapshot.load(Ordering::Relaxed),
+            aborts_user_retry: self.aborts_user_retry.load(Ordering::Relaxed),
+            elastic_cuts: self.elastic_cuts.load(Ordering::Relaxed),
+            extensions: self.extensions.load(Ordering::Relaxed),
+            irrevocable_upgrades: self.irrevocable_upgrades.load(Ordering::Relaxed),
+            irrevocable_commits: self.irrevocable_commits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between benchmark phases).
+    pub fn reset(&self) {
+        for c in [
+            &self.commits,
+            &self.aborts_read_conflict,
+            &self.aborts_locked,
+            &self.aborts_validation,
+            &self.aborts_snapshot,
+            &self.aborts_user_retry,
+            &self.elastic_cuts,
+            &self.extensions,
+            &self.irrevocable_upgrades,
+            &self.irrevocable_commits,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time copy of the [`StmStats`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing counter labels
+pub struct StatsSnapshot {
+    pub commits: u64,
+    pub aborts_read_conflict: u64,
+    pub aborts_locked: u64,
+    pub aborts_validation: u64,
+    pub aborts_snapshot: u64,
+    pub aborts_user_retry: u64,
+    pub elastic_cuts: u64,
+    pub extensions: u64,
+    pub irrevocable_upgrades: u64,
+    pub irrevocable_commits: u64,
+}
+
+impl StatsSnapshot {
+    /// Total aborts across all causes.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_read_conflict
+            + self.aborts_locked
+            + self.aborts_validation
+            + self.aborts_snapshot
+            + self.aborts_user_retry
+    }
+
+    /// Aborts per commit; 0.0 when nothing committed.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts() as f64 / self.commits as f64
+        }
+    }
+
+    /// Difference of two snapshots (for per-phase accounting).
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits - earlier.commits,
+            aborts_read_conflict: self.aborts_read_conflict - earlier.aborts_read_conflict,
+            aborts_locked: self.aborts_locked - earlier.aborts_locked,
+            aborts_validation: self.aborts_validation - earlier.aborts_validation,
+            aborts_snapshot: self.aborts_snapshot - earlier.aborts_snapshot,
+            aborts_user_retry: self.aborts_user_retry - earlier.aborts_user_retry,
+            elastic_cuts: self.elastic_cuts - earlier.elastic_cuts,
+            extensions: self.extensions - earlier.extensions,
+            irrevocable_upgrades: self.irrevocable_upgrades - earlier.irrevocable_upgrades,
+            irrevocable_commits: self.irrevocable_commits - earlier.irrevocable_commits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Abort;
+
+    #[test]
+    fn commit_and_abort_counting() {
+        let s = StmStats::default();
+        s.record_commit();
+        s.record_commit();
+        s.record_abort(Abort::ReadConflict { addr: 0 });
+        s.record_abort(Abort::Locked { addr: 0, owner: 0 });
+        s.record_abort(Abort::ValidationFailed { addr: 0 });
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.aborts(), 3);
+        assert!((snap.abort_ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancel_is_not_an_abort() {
+        let s = StmStats::default();
+        s.record_abort(Abort::Cancel);
+        assert_eq!(s.snapshot().aborts(), 0);
+    }
+
+    #[test]
+    fn cuts_extensions_and_upgrades() {
+        let s = StmStats::default();
+        s.record_cut(3);
+        s.record_cut(0);
+        s.record_extension();
+        s.record_irrevocable_upgrade();
+        s.record_irrevocable_commit();
+        let snap = s.snapshot();
+        assert_eq!(snap.elastic_cuts, 3);
+        assert_eq!(snap.extensions, 1);
+        assert_eq!(snap.irrevocable_upgrades, 1);
+        assert_eq!(snap.irrevocable_commits, 1);
+        assert_eq!(snap.commits, 1);
+    }
+
+    #[test]
+    fn delta_and_reset() {
+        let s = StmStats::default();
+        s.record_commit();
+        let first = s.snapshot();
+        s.record_commit();
+        s.record_abort(Abort::Retry);
+        let second = s.snapshot();
+        let d = second.delta_since(&first);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.aborts_user_retry, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn abort_ratio_of_empty_snapshot_is_zero() {
+        assert_eq!(StatsSnapshot::default().abort_ratio(), 0.0);
+    }
+}

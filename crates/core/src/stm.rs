@@ -1,0 +1,297 @@
+//! The [`Stm`] instance: global clock, revocation gate, configuration,
+//! statistics, and the `start(p)` entry points [`Stm::run`] /
+//! [`Stm::try_run`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::clock::GlobalClock;
+use crate::cm::{ConflictArbiter, ContentionManager, TxMeta};
+use crate::error::{Abort, Canceled, TxResult};
+use crate::semantics::{NestingPolicy, Semantics};
+use crate::stats::{StatsSnapshot, StmStats};
+use crate::tvar::{TVar, TxValue};
+use crate::txn::Transaction;
+
+/// Tuning knobs of an [`Stm`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct StmConfig {
+    /// Number of *older* versions each location retains behind its head
+    /// (for [`Semantics::Snapshot`] transactions). 0 disables history.
+    pub history_depth: usize,
+    /// The contention manager.
+    pub arbiter: ConflictArbiter,
+    /// Composition policy applied by [`Transaction::nested`].
+    pub nesting_policy: NestingPolicy,
+    /// After this many aborted attempts, a transaction is upgraded to
+    /// [`Semantics::Irrevocable`] so it is guaranteed to finish
+    /// (liveness fallback). `None` disables the upgrade. Snapshot
+    /// transactions are never upgraded (they retry with a fresh bound).
+    pub irrevocable_fallback_after: Option<u32>,
+}
+
+impl Default for StmConfig {
+    fn default() -> Self {
+        Self {
+            history_depth: 16,
+            arbiter: ConflictArbiter::default(),
+            nesting_policy: NestingPolicy::Strongest,
+            irrevocable_fallback_after: Some(64),
+        }
+    }
+}
+
+/// Per-`run` parameters — the paper's `start(p)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxParams {
+    /// The semantic parameter `p`. [`Default`] is the paper's `def`
+    /// (opaque) semantics.
+    pub semantics: Semantics,
+}
+
+impl TxParams {
+    /// `start(p)` with an explicit semantics.
+    pub const fn new(semantics: Semantics) -> Self {
+        Self { semantics }
+    }
+
+    /// The paper's `start(def)`.
+    pub const fn default_semantics() -> Self {
+        Self { semantics: Semantics::Opaque }
+    }
+
+    /// The paper's `start(weak)`.
+    pub const fn weak() -> Self {
+        Self { semantics: Semantics::elastic() }
+    }
+}
+
+/// A polymorphic transactional memory instance.
+///
+/// All [`TVar`]s created through [`Stm::new_tvar`] share this instance's
+/// global version clock; do not mix vars across instances (checked in
+/// debug builds).
+#[derive(Debug)]
+pub struct Stm {
+    id: u64,
+    clock: GlobalClock,
+    gate: RwLock<()>,
+    ts_source: AtomicU64,
+    config: StmConfig,
+    stats: StmStats,
+}
+
+/// Source of unique [`Stm::id`]s for debug-mode TVar/Stm pairing checks.
+static STM_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static IN_TRANSACTION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Resets the re-entrancy flag even if the user closure panics.
+struct ReentrancyGuard;
+
+impl ReentrancyGuard {
+    fn enter() -> Self {
+        IN_TRANSACTION.with(|f| {
+            assert!(
+                !f.get(),
+                "Stm::run called inside a running transaction; use Transaction::nested \
+                 for nested transactions"
+            );
+            f.set(true);
+        });
+        ReentrancyGuard
+    }
+}
+
+impl Drop for ReentrancyGuard {
+    fn drop(&mut self) {
+        IN_TRANSACTION.with(|f| f.set(false));
+    }
+}
+
+/// Spin politely: processor hint first, yielding to the OS scheduler
+/// regularly so single-core hosts make progress.
+#[inline]
+pub(crate) fn polite_spin(spins: u32) {
+    if spins % 4 == 0 {
+        std::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}
+
+impl Stm {
+    /// New instance with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(StmConfig::default())
+    }
+
+    /// New instance with explicit configuration.
+    pub fn with_config(config: StmConfig) -> Self {
+        Self {
+            id: STM_IDS.fetch_add(1, Ordering::Relaxed),
+            clock: GlobalClock::new(),
+            gate: RwLock::new(()),
+            ts_source: AtomicU64::new(1),
+            config,
+            stats: StmStats::default(),
+        }
+    }
+
+    /// Unique instance id (used for debug-mode TVar pairing checks).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    pub(crate) fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+
+    pub(crate) fn gate(&self) -> &RwLock<()> {
+        &self.gate
+    }
+
+    pub(crate) fn arbiter(&self) -> &ConflictArbiter {
+        &self.config.arbiter
+    }
+
+    /// Current value of the global version clock.
+    pub fn clock_now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Commit/abort statistics since creation (or the last
+    /// [`Stm::reset_stats`]).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Zero all statistics counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Create a [`TVar`] tagged to this instance, honouring the configured
+    /// snapshot history depth.
+    pub fn new_tvar<T: TxValue>(&self, value: T) -> TVar<T> {
+        TVar::with_history(value, self.config.history_depth, self.id)
+    }
+
+    /// Run a transaction to commit — the paper's `start(p) … commit`.
+    ///
+    /// The closure may be executed several times (whenever the attempt
+    /// aborts); it must be idempotent apart from its transactional reads
+    /// and writes. Returns the closure's value from the committed attempt.
+    ///
+    /// # Panics
+    /// Panics if the closure cancels (use [`Stm::try_run`] to allow
+    /// cancellation), if called re-entrantly from inside a transaction, or
+    /// if an irrevocable closure returns any error.
+    pub fn run<T, F>(&self, params: TxParams, f: F) -> T
+    where
+        F: FnMut(&mut Transaction<'_>) -> TxResult<T>,
+    {
+        self.try_run(params, f)
+            .expect("transaction cancelled; use Stm::try_run to permit cancellation")
+    }
+
+    /// Like [`Stm::run`], but the closure may cancel the transaction with
+    /// [`Transaction::cancel`], which surfaces as `Err(Canceled)` with no
+    /// effects published.
+    pub fn try_run<T, F>(&self, params: TxParams, mut f: F) -> Result<T, Canceled>
+    where
+        F: FnMut(&mut Transaction<'_>) -> TxResult<T>,
+    {
+        let _reentrancy = ReentrancyGuard::enter();
+        let birth_ts = self.ts_source.fetch_add(1, Ordering::Relaxed);
+        let mut semantics = params.semantics;
+        let mut retries = 0u32;
+        loop {
+            let meta = TxMeta { birth_ts, retries };
+            let mut tx = Transaction::begin(self, semantics, meta);
+            let outcome = f(&mut tx);
+            let abort = match outcome {
+                Ok(value) => match tx.commit() {
+                    Ok(receipt) => {
+                        self.stats.record_cut(receipt.cuts);
+                        for _ in 0..receipt.extensions {
+                            self.stats.record_extension();
+                        }
+                        if semantics == Semantics::Irrevocable {
+                            self.stats.record_irrevocable_commit();
+                        } else {
+                            self.stats.record_commit();
+                        }
+                        return Ok(value);
+                    }
+                    Err(abort) => abort,
+                },
+                Err(abort) => {
+                    if semantics == Semantics::Irrevocable {
+                        // Irrevocable writes are already published; there
+                        // is no way to honour any abort.
+                        panic!(
+                            "irrevocable transaction attempted to abort ({abort}); \
+                             irrevocable closures must be infallible"
+                        );
+                    }
+                    let receipt = tx.abort_receipt();
+                    self.stats.record_cut(receipt.cuts);
+                    drop(tx);
+                    match abort {
+                        Abort::Cancel => {
+                            self.stats.record_abort(Abort::Cancel);
+                            return Err(Canceled);
+                        }
+                        Abort::RestartIrrevocable => {
+                            self.stats.record_irrevocable_upgrade();
+                            semantics = Semantics::Irrevocable;
+                            continue;
+                        }
+                        other => other,
+                    }
+                }
+            };
+            // Aborted attempt: account, back off, maybe upgrade, retry.
+            self.stats.record_abort(abort);
+            retries = retries.saturating_add(1);
+            if let Some(limit) = self.config.irrevocable_fallback_after {
+                if retries >= limit
+                    && semantics != Semantics::Irrevocable
+                    && semantics != Semantics::Snapshot
+                {
+                    self.stats.record_irrevocable_upgrade();
+                    semantics = Semantics::Irrevocable;
+                }
+            }
+            if let Some(d) = self.config.arbiter.backoff(retries) {
+                if !d.is_zero() {
+                    std::thread::sleep(d);
+                }
+            }
+        }
+    }
+
+    /// Convenience: run a read-only snapshot transaction.
+    pub fn snapshot<T, F>(&self, f: F) -> T
+    where
+        F: FnMut(&mut Transaction<'_>) -> TxResult<T>,
+    {
+        self.run(TxParams::new(Semantics::Snapshot), f)
+    }
+}
+
+impl Default for Stm {
+    fn default() -> Self {
+        Self::new()
+    }
+}

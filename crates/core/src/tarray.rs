@@ -1,0 +1,180 @@
+//! [`TArray`]: a fixed-size array of transactional registers with bulk
+//! operations.
+//!
+//! The paper's model is "a shared memory partitioned into shared
+//! registers"; `TArray` is that memory as a value. Bulk operations show
+//! polymorphism at array scale: `read_all` runs under whatever semantics
+//! the enclosing transaction chose (opaque for an atomic snapshot,
+//! elastic for a sliding scan, snapshot for a historical view).
+
+use std::sync::Arc;
+
+use crate::error::TxResult;
+use crate::stm::{Stm, TxParams};
+use crate::semantics::Semantics;
+use crate::tvar::{TVar, TxValue};
+use crate::txn::Transaction;
+
+/// A fixed-size array of [`TVar`]s. Cheap to clone (shares the cells).
+#[derive(Clone)]
+pub struct TArray<T: TxValue> {
+    cells: Arc<Vec<TVar<T>>>,
+}
+
+impl<T: TxValue> TArray<T> {
+    /// `len` cells, each initialized to `init`.
+    pub fn new(stm: &Stm, len: usize, init: T) -> Self {
+        Self { cells: Arc::new((0..len).map(|_| stm.new_tvar(init.clone())).collect()) }
+    }
+
+    /// Build from an iterator of initial values.
+    pub fn from_values(stm: &Stm, values: impl IntoIterator<Item = T>) -> Self {
+        Self { cells: Arc::new(values.into_iter().map(|v| stm.new_tvar(v)).collect()) }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the array has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The underlying register at `i` (for composing with raw TVar code).
+    pub fn cell(&self, i: usize) -> &TVar<T> {
+        &self.cells[i]
+    }
+
+    /// Transactional read of cell `i`.
+    pub fn get(&self, tx: &mut Transaction<'_>, i: usize) -> TxResult<T> {
+        self.cells[i].read(tx)
+    }
+
+    /// Transactional write of cell `i`.
+    pub fn set(&self, tx: &mut Transaction<'_>, i: usize, value: T) -> TxResult<()> {
+        self.cells[i].write(tx, value)
+    }
+
+    /// Swap cells `i` and `j` (atomic within the enclosing transaction).
+    pub fn swap(&self, tx: &mut Transaction<'_>, i: usize, j: usize) -> TxResult<()> {
+        if i == j {
+            return Ok(());
+        }
+        let a = self.cells[i].read(tx)?;
+        let b = self.cells[j].read(tx)?;
+        self.cells[i].write(tx, b)?;
+        self.cells[j].write(tx, a)
+    }
+
+    /// Read every cell in index order.
+    pub fn read_all(&self, tx: &mut Transaction<'_>) -> TxResult<Vec<T>> {
+        let mut out = Vec::with_capacity(self.cells.len());
+        for c in self.cells.iter() {
+            out.push(c.read(tx)?);
+        }
+        Ok(out)
+    }
+
+    /// Overwrite every cell from `values` (must match the length).
+    pub fn write_all(&self, tx: &mut Transaction<'_>, values: &[T]) -> TxResult<()> {
+        assert_eq!(values.len(), self.cells.len(), "length mismatch");
+        for (c, v) in self.cells.iter().zip(values) {
+            c.write(tx, v.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: atomic (opaque) snapshot of the whole array, as its
+    /// own transaction.
+    pub fn snapshot_atomic(&self, stm: &Stm) -> Vec<T> {
+        stm.run(TxParams::new(Semantics::Opaque), |tx| self.read_all(tx))
+    }
+
+    /// Convenience: multi-version snapshot of the whole array (never
+    /// aborts), as its own transaction.
+    pub fn snapshot_versioned(&self, stm: &Stm) -> Vec<T> {
+        stm.run(TxParams::new(Semantics::Snapshot), |tx| self.read_all(tx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stm::{Stm, TxParams};
+
+    #[test]
+    fn construction_and_len() {
+        let stm = Stm::new();
+        let a = TArray::new(&stm, 4, 0i64);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        let b = TArray::from_values(&stm, [1i64, 2, 3]);
+        assert_eq!(b.snapshot_atomic(&stm), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn get_set_swap() {
+        let stm = Stm::new();
+        let a = TArray::from_values(&stm, [10i64, 20, 30]);
+        stm.run(TxParams::default(), |tx| {
+            assert_eq!(a.get(tx, 1)?, 20);
+            a.set(tx, 1, 99)?;
+            a.swap(tx, 0, 2)?;
+            a.swap(tx, 1, 1)?; // no-op
+            Ok(())
+        });
+        assert_eq!(a.snapshot_atomic(&stm), vec![30, 99, 10]);
+    }
+
+    #[test]
+    fn write_all_roundtrip() {
+        let stm = Stm::new();
+        let a = TArray::new(&stm, 3, 0i64);
+        stm.run(TxParams::default(), |tx| a.write_all(tx, &[7, 8, 9]));
+        assert_eq!(a.snapshot_versioned(&stm), vec![7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn write_all_length_checked() {
+        let stm = Stm::new();
+        let a = TArray::new(&stm, 3, 0i64);
+        stm.run(TxParams::default(), |tx| a.write_all(tx, &[1]));
+    }
+
+    #[test]
+    fn concurrent_permutations_preserve_multiset() {
+        let stm = Stm::new();
+        let a = TArray::from_values(&stm, (0..16i64).collect::<Vec<_>>());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let stm = &stm;
+                let a = &a;
+                s.spawn(move || {
+                    let mut seed = t + 1;
+                    for _ in 0..300 {
+                        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let i = (seed >> 33) as usize % 16;
+                        let j = (seed >> 13) as usize % 16;
+                        stm.run(TxParams::default(), |tx| a.swap(tx, i, j));
+                    }
+                });
+            }
+        });
+        let mut v = a.snapshot_atomic(&stm);
+        v.sort_unstable();
+        assert_eq!(v, (0..16i64).collect::<Vec<_>>(), "swaps must permute, never duplicate");
+    }
+
+    #[test]
+    fn elastic_scan_vs_atomic_scan() {
+        let stm = Stm::new();
+        let a = TArray::new(&stm, 8, 1i64);
+        let sum = stm.run(TxParams::weak(), |tx| Ok(a.read_all(tx)?.iter().sum::<i64>()));
+        assert_eq!(sum, 8);
+        // The weak scan cut most of its reads.
+        assert!(stm.stats().elastic_cuts >= 6);
+    }
+}

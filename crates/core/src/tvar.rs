@@ -1,0 +1,149 @@
+//! [`TVar`]: a transactional shared register.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crossbeam_epoch as epoch;
+
+use crate::error::TxResult;
+use crate::txn::Transaction;
+use crate::varcore::{CommittedRead, VarCore};
+
+/// Types storable in a [`TVar`].
+///
+/// Transactions return owned values, so values must be [`Clone`] (keep
+/// them small or reference-counted: a list node clones an `Arc`, not its
+/// payload), and they cross threads at commit, hence [`Send`] +
+/// [`Sync`] + `'static`.
+pub trait TxValue: Clone + Send + Sync + 'static {}
+
+impl<T: Clone + Send + Sync + 'static> TxValue for T {}
+
+/// Default snapshot history depth for vars created outside an
+/// [`crate::Stm`] (see [`crate::StmConfig::history_depth`]).
+pub const DEFAULT_HISTORY_DEPTH: usize = 16;
+
+/// A shared register accessed through transactions — the paper's shared
+/// memory "partitioned into shared registers, supporting atomic
+/// reads/writes, and metadata used for synchronization".
+///
+/// `TVar` is a cheap handle (one `Arc`); clones alias the same register.
+/// Create vars with [`crate::Stm::new_tvar`] so debug builds can verify
+/// vars are not mixed across STM instances.
+///
+/// ```
+/// use polytm::{Stm, TxParams};
+///
+/// let stm = Stm::new();
+/// let x = stm.new_tvar(1i64);
+/// stm.run(TxParams::default(), |tx| x.modify(tx, |v| v + 1));
+/// assert_eq!(x.load_committed(), 2);
+/// ```
+pub struct TVar<T: TxValue> {
+    core: Arc<VarCore<T>>,
+}
+
+impl<T: TxValue> TVar<T> {
+    /// Create an untagged var with the default history depth. Prefer
+    /// [`crate::Stm::new_tvar`].
+    pub fn new(value: T) -> Self {
+        Self::with_history(value, DEFAULT_HISTORY_DEPTH, 0)
+    }
+
+    pub(crate) fn with_history(value: T, history_depth: usize, stm_id: u64) -> Self {
+        Self { core: Arc::new(VarCore::new(value, history_depth, stm_id)) }
+    }
+
+    /// Transactional read — the paper's `r(x)`.
+    ///
+    /// What "consistent" means depends on the transaction's
+    /// [`crate::Semantics`]: opaque reads join a single atomic critical
+    /// step; elastic reads join the sliding window; snapshot reads come
+    /// from the version history at the transaction's start time;
+    /// irrevocable reads see the frozen committed state.
+    #[inline]
+    pub fn read(&self, tx: &mut Transaction<'_>) -> TxResult<T> {
+        tx.read_var(&self.core)
+    }
+
+    /// Transactional write — the paper's `w(x, v)`. Buffered until commit
+    /// (published eagerly under irrevocable semantics).
+    #[inline]
+    pub fn write(&self, tx: &mut Transaction<'_>, value: T) -> TxResult<()> {
+        tx.write_var(&self.core, value)
+    }
+
+    /// Read-modify-write convenience.
+    pub fn modify<F>(&self, tx: &mut Transaction<'_>, f: F) -> TxResult<()>
+    where
+        F: FnOnce(T) -> T,
+    {
+        let v = self.read(tx)?;
+        self.write(tx, f(v))
+    }
+
+    /// Write `value` and return the previous value.
+    pub fn replace(&self, tx: &mut Transaction<'_>, value: T) -> TxResult<T> {
+        let old = self.read(tx)?;
+        self.write(tx, value)?;
+        Ok(old)
+    }
+
+    /// Non-transactional read of the latest committed value. Safe at any
+    /// time; linearizes at some point during the call. Useful for
+    /// post-quiescence inspection and monitoring.
+    pub fn load_committed(&self) -> T {
+        let guard = epoch::pin();
+        let mut spins = 0u32;
+        loop {
+            match self.core.read_committed(&guard) {
+                CommittedRead::Value(v, _) => return v,
+                CommittedRead::Locked(_) => {
+                    spins += 1;
+                    crate::stm::polite_spin(spins);
+                }
+            }
+        }
+    }
+
+    /// The version (commit timestamp) of the latest committed value.
+    pub fn committed_version(&self) -> u64 {
+        let guard = epoch::pin();
+        let mut spins = 0u32;
+        loop {
+            match self.core.read_committed(&guard) {
+                CommittedRead::Value(_, ver) => return ver,
+                CommittedRead::Locked(_) => {
+                    spins += 1;
+                    crate::stm::polite_spin(spins);
+                }
+            }
+        }
+    }
+
+    /// Stable address identifying this register (the paper's `x` in
+    /// `r(x)`); equal iff two handles alias the same register.
+    pub fn addr(&self) -> usize {
+        self.core.address()
+    }
+
+    /// Do two handles alias the same register?
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.core, &b.core)
+    }
+}
+
+impl<T: TxValue> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        Self { core: Arc::clone(&self.core) }
+    }
+}
+
+impl<T: TxValue + fmt::Debug> fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TVar")
+            .field("addr", &format_args!("{:#x}", self.addr()))
+            .field("value", &self.load_committed())
+            .finish()
+    }
+}

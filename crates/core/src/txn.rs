@@ -1,0 +1,542 @@
+//! The transaction runtime: per-semantics read rules, lazy write sets,
+//! elastic cutting, validation/extension, and the commit protocol.
+//!
+//! A [`Transaction`] is handed to the closure passed to
+//! [`crate::Stm::run`]. It owns:
+//!
+//! * a **read set** — an append-only log of `(location, version-seen)`
+//!   entries. Elastic transactions *cut* entries that slide out of their
+//!   window (marking them dead) instead of validating them at commit;
+//! * a **write set** — lazy, type-erased buffered writes, published
+//!   atomically at commit under per-location versioned locks acquired in
+//!   address order (deadlock-free);
+//! * its **read version** `rv`, extensible on demand (revalidating all
+//!   live reads against the current clock);
+//! * the revocation-gate guard when running irrevocably.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam_epoch as epoch;
+use parking_lot::RwLockWriteGuard;
+
+use crate::cm::{ConflictDecision, ContentionManager, TxMeta};
+use crate::error::{Abort, TxResult};
+use crate::semantics::{compose, NestingPolicy, Semantics};
+use crate::stm::Stm;
+use crate::tvar::TxValue;
+use crate::varcore::{CommittedRead, TxSlot, VarCore};
+
+/// One read-set entry.
+struct ReadEntry {
+    slot: Arc<dyn TxSlot>,
+    addr: usize,
+    /// Version of the value observed.
+    seen: u64,
+    /// True once the entry has been elastically cut: it is no longer
+    /// validated and no longer counts as "already read".
+    dead: bool,
+}
+
+/// One buffered write.
+struct WriteEntry {
+    slot: Arc<dyn TxSlot>,
+    addr: usize,
+    /// `None` only transiently while the value is being published.
+    value: Option<Box<dyn Any + Send>>,
+}
+
+/// An in-flight transaction attempt. See the module docs.
+pub struct Transaction<'s> {
+    stm: &'s Stm,
+    semantics: Semantics,
+    meta: TxMeta,
+    rv: u64,
+    reads: Vec<ReadEntry>,
+    /// addr -> index into `reads`, live entries only.
+    read_index: HashMap<usize, usize>,
+    writes: Vec<WriteEntry>,
+    /// addr -> index into `writes`.
+    write_index: HashMap<usize, usize>,
+    /// Indices into `reads` still eligible for elastic cutting, oldest
+    /// first. Non-empty only for elastic transactions before their first
+    /// write and outside nested blocks of different semantics.
+    window_queue: VecDeque<usize>,
+    /// Elastic cuts performed by this attempt (flushed to stats at end).
+    cuts: u64,
+    /// Read-version extensions performed by this attempt.
+    extensions: u64,
+    /// Held for the whole transaction when running irrevocably.
+    _gate_guard: Option<RwLockWriteGuard<'s, ()>>,
+}
+
+impl<'s> Transaction<'s> {
+    pub(crate) fn begin(stm: &'s Stm, semantics: Semantics, meta: TxMeta) -> Self {
+        let gate_guard =
+            if semantics == Semantics::Irrevocable { Some(stm.gate().write()) } else { None };
+        // Sample rv *after* acquiring the gate so an irrevocable
+        // transaction observes the final pre-gate state.
+        let rv = stm.clock().now();
+        Self {
+            stm,
+            semantics,
+            meta,
+            rv,
+            reads: Vec::new(),
+            read_index: HashMap::new(),
+            writes: Vec::new(),
+            write_index: HashMap::new(),
+            window_queue: VecDeque::new(),
+            cuts: 0,
+            extensions: 0,
+            _gate_guard: gate_guard,
+        }
+    }
+
+    /// The semantics this transaction is currently executing under
+    /// (changes inside [`Transaction::nested`] blocks).
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// Read version: the clock value this transaction's reads are
+    /// currently consistent with.
+    pub fn read_version(&self) -> u64 {
+        self.rv
+    }
+
+    /// Birth timestamp (stable across retries; used for contention
+    /// priority).
+    pub fn birth_ts(&self) -> u64 {
+        self.meta.birth_ts
+    }
+
+    /// Number of elastic cuts performed so far in this attempt.
+    pub fn cut_count(&self) -> u64 {
+        self.cuts
+    }
+
+    /// Number of live (validated-at-commit) read-set entries.
+    pub fn live_reads(&self) -> usize {
+        self.read_index.len()
+    }
+
+    /// Number of buffered writes.
+    pub fn pending_writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Abort the current attempt and re-execute from the start (after the
+    /// contention manager's backoff). Typical use: a condition the
+    /// transaction needs is not yet true.
+    pub fn retry<T>(&self) -> TxResult<T> {
+        Err(Abort::Retry)
+    }
+
+    /// Cancel the transaction: [`crate::Stm::try_run`] returns
+    /// [`crate::Canceled`] and no effects are published.
+    ///
+    /// Must not be used under [`Semantics::Irrevocable`] (whose writes are
+    /// already public); the runtime panics in that case.
+    pub fn cancel<T>(&self) -> TxResult<T> {
+        Err(Abort::Cancel)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    pub(crate) fn read_var<T: TxValue>(&mut self, core: &Arc<VarCore<T>>) -> TxResult<T> {
+        debug_assert!(
+            core.stm_id == 0 || core.stm_id == self.stm.id(),
+            "TVar used with an Stm instance other than the one that created it"
+        );
+        let addr = core.address();
+        // Read-own-write.
+        if let Some(&idx) = self.write_index.get(&addr) {
+            let value = self.writes[idx]
+                .value
+                .as_ref()
+                .expect("write-set value present outside commit")
+                .downcast_ref::<T>()
+                .expect("write-set entry type matches TVar type");
+            return Ok(value.clone());
+        }
+        match self.semantics {
+            Semantics::Snapshot => {
+                let guard = epoch::pin();
+                match core.read_snapshot(self.rv, &guard) {
+                    Some((v, _)) => Ok(v),
+                    None => Err(Abort::SnapshotUnavailable { addr }),
+                }
+            }
+            Semantics::Irrevocable => {
+                // The gate is held exclusively: no other transaction can
+                // commit, so the committed state is frozen apart from our
+                // own (already published) eager writes.
+                let guard = epoch::pin();
+                loop {
+                    match core.read_committed(&guard) {
+                        CommittedRead::Value(v, _) => return Ok(v),
+                        CommittedRead::Locked(_) => std::hint::spin_loop(),
+                    }
+                }
+            }
+            Semantics::Opaque | Semantics::Elastic { .. } => self.read_optimistic(core, addr),
+        }
+    }
+
+    fn read_optimistic<T: TxValue>(
+        &mut self,
+        core: &Arc<VarCore<T>>,
+        addr: usize,
+    ) -> TxResult<T> {
+        if let Some(&idx) = self.read_index.get(&addr) {
+            // Re-read: the location must still carry the version we saw,
+            // otherwise two reads of the same location would return
+            // different values inside one transaction.
+            let seen = self.reads[idx].seen;
+            let (value, ver) = self.wait_read_committed(core, addr)?;
+            return if ver == seen { Ok(value) } else { Err(Abort::ReadConflict { addr }) };
+        }
+        // Elastic cut rule (ε-STM): the critical-step window *includes*
+        // the incoming access, so before validating the new read, shed the
+        // oldest reads until at most `window - 1` previous reads remain.
+        // Only legal before the first write.
+        if let Semantics::Elastic { window } = self.semantics {
+            if self.writes.is_empty() {
+                self.cut_to(window.max(1) - 1);
+            }
+        }
+        let (value, ver) = self.wait_read_committed(core, addr)?;
+        if ver > self.rv {
+            // The location changed after we started: try to slide our
+            // serialization point forward. Live reads must all still be
+            // current; elastic transactions have already shed the reads
+            // they are allowed to shed, so failure here is final.
+            self.extend(addr)?;
+            debug_assert!(ver <= self.rv);
+        }
+        self.push_read(Arc::clone(core) as Arc<dyn TxSlot>, addr, ver);
+        Ok(value)
+    }
+
+    /// Optimistically read a committed value, arbitrating with the
+    /// contention manager while the location is locked by a committer.
+    fn wait_read_committed<T: TxValue>(
+        &self,
+        core: &Arc<VarCore<T>>,
+        addr: usize,
+    ) -> TxResult<(T, u64)> {
+        let guard = epoch::pin();
+        let mut spins = 0u32;
+        loop {
+            match core.read_committed(&guard) {
+                CommittedRead::Value(v, ver) => return Ok((v, ver)),
+                CommittedRead::Locked(owner) => {
+                    match self.stm.arbiter().on_conflict(&self.meta, owner, spins) {
+                        ConflictDecision::AbortSelf => {
+                            return Err(Abort::Locked { addr, owner });
+                        }
+                        ConflictDecision::Wait => {
+                            spins += 1;
+                            crate::stm::polite_spin(spins);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Append a read-set entry; elastic reads also enter the cut window.
+    fn push_read(&mut self, slot: Arc<dyn TxSlot>, addr: usize, seen: u64) {
+        let idx = self.reads.len();
+        self.reads.push(ReadEntry { slot, addr, seen, dead: false });
+        self.read_index.insert(addr, idx);
+        if let Semantics::Elastic { window } = self.semantics {
+            if self.writes.is_empty() {
+                self.window_queue.push_back(idx);
+                // Invariant (defensive; `cut_to` already ran): at most
+                // `window` live elastic reads.
+                self.cut_to(window.max(1));
+            }
+        }
+    }
+
+    /// Mark the oldest cuttable reads dead until at most `keep` remain in
+    /// the elastic window.
+    fn cut_to(&mut self, keep: usize) {
+        while self.window_queue.len() > keep {
+            let old = self.window_queue.pop_front().expect("queue non-empty");
+            let entry = &mut self.reads[old];
+            entry.dead = true;
+            self.read_index.remove(&entry.addr);
+            self.cuts += 1;
+        }
+    }
+
+    /// Read-version extension: move `rv` to `now` if every live read is
+    /// still current. `addr` is only for the error value.
+    fn extend(&mut self, _addr: usize) -> TxResult<()> {
+        let now = self.stm.clock().now();
+        for entry in self.reads.iter().filter(|e| !e.dead) {
+            let p = entry.slot.probe();
+            if p.locked || p.version != entry.seen {
+                return Err(Abort::ReadConflict { addr: entry.addr });
+            }
+        }
+        self.rv = now;
+        self.extensions += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    pub(crate) fn write_var<T: TxValue>(
+        &mut self,
+        core: &Arc<VarCore<T>>,
+        value: T,
+    ) -> TxResult<()> {
+        debug_assert!(
+            core.stm_id == 0 || core.stm_id == self.stm.id(),
+            "TVar used with an Stm instance other than the one that created it"
+        );
+        if self.semantics.is_read_only() {
+            return Err(Abort::ReadOnlyViolation);
+        }
+        let addr = core.address();
+        if self.semantics == Semantics::Irrevocable {
+            // Eager write: we hold the gate, so the lock is at worst held
+            // by a committer that entered before our gate acquisition —
+            // impossible, since committers hold the gate (shared) across
+            // their whole lock-publish window. Still, spin defensively.
+            loop {
+                match core.try_lock(self.meta.birth_ts) {
+                    Ok(_prior) => break,
+                    Err(_) => std::hint::spin_loop(),
+                }
+            }
+            let wv = self.stm.clock().increment();
+            core.publish(value, wv);
+            return Ok(());
+        }
+        // First write freezes the elastic window: the remaining window
+        // entries become permanent read-set entries, validated at commit.
+        if self.writes.is_empty() {
+            self.window_queue.clear();
+        }
+        match self.write_index.get(&addr) {
+            Some(&idx) => {
+                self.writes[idx].value = Some(Box::new(value));
+            }
+            None => {
+                let idx = self.writes.len();
+                self.writes.push(WriteEntry {
+                    slot: Arc::clone(core) as Arc<dyn TxSlot>,
+                    addr,
+                    value: Some(Box::new(value)),
+                });
+                self.write_index.insert(addr, idx);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Nesting
+    // ------------------------------------------------------------------
+
+    /// Run `f` as a nested transaction requesting `requested` semantics,
+    /// composed with the parent semantics under the STM's configured
+    /// [`NestingPolicy`] (see [`crate::StmConfig::nesting_policy`]).
+    ///
+    /// polytm uses *flattened closed nesting*: the nested block shares
+    /// this transaction's read and write sets, and an abort restarts the
+    /// whole flat transaction. What changes inside the block is the
+    /// *read/cut discipline*: e.g. an elastic block inside an opaque
+    /// parent may cut only the reads it performed itself.
+    ///
+    /// Requesting [`Semantics::Irrevocable`] inside a revocable parent
+    /// cannot be honoured in place; the runtime aborts with
+    /// [`Abort::RestartIrrevocable`] and [`crate::Stm::run`] restarts the
+    /// whole transaction irrevocably.
+    pub fn nested<T, F>(&mut self, requested: Semantics, f: F) -> TxResult<T>
+    where
+        F: FnOnce(&mut Transaction<'s>) -> TxResult<T>,
+    {
+        self.nested_with_policy(requested, self.stm.config().nesting_policy, f)
+    }
+
+    /// [`Transaction::nested`] with an explicit composition policy.
+    pub fn nested_with_policy<T, F>(
+        &mut self,
+        requested: Semantics,
+        policy: NestingPolicy,
+        f: F,
+    ) -> TxResult<T>
+    where
+        F: FnOnce(&mut Transaction<'s>) -> TxResult<T>,
+    {
+        let effective = compose(self.semantics, requested, policy);
+        if effective == Semantics::Irrevocable && self.semantics != Semantics::Irrevocable {
+            return Err(Abort::RestartIrrevocable);
+        }
+        if effective.is_read_only() && !self.writes.is_empty() {
+            // A snapshot block inside a writing transaction would not see
+            // the transaction's own writes; run it opaquely instead. This
+            // is the conservative resolution of the paper's composition
+            // question for read-only semantics.
+            return self.run_block(Semantics::Opaque, f);
+        }
+        self.run_block(effective, f)
+    }
+
+    fn run_block<T, F>(&mut self, effective: Semantics, f: F) -> TxResult<T>
+    where
+        F: FnOnce(&mut Transaction<'s>) -> TxResult<T>,
+    {
+        let saved = self.semantics;
+        // Reads made by the parent must never be cut by an elastic nested
+        // block: start the block with an empty window. Conversely, when
+        // the block ends, its window entries become permanent (the parent
+        // may have stronger semantics).
+        let saved_window: VecDeque<usize> = std::mem::take(&mut self.window_queue);
+        self.semantics = effective;
+        let result = f(self);
+        self.semantics = saved;
+        self.window_queue = saved_window;
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / rollback
+    // ------------------------------------------------------------------
+
+    /// Attempt to commit. Consumes the attempt; on `Err` the caller
+    /// re-executes the closure on a fresh [`Transaction`].
+    pub(crate) fn commit(mut self) -> TxResult<CommitReceipt> {
+        let receipt = CommitReceipt {
+            cuts: self.cuts,
+            extensions: self.extensions,
+            live_reads: self.read_index.len() as u64,
+            writes: self.writes.len() as u64,
+        };
+        match self.semantics {
+            // Snapshot reads were consistent at rv by construction;
+            // irrevocable writes are already published and the gate guard
+            // drops with `self`.
+            Semantics::Snapshot | Semantics::Irrevocable => Ok(receipt),
+            Semantics::Opaque | Semantics::Elastic { .. } => {
+                if self.writes.is_empty() {
+                    // Read-only optimistic transactions are consistent at
+                    // their (possibly extended) read version; nothing to
+                    // publish, nothing to validate (TL2 read-only rule).
+                    return Ok(receipt);
+                }
+                self.commit_writes()?;
+                Ok(receipt)
+            }
+        }
+    }
+
+    fn commit_writes(&mut self) -> TxResult<()> {
+        // Block behind any irrevocable transaction; taken *before* any
+        // per-location lock so lock order is gate -> locations everywhere.
+        let _gate = self.stm.gate().read();
+
+        // Acquire write locks in address order (global total order =>
+        // deadlock freedom even when the contention manager waits).
+        let mut order: Vec<usize> = (0..self.writes.len()).collect();
+        order.sort_unstable_by_key(|&i| self.writes[i].addr);
+        let mut acquired: Vec<(usize, u64)> = Vec::with_capacity(order.len());
+        for &i in &order {
+            let entry = &self.writes[i];
+            let mut spins = 0u32;
+            loop {
+                match entry.slot.try_lock(self.meta.birth_ts) {
+                    Ok(prior) => {
+                        acquired.push((i, prior));
+                        break;
+                    }
+                    Err(owner) => {
+                        match self.stm.arbiter().on_conflict(&self.meta, owner, spins) {
+                            ConflictDecision::AbortSelf => {
+                                self.release_acquired(&acquired);
+                                return Err(Abort::Locked { addr: entry.addr, owner });
+                            }
+                            ConflictDecision::Wait => {
+                                spins += 1;
+                                crate::stm::polite_spin(spins);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let wv = self.stm.clock().increment();
+
+        // Validate live reads. Locations we hold locks on are validated
+        // against the pre-lock version returned by try_lock.
+        if wv > self.rv + 1 {
+            let prior_of: HashMap<usize, u64> =
+                acquired.iter().map(|&(i, prior)| (self.writes[i].addr, prior)).collect();
+            for entry in self.reads.iter().filter(|e| !e.dead) {
+                let current = match prior_of.get(&entry.addr) {
+                    Some(&prior) => prior,
+                    None => {
+                        let p = entry.slot.probe();
+                        if p.locked {
+                            self.release_acquired(&acquired);
+                            return Err(Abort::ValidationFailed { addr: entry.addr });
+                        }
+                        p.version
+                    }
+                };
+                if current != entry.seen {
+                    self.release_acquired(&acquired);
+                    return Err(Abort::ValidationFailed { addr: entry.addr });
+                }
+            }
+        }
+
+        // Publish & unlock.
+        for &(i, _) in &acquired {
+            let entry = &mut self.writes[i];
+            let value = entry.value.take().expect("write value present at publish");
+            entry.slot.publish_erased(value, wv);
+        }
+        Ok(())
+    }
+
+    fn release_acquired(&self, acquired: &[(usize, u64)]) {
+        for &(i, prior) in acquired.iter().rev() {
+            self.writes[i].slot.unlock_restore(prior);
+        }
+    }
+
+    /// Receipt counters for the statistics sink.
+    pub(crate) fn abort_receipt(&self) -> CommitReceipt {
+        CommitReceipt {
+            cuts: self.cuts,
+            extensions: self.extensions,
+            live_reads: self.read_index.len() as u64,
+            writes: self.writes.len() as u64,
+        }
+    }
+}
+
+/// Per-attempt counters reported back to [`crate::Stm`] for statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CommitReceipt {
+    pub cuts: u64,
+    pub extensions: u64,
+    #[allow(dead_code)]
+    pub live_reads: u64,
+    #[allow(dead_code)]
+    pub writes: u64,
+}

@@ -1,0 +1,389 @@
+//! Per-location state: versioned lock word plus an epoch-reclaimed,
+//! bounded chain of immutable value versions.
+//!
+//! Layout of the lock word: `(version << 1) | locked`. While the lock bit
+//! is set, the version bits still hold the *pre-lock* version, so readers
+//! that race with a committing writer either observe a consistent
+//! `(lockword, head, lockword)` triple or retry.
+//!
+//! Values are never mutated in place. A commit publishes a fresh
+//! [`VersionNode`] and links the previous node behind it; the chain is
+//! truncated to a configurable history depth, with severed nodes handed to
+//! crossbeam-epoch for deferred destruction. This gives us three things at
+//! once:
+//!
+//! 1. no `UnsafeCell` seqlock reads (which would be UB on torn reads) —
+//!    every read dereferences an immutable node under an epoch guard;
+//! 2. [`crate::Semantics::Snapshot`] transactions can read *into the
+//!    past* along the chain;
+//! 3. ABA-free unlocking: versions strictly increase.
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned};
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::tvar::TxValue;
+
+const LOCKED: u64 = 1;
+
+/// One committed version of a location's value.
+pub(crate) struct VersionNode<T> {
+    /// Commit timestamp (write version) that published this value.
+    pub version: u64,
+    /// The committed value.
+    pub value: T,
+    /// Next-older version, or null past the history horizon.
+    pub prev: Atomic<VersionNode<T>>,
+}
+
+/// Decoded lock-word state returned by [`TxSlot::probe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlotProbe {
+    pub locked: bool,
+    /// Birth timestamp of the lock owner (valid while `locked`; 0 if the
+    /// owner has not been recorded yet).
+    pub owner: u64,
+    /// Version carried by the lock word (the pre-lock version while
+    /// locked).
+    pub version: u64,
+}
+
+/// Outcome of an optimistic committed read.
+pub(crate) enum CommittedRead<T> {
+    /// Value and the version it was committed at.
+    Value(T, u64),
+    /// The location is currently locked by the transaction with the given
+    /// birth timestamp.
+    Locked(u64),
+}
+
+/// The shared core behind a [`crate::TVar`].
+pub(crate) struct VarCore<T> {
+    lockword: AtomicU64,
+    owner: AtomicU64,
+    head: Atomic<VersionNode<T>>,
+    /// Number of versions retained behind the head (≥ 0). The head itself
+    /// is always retained, so snapshot transactions can look
+    /// `history_depth` versions into the past.
+    history_depth: usize,
+    /// Identifier of the [`crate::Stm`] this var is tagged to, or 0 for
+    /// untagged vars. Mixing vars across STM instances breaks version
+    /// ordering; the tag lets us catch it in debug builds.
+    pub(crate) stm_id: u64,
+}
+
+impl<T: TxValue> VarCore<T> {
+    pub(crate) fn new(value: T, history_depth: usize, stm_id: u64) -> Self {
+        let node = Owned::new(VersionNode { version: 0, value, prev: Atomic::null() });
+        Self {
+            lockword: AtomicU64::new(0),
+            owner: AtomicU64::new(0),
+            head: Atomic::from(node),
+            history_depth,
+            stm_id,
+        }
+    }
+
+    /// Stable identity of the location (used for write-set ordering and
+    /// conflict reporting).
+    #[inline]
+    pub(crate) fn address(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    /// Optimistic read of the latest committed value: the TL2
+    /// `(lockword, value, lockword)` double-check. Returns the value and
+    /// the version it was committed at, or the owner of the lock if the
+    /// location is being committed to right now.
+    pub(crate) fn read_committed(&self, guard: &Guard) -> CommittedRead<T> {
+        loop {
+            let l1 = self.lockword.load(Ordering::Acquire);
+            if l1 & LOCKED != 0 {
+                return CommittedRead::Locked(self.owner.load(Ordering::Relaxed));
+            }
+            let head = self.head.load(Ordering::Acquire, guard);
+            let l2 = self.lockword.load(Ordering::Acquire);
+            if l1 != l2 {
+                continue;
+            }
+            // SAFETY: `head` was read under `guard`; nodes are only freed
+            // via deferred destruction after being unlinked, so the
+            // reference is valid for the lifetime of the pin.
+            let node = unsafe { head.deref() };
+            debug_assert_eq!(node.version, l1 >> 1, "head version must match lock word");
+            return CommittedRead::Value(node.value.clone(), l1 >> 1);
+        }
+    }
+
+    /// Multi-version read: newest committed version with
+    /// `version <= bound`, walking the history chain. Returns `None` when
+    /// the history has been truncated past `bound`.
+    pub(crate) fn read_snapshot(&self, bound: u64, guard: &Guard) -> Option<(T, u64)> {
+        let mut cur = self.head.load(Ordering::Acquire, guard);
+        while !cur.is_null() {
+            // SAFETY: chain nodes are epoch-protected (see above).
+            let node = unsafe { cur.deref() };
+            if node.version <= bound {
+                return Some((node.value.clone(), node.version));
+            }
+            cur = node.prev.load(Ordering::Acquire, guard);
+        }
+        None
+    }
+
+    /// Publishes `value` as the new head version and releases the lock
+    /// with `new_version`. Must be called while holding the lock.
+    pub(crate) fn publish(&self, value: T, new_version: u64) {
+        debug_assert!(self.lockword.load(Ordering::Relaxed) & LOCKED != 0);
+        let guard = epoch::pin();
+        let old_head = self.head.load(Ordering::Relaxed, &guard);
+        let node = Owned::new(VersionNode {
+            version: new_version,
+            value,
+            prev: Atomic::null(),
+        });
+        node.prev.store(old_head, Ordering::Relaxed);
+        self.head.store(node, Ordering::Release);
+        self.truncate_history(&guard);
+        self.owner.store(0, Ordering::Relaxed);
+        self.lockword.store(new_version << 1, Ordering::Release);
+    }
+
+    /// Severs and defer-destroys chain nodes beyond `history_depth`.
+    /// Caller must hold the lock (the chain is only mutated by lock
+    /// holders, so the walk is race-free).
+    fn truncate_history(&self, guard: &Guard) {
+        let mut kept = 0usize;
+        let mut cur = self.head.load(Ordering::Relaxed, guard);
+        // Walk the retained prefix: head + history_depth older nodes.
+        while !cur.is_null() && kept <= self.history_depth {
+            // SAFETY: lock held; nodes reachable and epoch-protected.
+            let node = unsafe { cur.deref() };
+            let next = node.prev.load(Ordering::Relaxed, guard);
+            if kept == self.history_depth && !next.is_null() {
+                node.prev.store(epoch::Shared::null(), Ordering::Release);
+                // Defer-destroy the severed suffix node by node.
+                let mut dead = next;
+                while !dead.is_null() {
+                    // SAFETY: severed nodes are unreachable from the new
+                    // chain; concurrent snapshot readers pinned before the
+                    // severing may still hold them, which is exactly what
+                    // deferred destruction protects.
+                    let after = unsafe { dead.deref() }.prev.load(Ordering::Relaxed, guard);
+                    unsafe { guard.defer_destroy(dead) };
+                    dead = after;
+                }
+                return;
+            }
+            kept += 1;
+            cur = next;
+        }
+    }
+}
+
+impl<T> Drop for VarCore<T> {
+    fn drop(&mut self) {
+        // SAFETY: we have exclusive access (`&mut self` through drop), so
+        // no concurrent readers exist and the chain can be freed eagerly.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut cur = self.head.load(Ordering::Relaxed, guard);
+            while !cur.is_null() {
+                let owned = cur.into_owned();
+                cur = owned.prev.load(Ordering::Relaxed, guard);
+                drop(owned);
+            }
+        }
+    }
+}
+
+/// Object-safe view of a `VarCore<T>` used by the transaction runtime for
+/// type-erased read/write sets.
+pub(crate) trait TxSlot: Send + Sync {
+    /// Decode the current lock word.
+    fn probe(&self) -> SlotProbe;
+    /// Try to acquire the commit lock for owner `owner_ts`. On success
+    /// returns the pre-lock version; on failure the current owner's
+    /// timestamp.
+    fn try_lock(&self, owner_ts: u64) -> Result<u64, u64>;
+    /// Release the lock without publishing (abort path), restoring the
+    /// pre-lock version.
+    fn unlock_restore(&self, prior_version: u64);
+    /// Publish a type-erased value and release the lock with
+    /// `new_version`.
+    ///
+    /// # Panics
+    /// Panics if `value` does not downcast to the location's value type —
+    /// impossible through the public API, which pairs write-set entries
+    /// with the `TVar` that created them.
+    fn publish_erased(&self, value: Box<dyn Any + Send>, new_version: u64);
+}
+
+impl<T: TxValue> TxSlot for VarCore<T> {
+    fn probe(&self) -> SlotProbe {
+        let w = self.lockword.load(Ordering::Acquire);
+        SlotProbe {
+            locked: w & LOCKED != 0,
+            owner: self.owner.load(Ordering::Relaxed),
+            version: w >> 1,
+        }
+    }
+
+    fn try_lock(&self, owner_ts: u64) -> Result<u64, u64> {
+        let cur = self.lockword.load(Ordering::Relaxed);
+        if cur & LOCKED != 0 {
+            return Err(self.owner.load(Ordering::Relaxed));
+        }
+        match self.lockword.compare_exchange(
+            cur,
+            cur | LOCKED,
+            Ordering::Acquire,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                self.owner.store(owner_ts, Ordering::Relaxed);
+                Ok(cur >> 1)
+            }
+            Err(_) => Err(self.owner.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn unlock_restore(&self, prior_version: u64) {
+        debug_assert!(self.lockword.load(Ordering::Relaxed) & LOCKED != 0);
+        self.owner.store(0, Ordering::Relaxed);
+        self.lockword.store(prior_version << 1, Ordering::Release);
+    }
+
+    fn publish_erased(&self, value: Box<dyn Any + Send>, new_version: u64) {
+        let value = value
+            .downcast::<T>()
+            .expect("type-erased write value must match the TVar's value type");
+        self.publish(*value, new_version);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_epoch as epoch;
+
+    fn value_of(core: &VarCore<i64>) -> (i64, u64) {
+        let guard = epoch::pin();
+        match core.read_committed(&guard) {
+            CommittedRead::Value(v, ver) => (v, ver),
+            CommittedRead::Locked(_) => panic!("unexpected lock"),
+        }
+    }
+
+    #[test]
+    fn fresh_var_reads_initial_value_at_version_zero() {
+        let core = VarCore::new(42i64, 4, 0);
+        assert_eq!(value_of(&core), (42, 0));
+    }
+
+    #[test]
+    fn lock_publish_unlock_cycle() {
+        let core = VarCore::new(1i64, 4, 0);
+        let prior = core.try_lock(7).expect("lock must succeed");
+        assert_eq!(prior, 0);
+        // Locked: probe reports owner, committed read reports lock.
+        let p = core.probe();
+        assert!(p.locked);
+        assert_eq!(p.owner, 7);
+        let guard = epoch::pin();
+        match core.read_committed(&guard) {
+            CommittedRead::Locked(owner) => assert_eq!(owner, 7),
+            CommittedRead::Value(..) => panic!("must observe the lock"),
+        }
+        drop(guard);
+        core.publish(2, 5);
+        assert_eq!(value_of(&core), (2, 5));
+        assert!(!core.probe().locked);
+    }
+
+    #[test]
+    fn double_lock_fails_with_owner() {
+        let core = VarCore::new(0i64, 4, 0);
+        core.try_lock(3).unwrap();
+        assert_eq!(core.try_lock(9), Err(3));
+        core.unlock_restore(0);
+        assert_eq!(core.try_lock(9), Ok(0));
+        core.unlock_restore(0);
+    }
+
+    #[test]
+    fn unlock_restore_keeps_version() {
+        let core = VarCore::new(0i64, 4, 0);
+        core.try_lock(1).unwrap();
+        core.publish(10, 8);
+        core.try_lock(2).unwrap();
+        core.unlock_restore(8);
+        assert_eq!(value_of(&core), (10, 8));
+    }
+
+    #[test]
+    fn snapshot_walks_history() {
+        let core = VarCore::new(0i64, 8, 0);
+        for (v, ver) in [(1i64, 10u64), (2, 20), (3, 30)] {
+            core.try_lock(1).unwrap();
+            core.publish(v, ver);
+        }
+        let guard = epoch::pin();
+        assert_eq!(core.read_snapshot(u64::MAX, &guard), Some((3, 30)));
+        assert_eq!(core.read_snapshot(29, &guard), Some((2, 20)));
+        assert_eq!(core.read_snapshot(20, &guard), Some((2, 20)));
+        assert_eq!(core.read_snapshot(15, &guard), Some((1, 10)));
+        assert_eq!(core.read_snapshot(9, &guard), Some((0, 0)));
+    }
+
+    #[test]
+    fn history_truncation_bounds_the_chain() {
+        let core = VarCore::new(0i64, 2, 0);
+        for i in 1..=10u64 {
+            core.try_lock(1).unwrap();
+            core.publish(i as i64, i * 10);
+        }
+        let guard = epoch::pin();
+        // head=100 plus history_depth=2 older versions (90, 80) retained.
+        assert_eq!(core.read_snapshot(u64::MAX, &guard), Some((10, 100)));
+        assert_eq!(core.read_snapshot(95, &guard), Some((9, 90)));
+        assert_eq!(core.read_snapshot(85, &guard), Some((8, 80)));
+        // anything older is gone
+        assert_eq!(core.read_snapshot(75, &guard), None);
+    }
+
+    #[test]
+    fn zero_history_keeps_only_head() {
+        let core = VarCore::new(0i64, 0, 0);
+        core.try_lock(1).unwrap();
+        core.publish(1, 10);
+        core.try_lock(1).unwrap();
+        core.publish(2, 20);
+        let guard = epoch::pin();
+        assert_eq!(core.read_snapshot(u64::MAX, &guard), Some((2, 20)));
+        assert_eq!(core.read_snapshot(19, &guard), None);
+    }
+
+    #[test]
+    fn publish_erased_downcasts() {
+        let core = VarCore::new(String::from("a"), 1, 0);
+        core.try_lock(1).unwrap();
+        TxSlot::publish_erased(&core, Box::new(String::from("b")), 3);
+        let guard = epoch::pin();
+        match core.read_committed(&guard) {
+            CommittedRead::Value(v, ver) => {
+                assert_eq!(v, "b");
+                assert_eq!(ver, 3);
+            }
+            CommittedRead::Locked(_) => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "type-erased write value")]
+    fn publish_erased_wrong_type_panics() {
+        let core = VarCore::new(0i64, 1, 0);
+        core.try_lock(1).unwrap();
+        TxSlot::publish_erased(&core, Box::new("wrong"), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests: executed sequentially (one transaction at a
+//! time), every semantics must agree with a simple reference model —
+//! polymorphism changes *concurrency*, never sequential meaning.
+
+use proptest::prelude::*;
+
+use polytm::{Semantics, Stm, TxParams};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write var[i] = value.
+    Write(usize, i64),
+    /// Read var[i] (checked against the model).
+    Read(usize),
+    /// Add delta to var[i].
+    Add(usize, i64),
+}
+
+fn op_strategy(nvars: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..nvars, any::<i64>()).prop_map(|(i, v)| Op::Write(i, v)),
+        (0..nvars).prop_map(Op::Read),
+        (0..nvars, -100i64..100).prop_map(|(i, d)| Op::Add(i, d)),
+    ]
+}
+
+fn tx_strategy(nvars: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(op_strategy(nvars), 1..12)
+}
+
+fn writing_semantics() -> impl Strategy<Value = Semantics> {
+    prop_oneof![
+        Just(Semantics::Opaque),
+        (1usize..4).prop_map(|w| Semantics::Elastic { window: w }),
+        Just(Semantics::Irrevocable),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of transactions, each under any (writing) semantics,
+    /// behaves exactly like applying the operations to an array.
+    #[test]
+    fn sequential_equivalence_to_model(
+        txs in prop::collection::vec((writing_semantics(), tx_strategy(6)), 1..20)
+    ) {
+        const NVARS: usize = 6;
+        let stm = Stm::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| stm.new_tvar(0i64)).collect();
+        let mut model = [0i64; NVARS];
+
+        for (sem, ops) in txs {
+            let mut shadow = model;
+            stm.run(TxParams::new(sem), |t| {
+                // Transactions may re-execute; recompute from the model.
+                shadow = model;
+                for op in &ops {
+                    match *op {
+                        Op::Write(i, v) => {
+                            vars[i].write(t, v)?;
+                            shadow[i] = v;
+                        }
+                        Op::Read(i) => {
+                            assert_eq!(vars[i].read(t)?, shadow[i]);
+                        }
+                        Op::Add(i, d) => {
+                            let v = vars[i].read(t)?;
+                            assert_eq!(v, shadow[i]);
+                            vars[i].write(t, v.wrapping_add(d))?;
+                            shadow[i] = shadow[i].wrapping_add(d);
+                        }
+                    }
+                }
+                Ok(())
+            });
+            model = shadow;
+        }
+        for (i, var) in vars.iter().enumerate() {
+            prop_assert_eq!(var.load_committed(), model[i]);
+        }
+    }
+
+    /// Snapshot transactions sequentially read exactly the committed state.
+    #[test]
+    fn snapshot_reads_committed_state(
+        writes in prop::collection::vec((0usize..5, any::<i64>()), 1..30)
+    ) {
+        const NVARS: usize = 5;
+        let stm = Stm::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| stm.new_tvar(0i64)).collect();
+        let mut model = [0i64; NVARS];
+        for (i, v) in writes {
+            stm.run(TxParams::default(), |t| vars[i].write(t, v));
+            model[i] = v;
+            let seen = stm.run(TxParams::new(Semantics::Snapshot), |t| {
+                let mut out = [0i64; NVARS];
+                for (j, var) in vars.iter().enumerate() {
+                    out[j] = var.read(t)?;
+                }
+                Ok(out)
+            });
+            prop_assert_eq!(seen, model);
+        }
+    }
+
+    /// Elastic cut accounting: a pure read chain of length n through a
+    /// window w cuts exactly max(n - w, 0) reads (distinct locations).
+    #[test]
+    fn elastic_cut_count_formula(n in 1usize..40, w in 1usize..6) {
+        let stm = Stm::new();
+        let vars: Vec<_> = (0..n).map(|_| stm.new_tvar(0i64)).collect();
+        stm.run(TxParams::new(Semantics::Elastic { window: w }), |t| {
+            for v in &vars {
+                v.read(t)?;
+            }
+            Ok(())
+        });
+        prop_assert_eq!(stm.stats().elastic_cuts as usize, n.saturating_sub(w));
+    }
+
+    /// Cancellation never publishes anything, regardless of semantics or
+    /// preceding buffered writes.
+    #[test]
+    fn cancel_never_publishes(
+        sem in prop_oneof![Just(Semantics::Opaque), Just(Semantics::elastic())],
+        ops in prop::collection::vec((0usize..4, any::<i64>()), 0..10)
+    ) {
+        const NVARS: usize = 4;
+        let stm = Stm::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| stm.new_tvar(7i64)).collect();
+        let r: Result<(), _> = stm.try_run(TxParams::new(sem), |t| {
+            for &(i, v) in &ops {
+                vars[i].write(t, v)?;
+            }
+            t.cancel()
+        });
+        prop_assert!(r.is_err());
+        for var in &vars {
+            prop_assert_eq!(var.load_committed(), 7);
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! Behavioural tests for the polymorphic STM: single-threaded protocol
+//! behaviour plus deterministic cross-thread interleavings (including the
+//! paper's Figure 1 schedule driven through the real implementation).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::channel;
+
+use polytm::{Abort, NestingPolicy, Semantics, Stm, StmConfig, TxParams};
+
+fn no_fallback_config() -> StmConfig {
+    StmConfig { irrevocable_fallback_after: None, ..StmConfig::default() }
+}
+
+#[test]
+fn read_write_commit_roundtrip() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(1i64);
+    let old = stm.run(TxParams::default(), |t| {
+        let v = x.read(t)?;
+        x.write(t, v + 41)?;
+        Ok(v)
+    });
+    assert_eq!(old, 1);
+    assert_eq!(x.load_committed(), 42);
+    assert_eq!(stm.stats().commits, 1);
+}
+
+#[test]
+fn read_own_write_is_visible_before_commit() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(0i64);
+    stm.run(TxParams::default(), |t| {
+        x.write(t, 7)?;
+        assert_eq!(x.read(t)?, 7);
+        x.write(t, 8)?;
+        assert_eq!(x.read(t)?, 8);
+        Ok(())
+    });
+    assert_eq!(x.load_committed(), 8);
+}
+
+#[test]
+fn modify_and_replace() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(10i64);
+    let prev = stm.run(TxParams::default(), |t| {
+        x.modify(t, |v| v * 2)?;
+        x.replace(t, 99)
+    });
+    assert_eq!(prev, 20);
+    assert_eq!(x.load_committed(), 99);
+}
+
+#[test]
+fn committed_version_tracks_clock() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(0i64);
+    assert_eq!(x.committed_version(), 0);
+    stm.run(TxParams::default(), |t| x.write(t, 1));
+    let v1 = x.committed_version();
+    assert!(v1 >= 1);
+    stm.run(TxParams::default(), |t| x.write(t, 2));
+    assert!(x.committed_version() > v1);
+}
+
+#[test]
+fn tvar_clone_aliases_same_register() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(5i64);
+    let alias = x.clone();
+    assert!(polytm::TVar::ptr_eq(&x, &alias));
+    assert_eq!(x.addr(), alias.addr());
+    stm.run(TxParams::default(), |t| alias.write(t, 6));
+    assert_eq!(x.load_committed(), 6);
+}
+
+#[test]
+fn non_copy_value_types() {
+    let stm = Stm::new();
+    let s = stm.new_tvar(String::from("a"));
+    let v = stm.new_tvar(vec![1, 2, 3]);
+    stm.run(TxParams::default(), |t| {
+        let mut cur = s.read(t)?;
+        cur.push('b');
+        s.write(t, cur)?;
+        v.modify(t, |mut xs| {
+            xs.push(4);
+            xs
+        })
+    });
+    assert_eq!(s.load_committed(), "ab");
+    assert_eq!(v.load_committed(), vec![1, 2, 3, 4]);
+}
+
+/// Drives the paper's Figure 1 interleaving through the real STM:
+///
+/// ```text
+/// p1 (semantics under test): r(x)          r(y)          r(z) commit
+/// helper:                         w(z);commit    w(x);commit
+/// ```
+///
+/// Returns (number of attempts p1 needed, values read by the committed
+/// attempt).
+fn figure1_attempts(sem: Semantics) -> (u32, (i64, i64, i64)) {
+    let stm = Stm::with_config(no_fallback_config());
+    let x = stm.new_tvar(0i64);
+    let y = stm.new_tvar(0i64);
+    let z = stm.new_tvar(0i64);
+    let attempts = AtomicU32::new(0);
+
+    let result = std::thread::scope(|s| {
+        let (req_tx, req_rx) = channel::<u8>();
+        let (done_tx, done_rx) = channel::<()>();
+        let stm_ref = &stm;
+        let (xh, zh) = (&x, &z);
+        s.spawn(move || {
+            while let Ok(which) = req_rx.recv() {
+                stm_ref.run(TxParams::default(), |t| {
+                    if which == 0 {
+                        zh.write(t, 100)
+                    } else {
+                        xh.write(t, 200)
+                    }
+                });
+                done_tx.send(()).unwrap();
+            }
+        });
+
+        let out = stm.run(TxParams::new(sem), |t| {
+            let n = attempts.fetch_add(1, Ordering::SeqCst);
+            let a = x.read(t)?;
+            if n == 0 {
+                req_tx.send(0).unwrap();
+                done_rx.recv().unwrap();
+            }
+            let b = y.read(t)?;
+            if n == 0 {
+                req_tx.send(1).unwrap();
+                done_rx.recv().unwrap();
+            }
+            let c = z.read(t)?;
+            Ok((a, b, c))
+        });
+        drop(req_tx);
+        out
+    });
+    (attempts.load(Ordering::SeqCst), result)
+}
+
+#[test]
+fn figure1_elastic_accepts_the_schedule() {
+    let (attempts, (a, b, c)) = figure1_attempts(Semantics::elastic());
+    assert_eq!(attempts, 1, "the weak (elastic) transaction must not abort");
+    // p1 saw x before the overwrite, and z after: exactly the paper's
+    // point — no single point holds all three, yet each adjacent pair is
+    // consistent.
+    assert_eq!((a, b, c), (0, 0, 100));
+}
+
+#[test]
+fn figure1_monomorphic_rejects_the_schedule() {
+    let (attempts, (a, b, c)) = figure1_attempts(Semantics::Opaque);
+    assert!(attempts >= 2, "the monomorphic transaction must abort at least once");
+    // The committed (re-executed) attempt sees the final state.
+    assert_eq!((a, b, c), (200, 0, 100));
+}
+
+#[test]
+fn elastic_window_cut_is_counted() {
+    let stm = Stm::new();
+    let vars: Vec<_> = (0..10).map(|i| stm.new_tvar(i as i64)).collect();
+    let sum = stm.run(TxParams::weak(), |t| {
+        let mut acc = 0;
+        for v in &vars {
+            acc += v.read(t)?;
+        }
+        Ok(acc)
+    });
+    assert_eq!(sum, 45);
+    // 10 reads through a window of 2: 8 reads slid out.
+    assert_eq!(stm.stats().elastic_cuts, 8);
+}
+
+#[test]
+fn elastic_freezes_after_first_write() {
+    // After its first write an elastic transaction must validate its
+    // remaining window like an opaque transaction: a concurrent overwrite
+    // of a window entry forces an abort.
+    let stm = Stm::with_config(no_fallback_config());
+    let x = stm.new_tvar(0i64);
+    let w = stm.new_tvar(0i64);
+    let y = stm.new_tvar(0i64);
+    let attempts = AtomicU32::new(0);
+
+    std::thread::scope(|s| {
+        let (req_tx, req_rx) = channel::<()>();
+        let (done_tx, done_rx) = channel::<()>();
+        let stm_ref = &stm;
+        let xh = &x;
+        s.spawn(move || {
+            while req_rx.recv().is_ok() {
+                stm_ref.run(TxParams::default(), |t| xh.write(t, 1));
+                done_tx.send(()).unwrap();
+            }
+        });
+        stm.run(TxParams::weak(), |t| {
+            let n = attempts.fetch_add(1, Ordering::SeqCst);
+            let a = x.read(t)?;
+            w.write(t, a + 1)?; // freezes the window: x becomes permanent
+            if n == 0 {
+                req_tx.send(()).unwrap();
+                done_rx.recv().unwrap();
+            }
+            let _ = y.read(t)?; // needs extension; x changed -> abort
+            Ok(())
+        });
+        drop(req_tx);
+    });
+    assert!(attempts.load(Ordering::SeqCst) >= 2, "write must freeze the elastic window");
+}
+
+#[test]
+fn opaque_extension_succeeds_on_disjoint_writes() {
+    // A concurrent commit to an *unrelated* location bumps the clock;
+    // reading a location written after our start must extend, not abort.
+    let stm = Stm::with_config(no_fallback_config());
+    let x = stm.new_tvar(0i64);
+    let y = stm.new_tvar(0i64);
+    let attempts = AtomicU32::new(0);
+
+    std::thread::scope(|s| {
+        let (req_tx, req_rx) = channel::<()>();
+        let (done_tx, done_rx) = channel::<()>();
+        let stm_ref = &stm;
+        let yh = &y;
+        s.spawn(move || {
+            while req_rx.recv().is_ok() {
+                stm_ref.run(TxParams::default(), |t| yh.write(t, 5));
+                done_tx.send(()).unwrap();
+            }
+        });
+        let (a, b) = stm.run(TxParams::default(), |t| {
+            let n = attempts.fetch_add(1, Ordering::SeqCst);
+            let a = x.read(t)?;
+            if n == 0 {
+                req_tx.send(()).unwrap();
+                done_rx.recv().unwrap();
+            }
+            let b = y.read(t)?;
+            Ok((a, b))
+        });
+        drop(req_tx);
+        assert_eq!((a, b), (0, 5));
+    });
+    assert_eq!(attempts.load(Ordering::SeqCst), 1, "extension must avoid the abort");
+    assert_eq!(stm.stats().extensions, 1);
+}
+
+#[test]
+fn rereading_a_mutated_location_aborts() {
+    let stm = Stm::with_config(no_fallback_config());
+    let x = stm.new_tvar(0i64);
+    let attempts = AtomicU32::new(0);
+
+    std::thread::scope(|s| {
+        let (req_tx, req_rx) = channel::<()>();
+        let (done_tx, done_rx) = channel::<()>();
+        let stm_ref = &stm;
+        let xh = &x;
+        s.spawn(move || {
+            while req_rx.recv().is_ok() {
+                stm_ref.run(TxParams::default(), |t| xh.modify(t, |v| v + 1));
+                done_tx.send(()).unwrap();
+            }
+        });
+        let (a, b) = stm.run(TxParams::default(), |t| {
+            let n = attempts.fetch_add(1, Ordering::SeqCst);
+            let a = x.read(t)?;
+            if n == 0 {
+                req_tx.send(()).unwrap();
+                done_rx.recv().unwrap();
+            }
+            let b = x.read(t)?;
+            Ok((a, b))
+        });
+        drop(req_tx);
+        assert_eq!(a, b, "a committed attempt must observe a single value");
+    });
+    assert!(attempts.load(Ordering::SeqCst) >= 2);
+}
+
+#[test]
+fn snapshot_cannot_write() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(0i64);
+    let mut observed = None;
+    let r = stm.try_run(TxParams::new(Semantics::Snapshot), |t| {
+        match x.write(t, 1) {
+            Err(e) => {
+                observed = Some(e);
+                t.cancel()
+            }
+            Ok(()) => Ok(()),
+        }
+    });
+    assert!(r.is_err(), "transaction must be cancelled");
+    assert_eq!(observed, Some(Abort::ReadOnlyViolation));
+    assert_eq!(x.load_committed(), 0);
+}
+
+#[test]
+fn cancel_discards_all_effects() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(0i64);
+    let r: Result<(), _> = stm.try_run(TxParams::default(), |t| {
+        x.write(t, 123)?;
+        t.cancel()
+    });
+    assert_eq!(r, Err(polytm::Canceled));
+    assert_eq!(x.load_committed(), 0);
+    assert_eq!(stm.stats().commits, 0);
+}
+
+#[test]
+fn user_retry_reexecutes_with_backoff() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(0i64);
+    let attempts = AtomicU32::new(0);
+    stm.run(TxParams::default(), |t| {
+        let n = attempts.fetch_add(1, Ordering::SeqCst);
+        if n < 3 {
+            t.retry()
+        } else {
+            x.write(t, 1)
+        }
+    });
+    assert_eq!(attempts.load(Ordering::SeqCst), 4);
+    assert_eq!(stm.stats().aborts_user_retry, 3);
+    assert_eq!(x.load_committed(), 1);
+}
+
+#[test]
+fn irrevocable_reads_and_writes_eagerly() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(1i64);
+    let y = stm.new_tvar(2i64);
+    let sum = stm.run(TxParams::new(Semantics::Irrevocable), |t| {
+        let a = x.read(t)?;
+        x.write(t, a + 10)?;
+        assert_eq!(x.read(t)?, a + 10, "irrevocable reads see own eager writes");
+        let b = y.read(t)?;
+        Ok(a + b)
+    });
+    assert_eq!(sum, 3);
+    assert_eq!(x.load_committed(), 11);
+    assert_eq!(stm.stats().irrevocable_commits, 1);
+}
+
+#[test]
+#[should_panic(expected = "irrevocable")]
+fn irrevocable_abort_panics() {
+    let stm = Stm::new();
+    let _: () = stm.run(TxParams::new(Semantics::Irrevocable), |t| t.retry());
+}
+
+#[test]
+fn nested_semantics_follow_policy() {
+    for (policy, expected) in [
+        (NestingPolicy::Parameter, Semantics::elastic()),
+        (NestingPolicy::Parent, Semantics::Opaque),
+        (NestingPolicy::Strongest, Semantics::Opaque),
+    ] {
+        let stm = Stm::new();
+        let x = stm.new_tvar(0i64);
+        stm.run(TxParams::default(), |t| {
+            assert_eq!(t.semantics(), Semantics::Opaque);
+            t.nested_with_policy(Semantics::elastic(), policy, |inner| {
+                assert_eq!(inner.semantics(), expected, "policy {policy:?}");
+                x.read(inner)
+            })?;
+            assert_eq!(t.semantics(), Semantics::Opaque, "semantics restored");
+            Ok(())
+        });
+    }
+}
+
+#[test]
+fn nested_strongest_upgrades_weak_parent() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(0i64);
+    stm.run(TxParams::weak(), |t| {
+        t.nested_with_policy(Semantics::Opaque, NestingPolicy::Strongest, |inner| {
+            assert_eq!(inner.semantics(), Semantics::Opaque);
+            x.read(inner)
+        })?;
+        assert_eq!(t.semantics(), Semantics::elastic());
+        Ok(())
+    });
+}
+
+#[test]
+fn nested_elastic_does_not_cut_parent_reads() {
+    // An opaque parent reads many vars, then runs an elastic nested
+    // traversal. The parent's reads must all remain live (validated).
+    let stm = Stm::new();
+    let parent_vars: Vec<_> = (0..5).map(|_| stm.new_tvar(1i64)).collect();
+    let nested_vars: Vec<_> = (0..8).map(|_| stm.new_tvar(1i64)).collect();
+    stm.run(TxParams::default(), |t| {
+        for v in &parent_vars {
+            v.read(t)?;
+        }
+        let before = t.live_reads();
+        t.nested_with_policy(Semantics::elastic(), NestingPolicy::Parameter, |inner| {
+            for v in &nested_vars {
+                v.read(inner)?;
+            }
+            Ok(())
+        })?;
+        // All 5 parent reads live; the nested traversal kept at most its
+        // window (2) live.
+        assert!(t.live_reads() >= before, "parent reads must survive the nested block");
+        assert!(t.live_reads() <= before + 2, "nested elastic reads must have been cut");
+        Ok(())
+    });
+    assert!(stm.stats().elastic_cuts >= 6);
+}
+
+#[test]
+fn nested_irrevocable_request_restarts_whole_transaction() {
+    let stm = Stm::new();
+    let x = stm.new_tvar(0i64);
+    let attempts = AtomicU32::new(0);
+    stm.run(TxParams::default(), |t| {
+        attempts.fetch_add(1, Ordering::SeqCst);
+        t.nested_with_policy(Semantics::Irrevocable, NestingPolicy::Parameter, |inner| {
+            assert_eq!(inner.semantics(), Semantics::Irrevocable);
+            x.modify(inner, |v| v + 1)
+        })
+    });
+    assert_eq!(attempts.load(Ordering::SeqCst), 2, "one revocable attempt, one irrevocable");
+    assert_eq!(stm.stats().irrevocable_upgrades, 1);
+    assert_eq!(x.load_committed(), 1);
+}
+
+#[test]
+fn repeated_aborts_fall_back_to_irrevocable() {
+    let stm = Stm::with_config(StmConfig {
+        irrevocable_fallback_after: Some(2),
+        ..StmConfig::default()
+    });
+    let x = stm.new_tvar(0i64);
+    let attempts = AtomicU32::new(0);
+    stm.run(TxParams::default(), |t| {
+        attempts.fetch_add(1, Ordering::SeqCst);
+        if t.semantics() == Semantics::Irrevocable {
+            x.write(t, 1)
+        } else {
+            // Simulate a transaction that keeps losing conflicts.
+            Err(Abort::Locked { addr: 0, owner: 0 })
+        }
+    });
+    assert_eq!(x.load_committed(), 1);
+    assert_eq!(stm.stats().irrevocable_upgrades, 1);
+    assert_eq!(attempts.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+#[should_panic(expected = "nested")]
+fn reentrant_run_panics() {
+    let stm = Stm::new();
+    let stm2 = Stm::new();
+    stm.run(TxParams::default(), |_t| {
+        // Even against a different Stm instance, re-entrancy on the same
+        // thread is a bug (deadlock-prone); nested transactions must use
+        // Transaction::nested.
+        stm2.run(TxParams::default(), |_t2| Ok(()));
+        Ok(())
+    });
+}
+
+#[test]
+fn snapshot_reads_are_mutually_consistent() {
+    // Writer maintains x == y; snapshot readers must never see them
+    // differ, even though they read the two vars at different times.
+    let stm = Stm::new();
+    let x = stm.new_tvar(0i64);
+    let y = stm.new_tvar(0i64);
+    std::thread::scope(|s| {
+        let stm_ref = &stm;
+        let (xh, yh) = (&x, &y);
+        s.spawn(move || {
+            for _ in 0..500 {
+                stm_ref.run(TxParams::default(), |t| {
+                    let v = xh.read(t)?;
+                    xh.write(t, v + 1)?;
+                    yh.write(t, v + 1)
+                });
+            }
+        });
+        for _ in 0..200 {
+            let (a, b) = stm.run(TxParams::new(Semantics::Snapshot), |t| {
+                Ok((x.read(t)?, y.read(t)?))
+            });
+            assert_eq!(a, b, "snapshot must observe the x == y invariant");
+        }
+    });
+    assert_eq!(x.load_committed(), 500);
+}

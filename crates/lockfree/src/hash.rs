@@ -1,0 +1,128 @@
+//! Michael's lock-free hash table (SPAA 2002): a fixed array of
+//! Harris–Michael list buckets.
+//!
+//! Exactly the structure the paper's introduction describes:
+//! "a hash table synchronizes efficiently concurrent insert, remove, and
+//! contains operations, as long as the number of elements remains
+//! proportional to the number of buckets. Unfortunately, this data
+//! structure does not support a resize" — which is why experiment E6
+//! pits it (and the split-ordered list) against the transactional
+//! resizable hash set.
+
+use crate::list::LockFreeList;
+
+/// Fixed-capacity lock-free hash set of `u64` keys.
+pub struct MichaelHashSet {
+    buckets: Vec<LockFreeList>,
+}
+
+fn spread(key: u64) -> u64 {
+    // Fibonacci multiplicative hash to de-cluster sequential keys.
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl MichaelHashSet {
+    /// A table with a fixed number of buckets (rounded up to ≥ 1).
+    pub fn new(buckets: usize) -> Self {
+        Self { buckets: (0..buckets.max(1)).map(|_| LockFreeList::new()).collect() }
+    }
+
+    fn bucket(&self, key: u64) -> &LockFreeList {
+        let i = (spread(key) >> 32) as usize % self.buckets.len();
+        &self.buckets[i]
+    }
+
+    /// Is `key` present?
+    pub fn contains(&self, key: u64) -> bool {
+        self.bucket(key).contains(key)
+    }
+
+    /// Insert; false if present.
+    pub fn insert(&self, key: u64) -> bool {
+        self.bucket(key).insert(key)
+    }
+
+    /// Remove; false if absent.
+    pub fn remove(&self, key: u64) -> bool {
+        self.bucket(key).remove(key)
+    }
+
+    /// Number of keys (exact only at quiescence).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|b| b.is_empty())
+    }
+
+    /// Bucket count (fixed for the table's lifetime — the limitation the
+    /// paper calls out).
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_semantics() {
+        let h = MichaelHashSet::new(8);
+        assert!(h.insert(1));
+        assert!(h.insert(2));
+        assert!(!h.insert(1));
+        assert!(h.contains(1) && h.contains(2) && !h.contains(3));
+        assert!(h.remove(1));
+        assert!(!h.remove(1));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn many_keys_across_buckets() {
+        let h = MichaelHashSet::new(16);
+        for k in 0..1000 {
+            assert!(h.insert(k));
+        }
+        assert_eq!(h.len(), 1000);
+        for k in 0..1000 {
+            assert!(h.contains(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        let h = MichaelHashSet::new(32);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    let base = t * 100_000;
+                    for i in 0..500 {
+                        assert!(h.insert(base + i));
+                    }
+                    for i in 0..500 {
+                        if i % 3 == 0 {
+                            assert!(h.remove(base + i));
+                        }
+                    }
+                    for i in 0..500 {
+                        assert_eq!(h.contains(base + i), i % 3 != 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.len(), 4 * (500 - 167));
+    }
+
+    #[test]
+    fn bucket_count_is_fixed() {
+        let h = MichaelHashSet::new(4);
+        for k in 0..10_000 {
+            h.insert(k);
+        }
+        assert_eq!(h.buckets(), 4, "Michael's table never resizes");
+    }
+}

@@ -1,0 +1,29 @@
+//! # polytm-lockfree — the lock-free baselines the paper cites
+//!
+//! The paper's introduction motivates polymorphism against "highly tuned"
+//! non-generic concurrent structures, naming two: Michael's lock-free
+//! hash table / list-based sets (SPAA 2002, citation [3]) and
+//! Shalev–Shavit split-ordered lists (JACM 2006, citation [4], the
+//! resizable lock-free hash table). These are reimplemented here from
+//! scratch on crossbeam-epoch and serve as the lock-free comparators in
+//! experiments E4 and E6:
+//!
+//! * [`list`] — Harris–Michael sorted linked-list set (logical deletion
+//!   via pointer marking, physical unlinking during traversal);
+//! * [`hash`] — Michael's hash table: a fixed array of Harris–Michael
+//!   buckets (fast, but *cannot resize* — the exact limitation the paper
+//!   uses to motivate transactional hash tables);
+//! * [`split`] — the split-ordered list: a single lock-free list in
+//!   bit-reversed key order with a growable directory of dummy nodes,
+//!   i.e. a lock-free *resizable* hash set.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hash;
+pub mod list;
+pub mod split;
+
+pub use hash::MichaelHashSet;
+pub use list::LockFreeList;
+pub use split::SplitOrderedSet;

@@ -1,0 +1,329 @@
+//! Harris–Michael lock-free sorted linked-list set.
+//!
+//! Deletion is two-phase: a node is *logically* deleted by CAS-marking
+//! the low tag bit of its `next` pointer, then *physically* unlinked by
+//! any traversal that encounters it (helping). Reclamation is deferred
+//! through crossbeam-epoch. Keys are `u64`.
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use std::sync::atomic::Ordering;
+
+pub(crate) struct Node {
+    pub(crate) key: u64,
+    pub(crate) next: Atomic<Node>,
+}
+
+/// A lock-free sorted set of `u64` keys.
+pub struct LockFreeList {
+    head: Atomic<Node>,
+}
+
+impl Default for LockFreeList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Position returned by the internal search: the link to CAS and the node
+/// it currently points to (first unmarked node with `node.key >= key`, or
+/// null).
+struct Position<'g> {
+    prev: &'g Atomic<Node>,
+    curr: Shared<'g, Node>,
+}
+
+impl LockFreeList {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self { head: Atomic::null() }
+    }
+
+    /// Michael's `find`: locate `key`'s position, physically unlinking
+    /// marked nodes encountered on the way.
+    fn find<'g>(&'g self, key: u64, guard: &'g Guard) -> Position<'g> {
+        'retry: loop {
+            let mut prev: &'g Atomic<Node> = &self.head;
+            let mut curr = prev.load(Ordering::Acquire, guard);
+            loop {
+                let curr_ref = match unsafe { curr.as_ref() } {
+                    Some(r) => r,
+                    None => return Position { prev, curr },
+                };
+                let next = curr_ref.next.load(Ordering::Acquire, guard);
+                if next.tag() == 1 {
+                    // curr is logically deleted: help unlink it.
+                    match prev.compare_exchange(
+                        curr.with_tag(0),
+                        next.with_tag(0),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: curr is now unreachable from the
+                            // list; epoch defers the free until all
+                            // current readers unpin.
+                            unsafe { guard.defer_destroy(curr) };
+                            curr = next.with_tag(0);
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                } else {
+                    if curr_ref.key >= key {
+                        return Position { prev, curr };
+                    }
+                    prev = &curr_ref.next;
+                    curr = next;
+                }
+            }
+        }
+    }
+
+    /// Is `key` present? Wait-free traversal (no helping).
+    pub fn contains(&self, key: u64) -> bool {
+        let guard = epoch::pin();
+        let mut curr = self.head.load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if node.key >= key {
+                return node.key == key && next.tag() == 0;
+            }
+            curr = next.with_tag(0);
+        }
+        false
+    }
+
+    /// Insert `key`; false if present.
+    pub fn insert(&self, key: u64) -> bool {
+        let guard = epoch::pin();
+        let mut node = Owned::new(Node { key, next: Atomic::null() });
+        loop {
+            let pos = self.find(key, &guard);
+            if let Some(c) = unsafe { pos.curr.as_ref() } {
+                if c.key == key {
+                    return false;
+                }
+            }
+            node.next.store(pos.curr, Ordering::Relaxed);
+            match pos.prev.compare_exchange(
+                pos.curr,
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(_) => return true,
+                Err(e) => node = e.new,
+            }
+        }
+    }
+
+    /// Remove `key`; false if absent.
+    pub fn remove(&self, key: u64) -> bool {
+        let guard = epoch::pin();
+        loop {
+            let pos = self.find(key, &guard);
+            let curr_ref = match unsafe { pos.curr.as_ref() } {
+                Some(r) if r.key == key => r,
+                _ => return false,
+            };
+            let next = curr_ref.next.load(Ordering::Acquire, &guard);
+            if next.tag() == 1 {
+                continue; // someone else is removing it; re-find (help)
+            }
+            // Logical deletion: mark the next pointer.
+            if curr_ref
+                .next
+                .compare_exchange(
+                    next,
+                    next.with_tag(1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            // Physical unlink (best effort; find() will otherwise help).
+            if pos
+                .prev
+                .compare_exchange(
+                    pos.curr,
+                    next.with_tag(0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                )
+                .is_ok()
+            {
+                // SAFETY: unlinked; epoch-deferred.
+                unsafe { guard.defer_destroy(pos.curr) };
+            }
+            return true;
+        }
+    }
+
+    /// Number of unmarked nodes (O(n); exact only at quiescence).
+    pub fn len(&self) -> usize {
+        let guard = epoch::pin();
+        let mut n = 0;
+        let mut curr = self.head.load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if next.tag() == 0 {
+                n += 1;
+            }
+            curr = next.with_tag(0);
+        }
+        n
+    }
+
+    /// True when no unmarked node exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of keys in order (exact only at quiescence).
+    pub fn to_vec(&self) -> Vec<u64> {
+        let guard = epoch::pin();
+        let mut out = Vec::new();
+        let mut curr = self.head.load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if next.tag() == 0 {
+                out.push(node.key);
+            }
+            curr = next.with_tag(0);
+        }
+        out
+    }
+}
+
+impl Drop for LockFreeList {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; free the whole chain eagerly.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut curr = self.head.load(Ordering::Relaxed, guard);
+            while !curr.is_null() {
+                let owned = curr.into_owned();
+                curr = owned.next.load(Ordering::Relaxed, guard).with_tag(0);
+                drop(owned);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let l = LockFreeList::new();
+        assert!(l.insert(5));
+        assert!(l.insert(1));
+        assert!(!l.insert(5));
+        assert!(l.contains(1));
+        assert!(l.contains(5));
+        assert!(!l.contains(3));
+        assert!(l.remove(5));
+        assert!(!l.remove(5));
+        assert_eq!(l.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn stays_sorted() {
+        let l = LockFreeList::new();
+        for k in [9, 2, 7, 1, 8, 3] {
+            l.insert(k);
+        }
+        assert_eq!(l.to_vec(), vec![1, 2, 3, 7, 8, 9]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let l = LockFreeList::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let l = &l;
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        assert!(l.insert(i * 4 + t));
+                    }
+                });
+            }
+        });
+        assert_eq!(l.len(), 800);
+        let v = l.to_vec();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn concurrent_same_key_insert_once() {
+        let l = LockFreeList::new();
+        let wins = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = &l;
+                let wins = &wins;
+                s.spawn(move || {
+                    if l.insert(42) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_remove_each_key_removed_once() {
+        let l = LockFreeList::new();
+        for k in 0..100 {
+            l.insert(k);
+        }
+        let removed = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = &l;
+                let removed = &removed;
+                s.spawn(move || {
+                    for k in 0..100 {
+                        if l.remove(k) {
+                            removed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(removed.load(Ordering::Relaxed), 100, "every key removed exactly once");
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn churn_preserves_sortedness_and_uniqueness() {
+        let l = LockFreeList::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let l = &l;
+                s.spawn(move || {
+                    let mut seed = 7u64 + t;
+                    for _ in 0..1000 {
+                        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = (seed >> 33) % 32;
+                        if seed & 1 == 0 {
+                            l.insert(k);
+                        } else {
+                            l.remove(k);
+                        }
+                    }
+                });
+            }
+        });
+        let v = l.to_vec();
+        assert!(v.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates: {v:?}");
+    }
+}

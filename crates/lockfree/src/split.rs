@@ -1,0 +1,437 @@
+//! Shalev–Shavit split-ordered lists: a lock-free *extensible* hash set
+//! (JACM 2006 — the paper's citation [4], recommended "if one expects the
+//! structure to be unbalanced or overloaded").
+//!
+//! All keys live in **one** Harris–Michael list sorted by *split-order*
+//! (bit-reversed) keys. A directory of lazily-initialized *dummy* nodes
+//! provides shortcuts into the list; doubling the table is a single
+//! atomic bump of `size` — no keys ever move, new dummies are spliced in
+//! on first access. Regular keys are bit-reversed with the low bit set;
+//! dummy keys are bit-reversed bucket indices with the low bit clear, so
+//! each bucket's dummy precedes exactly its bucket's regular keys.
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Node {
+    /// Split-order key (bit-reversed; LSB set for regular nodes).
+    so_key: u64,
+    /// Original key (meaningful for regular nodes only).
+    key: u64,
+    next: Atomic<Node>,
+}
+
+/// Split-order key of a regular node. `key` must be `< 2^63`.
+fn regular_so(key: u64) -> u64 {
+    debug_assert!(key < 1 << 63, "split-ordered keys must be < 2^63");
+    key.reverse_bits() | 1
+}
+
+/// Split-order key of a bucket's dummy node.
+fn dummy_so(bucket: usize) -> u64 {
+    (bucket as u64).reverse_bits()
+}
+
+/// Parent bucket: clear the most significant set bit.
+fn parent_of(bucket: usize) -> usize {
+    debug_assert!(bucket > 0);
+    bucket & !(1usize << (usize::BITS - 1 - bucket.leading_zeros()))
+}
+
+struct Position<'g> {
+    prev: &'g Atomic<Node>,
+    curr: Shared<'g, Node>,
+}
+
+/// A lock-free, resizable hash set of `u64` keys (`< 2^63`).
+pub struct SplitOrderedSet {
+    /// Directory of dummy-node pointers, lazily initialized. Fixed
+    /// capacity: the table can double until it has this many buckets.
+    buckets: Vec<Atomic<Node>>,
+    /// Current number of active buckets (a power of two).
+    size: AtomicUsize,
+    /// Number of regular keys (drives the load-factor check).
+    count: AtomicUsize,
+    /// Double when count > size * max_load.
+    max_load: usize,
+}
+
+impl Default for SplitOrderedSet {
+    fn default() -> Self {
+        Self::new(1 << 16, 4)
+    }
+}
+
+impl SplitOrderedSet {
+    /// A set that can grow up to `max_buckets` buckets (rounded up to a
+    /// power of two), doubling when the average bucket exceeds
+    /// `max_load` keys.
+    pub fn new(max_buckets: usize, max_load: usize) -> Self {
+        let max_buckets = max_buckets.next_power_of_two().max(2);
+        let buckets: Vec<Atomic<Node>> =
+            (0..max_buckets).map(|_| Atomic::null()).collect();
+        // Bucket 0's dummy is the list head; it exists from the start.
+        let head = Owned::new(Node { so_key: dummy_so(0), key: 0, next: Atomic::null() });
+        let guard = epoch::pin();
+        let head = head.into_shared(&guard);
+        buckets[0].store(head, Ordering::Release);
+        Self { buckets, size: AtomicUsize::new(2), count: AtomicUsize::new(0), max_load }
+    }
+
+    /// Harris–Michael find over split-order keys, starting at the given
+    /// bucket link (a dummy node's position), helping unlink marked
+    /// nodes.
+    fn find<'g>(
+        &'g self,
+        start: &'g Atomic<Node>,
+        so_key: u64,
+        guard: &'g Guard,
+    ) -> Position<'g> {
+        'retry: loop {
+            let mut prev = start;
+            let mut curr = prev.load(Ordering::Acquire, guard);
+            loop {
+                let curr_ref = match unsafe { curr.as_ref() } {
+                    Some(r) => r,
+                    None => return Position { prev, curr },
+                };
+                let next = curr_ref.next.load(Ordering::Acquire, guard);
+                if next.tag() == 1 {
+                    match prev.compare_exchange(
+                        curr.with_tag(0),
+                        next.with_tag(0),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: unlinked from the only path to it.
+                            unsafe { guard.defer_destroy(curr) };
+                            curr = next.with_tag(0);
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                } else {
+                    if curr_ref.so_key >= so_key {
+                        return Position { prev, curr };
+                    }
+                    prev = &curr_ref.next;
+                    curr = next;
+                }
+            }
+        }
+    }
+
+    /// Dummy-node link for `bucket`, initializing the bucket (and,
+    /// recursively, its parents) on first touch.
+    fn bucket_link<'g>(&'g self, bucket: usize, guard: &'g Guard) -> &'g Atomic<Node> {
+        let ptr = self.buckets[bucket].load(Ordering::Acquire, guard);
+        let dummy = if ptr.is_null() {
+            self.initialize_bucket(bucket, guard)
+        } else {
+            ptr
+        };
+        // SAFETY: dummy nodes are never removed; pinned by `guard`.
+        unsafe { &dummy.deref().next }
+    }
+
+    fn initialize_bucket<'g>(&'g self, bucket: usize, guard: &'g Guard) -> Shared<'g, Node> {
+        debug_assert!(bucket > 0, "bucket 0 is initialized at construction");
+        let parent = parent_of(bucket);
+        let parent_ptr = self.buckets[parent].load(Ordering::Acquire, guard);
+        let parent_ptr = if parent_ptr.is_null() {
+            self.initialize_bucket(parent, guard)
+        } else {
+            parent_ptr
+        };
+        // SAFETY: dummies are immortal.
+        let parent_link = unsafe { &parent_ptr.deref().next };
+
+        let so = dummy_so(bucket);
+        let mut new_dummy = Owned::new(Node { so_key: so, key: 0, next: Atomic::null() });
+        let dummy_ptr = loop {
+            let pos = self.find(parent_link, so, guard);
+            if let Some(c) = unsafe { pos.curr.as_ref() } {
+                if c.so_key == so {
+                    break pos.curr; // another thread spliced it in
+                }
+            }
+            new_dummy.next.store(pos.curr, Ordering::Relaxed);
+            match pos.prev.compare_exchange(
+                pos.curr,
+                new_dummy,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            ) {
+                Ok(inserted) => break inserted,
+                Err(e) => new_dummy = e.new,
+            }
+        };
+        // Publish the shortcut; a racing initializer found/inserted the
+        // same node (find() deduplicates by so_key), so losing is fine.
+        let _ = self.buckets[bucket].compare_exchange(
+            Shared::null(),
+            dummy_ptr,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            guard,
+        );
+        self.buckets[bucket].load(Ordering::Acquire, guard)
+    }
+
+    fn bucket_of(&self, key: u64) -> usize {
+        key as usize % self.size.load(Ordering::Acquire)
+    }
+
+    /// Is `key` present?
+    pub fn contains(&self, key: u64) -> bool {
+        let guard = epoch::pin();
+        let link = self.bucket_link(self.bucket_of(key), &guard);
+        let so = regular_so(key);
+        let mut curr = link.load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if node.so_key >= so {
+                return node.so_key == so && next.tag() == 0;
+            }
+            curr = next.with_tag(0);
+        }
+        false
+    }
+
+    /// Insert; false if present. Doubles the table when the load factor
+    /// is exceeded (up to the directory capacity).
+    pub fn insert(&self, key: u64) -> bool {
+        let guard = epoch::pin();
+        let so = regular_so(key);
+        let link = self.bucket_link(self.bucket_of(key), &guard);
+        let mut node = Owned::new(Node { so_key: so, key, next: Atomic::null() });
+        loop {
+            let pos = self.find(link, so, &guard);
+            if let Some(c) = unsafe { pos.curr.as_ref() } {
+                if c.so_key == so {
+                    return false;
+                }
+            }
+            node.next.store(pos.curr, Ordering::Relaxed);
+            match pos.prev.compare_exchange(
+                pos.curr,
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(_) => break,
+                Err(e) => node = e.new,
+            }
+        }
+        let count = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        let size = self.size.load(Ordering::Acquire);
+        if count > size * self.max_load && size * 2 <= self.buckets.len() {
+            // One doubling at a time; losing the race is fine.
+            let _ = self.size.compare_exchange(
+                size,
+                size * 2,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
+        true
+    }
+
+    /// Remove; false if absent.
+    pub fn remove(&self, key: u64) -> bool {
+        let guard = epoch::pin();
+        let so = regular_so(key);
+        let link = self.bucket_link(self.bucket_of(key), &guard);
+        loop {
+            let pos = self.find(link, so, &guard);
+            let curr_ref = match unsafe { pos.curr.as_ref() } {
+                Some(r) if r.so_key == so => r,
+                _ => return false,
+            };
+            let next = curr_ref.next.load(Ordering::Acquire, &guard);
+            if next.tag() == 1 {
+                continue;
+            }
+            if curr_ref
+                .next
+                .compare_exchange(
+                    next,
+                    next.with_tag(1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            if pos
+                .prev
+                .compare_exchange(
+                    pos.curr,
+                    next.with_tag(0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                )
+                .is_ok()
+            {
+                // SAFETY: unlinked.
+                unsafe { guard.defer_destroy(pos.curr) };
+            }
+            self.count.fetch_sub(1, Ordering::Relaxed);
+            return true;
+        }
+    }
+
+    /// Number of keys (counter-based; exact at quiescence).
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// True when no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current number of active buckets (grows by doubling).
+    pub fn active_buckets(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// Keys in split-order (for tests; exact only at quiescence).
+    pub fn to_vec_unordered(&self) -> Vec<u64> {
+        let guard = epoch::pin();
+        let mut out = Vec::new();
+        let mut curr = self.buckets[0].load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if node.so_key & 1 == 1 && next.tag() == 0 {
+                out.push(node.key);
+            }
+            curr = next.with_tag(0);
+        }
+        out
+    }
+}
+
+impl Drop for SplitOrderedSet {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; walk the single underlying list.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut curr = self.buckets[0].load(Ordering::Relaxed, guard);
+            while !curr.is_null() {
+                let owned = curr.into_owned();
+                curr = owned.next.load(Ordering::Relaxed, guard).with_tag(0);
+                drop(owned);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_order_keys_interleave_correctly() {
+        // Dummies sort before their bucket's regular keys.
+        assert!(dummy_so(0) < regular_so(0));
+        assert!(regular_so(0) < regular_so(2)); // 0 and 2 share bucket 0 at size 2
+        assert!(dummy_so(1) < regular_so(1));
+        assert!(dummy_so(0) < dummy_so(1));
+        // Parent relation clears the MSB.
+        assert_eq!(parent_of(1), 0);
+        assert_eq!(parent_of(3), 1);
+        assert_eq!(parent_of(6), 2);
+        assert_eq!(parent_of(12), 4);
+    }
+
+    #[test]
+    fn basic_set_semantics() {
+        let s = SplitOrderedSet::new(64, 4);
+        assert!(s.insert(1));
+        assert!(s.insert(2));
+        assert!(!s.insert(1));
+        assert!(s.contains(1) && s.contains(2));
+        assert!(!s.contains(3));
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn grows_under_load_without_losing_keys() {
+        let s = SplitOrderedSet::new(1 << 10, 2);
+        for k in 0..2000u64 {
+            assert!(s.insert(k), "insert {k}");
+        }
+        assert!(s.active_buckets() > 2, "table must have doubled");
+        for k in 0..2000u64 {
+            assert!(s.contains(k), "key {k} lost after growth");
+        }
+        assert_eq!(s.len(), 2000);
+        let mut v = s.to_vec_unordered();
+        v.sort_unstable();
+        assert_eq!(v, (0..2000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_inserts_during_growth() {
+        let s = SplitOrderedSet::new(1 << 12, 2);
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..500u64 {
+                        assert!(s.insert(t * 1_000_000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 2000);
+        for t in 0..4u64 {
+            for i in 0..500u64 {
+                assert!(s.contains(t * 1_000_000 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_churn_per_key_exactness() {
+        let s = SplitOrderedSet::new(1 << 10, 3);
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    let base = t * 50_000;
+                    for i in 0..300 {
+                        assert!(s.insert(base + i));
+                    }
+                    for i in (0..300).step_by(2) {
+                        assert!(s.remove(base + i));
+                    }
+                    for i in 0..300 {
+                        assert_eq!(s.contains(base + i), i % 2 == 1, "key {}", base + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 4 * 150);
+    }
+
+    #[test]
+    fn remove_then_reinsert_same_key() {
+        let s = SplitOrderedSet::new(16, 4);
+        for _ in 0..10 {
+            assert!(s.insert(7));
+            assert!(s.remove(7));
+        }
+        assert!(!s.contains(7));
+        assert!(s.is_empty());
+    }
+}

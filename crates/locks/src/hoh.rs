@@ -1,0 +1,243 @@
+//! Hand-over-hand (lock coupling) sorted linked-list set.
+//!
+//! This is precisely the locking discipline of the paper's Figure 1:
+//! a traversal holds at most two node locks at a time, releasing the lock
+//! on `x` *before* it reaches `z` — deliberately not two-phase, which is
+//! where its extra concurrency over monomorphic transactions comes from.
+//! It is the lock-based baseline for experiment E4.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A node: key plus next pointer, both guarded by one mutex.
+struct Node {
+    key: i64,
+    next: Mutex<Option<Arc<Node>>>,
+}
+
+/// Sorted singly-linked set of `i64` keys with lock-coupling traversal.
+///
+/// Keys are bounded to `(i64::MIN, i64::MAX)` exclusive: the sentinels
+/// use the extremes.
+pub struct HandOverHandList {
+    head: Arc<Node>,
+}
+
+impl Default for HandOverHandList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HandOverHandList {
+    /// Empty set.
+    pub fn new() -> Self {
+        let tail = Arc::new(Node { key: i64::MAX, next: Mutex::new(None) });
+        let head = Arc::new(Node { key: i64::MIN, next: Mutex::new(Some(tail)) });
+        Self { head }
+    }
+
+    /// Is `key` in the set?
+    ///
+    /// Traverses with a sliding per-node lock window: each step locks one
+    /// `next` pointer, follows it, and releases it before locking the
+    /// following one — exactly Figure 1's discipline, in which the lock
+    /// on `x` is released long before `z` is reached.
+    pub fn contains(&self, key: i64) -> bool {
+        assert!(key > i64::MIN && key < i64::MAX, "sentinel keys are reserved");
+        let mut pred = Arc::clone(&self.head);
+        loop {
+            let curr = {
+                let next = pred.next.lock();
+                Arc::clone(next.as_ref().expect("tail sentinel never reached as pred"))
+            };
+            if curr.key >= key {
+                return curr.key == key;
+            }
+            pred = curr;
+        }
+    }
+
+    /// Insert `key`; false if already present.
+    pub fn insert(&self, key: i64) -> bool {
+        assert!(key > i64::MIN && key < i64::MAX, "sentinel keys are reserved");
+        loop {
+            let done = self.try_insert(key);
+            if let Some(r) = done {
+                return r;
+            }
+        }
+    }
+
+    fn try_insert(&self, key: i64) -> Option<bool> {
+        let mut pred = Arc::clone(&self.head);
+        loop {
+            let mut next_guard = pred.next.lock();
+            let curr = Arc::clone(next_guard.as_ref().expect("pred is never the tail"));
+            if curr.key == key {
+                return Some(false);
+            }
+            if curr.key > key {
+                let node =
+                    Arc::new(Node { key, next: Mutex::new(Some(Arc::clone(&curr))) });
+                *next_guard = Some(node);
+                return Some(true);
+            }
+            drop(next_guard);
+            pred = curr;
+        }
+    }
+
+    /// Remove `key`; false if absent.
+    pub fn remove(&self, key: i64) -> bool {
+        assert!(key > i64::MIN && key < i64::MAX, "sentinel keys are reserved");
+        let mut pred = Arc::clone(&self.head);
+        loop {
+            let mut pred_guard = pred.next.lock();
+            let curr = Arc::clone(pred_guard.as_ref().expect("pred is never the tail"));
+            if curr.key > key {
+                return false;
+            }
+            if curr.key == key {
+                // Coupling: lock curr while still holding pred.
+                let curr_next = curr.next.lock();
+                *pred_guard = Some(Arc::clone(
+                    curr_next.as_ref().expect("removed node is never the tail"),
+                ));
+                return true;
+            }
+            drop(pred_guard);
+            pred = curr;
+        }
+    }
+
+    /// Number of keys (O(n), takes locks hand-over-hand).
+    pub fn len(&self) -> usize {
+        let mut count = 0;
+        let mut cur = Arc::clone(&self.head);
+        loop {
+            let next = {
+                let g = cur.next.lock();
+                match g.as_ref() {
+                    Some(n) => Arc::clone(n),
+                    None => break,
+                }
+            };
+            if next.key != i64::MAX {
+                count += 1;
+            }
+            cur = next;
+        }
+        count
+    }
+
+    /// True when the set has no keys.
+    pub fn is_empty(&self) -> bool {
+        let g = self.head.next.lock();
+        g.as_ref().map(|n| n.key == i64::MAX).unwrap_or(true)
+    }
+
+    /// Snapshot of the keys in order (for tests; not atomic).
+    pub fn to_vec(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut cur = Arc::clone(&self.head);
+        loop {
+            let next = {
+                let g = cur.next.lock();
+                match g.as_ref() {
+                    Some(n) => Arc::clone(n),
+                    None => break,
+                }
+            };
+            if next.key != i64::MAX {
+                out.push(next.key);
+            }
+            cur = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let l = HandOverHandList::new();
+        assert!(l.is_empty());
+        assert!(l.insert(5));
+        assert!(l.insert(1));
+        assert!(l.insert(9));
+        assert!(!l.insert(5), "duplicate insert must fail");
+        assert!(l.contains(1) && l.contains(5) && l.contains(9));
+        assert!(!l.contains(4));
+        assert_eq!(l.to_vec(), vec![1, 5, 9]);
+        assert!(l.remove(5));
+        assert!(!l.remove(5));
+        assert_eq!(l.to_vec(), vec![1, 9]);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn ordered_after_random_inserts() {
+        let l = HandOverHandList::new();
+        let keys = [7, 3, 9, 1, 8, 2, 6, 4, 5];
+        for k in keys {
+            l.insert(k);
+        }
+        assert_eq!(l.to_vec(), (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let l = HandOverHandList::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let l = &l;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        assert!(l.insert((i * 4 + t) as i64));
+                    }
+                });
+            }
+        });
+        assert_eq!(l.len(), 400);
+        let v = l.to_vec();
+        assert!(v.windows(2).all(|w| w[0] < w[1]), "keys must stay sorted");
+    }
+
+    #[test]
+    fn concurrent_insert_remove_churn_keeps_invariants() {
+        let l = HandOverHandList::new();
+        for i in 0..64 {
+            l.insert(i);
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let l = &l;
+                s.spawn(move || {
+                    let mut seed = 99u64 + t;
+                    for _ in 0..500 {
+                        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = ((seed >> 33) % 64) as i64;
+                        if seed & 1 == 0 {
+                            l.insert(k);
+                        } else {
+                            l.remove(k);
+                        }
+                    }
+                });
+            }
+        });
+        let v = l.to_vec();
+        assert!(v.windows(2).all(|w| w[0] < w[1]), "sorted and duplicate-free");
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_keys_rejected() {
+        HandOverHandList::new().insert(i64::MAX);
+    }
+}

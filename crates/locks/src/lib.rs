@@ -1,0 +1,28 @@
+//! # polytm-locks — lock-based synchronization substrate
+//!
+//! The paper's Theorem 1 compares transactions against *lock-based
+//! synchronization*; its Figure 1 relies on a hand-over-hand (lock
+//! coupling) traversal, and its proof notes that "fine-grained locks can
+//! implement 2-phase-locking". This crate provides those lock-based
+//! building blocks as real, usable data structures and executors:
+//!
+//! * [`twopl`] — a pessimistic two-phase-locking engine over lock-guarded
+//!   variables with wait-die deadlock avoidance (every 2PL history is a
+//!   valid lock-based history; used as the "locks can do whatever
+//!   monomorphic TMs do" half of Theorem 1);
+//! * [`hoh`] — a hand-over-hand locked sorted list set (the *non*-2PL
+//!   discipline that accepts Figure 1's schedule), used as the lock-based
+//!   baseline in the list benchmarks;
+//! * [`striped`] — a striped-lock hash set with coarse full-lock resize,
+//!   used as the lock-based baseline in the hash benchmarks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hoh;
+pub mod striped;
+pub mod twopl;
+
+pub use hoh::HandOverHandList;
+pub use striped::StripedHashSet;
+pub use twopl::{LockVar, TwoPhaseEngine, TwoPlError};

@@ -1,0 +1,214 @@
+//! Striped-lock hash set: the classic "efficient as long as the number of
+//! elements remains proportional to the number of buckets" structure the
+//! paper's introduction cites, with the equally classic pain point —
+//! resizing requires taking *every* stripe lock.
+//!
+//! This is the lock-based baseline for experiment E6 (hash table with
+//! resize), contrasted with the transactional hash set (elastic
+//! operations + a monomorphic resize transaction) and the split-ordered
+//! lock-free table.
+
+use parking_lot::{Mutex, RwLock};
+
+/// A hash set of `u64` keys with per-stripe mutexes and stop-the-world
+/// resize.
+pub struct StripedHashSet {
+    /// Guards the bucket directory; writers (resize) take it exclusively.
+    directory: RwLock<Directory>,
+    /// Resize when len > buckets * LOAD_FACTOR.
+    max_load: usize,
+}
+
+struct Directory {
+    stripes: Vec<Mutex<Vec<u64>>>,
+    len: std::sync::atomic::AtomicUsize,
+}
+
+const DEFAULT_STRIPES: usize = 16;
+
+fn bucket_of(key: u64, n: usize) -> usize {
+    // Fibonacci hashing: spreads sequential keys well.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+}
+
+impl Default for StripedHashSet {
+    fn default() -> Self {
+        Self::new(DEFAULT_STRIPES, 4)
+    }
+}
+
+impl StripedHashSet {
+    /// `stripes` initial buckets, resizing when average bucket length
+    /// exceeds `max_load`.
+    pub fn new(stripes: usize, max_load: usize) -> Self {
+        assert!(stripes > 0 && max_load > 0);
+        Self {
+            directory: RwLock::new(Directory {
+                stripes: (0..stripes).map(|_| Mutex::new(Vec::new())).collect(),
+                len: std::sync::atomic::AtomicUsize::new(0),
+            }),
+            max_load,
+        }
+    }
+
+    /// Is `key` present?
+    pub fn contains(&self, key: u64) -> bool {
+        let dir = self.directory.read();
+        let b = bucket_of(key, dir.stripes.len());
+        let found = dir.stripes[b].lock().contains(&key);
+        found
+    }
+
+    /// Insert; false if already present. May trigger a resize.
+    pub fn insert(&self, key: u64) -> bool {
+        let inserted = {
+            let dir = self.directory.read();
+            let b = bucket_of(key, dir.stripes.len());
+            let mut bucket = dir.stripes[b].lock();
+            if bucket.contains(&key) {
+                false
+            } else {
+                bucket.push(key);
+                dir.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                true
+            }
+        };
+        if inserted {
+            self.maybe_resize();
+        }
+        inserted
+    }
+
+    /// Remove; false if absent.
+    pub fn remove(&self, key: u64) -> bool {
+        let dir = self.directory.read();
+        let b = bucket_of(key, dir.stripes.len());
+        let mut bucket = dir.stripes[b].lock();
+        match bucket.iter().position(|&k| k == key) {
+            Some(i) => {
+                bucket.swap_remove(i);
+                dir.len.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.directory.read().len.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current number of buckets (grows over time).
+    pub fn buckets(&self) -> usize {
+        self.directory.read().stripes.len()
+    }
+
+    fn maybe_resize(&self) {
+        let need = {
+            let dir = self.directory.read();
+            dir.len.load(std::sync::atomic::Ordering::Relaxed)
+                > dir.stripes.len() * self.max_load
+        };
+        if !need {
+            return;
+        }
+        // Stop the world: exclusive directory lock.
+        let mut dir = self.directory.write();
+        let len = dir.len.load(std::sync::atomic::Ordering::Relaxed);
+        if len <= dir.stripes.len() * self.max_load {
+            return; // someone else resized
+        }
+        let new_n = dir.stripes.len() * 2;
+        let mut new_stripes: Vec<Vec<u64>> = vec![Vec::new(); new_n];
+        for stripe in &dir.stripes {
+            for &k in stripe.lock().iter() {
+                new_stripes[bucket_of(k, new_n)].push(k);
+            }
+        }
+        dir.stripes = new_stripes.into_iter().map(Mutex::new).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let s = StripedHashSet::default();
+        assert!(s.insert(10));
+        assert!(!s.insert(10));
+        assert!(s.contains(10));
+        assert!(!s.contains(11));
+        assert!(s.remove(10));
+        assert!(!s.remove(10));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn resize_preserves_membership() {
+        let s = StripedHashSet::new(2, 2);
+        for k in 0..100 {
+            assert!(s.insert(k));
+        }
+        assert!(s.buckets() > 2, "the table must have grown");
+        for k in 0..100 {
+            assert!(s.contains(k), "key {k} lost during resize");
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn concurrent_inserts_during_resizes() {
+        let s = StripedHashSet::new(2, 2);
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..250u64 {
+                        assert!(s.insert(t * 1_000_000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 1000);
+        for t in 0..4u64 {
+            for i in 0..250u64 {
+                assert!(s.contains(t * 1_000_000 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_churn_is_linear_consistent_per_key() {
+        let s = StripedHashSet::new(4, 3);
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    // Each thread owns a disjoint key space: per-key
+                    // operations are sequential, so outcomes are exact.
+                    let base = t * 10_000;
+                    for i in 0..200 {
+                        assert!(s.insert(base + i));
+                    }
+                    for i in 0..200 {
+                        if i % 2 == 0 {
+                            assert!(s.remove(base + i));
+                        }
+                    }
+                    for i in 0..200 {
+                        assert_eq!(s.contains(base + i), i % 2 == 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 400);
+    }
+}

@@ -1,0 +1,458 @@
+//! The acceptance checker: "a schedule is accepted by synchronization S
+//! if its execution results in a valid history".
+//!
+//! ## Execution model
+//!
+//! Registers are single-version (the paper's shared registers "supporting
+//! atomic reads/writes"): a write becomes visible when its operation
+//! *commits*, and a read returns the latest value committed before it
+//! (or the operation's own pending write).
+//!
+//! ## Validity
+//!
+//! A history is valid when it is equivalent to a *sequential* history —
+//! one in which no two critical steps are concurrent. Equivalently: every
+//! critical step γ can be assigned an atomic *point* such that
+//!
+//! 1. points of one operation's steps are ordered by program order,
+//! 2. each point lies within the operation's span (start..commit),
+//! 3. every read in γ holds its returned value at γ's point,
+//! 4. a step containing writes sits exactly at the commit (writes are
+//!    published at commit in the single-version model), and
+//! 5. only the final critical step may contain writes.
+//!
+//! Feasibility of such a point assignment reduces to a greedy scan over
+//! value-availability intervals, computed in "gap coordinates": gap `i`
+//! denotes a moment just before event `i` of the interleaving.
+//!
+//! ## Synchronizations
+//!
+//! * [`Synchronization::Monomorphic`] — every operation's semantics is
+//!   coerced to a single critical step (the paper: "all transactions
+//!   execute the same safest semantics").
+//! * [`Synchronization::Polymorphic`] — the declared semantics is used.
+//! * [`Synchronization::LockBased`] — the declared semantics is used;
+//!   fine-grained per-access locking can realize any interleaving of
+//!   atomic accesses (see [`crate::locking`] for explicit lock schedules
+//!   and their discipline), so acceptance coincides with the validity of
+//!   the intended semantics. This mirrors the paper's observation that
+//!   locks, unlike transactions, are not forced into one open-close
+//!   block.
+
+use crate::interleave::{Interleaving, Slot};
+use crate::model::{AccessKind, OpSemantics, Program};
+
+/// The synchronization technique executing the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Synchronization {
+    /// Fine-grained lock-based synchronization.
+    LockBased,
+    /// Monomorphic transactions (every transaction runs `def`).
+    Monomorphic,
+    /// Polymorphic transactions (each transaction runs its declared
+    /// semantics).
+    Polymorphic,
+}
+
+/// Result of an acceptance check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptOutcome {
+    /// Whether the schedule is accepted.
+    pub accepted: bool,
+    /// Process whose operation could not be serialized, if any.
+    pub failing_proc: Option<usize>,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl AcceptOutcome {
+    fn ok() -> Self {
+        Self { accepted: true, failing_proc: None, reason: "valid history".into() }
+    }
+
+    fn fail(proc: usize, reason: String) -> Self {
+        Self { accepted: false, failing_proc: Some(proc), reason }
+    }
+}
+
+/// The value a read returned in the executed history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    /// Initial register value.
+    Initial,
+    /// Value committed by the given process's operation.
+    Committed(usize),
+    /// The operation's own buffered write.
+    Own,
+}
+
+/// A constructive witness of validity: for every operation, the gap
+/// coordinate assigned to each of its critical steps (non-decreasing per
+/// operation, each within the step's availability interval). Exhibiting
+/// these points *is* exhibiting the equivalent sequential history.
+pub type SerializationWitness = Vec<Vec<usize>>;
+
+/// Like [`accepts`], but on acceptance also returns the serialization
+/// points that witness the equivalent sequential history.
+pub fn serialization_witness(
+    program: &Program,
+    inter: &Interleaving,
+    sync: Synchronization,
+) -> Result<SerializationWitness, AcceptOutcome> {
+    let mut witness = Vec::with_capacity(program.procs());
+    let out = accepts_impl(program, inter, sync, Some(&mut witness));
+    if out.accepted {
+        Ok(witness)
+    } else {
+        Err(out)
+    }
+}
+
+/// Does the given synchronization accept this schedule (program +
+/// interleaving)? See the module docs for the model.
+///
+/// ```
+/// use polytm_schedule::{accepts, figure1_interleaving, figure1_program, Synchronization};
+///
+/// let program = figure1_program();
+/// let schedule = figure1_interleaving();
+/// assert!(accepts(&program, &schedule, Synchronization::Polymorphic).accepted);
+/// assert!(!accepts(&program, &schedule, Synchronization::Monomorphic).accepted);
+/// ```
+pub fn accepts(
+    program: &Program,
+    inter: &Interleaving,
+    sync: Synchronization,
+) -> AcceptOutcome {
+    accepts_impl(program, inter, sync, None)
+}
+
+fn accepts_impl(
+    program: &Program,
+    inter: &Interleaving,
+    sync: Synchronization,
+    mut witness: Option<&mut SerializationWitness>,
+) -> AcceptOutcome {
+    let slots = inter.slots(program);
+    let n_events = slots.len();
+    let procs = program.procs();
+
+    // Event positions.
+    let mut commit_pos = vec![usize::MAX; procs];
+    let mut first_access_pos = vec![usize::MAX; procs];
+    let mut access_pos: Vec<Vec<usize>> =
+        program.ops.iter().map(|o| vec![usize::MAX; o.accesses.len()]).collect();
+    for (pos, slot) in slots.iter().enumerate() {
+        match *slot {
+            Slot::Access(p, k) => {
+                access_pos[p][k] = pos;
+                if first_access_pos[p] == usize::MAX {
+                    first_access_pos[p] = pos;
+                }
+            }
+            Slot::Commit(p) => commit_pos[p] = pos,
+        }
+    }
+
+    // Committed-write timeline per register: (commit position, writer).
+    let max_reg = program
+        .ops
+        .iter()
+        .flat_map(|o| o.accesses.iter().map(|a| a.reg))
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut timeline: Vec<Vec<(usize, usize)>> = vec![Vec::new(); max_reg];
+    for (p, op) in program.ops.iter().enumerate() {
+        for a in &op.accesses {
+            if a.kind == AccessKind::Write {
+                let entry = (commit_pos[p], p);
+                if !timeline[a.reg].contains(&entry) {
+                    timeline[a.reg].push(entry);
+                }
+            }
+        }
+    }
+    for t in &mut timeline {
+        t.sort_unstable();
+    }
+
+    // Value returned by each read + its availability interval in gap
+    // coordinates [lo, hi] (gap i = just before event i; values committed
+    // at event c are visible in gaps c+1 ..= next-overwrite-commit).
+    let value_of = |p: usize, k: usize| -> Value {
+        let a = program.ops[p].accesses[k];
+        debug_assert_eq!(a.kind, AccessKind::Read);
+        let pos = access_pos[p][k];
+        // Own pending write earlier in program order?
+        if program.ops[p].accesses[..k]
+            .iter()
+            .any(|b| b.kind == AccessKind::Write && b.reg == a.reg)
+        {
+            return Value::Own;
+        }
+        let mut latest: Option<usize> = None;
+        for &(c, q) in &timeline[a.reg] {
+            if c < pos && q != p {
+                latest = Some(q);
+            }
+        }
+        match latest {
+            Some(q) => Value::Committed(q),
+            None => Value::Initial,
+        }
+    };
+
+    let interval_of = |p: usize, k: usize, value: Value| -> (usize, usize) {
+        let a = program.ops[p].accesses[k];
+        match value {
+            // Own writes are consistent anywhere inside the op's span.
+            Value::Own => (first_access_pos[p], commit_pos[p]),
+            Value::Initial => {
+                let hi = timeline[a.reg]
+                    .iter()
+                    .find(|&&(_, q)| q != p)
+                    .map_or(n_events, |&(c, _)| c);
+                (0, hi)
+            }
+            Value::Committed(writer) => {
+                let c = commit_pos[writer];
+                let hi = timeline[a.reg]
+                    .iter()
+                    .find(|&&(c2, q)| c2 > c && q != p)
+                    .map_or(n_events, |&(c2, _)| c2);
+                (c + 1, hi)
+            }
+        }
+    };
+
+    // Per-operation feasibility.
+    for (p, op) in program.ops.iter().enumerate() {
+        let mut points: Vec<usize> = Vec::new();
+        if op.accesses.is_empty() {
+            if let Some(w) = witness.as_deref_mut() {
+                w.push(points);
+            }
+            continue;
+        }
+        let steps = match sync {
+            Synchronization::Monomorphic => {
+                let coerced =
+                    crate::model::OpSpec { accesses: op.accesses.clone(), semantics: OpSemantics::Monomorphic };
+                coerced.critical_steps()
+            }
+            Synchronization::Polymorphic | Synchronization::LockBased => op.critical_steps(),
+        };
+        // Only the final step may contain writes (single-version model).
+        for (si, step) in steps.iter().enumerate() {
+            let has_write =
+                step.iter().any(|&i| op.accesses[i].kind == AccessKind::Write);
+            if has_write && si + 1 != steps.len() {
+                return AcceptOutcome::fail(
+                    p,
+                    "unsupported semantics: writes outside the final critical step".into(),
+                );
+            }
+        }
+
+        let f = first_access_pos[p];
+        let c = commit_pos[p];
+        let mut cur = f;
+        for (si, step) in steps.iter().enumerate() {
+            let mut lo = f;
+            let mut hi = c;
+            for &i in step {
+                if op.accesses[i].kind == AccessKind::Read {
+                    let v = value_of(p, i);
+                    let (vlo, vhi) = interval_of(p, i, v);
+                    lo = lo.max(vlo);
+                    hi = hi.min(vhi);
+                }
+            }
+            let has_write =
+                step.iter().any(|&i| op.accesses[i].kind == AccessKind::Write);
+            if has_write {
+                // Writes are published at commit: the step's point is c.
+                if lo > c || hi < c {
+                    return AcceptOutcome::fail(
+                        p,
+                        format!(
+                            "critical step γ{} (write step) cannot be serialized at its \
+                             commit: reads valid only in gaps [{lo}, {hi}], commit at {c}",
+                            si + 1
+                        ),
+                    );
+                }
+                cur = c;
+                points.push(c);
+            } else {
+                cur = cur.max(lo);
+                if cur > hi {
+                    return AcceptOutcome::fail(
+                        p,
+                        format!(
+                            "critical step γ{} has no serialization point: needs a point \
+                             ≥ {cur} but its reads are only valid through gap {hi}",
+                            si + 1
+                        ),
+                    );
+                }
+                points.push(cur);
+            }
+        }
+        if let Some(w) = witness.as_deref_mut() {
+            w.push(points);
+        }
+    }
+    AcceptOutcome::ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::Interleaving;
+    use crate::model::{r, w, OpSpec, Program};
+
+    fn inter(p: &Program, order: &[usize]) -> Interleaving {
+        Interleaving::new(p, order.to_vec()).expect("valid interleaving")
+    }
+
+    #[test]
+    fn serial_schedules_are_accepted_by_everyone() {
+        let p = Program::new(vec![
+            OpSpec::mono(vec![r(0), w(0)]),
+            OpSpec::weak(vec![r(0), r(1), r(2)]),
+            OpSpec::mono(vec![w(2)]),
+        ]);
+        let s = Interleaving::serial(&p);
+        for sync in
+            [Synchronization::LockBased, Synchronization::Monomorphic, Synchronization::Polymorphic]
+        {
+            assert!(accepts(&p, &s, sync).accepted, "{sync:?}");
+        }
+    }
+
+    #[test]
+    fn nonconflicting_overlap_is_accepted_by_mono() {
+        // Two transactions on disjoint registers, fully interleaved.
+        let p = Program::new(vec![
+            OpSpec::mono(vec![r(0), w(0)]),
+            OpSpec::mono(vec![r(1), w(1)]),
+        ]);
+        let i = inter(&p, &[0, 1, 0, 1, 0, 1]);
+        assert!(accepts(&p, &i, Synchronization::Monomorphic).accepted);
+    }
+
+    #[test]
+    fn dirty_interleaving_of_writers_is_rejected() {
+        // T0: r(x) ... w(x)+commit; T1 overwrites x in between and
+        // commits; T0's single step needs the initial x at its commit —
+        // impossible.
+        let p = Program::new(vec![
+            OpSpec::mono(vec![r(0), w(0)]),
+            OpSpec::mono(vec![w(0)]),
+        ]);
+        // events: p0 r(x) | p1 w(x) | p1 C | p0 w(x) | p0 C
+        let i = inter(&p, &[0, 1, 1, 0, 0]);
+        let out = accepts(&p, &i, Synchronization::Monomorphic);
+        assert!(!out.accepted);
+        assert_eq!(out.failing_proc, Some(0));
+        // Polymorphism does not help: the semantics is genuinely atomic
+        // (read and write in one step).
+        assert!(!accepts(&p, &i, Synchronization::Polymorphic).accepted);
+    }
+
+    #[test]
+    fn lost_update_requires_semantics_not_luck() {
+        // Same as above but T0's semantics makes the read and write
+        // separate critical steps (a "k-read-modify-write" style
+        // weakening the paper mentions); then the interleaving is
+        // accepted by polymorphic synchronization.
+        let p = Program::new(vec![
+            OpSpec {
+                accesses: vec![r(0), w(0)],
+                semantics: crate::model::OpSemantics::Explicit(vec![vec![0], vec![1]]),
+            },
+            OpSpec::mono(vec![w(0)]),
+        ]);
+        let i = inter(&p, &[0, 1, 1, 0, 0]);
+        assert!(accepts(&p, &i, Synchronization::Polymorphic).accepted);
+        assert!(!accepts(&p, &i, Synchronization::Monomorphic).accepted);
+    }
+
+    #[test]
+    fn read_own_write_is_always_consistent() {
+        let p = Program::new(vec![OpSpec::mono(vec![w(0), r(0), r(1)])]);
+        let i = Interleaving::serial(&p);
+        assert!(accepts(&p, &i, Synchronization::Monomorphic).accepted);
+    }
+
+    #[test]
+    fn writes_outside_final_step_are_rejected_as_unsupported() {
+        let p = Program::new(vec![OpSpec {
+            accesses: vec![w(0), r(1)],
+            semantics: crate::model::OpSemantics::Explicit(vec![vec![0], vec![1]]),
+        }]);
+        let i = Interleaving::serial(&p);
+        let out = accepts(&p, &i, Synchronization::Polymorphic);
+        assert!(!out.accepted);
+        assert!(out.reason.contains("unsupported"));
+    }
+
+    #[test]
+    fn mono_acceptance_implies_poly_acceptance_spot_checks() {
+        // Structural property (used by Theorem 2's second half): finer
+        // critical steps only relax the constraint system.
+        let p = Program::new(vec![
+            OpSpec::weak(vec![r(0), r(1), r(2)]),
+            OpSpec::mono(vec![w(1)]),
+        ]);
+        for i in crate::interleave::enumerate_interleavings(&p) {
+            let mono = accepts(&p, &i, Synchronization::Monomorphic).accepted;
+            let poly = accepts(&p, &i, Synchronization::Polymorphic).accepted;
+            if mono {
+                assert!(poly, "mono-accepted schedule rejected by poly:\n{}", i.render(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn witness_points_are_monotone_and_in_span() {
+        let p = Program::new(vec![
+            OpSpec::weak(vec![r(0), r(1), r(2)]),
+            OpSpec::mono(vec![w(0)]),
+            OpSpec::mono(vec![w(2)]),
+        ]);
+        for i in crate::interleave::enumerate_interleavings(&p) {
+            if let Ok(wit) = serialization_witness(&p, &i, Synchronization::Polymorphic) {
+                assert_eq!(wit.len(), 3);
+                for (q, points) in wit.iter().enumerate() {
+                    assert_eq!(points.len(), p.ops[q].critical_steps().len());
+                    assert!(points.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_witness_shows_the_split() {
+        let p = crate::figure1::figure1_program();
+        let i = crate::figure1::figure1_interleaving();
+        let wit = serialization_witness(&p, &i, Synchronization::Polymorphic)
+            .expect("polymorphic accepts Figure 1");
+        // p1's two critical steps serialize at different points: γ1 before
+        // p2's commit (event 2), γ2 after p3's commit (event 5).
+        let p1 = &wit[0];
+        assert_eq!(p1.len(), 2);
+        assert!(p1[0] <= 2, "γ1 must sit before w(x) commits, got {}", p1[0]);
+        assert!(p1[1] >= 6, "γ2 must sit after w(z) commits, got {}", p1[1]);
+    }
+
+    #[test]
+    fn witness_errors_mirror_accepts() {
+        let p = crate::figure1::figure1_program();
+        let i = crate::figure1::figure1_interleaving();
+        let err = serialization_witness(&p, &i, Synchronization::Monomorphic).unwrap_err();
+        assert!(!err.accepted);
+        assert_eq!(err.failing_proc, Some(0));
+    }
+}

@@ -1,0 +1,266 @@
+//! Schedules as interleavings, and bounded-exhaustive enumeration.
+//!
+//! An [`Interleaving`] is a total order over the events of a
+//! [`Program`]'s operations. Each process `p` contributes
+//! `|accesses(p)| + 1` events: its accesses in program order followed by
+//! its `commit`. `start` events carry no information for acceptance (a
+//! transaction may always start immediately before its first access), so
+//! they are implicit.
+
+use crate::model::{ProcId, Program};
+
+/// One event slot in an interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// The `k`-th access (0-based) of the process.
+    Access(ProcId, usize),
+    /// The process's commit.
+    Commit(ProcId),
+}
+
+/// A total order over all events of a program. Stored as the sequence of
+/// process ids; the `k`-th occurrence of process `p` denotes `p`'s `k`-th
+/// event (accesses in order, then commit).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Interleaving {
+    order: Vec<ProcId>,
+}
+
+impl Interleaving {
+    /// Build from a process-id sequence; validates event counts.
+    pub fn new(program: &Program, order: Vec<ProcId>) -> Result<Self, String> {
+        let mut counts = vec![0usize; program.procs()];
+        for &p in &order {
+            if p >= program.procs() {
+                return Err(format!("process {p} out of range"));
+            }
+            counts[p] += 1;
+        }
+        for (p, op) in program.ops.iter().enumerate() {
+            let expect = op.accesses.len() + 1;
+            if counts[p] != expect {
+                return Err(format!(
+                    "process {p} must contribute {expect} events, got {}",
+                    counts[p]
+                ));
+            }
+        }
+        Ok(Self { order })
+    }
+
+    /// The serial interleaving: process 0's events, then process 1's, …
+    pub fn serial(program: &Program) -> Self {
+        let mut order = Vec::with_capacity(program.total_events());
+        for (p, op) in program.ops.iter().enumerate() {
+            for _ in 0..=op.accesses.len() {
+                order.push(p);
+            }
+        }
+        Self { order }
+    }
+
+    /// Expand to slots `(process, which event)`.
+    pub fn slots(&self, program: &Program) -> Vec<Slot> {
+        let mut next = vec![0usize; program.procs()];
+        self.order
+            .iter()
+            .map(|&p| {
+                let k = next[p];
+                next[p] += 1;
+                if k < program.ops[p].accesses.len() {
+                    Slot::Access(p, k)
+                } else {
+                    Slot::Commit(p)
+                }
+            })
+            .collect()
+    }
+
+    /// Raw process-id order.
+    pub fn order(&self) -> &[ProcId] {
+        &self.order
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the interleaving has no events.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Render like the paper's Figure 1: one column per process.
+    pub fn render(&self, program: &Program) -> String {
+        use crate::model::AccessKind;
+        let names = ["x", "y", "z", "u", "v", "s", "t"];
+        let regname =
+            |r: usize| names.get(r).map(|s| s.to_string()).unwrap_or_else(|| format!("g{r}"));
+        let width = 14usize;
+        let mut out = String::new();
+        for p in 0..program.procs() {
+            out.push_str(&format!("{:^width$}", format!("p{}", p + 1)));
+        }
+        out.push('\n');
+        for slot in self.slots(program) {
+            let (p, text) = match slot {
+                Slot::Access(p, k) => {
+                    let a = program.ops[p].accesses[k];
+                    let t = match a.kind {
+                        AccessKind::Read => format!("r({})", regname(a.reg)),
+                        AccessKind::Write => format!("w({})", regname(a.reg)),
+                    };
+                    (p, t)
+                }
+                Slot::Commit(p) => (p, "commit".to_string()),
+            };
+            for q in 0..program.procs() {
+                if q == p {
+                    out.push_str(&format!("{text:^width$}"));
+                } else {
+                    out.push_str(&" ".repeat(width));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Enumerate **all** interleavings of a program's events that respect
+/// per-process program order. The count is the multinomial coefficient
+/// `(Σ n_p)! / Π n_p!` — keep programs small (the theorem checks use ≤ 3
+/// processes with ≤ 4 events each).
+pub fn enumerate_interleavings(program: &Program) -> Vec<Interleaving> {
+    let counts: Vec<usize> = program.ops.iter().map(|o| o.accesses.len() + 1).collect();
+    let total: usize = counts.iter().sum();
+    let mut out = Vec::new();
+    let mut remaining = counts;
+    let mut prefix = Vec::with_capacity(total);
+    fn rec(
+        remaining: &mut Vec<usize>,
+        prefix: &mut Vec<ProcId>,
+        total: usize,
+        out: &mut Vec<Interleaving>,
+    ) {
+        if prefix.len() == total {
+            out.push(Interleaving { order: prefix.clone() });
+            return;
+        }
+        for p in 0..remaining.len() {
+            if remaining[p] > 0 {
+                remaining[p] -= 1;
+                prefix.push(p);
+                rec(remaining, prefix, total, out);
+                prefix.pop();
+                remaining[p] += 1;
+            }
+        }
+    }
+    rec(&mut remaining, &mut prefix, total, &mut out);
+    out
+}
+
+/// Number of interleavings without materializing them (multinomial).
+pub fn count_interleavings(program: &Program) -> u128 {
+    let mut total: u128 = 1;
+    let mut placed: u128 = 0;
+    for op in &program.ops {
+        let n = (op.accesses.len() + 1) as u128;
+        // multiply by C(placed + n, n)
+        for i in 1..=n {
+            total = total * (placed + i) / i;
+        }
+        placed += n;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{r, w, OpSpec, Program};
+
+    fn two_proc_program() -> Program {
+        Program::new(vec![OpSpec::mono(vec![r(0), w(0)]), OpSpec::mono(vec![w(1)])])
+    }
+
+    #[test]
+    fn new_validates_counts() {
+        let p = two_proc_program();
+        assert!(Interleaving::new(&p, vec![0, 0, 0, 1, 1]).is_ok());
+        assert!(Interleaving::new(&p, vec![0, 0, 1, 1]).is_err());
+        assert!(Interleaving::new(&p, vec![0, 0, 0, 1, 7]).is_err());
+    }
+
+    #[test]
+    fn serial_layout_and_slots() {
+        let p = two_proc_program();
+        let s = Interleaving::serial(&p);
+        assert_eq!(s.order(), &[0, 0, 0, 1, 1]);
+        assert_eq!(
+            s.slots(&p),
+            vec![
+                Slot::Access(0, 0),
+                Slot::Access(0, 1),
+                Slot::Commit(0),
+                Slot::Access(1, 0),
+                Slot::Commit(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn enumeration_matches_multinomial() {
+        let p = two_proc_program();
+        let all = enumerate_interleavings(&p);
+        // C(5, 2) = 10 ways to place the 2 events of proc 1 among 5 slots.
+        assert_eq!(all.len(), 10);
+        assert_eq!(count_interleavings(&p), 10);
+        // All distinct.
+        let mut set = std::collections::HashSet::new();
+        for i in &all {
+            assert!(set.insert(i.order().to_vec()));
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_program_order() {
+        let p = two_proc_program();
+        for inter in enumerate_interleavings(&p) {
+            let slots = inter.slots(&p);
+            // Commit of each proc is its last event.
+            let mut seen_commit = vec![false; 2];
+            for s in slots {
+                match s {
+                    Slot::Access(q, _) => assert!(!seen_commit[q]),
+                    Slot::Commit(q) => seen_commit[q] = true,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_columns() {
+        let p = two_proc_program();
+        let s = Interleaving::serial(&p);
+        let txt = s.render(&p);
+        assert!(txt.contains("p1"));
+        assert!(txt.contains("r(x)"));
+        assert!(txt.contains("w(y)"));
+        assert!(txt.contains("commit"));
+    }
+
+    #[test]
+    fn count_three_procs() {
+        let p = Program::new(vec![
+            OpSpec::weak(vec![r(0), r(1), r(2)]),
+            OpSpec::mono(vec![w(0)]),
+            OpSpec::mono(vec![w(2)]),
+        ]);
+        // events: 4, 2, 2 -> 8!/(4!2!2!) = 420
+        assert_eq!(count_interleavings(&p), 420);
+        assert_eq!(enumerate_interleavings(&p).len(), 420);
+    }
+}

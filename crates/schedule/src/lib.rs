@@ -1,0 +1,45 @@
+//! # polytm-schedule — the SPAA'11 formal model, executable
+//!
+//! The paper evaluates transaction polymorphism *theoretically*: it
+//! defines schedules, critical steps, histories, validity and acceptance,
+//! then proves (Theorem 1) that lock-based synchronization enables
+//! strictly higher concurrency than monomorphic transactions and
+//! (Theorem 2) that polymorphic transactions do too, with Figure 1 as the
+//! separating witness. This crate makes all of that machine-checkable:
+//!
+//! * [`model`] — registers, accesses, operations, and **semantics** as an
+//!   assignment of accesses to critical steps (`r(x),r(y) ↦ γ1`, …);
+//! * [`interleave`] — schedules as interleavings of operation events,
+//!   plus bounded-exhaustive enumeration of all interleavings;
+//! * [`accept`] — the acceptance checker: executes a schedule under
+//!   single-version read semantics and decides whether the resulting
+//!   history is *valid* (equivalent to a sequential history in which no
+//!   two critical steps are concurrent);
+//! * [`locking`] — explicit lock/unlock schedules and their
+//!   well-formedness/mutual-exclusion discipline (the left half of the
+//!   paper's Figure 1);
+//! * [`figure1`] — the witness schedule itself, in both its transactional
+//!   and lock-based forms;
+//! * [`theorems`] — executable statements of Theorems 1 and 2: a
+//!   separating witness plus a bounded-exhaustive inclusion check;
+//! * [`replay`] — a deterministic replayer that drives the *real*
+//!   [`polytm`] STM through a schedule's exact interleaving and reports
+//!   whether the implementation accepts it (no aborts).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accept;
+pub mod figure1;
+pub mod interleave;
+pub mod locking;
+pub mod model;
+pub mod replay;
+pub mod theorems;
+
+pub use accept::{accepts, AcceptOutcome, Synchronization};
+pub use figure1::{figure1_interleaving, figure1_lock_schedule, figure1_program};
+pub use interleave::{enumerate_interleavings, Interleaving};
+pub use model::{Access, AccessKind, OpSemantics, OpSpec, Program, Reg};
+pub use replay::{replay, ReplayOutcome};
+pub use theorems::{check_theorem1, check_theorem2, TheoremReport};

@@ -1,0 +1,224 @@
+//! Explicit lock-based schedules and their discipline.
+//!
+//! The paper's lock-based operations extend the access sequence with
+//! `lock(x)` / `unlock(x)` events. A lock-based schedule is *executable*
+//! when it is well-formed (every `lock(x)` has a matching later
+//! `unlock(x)` by the same process), respects mutual exclusion (no
+//! process locks a register currently held by another), and every access
+//! to a register happens while its lock is held.
+//!
+//! The left half of the paper's Figure 1 is such a schedule; it is
+//! encoded in [`crate::figure1::figure1_lock_schedule`].
+
+use crate::model::{ProcId, Reg};
+
+/// One event of a lock-based schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockEvent {
+    /// Acquire the register's lock.
+    Lock(Reg),
+    /// Release the register's lock.
+    Unlock(Reg),
+    /// Read the register (lock must be held).
+    Read(Reg),
+    /// Write the register (lock must be held).
+    Write(Reg),
+}
+
+/// A total order of lock-based events across processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSchedule {
+    /// The events, in schedule order.
+    pub events: Vec<(ProcId, LockEvent)>,
+}
+
+/// Why a lock schedule is not executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockViolation {
+    /// Two processes hold the same register's lock at once.
+    MutualExclusion {
+        /// The contended register.
+        reg: Reg,
+        /// The process that currently holds the lock.
+        holder: ProcId,
+        /// The process trying to acquire it.
+        claimant: ProcId,
+    },
+    /// A process accessed a register without holding its lock.
+    AccessWithoutLock {
+        /// Offending process.
+        proc: ProcId,
+        /// Register accessed.
+        reg: Reg,
+    },
+    /// A process unlocked a register it does not hold.
+    UnlockNotHeld {
+        /// Offending process.
+        proc: ProcId,
+        /// Register unlocked.
+        reg: Reg,
+    },
+    /// A lock is still held at the end of the schedule (not well-formed:
+    /// every `lock(x)` needs a following `unlock(x)`).
+    DanglingLock {
+        /// Offending process.
+        proc: ProcId,
+        /// Register still held.
+        reg: Reg,
+    },
+    /// A process re-locked a register it already holds.
+    Relock {
+        /// Offending process.
+        proc: ProcId,
+        /// Register re-locked.
+        reg: Reg,
+    },
+}
+
+impl LockSchedule {
+    /// Check well-formedness + mutual exclusion + access discipline.
+    pub fn validate(&self) -> Result<(), LockViolation> {
+        use std::collections::HashMap;
+        // reg -> holder
+        let mut held: HashMap<Reg, ProcId> = HashMap::new();
+        for &(p, ev) in &self.events {
+            match ev {
+                LockEvent::Lock(g) => match held.get(&g) {
+                    Some(&holder) if holder == p => {
+                        return Err(LockViolation::Relock { proc: p, reg: g })
+                    }
+                    Some(&holder) => {
+                        return Err(LockViolation::MutualExclusion {
+                            reg: g,
+                            holder,
+                            claimant: p,
+                        })
+                    }
+                    None => {
+                        held.insert(g, p);
+                    }
+                },
+                LockEvent::Unlock(g) => {
+                    if held.get(&g) != Some(&p) {
+                        return Err(LockViolation::UnlockNotHeld { proc: p, reg: g });
+                    }
+                    held.remove(&g);
+                }
+                LockEvent::Read(g) | LockEvent::Write(g) => {
+                    if held.get(&g) != Some(&p) {
+                        return Err(LockViolation::AccessWithoutLock { proc: p, reg: g });
+                    }
+                }
+            }
+        }
+        if let Some((&reg, &proc)) = held.iter().next() {
+            return Err(LockViolation::DanglingLock { proc, reg });
+        }
+        Ok(())
+    }
+
+    /// The access subsequence (reads/writes only, in order) — used to
+    /// compare a lock schedule with a transactional schedule over the
+    /// same program.
+    pub fn access_order(&self) -> Vec<(ProcId, LockEvent)> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|(_, e)| matches!(e, LockEvent::Read(_) | LockEvent::Write(_)))
+            .collect()
+    }
+
+    /// Is this schedule two-phase per process (no lock acquired after the
+    /// first unlock)? Figure 1's hand-over-hand schedule is deliberately
+    /// *not* two-phase for p1.
+    pub fn is_two_phase(&self) -> bool {
+        use std::collections::HashSet;
+        let mut unlocked: HashSet<ProcId> = HashSet::new();
+        for &(p, ev) in &self.events {
+            match ev {
+                LockEvent::Unlock(_) => {
+                    unlocked.insert(p);
+                }
+                LockEvent::Lock(_) if unlocked.contains(&p) => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockEvent::*;
+
+    #[test]
+    fn valid_schedule_passes() {
+        let s = LockSchedule {
+            events: vec![(0, Lock(0)), (0, Read(0)), (0, Write(0)), (0, Unlock(0))],
+        };
+        assert_eq!(s.validate(), Ok(()));
+        assert!(s.is_two_phase());
+    }
+
+    #[test]
+    fn mutual_exclusion_violation_detected() {
+        let s = LockSchedule { events: vec![(0, Lock(0)), (1, Lock(0))] };
+        assert_eq!(
+            s.validate(),
+            Err(LockViolation::MutualExclusion { reg: 0, holder: 0, claimant: 1 })
+        );
+    }
+
+    #[test]
+    fn access_without_lock_detected() {
+        let s = LockSchedule { events: vec![(0, Read(3))] };
+        assert_eq!(s.validate(), Err(LockViolation::AccessWithoutLock { proc: 0, reg: 3 }));
+    }
+
+    #[test]
+    fn unlock_not_held_detected() {
+        let s = LockSchedule { events: vec![(0, Unlock(1))] };
+        assert_eq!(s.validate(), Err(LockViolation::UnlockNotHeld { proc: 0, reg: 1 }));
+    }
+
+    #[test]
+    fn dangling_lock_detected() {
+        let s = LockSchedule { events: vec![(2, Lock(1))] };
+        assert_eq!(s.validate(), Err(LockViolation::DanglingLock { proc: 2, reg: 1 }));
+    }
+
+    #[test]
+    fn relock_detected() {
+        let s = LockSchedule { events: vec![(0, Lock(1)), (0, Lock(1))] };
+        assert_eq!(s.validate(), Err(LockViolation::Relock { proc: 0, reg: 1 }));
+    }
+
+    #[test]
+    fn hand_over_hand_is_not_two_phase() {
+        let s = LockSchedule {
+            events: vec![
+                (0, Lock(0)),
+                (0, Read(0)),
+                (0, Lock(1)),
+                (0, Unlock(0)),
+                (0, Read(1)),
+                (0, Lock(2)),
+                (0, Unlock(1)),
+                (0, Read(2)),
+                (0, Unlock(2)),
+            ],
+        };
+        assert_eq!(s.validate(), Ok(()));
+        assert!(!s.is_two_phase());
+    }
+
+    #[test]
+    fn access_order_strips_lock_events() {
+        let s = LockSchedule {
+            events: vec![(0, Lock(0)), (0, Read(0)), (1, Lock(1)), (1, Write(1)),
+                         (0, Unlock(0)), (1, Unlock(1))],
+        };
+        assert_eq!(s.access_order(), vec![(0, Read(0)), (1, Write(1))]);
+    }
+}

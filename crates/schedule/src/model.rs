@@ -1,0 +1,258 @@
+//! The paper's objects: shared registers, accesses, operations, and
+//! semantics as assignments of accesses to critical steps.
+
+/// A shared register (the paper's `x`, `y`, `z`). Registers are small
+//  dense indices so schedules can be enumerated.
+pub type Reg = usize;
+
+/// Identifies a process/operation in a [`Program`].
+pub type ProcId = usize;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The paper's `r(x)`.
+    Read,
+    /// The paper's `w(x, v)`.
+    Write,
+}
+
+/// One shared-register access inside an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The register accessed.
+    pub reg: Reg,
+}
+
+/// `r(x)` shorthand.
+pub const fn r(reg: Reg) -> Access {
+    Access { kind: AccessKind::Read, reg }
+}
+
+/// `w(x)` shorthand.
+pub const fn w(reg: Reg) -> Access {
+    Access { kind: AccessKind::Write, reg }
+}
+
+/// The paper's *semantics of an operation*: the assignment of its
+/// accesses to critical steps γ.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OpSemantics {
+    /// One critical step spanning every access — what every transaction
+    /// gets in a *monomorphic* TM (the paper's `def`).
+    Monomorphic,
+    /// The paper's `weak`: overlapping sliding windows of `window`
+    /// consecutive accesses over the read prefix; the first write and
+    /// everything after it (plus the preceding `window - 1` reads) form
+    /// the final critical step, mirroring ε-STM's freeze-on-write.
+    Elastic {
+        /// Window width (the paper's linked-list semantics is 2).
+        window: usize,
+    },
+    /// Explicit critical steps: each inner vec lists access indices.
+    /// This is the paper's fully general "assignment of accesses to
+    /// critical steps".
+    Explicit(Vec<Vec<usize>>),
+}
+
+/// An operation π: a sequence of accesses plus its semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpSpec {
+    /// The access sequence.
+    pub accesses: Vec<Access>,
+    /// Assignment of accesses to critical steps.
+    pub semantics: OpSemantics,
+}
+
+impl OpSpec {
+    /// Monomorphic operation over the given accesses.
+    pub fn mono(accesses: Vec<Access>) -> Self {
+        Self { accesses, semantics: OpSemantics::Monomorphic }
+    }
+
+    /// Elastic (`weak`) operation with the canonical window of 2.
+    pub fn weak(accesses: Vec<Access>) -> Self {
+        Self { accesses, semantics: OpSemantics::Elastic { window: 2 } }
+    }
+
+    /// Index of the first write, if any.
+    pub fn first_write(&self) -> Option<usize> {
+        self.accesses.iter().position(|a| a.kind == AccessKind::Write)
+    }
+
+    /// Materialize the critical steps γ1..γk (each a sorted list of
+    /// access indices), in operation order.
+    ///
+    /// For [`OpSemantics::Elastic`], windows slide over the accesses
+    /// before the first write; the final step contains the last
+    /// `window - 1` pre-write accesses and every access from the first
+    /// write on.
+    pub fn critical_steps(&self) -> Vec<Vec<usize>> {
+        let n = self.accesses.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        match &self.semantics {
+            OpSemantics::Monomorphic => vec![(0..n).collect()],
+            OpSemantics::Explicit(steps) => steps.clone(),
+            OpSemantics::Elastic { window } => {
+                let w = (*window).max(1);
+                let cut_end = self.first_write().unwrap_or(n);
+                let mut steps: Vec<Vec<usize>> = Vec::new();
+                if cut_end >= w {
+                    for i in 0..=(cut_end - w) {
+                        steps.push((i..i + w).collect());
+                    }
+                }
+                if cut_end < n {
+                    // Final (frozen) step: trailing window of the read
+                    // prefix plus the whole write suffix.
+                    let lo = cut_end.saturating_sub(w - 1);
+                    steps.push((lo..n).collect());
+                } else if cut_end < w {
+                    // Fewer accesses than the window: a single step.
+                    steps.push((0..n).collect());
+                }
+                steps
+            }
+        }
+    }
+
+    /// True when every access index appears in at least one critical step
+    /// and steps are non-empty — the well-formedness requirement on a
+    /// semantics assignment.
+    pub fn semantics_is_well_formed(&self) -> bool {
+        let steps = self.critical_steps();
+        if self.accesses.is_empty() {
+            return steps.is_empty();
+        }
+        if steps.iter().any(|s| s.is_empty()) {
+            return false;
+        }
+        let mut covered = vec![false; self.accesses.len()];
+        for s in &steps {
+            for &i in s {
+                if i >= self.accesses.len() {
+                    return false;
+                }
+                covered[i] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+}
+
+/// A concurrent program: one operation per process. (Multiple operations
+/// per process are modelled as extra processes ordered by the
+/// interleaving, which is fully general for acceptance checking.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// `ops[p]` is the operation of process `p`.
+    pub ops: Vec<OpSpec>,
+}
+
+impl Program {
+    /// Build a program.
+    pub fn new(ops: Vec<OpSpec>) -> Self {
+        Self { ops }
+    }
+
+    /// Number of processes.
+    pub fn procs(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total number of events (accesses + one commit per op) in any
+    /// interleaving of this program.
+    pub fn total_events(&self) -> usize {
+        self.ops.iter().map(|o| o.accesses.len() + 1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorthands() {
+        assert_eq!(r(3), Access { kind: AccessKind::Read, reg: 3 });
+        assert_eq!(w(1), Access { kind: AccessKind::Write, reg: 1 });
+    }
+
+    #[test]
+    fn mono_semantics_is_one_step() {
+        let op = OpSpec::mono(vec![r(0), r(1), w(2)]);
+        assert_eq!(op.critical_steps(), vec![vec![0, 1, 2]]);
+        assert!(op.semantics_is_well_formed());
+    }
+
+    #[test]
+    fn weak_semantics_matches_paper_example() {
+        // The paper: contains = r(x), r(y), r(z) with γ1 = {r(x), r(y)}
+        // and γ2 = {r(y), r(z)}.
+        let op = OpSpec::weak(vec![r(0), r(1), r(2)]);
+        assert_eq!(op.critical_steps(), vec![vec![0, 1], vec![1, 2]]);
+        assert!(op.semantics_is_well_formed());
+    }
+
+    #[test]
+    fn weak_semantics_with_write_freezes_suffix() {
+        // r(a), r(b), r(c), w(d), r(e): windows over the read prefix, then
+        // the final step {r(b)? no: last (w-1)=1 read, i.e. r(c)} ∪ suffix.
+        let op = OpSpec::weak(vec![r(0), r(1), r(2), w(3), r(4)]);
+        assert_eq!(op.critical_steps(), vec![vec![0, 1], vec![1, 2], vec![2, 3, 4]]);
+        assert!(op.semantics_is_well_formed());
+    }
+
+    #[test]
+    fn weak_write_first_is_single_step() {
+        let op = OpSpec::weak(vec![w(0), r(1)]);
+        assert_eq!(op.critical_steps(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn weak_short_op_is_single_step() {
+        let op = OpSpec::weak(vec![r(0)]);
+        assert_eq!(op.critical_steps(), vec![vec![0]]);
+        let op2 = OpSpec::weak(vec![r(0), r(1)]);
+        assert_eq!(op2.critical_steps(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn window_one_gives_singletons() {
+        let op = OpSpec { accesses: vec![r(0), r(1), r(2)], semantics: OpSemantics::Elastic { window: 1 } };
+        assert_eq!(op.critical_steps(), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn explicit_semantics_pass_through_and_validate() {
+        let good = OpSpec {
+            accesses: vec![r(0), r(1), r(2)],
+            semantics: OpSemantics::Explicit(vec![vec![0, 1], vec![1, 2]]),
+        };
+        assert!(good.semantics_is_well_formed());
+        let uncovered = OpSpec {
+            accesses: vec![r(0), r(1), r(2)],
+            semantics: OpSemantics::Explicit(vec![vec![0, 1]]),
+        };
+        assert!(!uncovered.semantics_is_well_formed());
+        let out_of_range = OpSpec {
+            accesses: vec![r(0)],
+            semantics: OpSemantics::Explicit(vec![vec![0, 5]]),
+        };
+        assert!(!out_of_range.semantics_is_well_formed());
+    }
+
+    #[test]
+    fn program_counts() {
+        let p = Program::new(vec![
+            OpSpec::weak(vec![r(0), r(1), r(2)]),
+            OpSpec::mono(vec![w(0)]),
+            OpSpec::mono(vec![w(2)]),
+        ]);
+        assert_eq!(p.procs(), 3);
+        assert_eq!(p.total_events(), 3 + 1 + 1 + 3);
+    }
+}

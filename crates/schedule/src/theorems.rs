@@ -1,0 +1,243 @@
+//! Executable statements of the paper's theorems.
+//!
+//! Definition 1: `S1 ⇒ S2` ("S1 enables higher concurrency than S2") iff
+//! some schedule is accepted by S1 but not by S2. *Strictly higher*
+//! concurrency is `S1 ⇒ S2 ∧ ¬(S2 ⇒ S1)`.
+//!
+//! The positive half (`S1 ⇒ S2`) is constructive: Figure 1 is the
+//! witness. The negative half (`¬(S2 ⇒ S1)`, i.e. every S2-accepted
+//! schedule is S1-accepted) is universally quantified; we check it
+//! exhaustively over a bounded universe of programs and all their
+//! interleavings, which is the strongest machine-checkable evidence short
+//! of the pencil-and-paper argument (finer critical steps only weaken the
+//! constraint system — see `accept.rs`).
+
+use crate::accept::{accepts, Synchronization};
+use crate::figure1::{figure1_interleaving, figure1_program};
+use crate::interleave::enumerate_interleavings;
+use crate::model::{Access, AccessKind, OpSemantics, OpSpec, Program};
+
+/// Outcome of checking one theorem.
+#[derive(Debug, Clone)]
+pub struct TheoremReport {
+    /// "Theorem 1" / "Theorem 2".
+    pub name: &'static str,
+    /// The stronger synchronization S1.
+    pub stronger: Synchronization,
+    /// The weaker synchronization S2 (always Monomorphic here).
+    pub weaker: Synchronization,
+    /// Did the Figure 1 witness separate S1 from S2 (accepted by S1,
+    /// rejected by S2)?
+    pub witness_separates: bool,
+    /// Number of (program, interleaving) pairs checked for the inclusion
+    /// "S2-accepted ⊆ S1-accepted".
+    pub inclusion_pairs_checked: usize,
+    /// Number of inclusion violations found (must be 0).
+    pub inclusion_violations: usize,
+    /// Number of schedules in the universe accepted by S1 but not S2
+    /// (witnesses of `S1 ⇒ S2` beyond Figure 1).
+    pub extra_witnesses: usize,
+    /// `witness_separates && inclusion_violations == 0`.
+    pub holds: bool,
+}
+
+impl std::fmt::Display for TheoremReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {:?} enables strictly higher concurrency than {:?}: {}",
+            self.name,
+            self.stronger,
+            self.weaker,
+            if self.holds { "HOLDS" } else { "VIOLATED" }
+        )?;
+        writeln!(f, "  Figure 1 witness separates: {}", self.witness_separates)?;
+        writeln!(
+            f,
+            "  inclusion {:?}-accepted ⊆ {:?}-accepted: {} pairs checked, {} violations",
+            self.weaker, self.stronger, self.inclusion_pairs_checked, self.inclusion_violations
+        )?;
+        write!(f, "  additional separating witnesses found: {}", self.extra_witnesses)
+    }
+}
+
+/// All access sequences of length `len` over `regs` registers.
+fn access_seqs(len: usize, regs: usize) -> Vec<Vec<Access>> {
+    let alphabet: Vec<Access> = (0..regs)
+        .flat_map(|g| {
+            [
+                Access { kind: AccessKind::Read, reg: g },
+                Access { kind: AccessKind::Write, reg: g },
+            ]
+        })
+        .collect();
+    let mut seqs: Vec<Vec<Access>> = vec![Vec::new()];
+    for _ in 0..len {
+        seqs = seqs
+            .into_iter()
+            .flat_map(|s| {
+                alphabet.iter().map(move |&a| {
+                    let mut t = s.clone();
+                    t.push(a);
+                    t
+                })
+            })
+            .collect();
+    }
+    seqs
+}
+
+/// The bounded program universe for the inclusion checks: two processes,
+/// p0 with every access sequence of length 1..=max_len over `regs`
+/// registers under both `def` and `weak` semantics, p1 a single-access
+/// writer/reader.
+pub fn bounded_universe(max_len: usize, regs: usize) -> Vec<Program> {
+    let mut out = Vec::new();
+    let singles = access_seqs(1, regs);
+    for len in 1..=max_len {
+        for seq in access_seqs(len, regs) {
+            for sem in
+                [OpSemantics::Monomorphic, OpSemantics::Elastic { window: 2 }]
+            {
+                for single in &singles {
+                    out.push(Program::new(vec![
+                        OpSpec { accesses: seq.clone(), semantics: sem.clone() },
+                        OpSpec::mono(single.clone()),
+                    ]));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_against(stronger: Synchronization, name: &'static str) -> TheoremReport {
+    let weaker = Synchronization::Monomorphic;
+
+    // Positive half: Figure 1 separates.
+    let fp = figure1_program();
+    let fi = figure1_interleaving();
+    let witness_separates =
+        accepts(&fp, &fi, stronger).accepted && !accepts(&fp, &fi, weaker).accepted;
+
+    // Negative half: exhaustive inclusion over the bounded universe.
+    let mut pairs = 0usize;
+    let mut violations = 0usize;
+    let mut extra = 0usize;
+    for program in bounded_universe(3, 2) {
+        for inter in enumerate_interleavings(&program) {
+            pairs += 1;
+            let weak_ok = accepts(&program, &inter, weaker).accepted;
+            let strong_ok = accepts(&program, &inter, stronger).accepted;
+            if weak_ok && !strong_ok {
+                violations += 1;
+            }
+            if strong_ok && !weak_ok {
+                extra += 1;
+            }
+        }
+    }
+    // Also sweep every interleaving of the Figure 1 program itself.
+    for inter in enumerate_interleavings(&fp) {
+        pairs += 1;
+        let weak_ok = accepts(&fp, &inter, weaker).accepted;
+        let strong_ok = accepts(&fp, &inter, stronger).accepted;
+        if weak_ok && !strong_ok {
+            violations += 1;
+        }
+        if strong_ok && !weak_ok {
+            extra += 1;
+        }
+    }
+
+    TheoremReport {
+        name,
+        stronger,
+        weaker,
+        witness_separates,
+        inclusion_pairs_checked: pairs,
+        inclusion_violations: violations,
+        extra_witnesses: extra,
+        holds: witness_separates && violations == 0,
+    }
+}
+
+/// Theorem 1: lock-based synchronization enables strictly higher
+/// concurrency than monomorphic synchronization.
+pub fn check_theorem1() -> TheoremReport {
+    check_against(Synchronization::LockBased, "Theorem 1")
+}
+
+/// Theorem 2: polymorphic synchronization enables strictly higher
+/// concurrency than monomorphic synchronization.
+pub fn check_theorem2() -> TheoremReport {
+    check_against(Synchronization::Polymorphic, "Theorem 2")
+}
+
+/// A sanity lemma the paper relies on implicitly: the polymorphic checker
+/// restricted to all-`def` programs coincides with the monomorphic
+/// checker. Returns the number of (program, interleaving) pairs checked.
+///
+/// # Panics
+/// Panics on the first disagreement.
+pub fn check_all_def_coincides() -> usize {
+    let mut pairs = 0;
+    for seq in access_seqs(2, 2) {
+        for single in access_seqs(1, 2) {
+            let program = Program::new(vec![
+                OpSpec::mono(seq.clone()),
+                OpSpec::mono(single.clone()),
+            ]);
+            for inter in enumerate_interleavings(&program) {
+                pairs += 1;
+                let m = accepts(&program, &inter, Synchronization::Monomorphic).accepted;
+                let p = accepts(&program, &inter, Synchronization::Polymorphic).accepted;
+                assert_eq!(
+                    m,
+                    p,
+                    "all-def program diverged:\n{}",
+                    inter.render(&program)
+                );
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_holds() {
+        let report = check_theorem1();
+        assert!(report.witness_separates, "{report}");
+        assert_eq!(report.inclusion_violations, 0, "{report}");
+        assert!(report.holds, "{report}");
+        assert!(report.inclusion_pairs_checked > 9_000);
+    }
+
+    #[test]
+    fn theorem2_holds() {
+        let report = check_theorem2();
+        assert!(report.witness_separates, "{report}");
+        assert_eq!(report.inclusion_violations, 0, "{report}");
+        assert!(report.holds, "{report}");
+        // Polymorphism gains something over mono somewhere in the
+        // universe beyond Figure 1 (elastic ops exist in the universe).
+        assert!(report.extra_witnesses > 0, "{report}");
+    }
+
+    #[test]
+    fn all_def_polymorphic_equals_monomorphic() {
+        let pairs = check_all_def_coincides();
+        assert!(pairs > 500);
+    }
+
+    #[test]
+    fn universe_is_nontrivial() {
+        let u = bounded_universe(2, 2);
+        // lengths 1,2 over 2 regs: (4 + 16) seqs × 2 semantics × 4 singles
+        assert_eq!(u.len(), (4 + 16) * 2 * 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the formal model: structural laws that must hold
+//! for *every* program and interleaving, checked on random instances.
+
+use proptest::prelude::*;
+
+use polytm_schedule::{
+    accepts, enumerate_interleavings, Access, AccessKind, Interleaving, OpSemantics, OpSpec,
+    Program, Synchronization,
+};
+
+fn access_strategy(regs: usize) -> impl Strategy<Value = Access> {
+    (0..regs, prop::bool::ANY).prop_map(|(reg, write)| Access {
+        kind: if write { AccessKind::Write } else { AccessKind::Read },
+        reg,
+    })
+}
+
+fn op_strategy(regs: usize) -> impl Strategy<Value = OpSpec> {
+    (
+        prop::collection::vec(access_strategy(regs), 1..4),
+        prop_oneof![
+            Just(OpSemantics::Monomorphic),
+            (1usize..4).prop_map(|w| OpSemantics::Elastic { window: w })
+        ],
+    )
+        .prop_map(|(accesses, semantics)| OpSpec { accesses, semantics })
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop::collection::vec(op_strategy(3), 1..4).prop_map(Program::new)
+}
+
+/// Pick one interleaving of `program` pseudo-randomly from `index`.
+fn pick_interleaving(program: &Program, index: usize) -> Interleaving {
+    let all = enumerate_interleavings(program);
+    all[index % all.len()].clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serial schedules are accepted by every synchronization (every
+    /// critical step trivially serializes at its own position).
+    #[test]
+    fn serial_is_always_accepted(program in program_strategy()) {
+        let s = Interleaving::serial(&program);
+        for sync in [
+            Synchronization::LockBased,
+            Synchronization::Monomorphic,
+            Synchronization::Polymorphic,
+        ] {
+            prop_assert!(
+                accepts(&program, &s, sync).accepted,
+                "serial schedule rejected by {sync:?}:\n{}",
+                s.render(&program)
+            );
+        }
+    }
+
+    /// Theorem 2's inclusion on random instances: monomorphic-accepted
+    /// implies polymorphic-accepted (finer steps only relax constraints).
+    #[test]
+    fn mono_accepted_implies_poly_accepted(
+        program in program_strategy(),
+        idx in 0usize..100_000,
+    ) {
+        prop_assume!(program.total_events() <= 10); // keep enumeration small
+        let inter = pick_interleaving(&program, idx);
+        let mono = accepts(&program, &inter, Synchronization::Monomorphic).accepted;
+        let poly = accepts(&program, &inter, Synchronization::Polymorphic).accepted;
+        prop_assert!(!mono || poly, "inclusion violated:\n{}", inter.render(&program));
+    }
+
+    /// Theorem 1's inclusion on random instances: monomorphic-accepted
+    /// implies lock-accepted.
+    #[test]
+    fn mono_accepted_implies_lock_accepted(
+        program in program_strategy(),
+        idx in 0usize..100_000,
+    ) {
+        prop_assume!(program.total_events() <= 10);
+        let inter = pick_interleaving(&program, idx);
+        let mono = accepts(&program, &inter, Synchronization::Monomorphic).accepted;
+        let lock = accepts(&program, &inter, Synchronization::LockBased).accepted;
+        prop_assert!(!mono || lock, "inclusion violated:\n{}", inter.render(&program));
+    }
+
+    /// Widening an elastic window only *restricts* acceptance: a schedule
+    /// accepted with window w+1 is accepted with window w (larger windows
+    /// mean coarser critical steps, i.e. stronger semantics).
+    #[test]
+    fn wider_windows_accept_fewer_schedules(
+        accesses in prop::collection::vec(access_strategy(2), 1..4),
+        idx in 0usize..100_000,
+        w in 1usize..3,
+    ) {
+        let narrow = Program::new(vec![
+            OpSpec { accesses: accesses.clone(), semantics: OpSemantics::Elastic { window: w } },
+            OpSpec::mono(vec![Access { kind: AccessKind::Write, reg: 0 }]),
+        ]);
+        let wide = Program::new(vec![
+            OpSpec { accesses, semantics: OpSemantics::Elastic { window: w + 1 } },
+            OpSpec::mono(vec![Access { kind: AccessKind::Write, reg: 0 }]),
+        ]);
+        let inter = pick_interleaving(&narrow, idx);
+        let wide_ok = accepts(&wide, &inter, Synchronization::Polymorphic).accepted;
+        let narrow_ok = accepts(&narrow, &inter, Synchronization::Polymorphic).accepted;
+        prop_assert!(!wide_ok || narrow_ok, "window monotonicity violated");
+    }
+
+    /// The witness returned on acceptance is internally consistent:
+    /// one point per critical step, non-decreasing within an operation.
+    #[test]
+    fn witnesses_are_well_formed(program in program_strategy(), idx in 0usize..100_000) {
+        prop_assume!(program.total_events() <= 10);
+        let inter = pick_interleaving(&program, idx);
+        for sync in [Synchronization::Monomorphic, Synchronization::Polymorphic] {
+            if let Ok(wit) = polytm_schedule::accept::serialization_witness(&program, &inter, sync) {
+                prop_assert_eq!(wit.len(), program.procs());
+                for (p, points) in wit.iter().enumerate() {
+                    let steps = match sync {
+                        Synchronization::Monomorphic => OpSpec {
+                            accesses: program.ops[p].accesses.clone(),
+                            semantics: OpSemantics::Monomorphic,
+                        }
+                        .critical_steps()
+                        .len(),
+                        _ => program.ops[p].critical_steps().len(),
+                    };
+                    prop_assert_eq!(points.len(), steps);
+                    prop_assert!(points.windows(2).all(|w| w[0] <= w[1]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Transactional ordered map (skip-list based): `i64` keys to arbitrary
+//! clonable values, with per-operation semantics like the sets.
+//!
+//! `get` runs the paper's `weak` (elastic) semantics by default — a map
+//! lookup is a search traversal, the same shape as Figure 1's p1. Value
+//! updates write through a per-node value register, so overwriting a
+//! value never restructures the index.
+
+use std::sync::Arc;
+
+use polytm::{Semantics, Stm, Transaction, TxParams, TxResult, TVar};
+
+const MAX_LEVEL: usize = 16;
+
+type Link<V> = Option<Arc<Node<V>>>;
+
+struct Node<V: Clone + Send + Sync + 'static> {
+    key: i64,
+    value: TVar<V>,
+    next: Vec<TVar<Link<V>>>,
+}
+
+fn height_of(key: i64) -> usize {
+    let mut h = key as u64;
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+    h ^= h >> 31;
+    ((h.trailing_zeros() as usize) + 1).min(MAX_LEVEL)
+}
+
+/// Ordered transactional map. Cloning shares the map.
+///
+/// ```
+/// use std::sync::Arc;
+/// use polytm::Stm;
+/// use polytm_structures::TxMap;
+///
+/// let map: TxMap<&str> = TxMap::new(Arc::new(Stm::new()));
+/// assert_eq!(map.insert(2, "two"), None);
+/// assert_eq!(map.insert(2, "TWO"), Some("two"));
+/// assert_eq!(map.get(2), Some("TWO"));
+/// assert_eq!(map.entries_snapshot(), vec![(2, "TWO")]);
+/// ```
+#[derive(Clone)]
+pub struct TxMap<V: Clone + Send + Sync + 'static> {
+    stm: Arc<Stm>,
+    head: Arc<Vec<TVar<Link<V>>>>,
+    op_semantics: Semantics,
+}
+
+impl<V: Clone + Send + Sync + 'static> TxMap<V> {
+    /// Empty map, lookups elastic.
+    pub fn new(stm: Arc<Stm>) -> Self {
+        Self::with_op_semantics(stm, Semantics::elastic())
+    }
+
+    /// Empty map with explicit per-operation semantics.
+    pub fn with_op_semantics(stm: Arc<Stm>, op_semantics: Semantics) -> Self {
+        let head = Arc::new((0..MAX_LEVEL).map(|_| stm.new_tvar(None)).collect::<Vec<_>>());
+        Self { stm, head, op_semantics }
+    }
+
+    /// The STM this map lives in.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn find_preds(
+        &self,
+        tx: &mut Transaction<'_>,
+        key: i64,
+    ) -> TxResult<(Vec<Option<Arc<Node<V>>>>, Link<V>)> {
+        let mut preds: Vec<Option<Arc<Node<V>>>> = vec![None; MAX_LEVEL];
+        let mut pred: Option<Arc<Node<V>>> = None;
+        for level in (0..MAX_LEVEL).rev() {
+            loop {
+                let link = match &pred {
+                    Some(p) => p.next[level].read(tx)?,
+                    None => self.head[level].read(tx)?,
+                };
+                match link {
+                    Some(ref n) if n.key < key => pred = Some(Arc::clone(n)),
+                    _ => break,
+                }
+            }
+            preds[level] = pred.clone();
+        }
+        let candidate = match &pred {
+            Some(p) => p.next[0].read(tx)?,
+            None => self.head[0].read(tx)?,
+        };
+        Ok((preds, candidate))
+    }
+
+    /// Transaction-composable lookup.
+    pub fn get_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<Option<V>> {
+        let (_, cand) = self.find_preds(tx, key)?;
+        match cand {
+            Some(n) if n.key == key => Ok(Some(n.value.read(tx)?)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Transaction-composable insert/overwrite; returns the previous
+    /// value if any.
+    pub fn insert_in(&self, tx: &mut Transaction<'_>, key: i64, value: V) -> TxResult<Option<V>> {
+        let (preds, cand) = self.find_preds(tx, key)?;
+        if let Some(n) = cand {
+            if n.key == key {
+                return Ok(Some(n.value.replace(tx, value)?));
+            }
+        }
+        let h = height_of(key);
+        let mut levels = Vec::with_capacity(h);
+        for level in 0..h {
+            let succ = match &preds[level] {
+                Some(p) => p.next[level].read(tx)?,
+                None => self.head[level].read(tx)?,
+            };
+            levels.push(self.stm.new_tvar(succ));
+        }
+        let node = Arc::new(Node { key, value: self.stm.new_tvar(value), next: levels });
+        for level in 0..h {
+            match &preds[level] {
+                Some(p) => p.next[level].write(tx, Some(Arc::clone(&node)))?,
+                None => self.head[level].write(tx, Some(Arc::clone(&node)))?,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Transaction-composable remove; returns the removed value if any.
+    pub fn remove_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<Option<V>> {
+        let (preds, cand) = self.find_preds(tx, key)?;
+        let node = match cand {
+            Some(n) if n.key == key => n,
+            _ => return Ok(None),
+        };
+        for level in 0..node.next.len() {
+            let succ = node.next[level].read(tx)?;
+            match &preds[level] {
+                Some(p) => {
+                    let cur = p.next[level].read(tx)?;
+                    if matches!(cur, Some(ref c) if Arc::ptr_eq(c, &node)) {
+                        p.next[level].write(tx, succ)?;
+                    }
+                }
+                None => {
+                    let cur = self.head[level].read(tx)?;
+                    if matches!(cur, Some(ref c) if Arc::ptr_eq(c, &node)) {
+                        self.head[level].write(tx, succ)?;
+                    }
+                }
+            }
+        }
+        Ok(Some(node.value.read(tx)?))
+    }
+
+    /// Lookup under the map's operation semantics.
+    pub fn get(&self, key: i64) -> Option<V> {
+        self.stm.run(TxParams::new(self.op_semantics), |tx| self.get_in(tx, key))
+    }
+
+    /// Insert/overwrite; returns the previous value.
+    pub fn insert(&self, key: i64, value: V) -> Option<V> {
+        self.stm
+            .run(TxParams::new(self.op_semantics), |tx| self.insert_in(tx, key, value.clone()))
+    }
+
+    /// Remove; returns the removed value.
+    pub fn remove(&self, key: i64) -> Option<V> {
+        self.stm.run(TxParams::new(self.op_semantics), |tx| self.remove_in(tx, key))
+    }
+
+    /// Atomically update the value at `key` (no-op if absent); returns
+    /// whether a value was updated. A genuine read-modify-write, so it
+    /// always runs opaque.
+    pub fn update<F: Fn(&V) -> V>(&self, key: i64, f: F) -> bool {
+        self.stm.run(TxParams::new(Semantics::Opaque), |tx| {
+            let (_, cand) = self.find_preds(tx, key)?;
+            match cand {
+                Some(n) if n.key == key => {
+                    let old = n.value.read(tx)?;
+                    n.value.write(tx, f(&old))?;
+                    Ok(true)
+                }
+                _ => Ok(false),
+            }
+        })
+    }
+
+    /// Number of entries (opaque).
+    pub fn len(&self) -> usize {
+        self.stm.run(TxParams::new(Semantics::Opaque), |tx| {
+            let mut n = 0;
+            let mut link = self.head[0].read(tx)?;
+            while let Some(node) = link {
+                n += 1;
+                link = node.next[0].read(tx)?;
+            }
+            Ok(n)
+        })
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.stm
+            .run(TxParams::new(Semantics::Opaque), |tx| Ok(self.head[0].read(tx)?.is_none()))
+    }
+
+    /// Ordered `(key, value)` snapshot under **snapshot** semantics —
+    /// a consistent O(n) export that never aborts.
+    pub fn entries_snapshot(&self) -> Vec<(i64, V)> {
+        self.stm.run(TxParams::new(Semantics::Snapshot), |tx| {
+            let mut out = Vec::new();
+            let mut link = self.head[0].read(tx)?;
+            while let Some(node) = link {
+                out.push((node.key, node.value.read(tx)?));
+                link = node.next[0].read(tx)?;
+            }
+            Ok(out)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn fresh() -> TxMap<String> {
+        TxMap::new(Arc::new(Stm::new()))
+    }
+
+    #[test]
+    fn map_semantics_roundtrip() {
+        let m = fresh();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(2, "b".into()), None);
+        assert_eq!(m.insert(1, "a".into()), None);
+        assert_eq!(m.insert(2, "B".into()), Some("b".into()));
+        assert_eq!(m.get(1).as_deref(), Some("a"));
+        assert_eq!(m.get(2).as_deref(), Some("B"));
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.remove(1).as_deref(), Some("a"));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn entries_are_ordered() {
+        let m = fresh();
+        for k in [9, 2, 7, 1] {
+            m.insert(k, k.to_string());
+        }
+        let entries = m.entries_snapshot();
+        assert_eq!(
+            entries,
+            vec![
+                (1, "1".to_string()),
+                (2, "2".to_string()),
+                (7, "7".to_string()),
+                (9, "9".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn update_in_place() {
+        let stm = Arc::new(Stm::new());
+        let m: TxMap<i64> = TxMap::new(stm);
+        m.insert(5, 10);
+        assert!(m.update(5, |v| v * 2));
+        assert!(!m.update(6, |v| v * 2));
+        assert_eq!(m.get(5), Some(20));
+    }
+
+    #[test]
+    fn agrees_with_btreemap_model() {
+        let m: TxMap<u64> = TxMap::new(Arc::new(Stm::new()));
+        let mut model = BTreeMap::new();
+        let mut seed = 5u64;
+        for _ in 0..600 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = ((seed >> 33) % 64) as i64;
+            let v = seed % 1000;
+            match seed % 4 {
+                0 => assert_eq!(m.insert(k, v), model.insert(k, v)),
+                1 => assert_eq!(m.remove(k), model.remove(&k)),
+                2 => assert_eq!(m.get(k), model.get(&k).copied()),
+                _ => {
+                    let got = m.update(k, |x| x + 1);
+                    let want = model.get_mut(&k).map(|x| *x += 1).is_some();
+                    assert_eq!(got, want);
+                }
+            }
+        }
+        let entries: Vec<(i64, u64)> = model.into_iter().collect();
+        assert_eq!(m.entries_snapshot(), entries);
+    }
+
+    #[test]
+    fn concurrent_per_key_counters_are_exact() {
+        let stm = Arc::new(Stm::new());
+        let m: TxMap<u64> = TxMap::new(Arc::clone(&stm));
+        for k in 0..8 {
+            m.insert(k, 0);
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for i in 0..400u64 {
+                        m.update((i % 8) as i64, |v| v + 1);
+                    }
+                });
+            }
+        });
+        let total: u64 = m.entries_snapshot().into_iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 1600);
+    }
+
+    #[test]
+    fn composes_with_other_transactions() {
+        let stm = Arc::new(Stm::new());
+        let inventory: TxMap<u64> = TxMap::new(Arc::clone(&stm));
+        let sold: TxMap<u64> = TxMap::new(Arc::clone(&stm));
+        inventory.insert(1, 5);
+        // Atomically move one unit from inventory to sold.
+        stm.run(TxParams::default(), |tx| {
+            if let Some(n) = inventory.get_in(tx, 1)? {
+                if n > 0 {
+                    inventory.insert_in(tx, 1, n - 1)?;
+                    let s = sold.get_in(tx, 1)?.unwrap_or(0);
+                    sold.insert_in(tx, 1, s + 1)?;
+                }
+            }
+            Ok(())
+        });
+        assert_eq!(inventory.get(1), Some(4));
+        assert_eq!(sold.get(1), Some(1));
+    }
+}

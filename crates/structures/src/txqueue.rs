@@ -1,0 +1,213 @@
+//! Transactional two-stack FIFO queue.
+//!
+//! Every operation here is a genuine read-modify-write on the queue ends,
+//! so there is **no sound weaker semantics**: all operations run `def`
+//! (opaque). The queue exists partly as the counter-example in the test
+//! suite and documentation — polymorphism is about *choice*, and the
+//! correct choice for a queue is the strong default.
+
+use std::sync::Arc;
+
+use polytm::{Semantics, Stm, Transaction, TxParams, TxResult, TVar};
+
+/// Persistent (functional) stack node.
+struct SNode<T> {
+    value: T,
+    next: Stack<T>,
+}
+
+type Stack<T> = Option<Arc<SNode<T>>>;
+
+fn push<T>(stack: &Stack<T>, value: T) -> Stack<T> {
+    Some(Arc::new(SNode { value, next: stack.clone() }))
+}
+
+/// FIFO queue of `T` values over two functional stacks.
+///
+/// Cloning shares the queue.
+///
+/// ```
+/// use std::sync::Arc;
+/// use polytm::Stm;
+/// use polytm_structures::TxQueue;
+///
+/// let q = TxQueue::new(Arc::new(Stm::new()));
+/// q.enqueue('a');
+/// q.enqueue('b');
+/// assert_eq!(q.dequeue(), Some('a'));
+/// assert_eq!(q.dequeue(), Some('b'));
+/// assert_eq!(q.dequeue(), None);
+/// ```
+#[derive(Clone)]
+pub struct TxQueue<T: Clone + Send + Sync + 'static> {
+    stm: Arc<Stm>,
+    /// Dequeue end (in order).
+    front: TVar<Stack<T>>,
+    /// Enqueue end (reversed).
+    back: TVar<Stack<T>>,
+}
+
+impl<T: Clone + Send + Sync + 'static> TxQueue<T> {
+    /// Empty queue.
+    pub fn new(stm: Arc<Stm>) -> Self {
+        let front = stm.new_tvar(None);
+        let back = stm.new_tvar(None);
+        Self { stm, front, back }
+    }
+
+    /// The STM this queue lives in.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    /// Transaction-composable enqueue.
+    pub fn enqueue_in(&self, tx: &mut Transaction<'_>, value: T) -> TxResult<()> {
+        let back = self.back.read(tx)?;
+        self.back.write(tx, push(&back, value))
+    }
+
+    /// Transaction-composable dequeue; `None` when empty.
+    pub fn dequeue_in(&self, tx: &mut Transaction<'_>) -> TxResult<Option<T>> {
+        if let Some(node) = self.front.read(tx)? {
+            self.front.write(tx, node.next.clone())?;
+            return Ok(Some(node.value.clone()));
+        }
+        // Front empty: reverse the back stack into the front.
+        let mut back = self.back.read(tx)?;
+        if back.is_none() {
+            return Ok(None);
+        }
+        let mut reversed: Stack<T> = None;
+        while let Some(node) = back {
+            reversed = push(&reversed, node.value.clone());
+            back = node.next.clone();
+        }
+        let head = reversed.expect("non-empty back reversed into non-empty front");
+        self.back.write(tx, None)?;
+        self.front.write(tx, head.next.clone())?;
+        Ok(Some(head.value.clone()))
+    }
+
+    /// Enqueue `value` (one opaque transaction).
+    pub fn enqueue(&self, value: T) {
+        self.stm.run(TxParams::new(Semantics::Opaque), |tx| self.enqueue_in(tx, value.clone()));
+    }
+
+    /// Dequeue the oldest value, `None` when empty.
+    pub fn dequeue(&self) -> Option<T> {
+        self.stm.run(TxParams::new(Semantics::Opaque), |tx| self.dequeue_in(tx))
+    }
+
+    /// Number of queued values (snapshot semantics: consistent and
+    /// non-aborting).
+    pub fn len(&self) -> usize {
+        self.stm.run(TxParams::new(Semantics::Snapshot), |tx| {
+            let mut n = 0usize;
+            let mut cur = self.front.read(tx)?;
+            while let Some(node) = cur {
+                n += 1;
+                cur = node.next.clone();
+            }
+            let mut cur = self.back.read(tx)?;
+            while let Some(node) = cur {
+                n += 1;
+                cur = node.next.clone();
+            }
+            Ok(n)
+        })
+    }
+
+    /// True when the queue holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = TxQueue::new(Arc::new(Stm::new()));
+        for i in 0..10 {
+            q.enqueue(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue() {
+        let q = TxQueue::new(Arc::new(Stm::new()));
+        q.enqueue("a");
+        q.enqueue("b");
+        assert_eq!(q.dequeue(), Some("a"));
+        q.enqueue("c");
+        assert_eq!(q.dequeue(), Some("b"));
+        assert_eq!(q.dequeue(), Some("c"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_counts_both_stacks() {
+        let q = TxQueue::new(Arc::new(Stm::new()));
+        q.enqueue(1);
+        q.enqueue(2);
+        q.dequeue(); // forces the flip
+        q.enqueue(3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_items() {
+        let q = TxQueue::new(Arc::new(Stm::new()));
+        let consumed = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        q.enqueue(t * 1000 + i);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = &q;
+                let consumed = &consumed;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    while got.len() < 200 {
+                        if let Some(v) = q.dequeue() {
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    consumed.lock().unwrap().extend(got);
+                });
+            }
+        });
+        let mut all = consumed.into_inner().unwrap();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 400, "every enqueued item dequeued exactly once");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        // FIFO per producer: a single producer's items come out in order.
+        let q = TxQueue::new(Arc::new(Stm::new()));
+        for i in 0..50 {
+            q.enqueue(i);
+        }
+        let mut last = -1i64;
+        while let Some(v) = q.dequeue() {
+            assert!(v > last);
+            last = v;
+        }
+    }
+}

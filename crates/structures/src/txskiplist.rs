@@ -1,0 +1,303 @@
+//! Transactional skip-list set with deterministic tower heights.
+//!
+//! The elastic-transactions evaluation (the systems companion to this
+//! paper) used a skip list as its O(log n) search structure; this is the
+//! transactional equivalent. Tower heights derive from a hash of the key,
+//! keeping the structure deterministic for reproducible benchmarks.
+//! Like [`crate::txlist::TxList`], single-key operations default to the
+//! paper's `weak` (elastic) semantics; aggregates run opaque/snapshot.
+
+use std::sync::Arc;
+
+use polytm::{Semantics, Stm, Transaction, TxParams, TxResult, TVar};
+
+const MAX_LEVEL: usize = 16;
+
+type Link = Option<Arc<Node>>;
+
+struct Node {
+    key: i64,
+    /// `next[l]` is the successor at level `l`; the tower's height is
+    /// `next.len()`.
+    next: Vec<TVar<Link>>,
+}
+
+/// Height of `key`'s tower: geometric(1/2) via trailing zeros of a mixed
+/// hash, deterministic per key.
+fn height_of(key: i64) -> usize {
+    let mut h = key as u64;
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+    h ^= h >> 31;
+    ((h.trailing_zeros() as usize) + 1).min(MAX_LEVEL)
+}
+
+/// Sorted transactional set of `i64` keys with O(log n) expected
+/// traversals. Cloning shares the structure.
+#[derive(Clone)]
+pub struct TxSkipList {
+    stm: Arc<Stm>,
+    /// Head tower: `head[l]` is the first node at level `l`.
+    head: Arc<Vec<TVar<Link>>>,
+    op_semantics: Semantics,
+}
+
+impl TxSkipList {
+    /// Empty set, single-key operations elastic.
+    pub fn new(stm: Arc<Stm>) -> Self {
+        Self::with_op_semantics(stm, Semantics::elastic())
+    }
+
+    /// Empty set with explicit per-key-operation semantics.
+    pub fn with_op_semantics(stm: Arc<Stm>, op_semantics: Semantics) -> Self {
+        let head = Arc::new((0..MAX_LEVEL).map(|_| stm.new_tvar(None)).collect::<Vec<_>>());
+        Self { stm, head, op_semantics }
+    }
+
+    /// The STM this skip list lives in.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    /// Walk the tower structure; returns per-level predecessors (`None` =
+    /// the head tower) and the candidate node at level 0.
+    #[allow(clippy::type_complexity)]
+    fn find_preds(
+        &self,
+        tx: &mut Transaction<'_>,
+        key: i64,
+    ) -> TxResult<(Vec<Option<Arc<Node>>>, Link)> {
+        let mut preds: Vec<Option<Arc<Node>>> = vec![None; MAX_LEVEL];
+        let mut pred: Option<Arc<Node>> = None;
+        for level in (0..MAX_LEVEL).rev() {
+            loop {
+                let link = match &pred {
+                    Some(p) => p.next[level].read(tx)?,
+                    None => self.head[level].read(tx)?,
+                };
+                match link {
+                    Some(ref n) if n.key < key => pred = Some(Arc::clone(n)),
+                    _ => break,
+                }
+            }
+            preds[level] = pred.clone();
+        }
+        let candidate = match &pred {
+            Some(p) => p.next[0].read(tx)?,
+            None => self.head[0].read(tx)?,
+        };
+        Ok((preds, candidate))
+    }
+
+    /// Transaction-composable membership test.
+    pub fn contains_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<bool> {
+        let (_, candidate) = self.find_preds(tx, key)?;
+        Ok(matches!(candidate, Some(n) if n.key == key))
+    }
+
+    /// Transaction-composable insert; `false` if present.
+    pub fn insert_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<bool> {
+        let (preds, candidate) = self.find_preds(tx, key)?;
+        if matches!(candidate, Some(ref n) if n.key == key) {
+            return Ok(false);
+        }
+        let h = height_of(key);
+        let mut levels = Vec::with_capacity(h);
+        for level in 0..h {
+            let succ = match &preds[level] {
+                Some(p) => p.next[level].read(tx)?,
+                None => self.head[level].read(tx)?,
+            };
+            levels.push(self.stm.new_tvar(succ));
+        }
+        let node = Arc::new(Node { key, next: levels });
+        for level in 0..h {
+            match &preds[level] {
+                Some(p) => p.next[level].write(tx, Some(Arc::clone(&node)))?,
+                None => self.head[level].write(tx, Some(Arc::clone(&node)))?,
+            }
+        }
+        Ok(true)
+    }
+
+    /// Transaction-composable remove; `false` if absent.
+    pub fn remove_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<bool> {
+        let (preds, candidate) = self.find_preds(tx, key)?;
+        let node = match candidate {
+            Some(n) if n.key == key => n,
+            _ => return Ok(false),
+        };
+        for level in 0..node.next.len() {
+            // The predecessor at this level may not point at `node` (its
+            // tower may be taller than where we found it); re-walk if so.
+            let succ = node.next[level].read(tx)?;
+            match &preds[level] {
+                Some(p) => {
+                    let cur = p.next[level].read(tx)?;
+                    if matches!(cur, Some(ref c) if Arc::ptr_eq(c, &node)) {
+                        p.next[level].write(tx, succ)?;
+                    }
+                }
+                None => {
+                    let cur = self.head[level].read(tx)?;
+                    if matches!(cur, Some(ref c) if Arc::ptr_eq(c, &node)) {
+                        self.head[level].write(tx, succ)?;
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Is `key` in the set?
+    pub fn contains(&self, key: i64) -> bool {
+        self.stm.run(TxParams::new(self.op_semantics), |tx| self.contains_in(tx, key))
+    }
+
+    /// Insert `key`; `false` if present.
+    pub fn insert(&self, key: i64) -> bool {
+        self.stm.run(TxParams::new(self.op_semantics), |tx| self.insert_in(tx, key))
+    }
+
+    /// Remove `key`; `false` if absent.
+    pub fn remove(&self, key: i64) -> bool {
+        self.stm.run(TxParams::new(self.op_semantics), |tx| self.remove_in(tx, key))
+    }
+
+    /// Number of keys (opaque, walks level 0).
+    pub fn len(&self) -> usize {
+        self.stm.run(TxParams::new(Semantics::Opaque), |tx| {
+            let mut n = 0;
+            let mut link = self.head[0].read(tx)?;
+            while let Some(node) = link {
+                n += 1;
+                link = node.next[0].read(tx)?;
+            }
+            Ok(n)
+        })
+    }
+
+    /// True when empty (opaque).
+    pub fn is_empty(&self) -> bool {
+        self.stm
+            .run(TxParams::new(Semantics::Opaque), |tx| Ok(self.head[0].read(tx)?.is_none()))
+    }
+
+    /// Sorted snapshot of the keys (opaque).
+    pub fn to_vec(&self) -> Vec<i64> {
+        self.stm.run(TxParams::new(Semantics::Opaque), |tx| {
+            let mut out = Vec::new();
+            let mut link = self.head[0].read(tx)?;
+            while let Some(node) = link {
+                out.push(node.key);
+                link = node.next[0].read(tx)?;
+            }
+            Ok(out)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> TxSkipList {
+        TxSkipList::new(Arc::new(Stm::new()))
+    }
+
+    #[test]
+    fn set_semantics_roundtrip() {
+        let s = fresh();
+        assert!(s.is_empty());
+        for k in [5, 1, 9, 3, 7] {
+            assert!(s.insert(k));
+        }
+        assert!(!s.insert(5));
+        assert_eq!(s.to_vec(), vec![1, 3, 5, 7, 9]);
+        assert!(s.contains(7) && !s.contains(8));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert_eq!(s.to_vec(), vec![1, 3, 7, 9]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn larger_population_stays_sorted() {
+        let s = fresh();
+        let mut keys: Vec<i64> = (0..300).map(|i| (i * 37) % 1000).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for &k in &keys {
+            s.insert(k);
+        }
+        assert_eq!(s.to_vec(), keys);
+    }
+
+    #[test]
+    fn towers_are_deterministic() {
+        assert_eq!(height_of(42), height_of(42));
+        // Heights are geometric: the vast majority of keys are short.
+        let tall = (0..1000).filter(|&k| height_of(k) > 4).count();
+        assert!(tall < 200, "too many tall towers: {tall}");
+    }
+
+    #[test]
+    fn remove_tall_tower_keeps_structure() {
+        let s = fresh();
+        for k in 0..64 {
+            s.insert(k);
+        }
+        // Find a tall key and remove it.
+        let tall = (0..64).max_by_key(|&k| height_of(k)).unwrap();
+        assert!(s.remove(tall));
+        assert!(!s.contains(tall));
+        let v = s.to_vec();
+        assert_eq!(v.len(), 63);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let s = fresh();
+        std::thread::scope(|sc| {
+            for t in 0..4 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..100i64 {
+                        assert!(s.insert(i * 4 + t));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 400);
+        let v = s.to_vec();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn concurrent_churn_stays_consistent() {
+        let s = fresh();
+        for k in 0..32 {
+            s.insert(k);
+        }
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    let mut seed = 11u64 + t;
+                    for _ in 0..200 {
+                        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = ((seed >> 33) % 48) as i64;
+                        if seed & 1 == 0 {
+                            s.insert(k);
+                        } else {
+                            s.remove(k);
+                        }
+                    }
+                });
+            }
+        });
+        let v = s.to_vec();
+        assert!(v.windows(2).all(|w| w[0] < w[1]), "sorted unique: {v:?}");
+    }
+}

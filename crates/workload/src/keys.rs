@@ -1,0 +1,127 @@
+//! Key streams: uniform and zipfian draws over `[0, space)`.
+
+use crate::rng::SplitMix64;
+
+/// Distribution of keys over the key space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipf with the given exponent (`s` ≈ 0.8–1.2 models typical skew:
+    /// rank-k key has probability ∝ 1/k^s).
+    Zipf(f64),
+}
+
+/// A deterministic stream of keys.
+#[derive(Debug, Clone)]
+pub struct KeyStream {
+    rng: SplitMix64,
+    space: u64,
+    dist: Dist,
+}
+
+#[derive(Debug, Clone)]
+enum Dist {
+    Uniform,
+    /// Inverse-CDF sampling over precomputed cumulative weights.
+    Zipf { cdf: Vec<f64> },
+}
+
+impl KeyStream {
+    /// A stream drawing from `[0, space)` with the given distribution.
+    /// Zipf precomputes its CDF (O(space)); keep the key space ≤ ~1e6.
+    pub fn new(dist: KeyDist, space: u64, seed: u64) -> Self {
+        assert!(space > 0);
+        let dist = match dist {
+            KeyDist::Uniform => Dist::Uniform,
+            KeyDist::Zipf(s) => {
+                let mut cdf = Vec::with_capacity(space as usize);
+                let mut total = 0.0f64;
+                for k in 1..=space {
+                    total += 1.0 / (k as f64).powf(s);
+                    cdf.push(total);
+                }
+                for w in &mut cdf {
+                    *w /= total;
+                }
+                Dist::Zipf { cdf }
+            }
+        };
+        Self { rng: SplitMix64::new(seed), space, dist }
+    }
+
+    /// Independent per-thread sub-stream.
+    pub fn for_thread(&self, thread: usize) -> Self {
+        let mut s = self.clone();
+        s.rng = SplitMix64::for_thread(self.rng.clone().next_u64(), thread);
+        s
+    }
+
+    /// Next key in `[0, space)`.
+    pub fn next_key(&mut self) -> u64 {
+        match &self.dist {
+            Dist::Uniform => self.rng.next_below(self.space),
+            Dist::Zipf { cdf } => {
+                let u = self.rng.next_f64();
+                // First rank whose cumulative weight exceeds u.
+                match cdf.binary_search_by(|w| w.partial_cmp(&u).expect("no NaN")) {
+                    Ok(i) | Err(i) => (i as u64).min(self.space - 1),
+                }
+            }
+        }
+    }
+
+    /// The key space bound.
+    pub fn space(&self) -> u64 {
+        self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut s = KeyStream::new(KeyDist::Uniform, 16, 1);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            seen[s.next_key() as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn zipf_skews_to_small_ranks() {
+        let mut s = KeyStream::new(KeyDist::Zipf(1.0), 1000, 2);
+        let mut low = 0u32;
+        const N: u32 = 10_000;
+        for _ in 0..N {
+            if s.next_key() < 100 {
+                low += 1;
+            }
+        }
+        // Under zipf(1.0) over 1000 keys, the first 100 ranks carry
+        // ~ H(100)/H(1000) ≈ 0.69 of the mass; uniform would give 0.1.
+        assert!(low > N / 2, "zipf skew too weak: {low}/{N} draws in the top decile");
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = KeyStream::new(KeyDist::Zipf(0.8), 64, 7);
+        let mut b = KeyStream::new(KeyDist::Zipf(0.8), 64, 7);
+        for _ in 0..200 {
+            assert_eq!(a.next_key(), b.next_key());
+        }
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        for dist in [KeyDist::Uniform, KeyDist::Zipf(1.2)] {
+            let mut s = KeyStream::new(dist, 10, 3);
+            for _ in 0..500 {
+                assert!(s.next_key() < 10);
+            }
+        }
+    }
+}

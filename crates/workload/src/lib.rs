@@ -1,0 +1,35 @@
+//! # polytm-workload — deterministic workload generation & measurement
+//!
+//! The benchmark harness (crate `polytm-bench`) sweeps data-structure
+//! implementations across thread counts, update ratios and key
+//! distributions. This crate holds the pieces that are independent of any
+//! particular structure:
+//!
+//! * [`rng`] — a tiny splitmix64/xoshiro-style PRNG. Deliberately not the
+//!   `rand` crate: benchmark workloads must be bit-for-bit reproducible
+//!   across runs and platforms, and the generator sits on the measured
+//!   hot path, so it must be branch-light and allocation-free.
+//! * [`keys`] — uniform and zipfian key streams over a bounded key space;
+//! * [`mix`] — operation mixes (`contains`/`insert`/`remove` ratios);
+//! * [`driver`] — the [`driver::ConcurrentSet`] abstraction plus a
+//!   multi-threaded timed driver with warmup and per-thread accounting;
+//! * [`hist`] — a mergeable log-bucketed latency histogram (p50/p95/p99);
+//! * [`table`] — fixed-width ASCII table and CSV emitters for the
+//!   experiment reports.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod driver;
+pub mod hist;
+pub mod keys;
+pub mod mix;
+pub mod rng;
+pub mod table;
+
+pub use driver::{run_workload, ConcurrentSet, Measurement, WorkloadSpec};
+pub use hist::LatencyHistogram;
+pub use keys::{KeyDist, KeyStream};
+pub use mix::{OpKind, OpMix};
+pub use rng::SplitMix64;
+pub use table::Table;

@@ -1,0 +1,130 @@
+//! A mixed-semantics "bank": the paper's claim that polymorphism gives
+//! each transaction the cheapest sufficient guarantee, inside one TM.
+//!
+//! * transfers   — `start(def)`: genuine read-modify-write atomicity;
+//! * audits      — `start(snapshot)`: consistent totals that never abort;
+//! * statements  — `start(irrevocable)`: run exactly once (they "print");
+//! * search      — `start(weak)`: find an account with enough balance,
+//!   tolerating concurrent transfers behind the scan.
+//!
+//! ```text
+//! cargo run --release --example bank
+//! ```
+
+use std::sync::Arc;
+
+use transaction_polymorphism::prelude::*;
+
+const ACCOUNTS: usize = 64;
+const INITIAL: i64 = 1_000;
+
+fn main() {
+    let stm = Arc::new(Stm::new());
+    let accounts: Arc<Vec<_>> =
+        Arc::new((0..ACCOUNTS).map(|_| stm.new_tvar(INITIAL)).collect());
+
+    std::thread::scope(|s| {
+        // Transfer workers (opaque).
+        for tid in 0..3u64 {
+            let stm = Arc::clone(&stm);
+            let accounts = Arc::clone(&accounts);
+            s.spawn(move || {
+                let mut seed = 0x5eed ^ tid;
+                for _ in 0..3_000 {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let from = (seed >> 33) as usize % ACCOUNTS;
+                    let to = (seed >> 13) as usize % ACCOUNTS;
+                    let amount = (seed % 50) as i64;
+                    if from == to {
+                        continue;
+                    }
+                    stm.run(TxParams::default(), |tx| {
+                        let a = accounts[from].read(tx)?;
+                        if a < amount {
+                            return Ok(false); // insufficient funds: no-op
+                        }
+                        let b = accounts[to].read(tx)?;
+                        accounts[from].write(tx, a - amount)?;
+                        accounts[to].write(tx, b + amount)?;
+                        Ok(true)
+                    });
+                }
+            });
+        }
+
+        // Auditor (snapshot): total must be exactly constant in every view.
+        {
+            let stm = Arc::clone(&stm);
+            let accounts = Arc::clone(&accounts);
+            s.spawn(move || {
+                for i in 0..500 {
+                    let total = stm.run(TxParams::new(Semantics::Snapshot), |tx| {
+                        let mut sum = 0i64;
+                        for a in accounts.iter() {
+                            sum += a.read(tx)?;
+                        }
+                        Ok(sum)
+                    });
+                    assert_eq!(
+                        total,
+                        (ACCOUNTS as i64) * INITIAL,
+                        "audit {i}: money created or destroyed!"
+                    );
+                }
+                println!("auditor: 500 snapshot audits, total always {}", ACCOUNTS as i64 * INITIAL);
+            });
+        }
+
+        // Rich-account search (weak/elastic): a traversal that doesn't
+        // need a globally atomic view — any account that *was* rich at
+        // some point during the scan is a fine answer.
+        {
+            let stm = Arc::clone(&stm);
+            let accounts = Arc::clone(&accounts);
+            s.spawn(move || {
+                let mut found = 0u32;
+                for _ in 0..500 {
+                    let rich = stm.run(TxParams::weak(), |tx| {
+                        for (i, a) in accounts.iter().enumerate() {
+                            if a.read(tx)? >= INITIAL {
+                                return Ok(Some(i));
+                            }
+                        }
+                        Ok(None)
+                    });
+                    if rich.is_some() {
+                        found += 1;
+                    }
+                }
+                println!("searcher: {found}/500 weak scans found a rich account");
+            });
+        }
+    });
+
+    // End-of-day statement: irrevocable, so the side effect (printing)
+    // happens exactly once even under contention.
+    stm.run(TxParams::new(Semantics::Irrevocable), |tx| {
+        let mut total = 0i64;
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for a in accounts.iter() {
+            let v = a.read(tx)?;
+            total += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        println!("statement: total={total} min={min} max={max}");
+        Ok(())
+    });
+
+    let stats = stm.stats();
+    println!(
+        "stats: commits={} aborts={} (ratio {:.4}) cuts={} extensions={} irrevocable={}",
+        stats.commits,
+        stats.aborts(),
+        stats.abort_ratio(),
+        stats.elastic_cuts,
+        stats.extensions,
+        stats.irrevocable_commits
+    );
+}

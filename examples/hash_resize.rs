@@ -1,0 +1,97 @@
+//! The paper's §1 motivating scenario: a hash table that *can* resize
+//! because its operations are transactions.
+//!
+//! Four writer threads insert keys while the table repeatedly doubles
+//! itself; elastic readers keep probing throughout. No key is ever lost,
+//! no reader ever observes a half-resized table — contrast with
+//! Michael's lock-free table (fixed buckets, degrades into long chains)
+//! which this example also runs for comparison.
+//!
+//! ```text
+//! cargo run --release --example hash_resize
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use transaction_polymorphism::lockfree::MichaelHashSet;
+use transaction_polymorphism::prelude::*;
+
+const KEYS_PER_THREAD: u64 = 5_000;
+const THREADS: u64 = 4;
+
+fn main() {
+    let stm = Arc::new(Stm::new());
+    let table = TxHashSet::new(Arc::clone(&stm), 4, 8);
+
+    println!("transactional table: starting at {} buckets", table.buckets());
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let table = table.clone();
+            s.spawn(move || {
+                for i in 0..KEYS_PER_THREAD {
+                    assert!(table.insert(t * 1_000_000 + i));
+                }
+            });
+        }
+        // A reader thread probes while resizes are happening.
+        let reader = table.clone();
+        s.spawn(move || {
+            let mut hits = 0u64;
+            for round in 0..50 {
+                for i in 0..100 {
+                    if reader.contains(i) {
+                        hits += 1;
+                    }
+                }
+                let _ = round;
+            }
+            println!("reader finished with {hits} hits (no torn views, no panics)");
+        });
+    });
+    let tx_time = t0.elapsed();
+    println!(
+        "transactional table: {} keys in {} buckets after {:?} (avg load {:.1})",
+        table.len(),
+        table.buckets(),
+        tx_time,
+        table.len() as f64 / table.buckets() as f64
+    );
+
+    // The lock-free comparator: correct and fast per operation, but its 4
+    // buckets can never grow, so chains are ~N/4 long by the end.
+    let fixed = MichaelHashSet::new(4);
+    let t1 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let fixed = &fixed;
+            s.spawn(move || {
+                for i in 0..KEYS_PER_THREAD {
+                    assert!(fixed.insert(t * 1_000_000 + i));
+                }
+            });
+        }
+    });
+    let fixed_time = t1.elapsed();
+    println!(
+        "michael (fixed) table: {} keys stuck in {} buckets after {:?} (avg load {:.0})",
+        fixed.len(),
+        fixed.buckets(),
+        fixed_time,
+        fixed.len() as f64 / fixed.buckets() as f64
+    );
+    println!(
+        "\nthe paper's point: the transactional table supports the resize as just\n\
+         another (monomorphic) transaction, while per-key operations stay weak;\n\
+         the highly-tuned lock-free structure cannot express it at all."
+    );
+    let stats = stm.stats();
+    println!(
+        "STM stats: {} commits, {} aborts ({:.4} aborts/commit), {} elastic cuts",
+        stats.commits,
+        stats.aborts(),
+        stats.abort_ratio(),
+        stats.elastic_cuts
+    );
+}

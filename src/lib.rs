@@ -1,0 +1,55 @@
+//! # transaction-polymorphism
+//!
+//! A full reproduction of *Brief Announcement: Transaction Polymorphism*
+//! (Gramoli & Guerraoui, SPAA 2011) as a production-grade Rust workspace:
+//!
+//! * [`stm`] (crate `polytm`) — the polymorphic software transactional
+//!   memory: `start(p)` semantics per transaction (opaque `def`, elastic
+//!   `weak`, snapshot, irrevocable), contention managers, nesting
+//!   composition policies;
+//! * [`schedule`] (crate `polytm-schedule`) — the paper's formal model,
+//!   executable: schedules, critical steps, acceptance, Figure 1, and
+//!   machine checks of Theorems 1 and 2;
+//! * [`locks`] (crate `polytm-locks`) — lock-based substrate (2PL engine,
+//!   hand-over-hand list, striped hash);
+//! * [`lockfree`] (crate `polytm-lockfree`) — the cited lock-free
+//!   baselines (Harris–Michael list, Michael hash table, split-ordered
+//!   list);
+//! * [`structures`] (crate `polytm-structures`) — transactional ADTs with
+//!   per-operation semantics (list, hash set with transactional resize,
+//!   skip list, counter, queue);
+//! * [`workload`] (crate `polytm-workload`) — deterministic workload
+//!   generation and the measurement driver.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ```
+//! use transaction_polymorphism::prelude::*;
+//! # use std::sync::Arc;
+//!
+//! let stm = Arc::new(Stm::new());
+//! let list = TxList::new(Arc::clone(&stm));
+//! list.insert(1);
+//! list.insert(3);
+//! // The paper's Figure 1 p1: a weak (elastic) traversal.
+//! assert!(!list.contains(2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use polytm as stm;
+pub use polytm_lockfree as lockfree;
+pub use polytm_locks as locks;
+pub use polytm_schedule as schedule;
+pub use polytm_structures as structures;
+pub use polytm_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use polytm::{
+        Abort, NestingPolicy, Semantics, Stm, StmConfig, TVar, Transaction, TxParams, TxResult,
+    };
+    pub use polytm_schedule::{accepts, figure1_interleaving, figure1_program, Synchronization};
+    pub use polytm_structures::{TxCounter, TxHashSet, TxList, TxQueue, TxSkipList};
+}
