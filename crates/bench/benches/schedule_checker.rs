@@ -27,9 +27,7 @@ fn bench_accepts_figure1(c: &mut Criterion) {
         ("mono", Synchronization::Monomorphic),
         ("poly", Synchronization::Polymorphic),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(accepts(&program, &inter, sync).accepted))
-        });
+        g.bench_function(name, |b| b.iter(|| black_box(accepts(&program, &inter, sync).accepted)));
     }
     g.finish();
 }

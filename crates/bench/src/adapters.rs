@@ -178,10 +178,7 @@ pub fn make_list_impl(name: &str) -> (Box<dyn ConcurrentSet + Send + Sync>, Opti
         "tx-opaque" => {
             let stm = Arc::new(Stm::new());
             (
-                Box::new(TxListSet(TxList::with_op_semantics(
-                    Arc::clone(&stm),
-                    Semantics::Opaque,
-                ))),
+                Box::new(TxListSet(TxList::with_op_semantics(Arc::clone(&stm), Semantics::Opaque))),
                 Some(stm),
             )
         }
@@ -190,9 +187,7 @@ pub fn make_list_impl(name: &str) -> (Box<dyn ConcurrentSet + Send + Sync>, Opti
             (Box::new(TxSkipListSet(TxSkipList::new(Arc::clone(&stm)))), Some(stm))
         }
         "hoh-lock" => (Box::new(HohSet(HandOverHandList::new())), None),
-        "harris-michael" => {
-            (Box::new(LockFreeListSet(polytm_lockfree::LockFreeList::new())), None)
-        }
+        "harris-michael" => (Box::new(LockFreeListSet(polytm_lockfree::LockFreeList::new())), None),
         "global-lock" => (Box::new(GlobalLockSet(Mutex::new(BTreeSet::new()))), None),
         other => panic!("unknown list implementation {other:?}"),
     }
@@ -212,7 +207,10 @@ pub fn make_hash_impl(
     match name {
         "tx-hash-elastic" => {
             let stm = Arc::new(Stm::new());
-            (Box::new(TxHashAdapter(TxHashSet::new(Arc::clone(&stm), initial_buckets, 8))), Some(stm))
+            (
+                Box::new(TxHashAdapter(TxHashSet::new(Arc::clone(&stm), initial_buckets, 8))),
+                Some(stm),
+            )
         }
         "tx-hash-opaque" => {
             let stm = Arc::new(Stm::new());

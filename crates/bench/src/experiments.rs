@@ -5,8 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use polytm::{
-    Backoff, ConflictArbiter, Greedy, NestingPolicy, Semantics, Stm, StmConfig, Suicide,
-    TxParams,
+    Backoff, ConflictArbiter, Greedy, NestingPolicy, Semantics, Stm, StmConfig, Suicide, TxParams,
 };
 use polytm_schedule::{
     accepts, check_theorem1, check_theorem2, figure1_interleaving, figure1_lock_schedule,
@@ -317,10 +316,8 @@ pub fn e8_nesting_policies(profile: &Profile) -> String {
                         stm.run(TxParams::default(), |tx| {
                             // Nested weak traversal inside a def parent —
                             // the paper's §3 scenario.
-                            let present =
-                                tx.nested(Semantics::elastic(), |inner| {
-                                    list.contains_in(inner, k)
-                                })?;
+                            let present = tx
+                                .nested(Semantics::elastic(), |inner| list.contains_in(inner, k))?;
                             if write {
                                 if present {
                                     list.remove_in(tx, k)?;
@@ -357,9 +354,7 @@ pub fn e9_snapshot_scans(profile: &Profile) -> String {
         "E9: read-only scans concurrent with writers (16-stripe counter)",
         &["scan semantics", "scans done", "scan aborts", "writer commits"],
     );
-    for (sem, name) in
-        [(Semantics::Snapshot, "snapshot"), (Semantics::Opaque, "opaque (def)")]
-    {
+    for (sem, name) in [(Semantics::Snapshot, "snapshot"), (Semantics::Opaque, "opaque (def)")] {
         let stm = Arc::new(Stm::with_config(StmConfig {
             // Keep the opaque scanner honest: no irrevocable rescue.
             irrevocable_fallback_after: None,
@@ -395,7 +390,8 @@ pub fn e9_snapshot_scans(profile: &Profile) -> String {
             stop.store(true, std::sync::atomic::Ordering::Relaxed);
         });
         let stats = stm.stats();
-        let scan_aborts = stats.aborts_read_conflict + stats.aborts_validation
+        let scan_aborts = stats.aborts_read_conflict
+            + stats.aborts_validation
             + stats.aborts_snapshot
             + stats.aborts_locked;
         t.row(&[

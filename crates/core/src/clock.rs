@@ -85,10 +85,7 @@ mod tests {
                 thread::spawn(move || (0..1000).map(|_| c.increment()).collect::<Vec<_>>())
             })
             .collect();
-        let mut all: Vec<u64> = threads
-            .into_iter()
-            .flat_map(|t| t.join().unwrap())
-            .collect();
+        let mut all: Vec<u64> = threads.into_iter().flat_map(|t| t.join().unwrap()).collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 4000, "every increment must yield a distinct version");

@@ -80,7 +80,9 @@ pub mod txn;
 pub(crate) mod varcore;
 
 pub use clock::GlobalClock;
-pub use cm::{Backoff, ConflictArbiter, ConflictDecision, ContentionManager, Greedy, Suicide, TxMeta};
+pub use cm::{
+    Backoff, ConflictArbiter, ConflictDecision, ContentionManager, Greedy, Suicide, TxMeta,
+};
 pub use error::{Abort, Canceled, TxResult};
 pub use semantics::{NestingPolicy, Semantics, Strength};
 pub use stats::{StatsSnapshot, StmStats};

@@ -32,8 +32,12 @@ pub enum Semantics {
     /// A multi-versioned **read-only** transaction: reads return the
     /// newest committed version not newer than the transaction's start
     /// time, taken from the location's bounded version history. Never
-    /// aborts on read-write conflicts; writing under this semantics fails
-    /// with [`crate::Abort::ReadOnlyViolation`].
+    /// aborts because a committed write conflicts with its reads; it may
+    /// retry (transparently, with a fresh bound) when a location's lock
+    /// is held by an in-flight commit and the contention manager rules
+    /// against waiting, or when the bounded history has been truncated
+    /// past its bound. Writing under this semantics fails with
+    /// [`crate::Abort::ReadOnlyViolation`].
     Snapshot,
     /// A pessimistic transaction that is guaranteed to commit exactly
     /// once: it acquires the STM's *revocation gate* exclusively, so no

@@ -117,7 +117,7 @@ impl Drop for ReentrancyGuard {
 /// regularly so single-core hosts make progress.
 #[inline]
 pub(crate) fn polite_spin(spins: u32) {
-    if spins % 4 == 0 {
+    if spins.is_multiple_of(4) {
         std::thread::yield_now();
     } else {
         std::hint::spin_loop();

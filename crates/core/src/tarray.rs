@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use crate::error::TxResult;
-use crate::stm::{Stm, TxParams};
 use crate::semantics::Semantics;
+use crate::stm::{Stm, TxParams};
 use crate::tvar::{TVar, TxValue};
 use crate::txn::Transaction;
 

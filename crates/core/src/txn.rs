@@ -77,8 +77,19 @@ impl<'s> Transaction<'s> {
         let gate_guard =
             if semantics == Semantics::Irrevocable { Some(stm.gate().write()) } else { None };
         // Sample rv *after* acquiring the gate so an irrevocable
-        // transaction observes the final pre-gate state.
-        let rv = stm.clock().now();
+        // transaction observes the final pre-gate state. Revocable
+        // transactions sample rv under a *shared* gate acquisition: an
+        // irrevocable transaction publishes each eager write at its own
+        // write version, so a read version sampled in the middle of its
+        // window would serialize between those writes and observe them
+        // half-applied. Beginning mid-irrevocable instead waits the
+        // irrevocable transaction out (it "serializes against all").
+        let rv = if gate_guard.is_some() {
+            stm.clock().now()
+        } else {
+            let _shared = stm.gate().read();
+            stm.clock().now()
+        };
         Self {
             stm,
             semantics,
@@ -166,6 +177,29 @@ impl<'s> Transaction<'s> {
         }
         match self.semantics {
             Semantics::Snapshot => {
+                // Wait out in-flight commits before walking the chain.
+                // A committer locks its whole write set *before* taking
+                // its write version, so a committer observed holding
+                // this location's lock may have wv <= rv and its value
+                // must be inside our cut; conversely, any locker that
+                // arrives after we observe the location unlocked gets
+                // wv > rv, which the bounded chain walk skips. Without
+                // this wait a snapshot could see one location of a
+                // commit and miss another (a torn cut). The wait is
+                // arbitrated like every other lock wait: if the
+                // contention manager says abort, the whole snapshot
+                // retries with a fresh bound rather than spinning
+                // unboundedly (or forever, on a leaked lock).
+                let mut spins = 0u32;
+                loop {
+                    let p = core.probe();
+                    if !p.locked {
+                        break;
+                    }
+                    self.arbitrate_lock(addr, p.owner, &mut spins)?;
+                }
+                // Pin only after the wait: holding an epoch guard across
+                // an arbitrated wait would stall reclamation globally.
                 let guard = epoch::pin();
                 match core.read_snapshot(self.rv, &guard) {
                     Some((v, _)) => Ok(v),
@@ -188,11 +222,7 @@ impl<'s> Transaction<'s> {
         }
     }
 
-    fn read_optimistic<T: TxValue>(
-        &mut self,
-        core: &Arc<VarCore<T>>,
-        addr: usize,
-    ) -> TxResult<T> {
+    fn read_optimistic<T: TxValue>(&mut self, core: &Arc<VarCore<T>>, addr: usize) -> TxResult<T> {
         if let Some(&idx) = self.read_index.get(&addr) {
             // Re-read: the location must still carry the version we saw,
             // otherwise two reads of the same location would return
@@ -235,17 +265,22 @@ impl<'s> Transaction<'s> {
         loop {
             match core.read_committed(&guard) {
                 CommittedRead::Value(v, ver) => return Ok((v, ver)),
-                CommittedRead::Locked(owner) => {
-                    match self.stm.arbiter().on_conflict(&self.meta, owner, spins) {
-                        ConflictDecision::AbortSelf => {
-                            return Err(Abort::Locked { addr, owner });
-                        }
-                        ConflictDecision::Wait => {
-                            spins += 1;
-                            crate::stm::polite_spin(spins);
-                        }
-                    }
-                }
+                CommittedRead::Locked(owner) => self.arbitrate_lock(addr, owner, &mut spins)?,
+            }
+        }
+    }
+
+    /// One arbitration round against the transaction currently holding a
+    /// location lock: either aborts this transaction
+    /// ([`Abort::Locked`]) or backs off politely and lets the caller
+    /// re-probe. Shared by every lock-wait loop in the runtime.
+    fn arbitrate_lock(&self, addr: usize, owner: u64, spins: &mut u32) -> TxResult<()> {
+        match self.stm.arbiter().on_conflict(&self.meta, owner, *spins) {
+            ConflictDecision::AbortSelf => Err(Abort::Locked { addr, owner }),
+            ConflictDecision::Wait => {
+                *spins += 1;
+                crate::stm::polite_spin(*spins);
+                Ok(())
             }
         }
     }
@@ -280,7 +315,20 @@ impl<'s> Transaction<'s> {
     /// Read-version extension: move `rv` to `now` if every live read is
     /// still current. `addr` is only for the error value.
     fn extend(&mut self, _addr: usize) -> TxResult<()> {
-        let now = self.stm.clock().now();
+        // Same rule as at begin: the extended read version must not land
+        // between the eager writes of a running irrevocable transaction,
+        // so sample it under a shared gate acquisition (waiting out any
+        // irrevocable transaction in progress). When *this* transaction
+        // holds the gate exclusively (a nested optimistic block inside
+        // an irrevocable parent), no other irrevocable transaction can
+        // be running and re-acquiring the non-reentrant gate would
+        // self-deadlock — sample the clock directly.
+        let now = if self._gate_guard.is_some() {
+            self.stm.clock().now()
+        } else {
+            let _shared = self.stm.gate().read();
+            self.stm.clock().now()
+        };
         for entry in self.reads.iter().filter(|e| !e.dead) {
             let p = entry.slot.probe();
             if p.locked || p.version != entry.seen {
@@ -310,6 +358,13 @@ impl<'s> Transaction<'s> {
         }
         let addr = core.address();
         if self.semantics == Semantics::Irrevocable {
+            // An earlier nested revocable block may have buffered a write
+            // to this location; this eager write is later in program
+            // order and supersedes it (the emptied entry is skipped at
+            // commit).
+            if let Some(idx) = self.write_index.remove(&addr) {
+                self.writes[idx].value = None;
+            }
             // Eager write: we hold the gate, so the lock is at worst held
             // by a committer that entered before our gate acquisition —
             // impossible, since committers hold the gate (shared) across
@@ -426,10 +481,33 @@ impl<'s> Transaction<'s> {
             writes: self.writes.len() as u64,
         };
         match self.semantics {
-            // Snapshot reads were consistent at rv by construction;
-            // irrevocable writes are already published and the gate guard
-            // drops with `self`.
-            Semantics::Snapshot | Semantics::Irrevocable => Ok(receipt),
+            // Snapshot reads were consistent at rv by construction (and
+            // can hold no buffered writes — writing is a
+            // ReadOnlyViolation).
+            Semantics::Snapshot => Ok(receipt),
+            // The irrevocable transaction's own writes are already
+            // published, but a nested *revocable* block (e.g. an elastic
+            // traversal under NestingPolicy::Parameter) buffers its
+            // writes like any optimistic code path; publish them now
+            // rather than silently dropping them. The gate is held
+            // exclusively, so no other transaction can hold a location
+            // lock (committers hold the gate shared across their whole
+            // lock-publish window) and locking cannot contend.
+            Semantics::Irrevocable => {
+                if self.writes.iter().any(|e| e.value.is_some()) {
+                    let wv = self.stm.clock().increment();
+                    for entry in &mut self.writes {
+                        // Entries emptied by a later eager write to the
+                        // same location are superseded; skip them.
+                        let Some(value) = entry.value.take() else { continue };
+                        while entry.slot.try_lock(self.meta.birth_ts).is_err() {
+                            std::hint::spin_loop();
+                        }
+                        entry.slot.publish_erased(value, wv);
+                    }
+                }
+                Ok(receipt)
+            }
             Semantics::Opaque | Semantics::Elastic { .. } => {
                 if self.writes.is_empty() {
                     // Read-only optimistic transactions are consistent at
@@ -463,15 +541,9 @@ impl<'s> Transaction<'s> {
                         break;
                     }
                     Err(owner) => {
-                        match self.stm.arbiter().on_conflict(&self.meta, owner, spins) {
-                            ConflictDecision::AbortSelf => {
-                                self.release_acquired(&acquired);
-                                return Err(Abort::Locked { addr: entry.addr, owner });
-                            }
-                            ConflictDecision::Wait => {
-                                spins += 1;
-                                crate::stm::polite_spin(spins);
-                            }
+                        if let Err(abort) = self.arbitrate_lock(entry.addr, owner, &mut spins) {
+                            self.release_acquired(&acquired);
+                            return Err(abort);
                         }
                     }
                 }

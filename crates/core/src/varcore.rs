@@ -137,11 +137,7 @@ impl<T: TxValue> VarCore<T> {
         debug_assert!(self.lockword.load(Ordering::Relaxed) & LOCKED != 0);
         let guard = epoch::pin();
         let old_head = self.head.load(Ordering::Relaxed, &guard);
-        let node = Owned::new(VersionNode {
-            version: new_version,
-            value,
-            prev: Atomic::null(),
-        });
+        let node = Owned::new(VersionNode { version: new_version, value, prev: Atomic::null() });
         node.prev.store(old_head, Ordering::Relaxed);
         self.head.store(node, Ordering::Release);
         self.truncate_history(&guard);

@@ -4,9 +4,31 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use polytm::{ConflictArbiter, Semantics, Stm, StmConfig, TxParams, TVar};
+use polytm::{ConflictArbiter, Semantics, Stm, StmConfig, TVar, TxParams};
 
-const THREADS: usize = 4;
+/// Worker-thread count, env-gated for CI: `POLYTM_STRESS_THREADS`
+/// (default 4, minimum 2 so every test still exercises real
+/// concurrency). Tests whose thread count is structural (one thread per
+/// role) ignore this and gate only their iteration counts.
+fn threads() -> usize {
+    std::env::var("POLYTM_STRESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(2)
+}
+
+/// Scales an iteration count by `POLYTM_STRESS_SCALE` (a percentage;
+/// default 100 = the written counts, minimum result 1). CI boxes set a
+/// small percentage for wall-clock bounds; local runs are unweakened.
+fn scaled(n: u64) -> u64 {
+    let pct = std::env::var("POLYTM_STRESS_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100)
+        .max(1);
+    (n * pct / 100).max(1)
+}
 
 fn spawn_workers<F>(n: usize, f: F)
 where
@@ -24,15 +46,16 @@ where
 fn concurrent_counter_increments_are_all_applied() {
     let stm = Stm::new();
     let counter = stm.new_tvar(0u64);
-    const PER_THREAD: u64 = 500;
-    spawn_workers(THREADS, |_| {
-        for _ in 0..PER_THREAD {
+    let workers = threads();
+    let per_thread = scaled(500);
+    spawn_workers(workers, |_| {
+        for _ in 0..per_thread {
             stm.run(TxParams::default(), |t| counter.modify(t, |v| v + 1));
         }
     });
-    assert_eq!(counter.load_committed(), THREADS as u64 * PER_THREAD);
+    assert_eq!(counter.load_committed(), workers as u64 * per_thread);
     let stats = stm.stats();
-    assert_eq!(stats.commits, THREADS as u64 * PER_THREAD);
+    assert_eq!(stats.commits, workers as u64 * per_thread);
 }
 
 #[test]
@@ -45,13 +68,14 @@ fn bank_transfers_conserve_total() {
 
     std::thread::scope(|s| {
         // Transfer threads: move funds between pseudo-random accounts.
-        for tid in 0..THREADS {
+        let transfers = scaled(400);
+        for tid in 0..threads() {
             let accounts = &accounts;
             let stm = &stm;
             let stop = &stop;
             s.spawn(move || {
                 let mut seed = 0x9e37_79b9_7f4a_7c15u64 ^ (tid as u64);
-                for _ in 0..400 {
+                for _ in 0..transfers {
                     seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     let from = (seed >> 33) as usize % ACCOUNTS;
                     let to = (seed >> 17) as usize % ACCOUNTS;
@@ -110,17 +134,20 @@ fn mixed_semantics_transactions_coexist() {
     const SLOTS: usize = 32;
     let slots: Vec<TVar<u64>> = (0..SLOTS).map(|_| stm.new_tvar(0u64)).collect();
 
+    let writes = scaled(600);
+    let scans = scaled(200);
+    let batches = scaled(30);
     spawn_workers(4, |tid| match tid {
         // opaque writer
         0 => {
-            for i in 0..600 {
+            for i in 0..writes as usize {
                 let idx = i % SLOTS;
                 stm.run(TxParams::default(), |t| slots[idx].modify(t, |v| v + 1));
             }
         }
         // elastic traverser (read-only: result is a sample, not an atomic sum)
         1 => {
-            for _ in 0..200 {
+            for _ in 0..scans {
                 let _ = stm.run(TxParams::weak(), |t| {
                     let mut sum = 0u64;
                     for s in &slots {
@@ -134,7 +161,7 @@ fn mixed_semantics_transactions_coexist() {
         // because slots only grow.
         2 => {
             let mut last = 0u64;
-            for _ in 0..200 {
+            for _ in 0..scans {
                 let sum = stm.run(TxParams::new(Semantics::Snapshot), |t| {
                     let mut sum = 0u64;
                     for s in &slots {
@@ -148,17 +175,15 @@ fn mixed_semantics_transactions_coexist() {
         }
         // irrevocable batch updates
         _ => {
-            for i in 0..30 {
+            for i in 0..batches as usize {
                 let idx = (i * 7) % SLOTS;
-                stm.run(TxParams::new(Semantics::Irrevocable), |t| {
-                    slots[idx].modify(t, |v| v + 1)
-                });
+                stm.run(TxParams::new(Semantics::Irrevocable), |t| slots[idx].modify(t, |v| v + 1));
             }
         }
     });
 
     let total: u64 = slots.iter().map(|s| s.load_committed()).sum();
-    assert_eq!(total, 600 + 30);
+    assert_eq!(total, writes + batches);
 }
 
 #[test]
@@ -170,14 +195,16 @@ fn contention_managers_all_make_progress() {
     ] {
         let stm = Stm::with_config(StmConfig { arbiter, ..StmConfig::default() });
         let hot = stm.new_tvar(0u64);
-        spawn_workers(THREADS, |_| {
-            for _ in 0..200 {
+        let workers = threads();
+        let per_thread = scaled(200);
+        spawn_workers(workers, |_| {
+            for _ in 0..per_thread {
                 stm.run(TxParams::default(), |t| hot.modify(t, |v| v + 1));
             }
         });
         assert_eq!(
             hot.load_committed(),
-            (THREADS * 200) as u64,
+            workers as u64 * per_thread,
             "arbiter {} lost updates",
             arbiter.label()
         );
@@ -190,8 +217,9 @@ fn irrevocable_serializes_against_optimistic_commits() {
     let a = stm.new_tvar(0i64);
     let b = stm.new_tvar(0i64);
     // Invariant: a == b at every commit point.
+    let per_thread = scaled(200);
     spawn_workers(3, |tid| {
-        for _ in 0..200 {
+        for _ in 0..per_thread {
             if tid == 0 {
                 stm.run(TxParams::new(Semantics::Irrevocable), |t| {
                     let va = a.read(t)?;
@@ -212,8 +240,8 @@ fn irrevocable_serializes_against_optimistic_commits() {
             }
         }
     });
-    assert_eq!(a.load_committed(), 600);
-    assert_eq!(b.load_committed(), 600);
+    assert_eq!(a.load_committed(), 3 * per_thread as i64);
+    assert_eq!(b.load_committed(), 3 * per_thread as i64);
 }
 
 #[test]
@@ -228,7 +256,7 @@ fn snapshot_history_exhaustion_retries_transparently() {
         let stm_ref = &stm;
         let (xh, yh) = (&x, &y);
         s.spawn(move || {
-            for _ in 0..1_000 {
+            for _ in 0..scaled(1_000) {
                 stm_ref.run(TxParams::default(), |t| {
                     let v = xh.read(t)?;
                     xh.write(t, v + 1)?;
@@ -236,7 +264,7 @@ fn snapshot_history_exhaustion_retries_transparently() {
                 });
             }
         });
-        for _ in 0..300 {
+        for _ in 0..scaled(300) {
             let (va, vb) =
                 stm.run(TxParams::new(Semantics::Snapshot), |t| Ok((x.read(t)?, y.read(t)?)));
             assert_eq!(va, vb);
@@ -249,16 +277,18 @@ fn many_vars_low_contention_scales_without_lost_updates() {
     let stm = Stm::new();
     const N: usize = 256;
     let vars: Vec<TVar<u64>> = (0..N).map(|_| stm.new_tvar(0u64)).collect();
-    spawn_workers(THREADS, |tid| {
+    let workers = threads();
+    let rounds = scaled(50);
+    spawn_workers(workers, |tid| {
         // Each thread owns a stride of vars: almost no conflicts.
-        for round in 0..50 {
-            for i in (tid..N).step_by(THREADS) {
+        for round in 0..rounds {
+            for i in (tid..N).step_by(workers) {
                 let _ = round;
                 stm.run(TxParams::default(), |t| vars[i].modify(t, |v| v + 1));
             }
         }
     });
     for v in &vars {
-        assert_eq!(v.load_committed(), 50);
+        assert_eq!(v.load_committed(), rounds);
     }
 }

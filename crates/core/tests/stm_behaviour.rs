@@ -294,14 +294,12 @@ fn snapshot_cannot_write() {
     let stm = Stm::new();
     let x = stm.new_tvar(0i64);
     let mut observed = None;
-    let r = stm.try_run(TxParams::new(Semantics::Snapshot), |t| {
-        match x.write(t, 1) {
-            Err(e) => {
-                observed = Some(e);
-                t.cancel()
-            }
-            Ok(()) => Ok(()),
+    let r = stm.try_run(TxParams::new(Semantics::Snapshot), |t| match x.write(t, 1) {
+        Err(e) => {
+            observed = Some(e);
+            t.cancel()
         }
+        Ok(()) => Ok(()),
     });
     assert!(r.is_err(), "transaction must be cancelled");
     assert_eq!(observed, Some(Abort::ReadOnlyViolation));
@@ -444,10 +442,8 @@ fn nested_irrevocable_request_restarts_whole_transaction() {
 
 #[test]
 fn repeated_aborts_fall_back_to_irrevocable() {
-    let stm = Stm::with_config(StmConfig {
-        irrevocable_fallback_after: Some(2),
-        ..StmConfig::default()
-    });
+    let stm =
+        Stm::with_config(StmConfig { irrevocable_fallback_after: Some(2), ..StmConfig::default() });
     let x = stm.new_tvar(0i64);
     let attempts = AtomicU32::new(0);
     stm.run(TxParams::default(), |t| {
@@ -498,11 +494,68 @@ fn snapshot_reads_are_mutually_consistent() {
             }
         });
         for _ in 0..200 {
-            let (a, b) = stm.run(TxParams::new(Semantics::Snapshot), |t| {
-                Ok((x.read(t)?, y.read(t)?))
-            });
+            let (a, b) =
+                stm.run(TxParams::new(Semantics::Snapshot), |t| Ok((x.read(t)?, y.read(t)?)));
             assert_eq!(a, b, "snapshot must observe the x == y invariant");
         }
     });
     assert_eq!(x.load_committed(), 500);
+}
+
+#[test]
+fn nested_optimistic_block_inside_irrevocable_extends_without_deadlock() {
+    // Regression: the nested optimistic read observes the parent's eager
+    // write (published above the parent's read version), which forces a
+    // read-version extension. The extension must not re-acquire the
+    // revocation gate this thread already holds exclusively.
+    let stm = Stm::new();
+    let x = stm.new_tvar(1i64);
+    let got = stm.run(TxParams::new(Semantics::Irrevocable), |t| {
+        let a = x.read(t)?;
+        x.write(t, a + 10)?; // eager publish bumps the clock past rv
+        t.nested_with_policy(Semantics::Opaque, NestingPolicy::Parameter, |inner| {
+            assert_eq!(inner.semantics(), Semantics::Opaque);
+            inner.read_version(); // just observe; the read below extends
+            x.read(inner)
+        })
+    });
+    assert_eq!(got, 11);
+    assert_eq!(x.load_committed(), 11);
+}
+
+#[test]
+fn nested_revocable_writes_inside_irrevocable_are_published() {
+    // Regression: writes buffered by a nested revocable block must be
+    // published when the irrevocable parent commits, not dropped.
+    let stm = Stm::new();
+    let x = stm.new_tvar(0i64);
+    let y = stm.new_tvar(0i64);
+    stm.run(TxParams::new(Semantics::Irrevocable), |t| {
+        t.nested_with_policy(Semantics::elastic(), NestingPolicy::Parameter, |inner| {
+            x.write(inner, 7)?;
+            y.write(inner, 8)
+        })?;
+        // Read-own-write across the block boundary.
+        assert_eq!(x.read(t)?, 7, "parent must see the nested buffered write");
+        Ok(())
+    });
+    assert_eq!(x.load_committed(), 7);
+    assert_eq!(y.load_committed(), 8);
+}
+
+#[test]
+fn parent_eager_write_supersedes_nested_buffered_write() {
+    // Program order: the nested block buffers x := 1, then the parent
+    // eagerly writes x := 2. The later write must win at commit.
+    let stm = Stm::new();
+    let x = stm.new_tvar(0i64);
+    stm.run(TxParams::new(Semantics::Irrevocable), |t| {
+        t.nested_with_policy(Semantics::Opaque, NestingPolicy::Parameter, |inner| {
+            x.write(inner, 1)
+        })?;
+        x.write(t, 2)?;
+        assert_eq!(x.read(t)?, 2);
+        Ok(())
+    });
+    assert_eq!(x.load_committed(), 2);
 }

@@ -68,8 +68,7 @@ impl SplitOrderedSet {
     /// `max_load` keys.
     pub fn new(max_buckets: usize, max_load: usize) -> Self {
         let max_buckets = max_buckets.next_power_of_two().max(2);
-        let buckets: Vec<Atomic<Node>> =
-            (0..max_buckets).map(|_| Atomic::null()).collect();
+        let buckets: Vec<Atomic<Node>> = (0..max_buckets).map(|_| Atomic::null()).collect();
         // Bucket 0's dummy is the list head; it exists from the start.
         let head = Owned::new(Node { so_key: dummy_so(0), key: 0, next: Atomic::null() });
         let guard = epoch::pin();
@@ -81,12 +80,7 @@ impl SplitOrderedSet {
     /// Harris–Michael find over split-order keys, starting at the given
     /// bucket link (a dummy node's position), helping unlink marked
     /// nodes.
-    fn find<'g>(
-        &'g self,
-        start: &'g Atomic<Node>,
-        so_key: u64,
-        guard: &'g Guard,
-    ) -> Position<'g> {
+    fn find<'g>(&'g self, start: &'g Atomic<Node>, so_key: u64, guard: &'g Guard) -> Position<'g> {
         'retry: loop {
             let mut prev = start;
             let mut curr = prev.load(Ordering::Acquire, guard);
@@ -126,11 +120,7 @@ impl SplitOrderedSet {
     /// recursively, its parents) on first touch.
     fn bucket_link<'g>(&'g self, bucket: usize, guard: &'g Guard) -> &'g Atomic<Node> {
         let ptr = self.buckets[bucket].load(Ordering::Acquire, guard);
-        let dummy = if ptr.is_null() {
-            self.initialize_bucket(bucket, guard)
-        } else {
-            ptr
-        };
+        let dummy = if ptr.is_null() { self.initialize_bucket(bucket, guard) } else { ptr };
         // SAFETY: dummy nodes are never removed; pinned by `guard`.
         unsafe { &dummy.deref().next }
     }
@@ -139,11 +129,8 @@ impl SplitOrderedSet {
         debug_assert!(bucket > 0, "bucket 0 is initialized at construction");
         let parent = parent_of(bucket);
         let parent_ptr = self.buckets[parent].load(Ordering::Acquire, guard);
-        let parent_ptr = if parent_ptr.is_null() {
-            self.initialize_bucket(parent, guard)
-        } else {
-            parent_ptr
-        };
+        let parent_ptr =
+            if parent_ptr.is_null() { self.initialize_bucket(parent, guard) } else { parent_ptr };
         // SAFETY: dummies are immortal.
         let parent_link = unsafe { &parent_ptr.deref().next };
 
@@ -230,12 +217,7 @@ impl SplitOrderedSet {
         let size = self.size.load(Ordering::Acquire);
         if count > size * self.max_load && size * 2 <= self.buckets.len() {
             // One doubling at a time; losing the race is fine.
-            let _ = self.size.compare_exchange(
-                size,
-                size * 2,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            );
+            let _ = self.size.compare_exchange(size, size * 2, Ordering::AcqRel, Ordering::Relaxed);
         }
         true
     }

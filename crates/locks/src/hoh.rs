@@ -79,8 +79,7 @@ impl HandOverHandList {
                 return Some(false);
             }
             if curr.key > key {
-                let node =
-                    Arc::new(Node { key, next: Mutex::new(Some(Arc::clone(&curr))) });
+                let node = Arc::new(Node { key, next: Mutex::new(Some(Arc::clone(&curr))) });
                 *next_guard = Some(node);
                 return Some(true);
             }
@@ -102,9 +101,8 @@ impl HandOverHandList {
             if curr.key == key {
                 // Coupling: lock curr while still holding pred.
                 let curr_next = curr.next.lock();
-                *pred_guard = Some(Arc::clone(
-                    curr_next.as_ref().expect("removed node is never the tail"),
-                ));
+                *pred_guard =
+                    Some(Arc::clone(curr_next.as_ref().expect("removed node is never the tail")));
                 return true;
             }
             drop(pred_guard);

@@ -112,8 +112,7 @@ impl StripedHashSet {
     fn maybe_resize(&self) {
         let need = {
             let dir = self.directory.read();
-            dir.len.load(std::sync::atomic::Ordering::Relaxed)
-                > dir.stripes.len() * self.max_load
+            dir.len.load(std::sync::atomic::Ordering::Relaxed) > dir.stripes.len() * self.max_load
         };
         if !need {
             return;

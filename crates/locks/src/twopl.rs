@@ -172,7 +172,8 @@ impl<'t> TwoPlTxn<'_, 't> {
         // and untouched for its duration.
         let any_ref: &mut Box<dyn ErasedGuard + 't> = erased;
         let pair = unsafe {
-            &mut *(any_ref.as_mut() as *mut (dyn ErasedGuard + 't) as *mut (MutexGuard<'t, T>, *mut T))
+            &mut *(any_ref.as_mut() as *mut (dyn ErasedGuard + 't)
+                as *mut (MutexGuard<'t, T>, *mut T))
         };
         Ok(unsafe { &mut *pair.1 })
     }

@@ -119,11 +119,7 @@ pub fn serialization_witness(
 /// assert!(accepts(&program, &schedule, Synchronization::Polymorphic).accepted);
 /// assert!(!accepts(&program, &schedule, Synchronization::Monomorphic).accepted);
 /// ```
-pub fn accepts(
-    program: &Program,
-    inter: &Interleaving,
-    sync: Synchronization,
-) -> AcceptOutcome {
+pub fn accepts(program: &Program, inter: &Interleaving, sync: Synchronization) -> AcceptOutcome {
     accepts_impl(program, inter, sync, None)
 }
 
@@ -208,10 +204,8 @@ fn accepts_impl(
             // Own writes are consistent anywhere inside the op's span.
             Value::Own => (first_access_pos[p], commit_pos[p]),
             Value::Initial => {
-                let hi = timeline[a.reg]
-                    .iter()
-                    .find(|&&(_, q)| q != p)
-                    .map_or(n_events, |&(c, _)| c);
+                let hi =
+                    timeline[a.reg].iter().find(|&&(_, q)| q != p).map_or(n_events, |&(c, _)| c);
                 (0, hi)
             }
             Value::Committed(writer) => {
@@ -236,16 +230,17 @@ fn accepts_impl(
         }
         let steps = match sync {
             Synchronization::Monomorphic => {
-                let coerced =
-                    crate::model::OpSpec { accesses: op.accesses.clone(), semantics: OpSemantics::Monomorphic };
+                let coerced = crate::model::OpSpec {
+                    accesses: op.accesses.clone(),
+                    semantics: OpSemantics::Monomorphic,
+                };
                 coerced.critical_steps()
             }
             Synchronization::Polymorphic | Synchronization::LockBased => op.critical_steps(),
         };
         // Only the final step may contain writes (single-version model).
         for (si, step) in steps.iter().enumerate() {
-            let has_write =
-                step.iter().any(|&i| op.accesses[i].kind == AccessKind::Write);
+            let has_write = step.iter().any(|&i| op.accesses[i].kind == AccessKind::Write);
             if has_write && si + 1 != steps.len() {
                 return AcceptOutcome::fail(
                     p,
@@ -268,8 +263,7 @@ fn accepts_impl(
                     hi = hi.min(vhi);
                 }
             }
-            let has_write =
-                step.iter().any(|&i| op.accesses[i].kind == AccessKind::Write);
+            let has_write = step.iter().any(|&i| op.accesses[i].kind == AccessKind::Write);
             if has_write {
                 // Writes are published at commit: the step's point is c.
                 if lo > c || hi < c {
@@ -334,10 +328,7 @@ mod tests {
     #[test]
     fn nonconflicting_overlap_is_accepted_by_mono() {
         // Two transactions on disjoint registers, fully interleaved.
-        let p = Program::new(vec![
-            OpSpec::mono(vec![r(0), w(0)]),
-            OpSpec::mono(vec![r(1), w(1)]),
-        ]);
+        let p = Program::new(vec![OpSpec::mono(vec![r(0), w(0)]), OpSpec::mono(vec![r(1), w(1)])]);
         let i = inter(&p, &[0, 1, 0, 1, 0, 1]);
         assert!(accepts(&p, &i, Synchronization::Monomorphic).accepted);
     }
@@ -347,10 +338,7 @@ mod tests {
         // T0: r(x) ... w(x)+commit; T1 overwrites x in between and
         // commits; T0's single step needs the initial x at its commit —
         // impossible.
-        let p = Program::new(vec![
-            OpSpec::mono(vec![r(0), w(0)]),
-            OpSpec::mono(vec![w(0)]),
-        ]);
+        let p = Program::new(vec![OpSpec::mono(vec![r(0), w(0)]), OpSpec::mono(vec![w(0)])]);
         // events: p0 r(x) | p1 w(x) | p1 C | p0 w(x) | p0 C
         let i = inter(&p, &[0, 1, 1, 0, 0]);
         let out = accepts(&p, &i, Synchronization::Monomorphic);
@@ -402,10 +390,7 @@ mod tests {
     fn mono_acceptance_implies_poly_acceptance_spot_checks() {
         // Structural property (used by Theorem 2's second half): finer
         // critical steps only relax the constraint system.
-        let p = Program::new(vec![
-            OpSpec::weak(vec![r(0), r(1), r(2)]),
-            OpSpec::mono(vec![w(1)]),
-        ]);
+        let p = Program::new(vec![OpSpec::weak(vec![r(0), r(1), r(2)]), OpSpec::mono(vec![w(1)])]);
         for i in crate::interleave::enumerate_interleavings(&p) {
             let mono = accepts(&p, &i, Synchronization::Monomorphic).accepted;
             let poly = accepts(&p, &i, Synchronization::Polymorphic).accepted;

@@ -231,7 +231,7 @@ mod tests {
         for inter in enumerate_interleavings(&p) {
             let slots = inter.slots(&p);
             // Commit of each proc is its last event.
-            let mut seen_commit = vec![false; 2];
+            let mut seen_commit = [false; 2];
             for s in slots {
                 match s {
                     Slot::Access(q, _) => assert!(!seen_commit[q]),

@@ -88,11 +88,7 @@ impl LockSchedule {
                         return Err(LockViolation::Relock { proc: p, reg: g })
                     }
                     Some(&holder) => {
-                        return Err(LockViolation::MutualExclusion {
-                            reg: g,
-                            holder,
-                            claimant: p,
-                        })
+                        return Err(LockViolation::MutualExclusion { reg: g, holder, claimant: p })
                     }
                     None => {
                         held.insert(g, p);
@@ -216,8 +212,14 @@ mod tests {
     #[test]
     fn access_order_strips_lock_events() {
         let s = LockSchedule {
-            events: vec![(0, Lock(0)), (0, Read(0)), (1, Lock(1)), (1, Write(1)),
-                         (0, Unlock(0)), (1, Unlock(1))],
+            events: vec![
+                (0, Lock(0)),
+                (0, Read(0)),
+                (1, Lock(1)),
+                (1, Write(1)),
+                (0, Unlock(0)),
+                (1, Unlock(1)),
+            ],
         };
         assert_eq!(s.access_order(), vec![(0, Read(0)), (1, Write(1))]);
     }

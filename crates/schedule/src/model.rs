@@ -222,7 +222,10 @@ mod tests {
 
     #[test]
     fn window_one_gives_singletons() {
-        let op = OpSpec { accesses: vec![r(0), r(1), r(2)], semantics: OpSemantics::Elastic { window: 1 } };
+        let op = OpSpec {
+            accesses: vec![r(0), r(1), r(2)],
+            semantics: OpSemantics::Elastic { window: 1 },
+        };
         assert_eq!(op.critical_steps(), vec![vec![0], vec![1], vec![2]]);
     }
 
@@ -238,10 +241,8 @@ mod tests {
             semantics: OpSemantics::Explicit(vec![vec![0, 1]]),
         };
         assert!(!uncovered.semantics_is_well_formed());
-        let out_of_range = OpSpec {
-            accesses: vec![r(0)],
-            semantics: OpSemantics::Explicit(vec![vec![0, 5]]),
-        };
+        let out_of_range =
+            OpSpec { accesses: vec![r(0)], semantics: OpSemantics::Explicit(vec![vec![0, 5]]) };
         assert!(!out_of_range.semantics_is_well_formed());
     }
 

@@ -104,6 +104,7 @@ pub fn replay(
     std::thread::scope(|scope| {
         let (msg_tx, msg_rx) = channel::<Msg>();
         let mut cmds: Vec<Sender<Cmd>> = Vec::with_capacity(procs);
+        #[allow(clippy::needless_range_loop)] // parallel towers/arrays indexed together
         for p in 0..procs {
             let (cmd_tx, cmd_rx) = channel::<Cmd>();
             cmds.push(cmd_tx);
@@ -136,8 +137,7 @@ pub fn replay(
                                         let _ = msg_tx.send(Msg::AccessOk(p, v));
                                     }
                                     Err(e) => {
-                                        let _ =
-                                            msg_tx.send(Msg::AccessFailed(p, e.to_string()));
+                                        let _ = msg_tx.send(Msg::AccessFailed(p, e.to_string()));
                                         return Err(e);
                                     }
                                 }
@@ -250,10 +250,7 @@ mod tests {
 
     #[test]
     fn serial_schedule_replays_cleanly_under_both_syncs() {
-        let p = Program::new(vec![
-            OpSpec::mono(vec![r(0), w(0)]),
-            OpSpec::weak(vec![r(0), r(1)]),
-        ]);
+        let p = Program::new(vec![OpSpec::mono(vec![r(0), w(0)]), OpSpec::weak(vec![r(0), r(1)])]);
         let s = Interleaving::serial(&p);
         for sync in [Synchronization::Monomorphic, Synchronization::Polymorphic] {
             let out = replay(&p, &s, sync).unwrap();

@@ -65,10 +65,7 @@ impl std::fmt::Display for TheoremReport {
 fn access_seqs(len: usize, regs: usize) -> Vec<Vec<Access>> {
     let alphabet: Vec<Access> = (0..regs)
         .flat_map(|g| {
-            [
-                Access { kind: AccessKind::Read, reg: g },
-                Access { kind: AccessKind::Write, reg: g },
-            ]
+            [Access { kind: AccessKind::Read, reg: g }, Access { kind: AccessKind::Write, reg: g }]
         })
         .collect();
     let mut seqs: Vec<Vec<Access>> = vec![Vec::new()];
@@ -96,9 +93,7 @@ pub fn bounded_universe(max_len: usize, regs: usize) -> Vec<Program> {
     let singles = access_seqs(1, regs);
     for len in 1..=max_len {
         for seq in access_seqs(len, regs) {
-            for sem in
-                [OpSemantics::Monomorphic, OpSemantics::Elastic { window: 2 }]
-            {
+            for sem in [OpSemantics::Monomorphic, OpSemantics::Elastic { window: 2 }] {
                 for single in &singles {
                     out.push(Program::new(vec![
                         OpSpec { accesses: seq.clone(), semantics: sem.clone() },
@@ -184,20 +179,13 @@ pub fn check_all_def_coincides() -> usize {
     let mut pairs = 0;
     for seq in access_seqs(2, 2) {
         for single in access_seqs(1, 2) {
-            let program = Program::new(vec![
-                OpSpec::mono(seq.clone()),
-                OpSpec::mono(single.clone()),
-            ]);
+            let program =
+                Program::new(vec![OpSpec::mono(seq.clone()), OpSpec::mono(single.clone())]);
             for inter in enumerate_interleavings(&program) {
                 pairs += 1;
                 let m = accepts(&program, &inter, Synchronization::Monomorphic).accepted;
                 let p = accepts(&program, &inter, Synchronization::Polymorphic).accepted;
-                assert_eq!(
-                    m,
-                    p,
-                    "all-def program diverged:\n{}",
-                    inter.render(&program)
-                );
+                assert_eq!(m, p, "all-def program diverged:\n{}", inter.render(&program));
             }
         }
     }

@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use polytm::{Semantics, Stm, Transaction, TxParams, TxResult, TVar};
+use polytm::{Semantics, Stm, TVar, Transaction, TxParams, TxResult};
 
 /// Striped `i64` counter. Cloning shares the counter.
 ///
@@ -52,12 +52,7 @@ impl TxCounter {
     }
 
     /// Transaction-composable add on an explicit stripe.
-    pub fn add_in(
-        &self,
-        tx: &mut Transaction<'_>,
-        stripe: usize,
-        delta: i64,
-    ) -> TxResult<()> {
+    pub fn add_in(&self, tx: &mut Transaction<'_>, stripe: usize, delta: i64) -> TxResult<()> {
         self.stripes[stripe % self.stripes.len()].modify(tx, |v| v + delta)
     }
 

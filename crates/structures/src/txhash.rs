@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use polytm::{Semantics, Stm, Transaction, TxParams, TxResult, TVar};
+use polytm::{Semantics, Stm, TVar, Transaction, TxParams, TxResult};
 
 type Bucket = Vec<u64>;
 type Directory = Arc<Vec<TVar<Bucket>>>;
@@ -61,8 +61,7 @@ impl TxHashSet {
         op_semantics: Semantics,
     ) -> Self {
         assert!(buckets > 0 && max_load > 0);
-        let dir: Directory =
-            Arc::new((0..buckets).map(|_| stm.new_tvar(Vec::new())).collect());
+        let dir: Directory = Arc::new((0..buckets).map(|_| stm.new_tvar(Vec::new())).collect());
         let dir = stm.new_tvar(dir);
         Self { stm, dir, max_load, op_semantics }
     }

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use polytm::{Semantics, Stm, Transaction, TxParams, TxResult, TVar};
+use polytm::{Semantics, Stm, TVar, Transaction, TxParams, TxResult};
 
 /// A link: `None` is the end of the list.
 type Link = Option<Arc<Node>>;
@@ -165,8 +165,7 @@ impl TxList {
 
     /// True when the set is empty (opaque).
     pub fn is_empty(&self) -> bool {
-        self.stm
-            .run(TxParams::new(Semantics::Opaque), |tx| Ok(self.head.read(tx)?.is_none()))
+        self.stm.run(TxParams::new(Semantics::Opaque), |tx| Ok(self.head.read(tx)?.is_none()))
     }
 
     /// Sum of all keys under **snapshot** semantics: an O(n) read-only

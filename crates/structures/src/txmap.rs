@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use polytm::{Semantics, Stm, Transaction, TxParams, TxResult, TVar};
+use polytm::{Semantics, Stm, TVar, Transaction, TxParams, TxResult};
 
 const MAX_LEVEL: usize = 16;
 
@@ -104,6 +104,11 @@ impl<V: Clone + Send + Sync + 'static> TxMap<V> {
 
     /// Transaction-composable insert/overwrite; returns the previous
     /// value if any.
+    ///
+    /// When `tx` runs elastic semantics, its window must cover the whole
+    /// tower (>= `MAX_LEVEL + 2`, see `write_semantics`): a narrower
+    /// window cuts predecessor-link reads this insert later writes
+    /// against, which can lose a concurrent insert.
     pub fn insert_in(&self, tx: &mut Transaction<'_>, key: i64, value: V) -> TxResult<Option<V>> {
         let (preds, cand) = self.find_preds(tx, key)?;
         if let Some(n) = cand {
@@ -113,6 +118,7 @@ impl<V: Clone + Send + Sync + 'static> TxMap<V> {
         }
         let h = height_of(key);
         let mut levels = Vec::with_capacity(h);
+        #[allow(clippy::needless_range_loop)] // parallel towers/arrays indexed together
         for level in 0..h {
             let succ = match &preds[level] {
                 Some(p) => p.next[level].read(tx)?,
@@ -121,6 +127,7 @@ impl<V: Clone + Send + Sync + 'static> TxMap<V> {
             levels.push(self.stm.new_tvar(succ));
         }
         let node = Arc::new(Node { key, value: self.stm.new_tvar(value), next: levels });
+        #[allow(clippy::needless_range_loop)] // parallel towers/arrays indexed together
         for level in 0..h {
             match &preds[level] {
                 Some(p) => p.next[level].write(tx, Some(Arc::clone(&node)))?,
@@ -137,6 +144,7 @@ impl<V: Clone + Send + Sync + 'static> TxMap<V> {
             Some(n) if n.key == key => n,
             _ => return Ok(None),
         };
+        #[allow(clippy::needless_range_loop)] // parallel towers/arrays indexed together
         for level in 0..node.next.len() {
             let succ = node.next[level].read(tx)?;
             match &preds[level] {
@@ -157,6 +165,20 @@ impl<V: Clone + Send + Sync + 'static> TxMap<V> {
         Ok(Some(node.value.read(tx)?))
     }
 
+    /// Semantics for operations that *write* tower links. An elastic
+    /// window must keep every link the operation later writes against
+    /// live (cut reads are never validated); `insert_in` re-reads up to
+    /// `MAX_LEVEL + 1` successor links before its first write, so the
+    /// narrow search window of [`Semantics::elastic`] would let a
+    /// concurrent insert through the same predecessor be silently
+    /// overwritten (a lost entry). Lookups keep the narrow window.
+    fn write_semantics(&self) -> Semantics {
+        match self.op_semantics {
+            Semantics::Elastic { .. } => Semantics::Elastic { window: MAX_LEVEL + 2 },
+            other => other,
+        }
+    }
+
     /// Lookup under the map's operation semantics.
     pub fn get(&self, key: i64) -> Option<V> {
         self.stm.run(TxParams::new(self.op_semantics), |tx| self.get_in(tx, key))
@@ -165,12 +187,12 @@ impl<V: Clone + Send + Sync + 'static> TxMap<V> {
     /// Insert/overwrite; returns the previous value.
     pub fn insert(&self, key: i64, value: V) -> Option<V> {
         self.stm
-            .run(TxParams::new(self.op_semantics), |tx| self.insert_in(tx, key, value.clone()))
+            .run(TxParams::new(self.write_semantics()), |tx| self.insert_in(tx, key, value.clone()))
     }
 
     /// Remove; returns the removed value.
     pub fn remove(&self, key: i64) -> Option<V> {
-        self.stm.run(TxParams::new(self.op_semantics), |tx| self.remove_in(tx, key))
+        self.stm.run(TxParams::new(self.write_semantics()), |tx| self.remove_in(tx, key))
     }
 
     /// Atomically update the value at `key` (no-op if absent); returns
@@ -205,8 +227,7 @@ impl<V: Clone + Send + Sync + 'static> TxMap<V> {
 
     /// True when the map has no entries.
     pub fn is_empty(&self) -> bool {
-        self.stm
-            .run(TxParams::new(Semantics::Opaque), |tx| Ok(self.head[0].read(tx)?.is_none()))
+        self.stm.run(TxParams::new(Semantics::Opaque), |tx| Ok(self.head[0].read(tx)?.is_none()))
     }
 
     /// Ordered `(key, value)` snapshot under **snapshot** semantics —

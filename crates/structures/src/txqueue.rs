@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use polytm::{Semantics, Stm, Transaction, TxParams, TxResult, TVar};
+use polytm::{Semantics, Stm, TVar, Transaction, TxParams, TxResult};
 
 /// Persistent (functional) stack node.
 struct SNode<T> {

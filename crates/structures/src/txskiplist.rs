@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use polytm::{Semantics, Stm, Transaction, TxParams, TxResult, TVar};
+use polytm::{Semantics, Stm, TVar, Transaction, TxParams, TxResult};
 
 const MAX_LEVEL: usize = 16;
 
@@ -96,6 +96,11 @@ impl TxSkipList {
     }
 
     /// Transaction-composable insert; `false` if present.
+    ///
+    /// When `tx` runs elastic semantics, its window must cover the whole
+    /// tower (>= `MAX_LEVEL + 2`, see `write_semantics`): a narrower
+    /// window cuts predecessor-link reads this insert later writes
+    /// against, which can lose a concurrent insert.
     pub fn insert_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<bool> {
         let (preds, candidate) = self.find_preds(tx, key)?;
         if matches!(candidate, Some(ref n) if n.key == key) {
@@ -103,6 +108,7 @@ impl TxSkipList {
         }
         let h = height_of(key);
         let mut levels = Vec::with_capacity(h);
+        #[allow(clippy::needless_range_loop)] // parallel towers/arrays indexed together
         for level in 0..h {
             let succ = match &preds[level] {
                 Some(p) => p.next[level].read(tx)?,
@@ -111,6 +117,7 @@ impl TxSkipList {
             levels.push(self.stm.new_tvar(succ));
         }
         let node = Arc::new(Node { key, next: levels });
+        #[allow(clippy::needless_range_loop)] // parallel towers/arrays indexed together
         for level in 0..h {
             match &preds[level] {
                 Some(p) => p.next[level].write(tx, Some(Arc::clone(&node)))?,
@@ -127,6 +134,7 @@ impl TxSkipList {
             Some(n) if n.key == key => n,
             _ => return Ok(false),
         };
+        #[allow(clippy::needless_range_loop)] // parallel towers/arrays indexed together
         for level in 0..node.next.len() {
             // The predecessor at this level may not point at `node` (its
             // tower may be taller than where we found it); re-walk if so.
@@ -149,6 +157,21 @@ impl TxSkipList {
         Ok(true)
     }
 
+    /// Semantics for operations that *write* tower links. An elastic
+    /// window must keep every link the operation later writes against
+    /// live (cut reads are never validated); `insert_in` re-reads up to
+    /// `MAX_LEVEL + 1` successor links before its first write, so the
+    /// narrow search window of [`Semantics::elastic`] would let a
+    /// concurrent insert through the same predecessor be silently
+    /// overwritten (a lost node). Search operations keep the narrow
+    /// window — they write nothing, so cutting stays sound.
+    fn write_semantics(&self) -> Semantics {
+        match self.op_semantics {
+            Semantics::Elastic { .. } => Semantics::Elastic { window: MAX_LEVEL + 2 },
+            other => other,
+        }
+    }
+
     /// Is `key` in the set?
     pub fn contains(&self, key: i64) -> bool {
         self.stm.run(TxParams::new(self.op_semantics), |tx| self.contains_in(tx, key))
@@ -156,12 +179,12 @@ impl TxSkipList {
 
     /// Insert `key`; `false` if present.
     pub fn insert(&self, key: i64) -> bool {
-        self.stm.run(TxParams::new(self.op_semantics), |tx| self.insert_in(tx, key))
+        self.stm.run(TxParams::new(self.write_semantics()), |tx| self.insert_in(tx, key))
     }
 
     /// Remove `key`; `false` if absent.
     pub fn remove(&self, key: i64) -> bool {
-        self.stm.run(TxParams::new(self.op_semantics), |tx| self.remove_in(tx, key))
+        self.stm.run(TxParams::new(self.write_semantics()), |tx| self.remove_in(tx, key))
     }
 
     /// Number of keys (opaque, walks level 0).
@@ -179,8 +202,7 @@ impl TxSkipList {
 
     /// True when empty (opaque).
     pub fn is_empty(&self) -> bool {
-        self.stm
-            .run(TxParams::new(Semantics::Opaque), |tx| Ok(self.head[0].read(tx)?.is_none()))
+        self.stm.run(TxParams::new(Semantics::Opaque), |tx| Ok(self.head[0].read(tx)?.is_none()))
     }
 
     /// Sorted snapshot of the keys (opaque).

@@ -92,8 +92,8 @@ pub fn run_workload<S: ConcurrentSet + ?Sized>(set: &S, spec: &WorkloadSpec) -> 
             let spec_ref = spec;
             let set = &set;
             s.spawn(move || {
-                let mut keys = KeyStream::new(spec_ref.dist, spec_ref.key_space, spec_ref.seed)
-                    .for_thread(t);
+                let mut keys =
+                    KeyStream::new(spec_ref.dist, spec_ref.key_space, spec_ref.seed).for_thread(t);
                 let mut ops_rng = SplitMix64::for_thread(spec_ref.seed ^ 0xDEAD_BEEF, t);
                 let mut local_ops = 0u64;
                 let mut counted = false;

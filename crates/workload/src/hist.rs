@@ -196,6 +196,8 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
-        assert!(h.p99() <= u64::MAX);
+        // The point is that the quantile math itself must not overflow
+        // on extreme samples; monotonicity is the observable contract.
+        assert!(h.p50() <= h.p99());
     }
 }

@@ -24,7 +24,9 @@ pub struct KeyStream {
 enum Dist {
     Uniform,
     /// Inverse-CDF sampling over precomputed cumulative weights.
-    Zipf { cdf: Vec<f64> },
+    Zipf {
+        cdf: Vec<f64>,
+    },
 }
 
 impl KeyStream {

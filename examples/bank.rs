@@ -20,8 +20,7 @@ const INITIAL: i64 = 1_000;
 
 fn main() {
     let stm = Arc::new(Stm::new());
-    let accounts: Arc<Vec<_>> =
-        Arc::new((0..ACCOUNTS).map(|_| stm.new_tvar(INITIAL)).collect());
+    let accounts: Arc<Vec<_>> = Arc::new((0..ACCOUNTS).map(|_| stm.new_tvar(INITIAL)).collect());
 
     std::thread::scope(|s| {
         // Transfer workers (opaque).
@@ -71,7 +70,10 @@ fn main() {
                         "audit {i}: money created or destroyed!"
                     );
                 }
-                println!("auditor: 500 snapshot audits, total always {}", ACCOUNTS as i64 * INITIAL);
+                println!(
+                    "auditor: 500 snapshot audits, total always {}",
+                    ACCOUNTS as i64 * INITIAL
+                );
             });
         }
 

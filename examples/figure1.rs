@@ -30,7 +30,11 @@ fn main() {
         let out = accepts(&program, &inter, sync);
         println!(
             "  {label} {}",
-            if out.accepted { "ACCEPTED".to_string() } else { format!("REJECTED — {}", out.reason) }
+            if out.accepted {
+                "ACCEPTED".to_string()
+            } else {
+                format!("REJECTED — {}", out.reason)
+            }
         );
     }
 
@@ -48,10 +52,9 @@ fn main() {
     ] {
         let out = replay(&program, &inter, sync).expect("replayable");
         match out.first_failure {
-            None => println!(
-                "  {label}: all transactions committed; p1 read {:?}",
-                out.read_values[0]
-            ),
+            None => {
+                println!("  {label}: all transactions committed; p1 read {:?}", out.read_values[0])
+            }
             Some((p, why)) => println!("  {label}: p{} aborted ({why})", p + 1),
         }
     }

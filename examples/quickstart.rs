@@ -22,7 +22,11 @@ fn main() {
         y.write(tx, b - 10)?;
         Ok(a + b)
     });
-    println!("opaque transfer saw total {moved}; x={} y={}", x.load_committed(), y.load_committed());
+    println!(
+        "opaque transfer saw total {moved}; x={} y={}",
+        x.load_committed(),
+        y.load_committed()
+    );
 
     // start(weak): the elastic semantics of the paper's Figure 1 —
     // traversals tolerate updates behind their sliding window.
@@ -52,11 +56,7 @@ fn main() {
         }
         Ok(())
     });
-    println!(
-        "atomic move: active={:?} archived={:?}",
-        active.to_vec(),
-        archived.to_vec()
-    );
+    println!("atomic move: active={:?} archived={:?}", active.to_vec(), archived.to_vec());
 
     let stats = stm.stats();
     println!(

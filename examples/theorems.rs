@@ -16,9 +16,7 @@ fn main() {
     println!("{}\n", check_theorem2());
 
     let pairs = check_all_def_coincides();
-    println!(
-        "sanity: polymorphic == monomorphic on all-def programs ({pairs} pairs checked)\n"
-    );
+    println!("sanity: polymorphic == monomorphic on all-def programs ({pairs} pairs checked)\n");
 
     // Show up to three separating witnesses (poly-accepted, mono-rejected)
     // from the bounded universe, rendered like the paper's figure.

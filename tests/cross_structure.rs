@@ -21,16 +21,14 @@ fn list_hash_queue_counter_in_one_transaction() {
     // Drain the queue: each drained key is atomically (dedup-)inserted
     // into both the hash index and the ordered list, and counted.
     loop {
-        let done = stm.run(TxParams::default(), |tx| {
-            match pending.dequeue_in(tx)? {
-                None => Ok(true),
-                Some(k) => {
-                    if index.insert_in(tx, k)? {
-                        ordered.insert_in(tx, k as i64)?;
-                        processed.add_in(tx, 0, 1)?;
-                    }
-                    Ok(false)
+        let done = stm.run(TxParams::default(), |tx| match pending.dequeue_in(tx)? {
+            None => Ok(true),
+            Some(k) => {
+                if index.insert_in(tx, k)? {
+                    ordered.insert_in(tx, k as i64)?;
+                    processed.add_in(tx, 0, 1)?;
                 }
+                Ok(false)
             }
         });
         if done {
@@ -68,14 +66,12 @@ fn concurrent_pipeline_conserves_items() {
             s.spawn(move || {
                 let mut moved = 0;
                 while moved < 300 {
-                    let took = stm.run(TxParams::default(), |tx| {
-                        match queue.dequeue_in(tx)? {
-                            Some(k) => {
-                                sink.insert_in(tx, k)?;
-                                Ok(true)
-                            }
-                            None => Ok(false),
+                    let took = stm.run(TxParams::default(), |tx| match queue.dequeue_in(tx)? {
+                        Some(k) => {
+                            sink.insert_in(tx, k)?;
+                            Ok(true)
                         }
+                        None => Ok(false),
                     });
                     if took {
                         moved += 1;

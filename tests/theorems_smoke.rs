@@ -1,0 +1,42 @@
+//! Smoke test for the paper's headline claims: Theorems 1 and 2 must
+//! hold — the Figure 1 witness separates the synchronization classes and
+//! the bounded-exhaustive inclusion check finds zero violations — on
+//! every push, not just when `examples/theorems.rs` is run by hand.
+
+use transaction_polymorphism::schedule::theorems::{check_theorem1, check_theorem2};
+
+#[test]
+fn theorem1_lock_based_strictly_more_concurrent_than_monomorphic() {
+    let report = check_theorem1();
+    assert!(
+        report.witness_separates,
+        "Figure 1 must separate {:?} from {:?}",
+        report.stronger, report.weaker
+    );
+    assert_eq!(
+        report.inclusion_violations, 0,
+        "monomorphic-accepted schedules must all be lock-accepted \
+         ({} pairs checked)",
+        report.inclusion_pairs_checked
+    );
+    assert!(report.inclusion_pairs_checked > 0, "inclusion check must actually run");
+    assert!(report.holds, "Theorem 1 report must conclude HOLDS");
+}
+
+#[test]
+fn theorem2_polymorphic_strictly_more_concurrent_than_monomorphic() {
+    let report = check_theorem2();
+    assert!(
+        report.witness_separates,
+        "Figure 1 must separate {:?} from {:?}",
+        report.stronger, report.weaker
+    );
+    assert_eq!(
+        report.inclusion_violations, 0,
+        "monomorphic-accepted schedules must all be polymorphic-accepted \
+         ({} pairs checked)",
+        report.inclusion_pairs_checked
+    );
+    assert!(report.inclusion_pairs_checked > 0, "inclusion check must actually run");
+    assert!(report.holds, "Theorem 2 report must conclude HOLDS");
+}

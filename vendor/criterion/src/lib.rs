@@ -1,0 +1,332 @@
+//! Offline stand-in for the `criterion` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature benchmark harness with the same caller grammar:
+//! [`Criterion`] with `warm_up_time` / `measurement_time` /
+//! `sample_size` builders, benchmark groups, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: each benchmark takes
+//! `sample_size` samples (auto-scaled iteration batches), and the
+//! report prints min/median/mean per-iteration time. There is no
+//! HTML report, no outlier analysis, and no saved baselines — the
+//! point is that `cargo bench` builds, runs and produces comparable
+//! wall-clock numbers without network access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (configuration + report sink).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// No-op in the shim (the real criterion parses CLI flags here);
+    /// kept so generated mains remain source-compatible.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().label;
+        run_benchmark(self, &label, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up duration for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(self.criterion, &label, f);
+        self
+    }
+
+    /// Runs one benchmark with an input value handed to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(self.criterion, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is immediate in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark: a function name plus an optional
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Just the parameter (inside a group whose name carries context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Hands the measured closure to the timing loop.
+pub struct Bencher {
+    /// Iterations per sample, fixed by the calibration phase.
+    iters_per_sample: u64,
+    /// Collected per-iteration nanoseconds, one entry per sample.
+    samples: Vec<f64>,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    Calibrate { elapsed: Duration },
+    Measure,
+}
+
+impl Bencher {
+    /// Times `inner`, executing it in batches sized by calibration.
+    pub fn iter<O, R>(&mut self, mut inner: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.iter_with_setup(|| (), |()| inner());
+    }
+
+    /// Times `routine` only; `setup` runs untimed before each iteration.
+    pub fn iter_with_setup<I, S, O, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut timed = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+        }
+        match &mut self.mode {
+            BencherMode::Calibrate { elapsed } => *elapsed = timed,
+            BencherMode::Measure => {
+                let ns = timed.as_nanos() as f64 / self.iters_per_sample as f64;
+                self.samples.push(ns);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(criterion: &Criterion, label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: grow the batch size until one batch takes long enough
+    // to time reliably, spending at most the warm-up budget.
+    let warm_up_deadline = Instant::now() + criterion.warm_up_time;
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters_per_sample: iters,
+            samples: Vec::new(),
+            mode: BencherMode::Calibrate { elapsed: Duration::ZERO },
+        };
+        f(&mut b);
+        let elapsed = match b.mode {
+            BencherMode::Calibrate { elapsed } => elapsed,
+            BencherMode::Measure => unreachable!(),
+        };
+        if elapsed >= Duration::from_millis(1) || Instant::now() >= warm_up_deadline {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    // Measurement: spread the measurement budget over sample_size
+    // batches of the calibrated size, stopping at the time budget.
+    let deadline = Instant::now() + criterion.measurement_time;
+    let mut b =
+        Bencher { iters_per_sample: iters, samples: Vec::new(), mode: BencherMode::Measure };
+    for _ in 0..criterion.sample_size {
+        f(&mut b);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+
+    let mut samples = b.samples;
+    if samples.is_empty() {
+        println!("{label:<48} (no samples — closure never called iter)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{label:<48} min {:>12} median {:>12} mean {:>12} ({} samples x {} iters)",
+        format_ns(min),
+        format_ns(median),
+        format_ns(mean),
+        samples.len(),
+        iters,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export point used by generated code; `std::hint::black_box` is the
+/// actual implementation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Defines a benchmark group function from a config expression and a
+/// list of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

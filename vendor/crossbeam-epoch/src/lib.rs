@@ -1,0 +1,540 @@
+//! Offline stand-in for the `crossbeam-epoch` API surface this workspace
+//! uses: tagged atomic pointers (`Atomic`/`Owned`/`Shared`) plus
+//! pin-guarded deferred destruction.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the epoch API it needs. The reclamation scheme is simpler
+//! than crossbeam's three-epoch algorithm but preserves its safety
+//! contract:
+//!
+//! * [`pin`] increments a global pin count; dropping the [`Guard`]
+//!   decrements it.
+//! * [`Guard::defer_destroy`] queues the node on a global garbage list.
+//! * Garbage is freed only when the pin count is observed to drop to
+//!   **zero**. A node is queued only after being unlinked from its
+//!   structure, so any guard pinned *after* the unlink can no longer
+//!   reach it; the only guards that may still hold a reference are ones
+//!   pinned before the unlink — and at pin-count zero no such guard
+//!   exists. Hence nothing is freed while a reference can still be live.
+//!
+//! The trade-off is latency, not safety: under continuously overlapping
+//! pins garbage collects later than crossbeam would. Pins in this
+//! workspace are short (one data-structure operation), so quiescent
+//! points are frequent.
+//!
+//! Pointer tags live in the low bits freed by the pointee's alignment,
+//! exactly like crossbeam (`Shared::tag`/`with_tag`).
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------
+// Global pin count + garbage list
+// ---------------------------------------------------------------------
+
+static PINS: AtomicUsize = AtomicUsize::new(0);
+static GARBAGE_LEN: AtomicUsize = AtomicUsize::new(0);
+static GARBAGE: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
+
+struct Deferred {
+    data: usize,
+    destroy: unsafe fn(usize),
+}
+
+// SAFETY: a Deferred is only ever executed once, by whichever thread
+// collects it, after the pointee became unreachable; the destructor
+// itself is `Box::from_raw` + drop of a heap allocation created on some
+// other thread, which is sound for the `Send`-compatible node types the
+// callers defer (the `defer_destroy` caller vouches for this, as with
+// crossbeam's own unsafe contract).
+unsafe impl Send for Deferred {}
+
+fn collect_if_quiescent() {
+    if GARBAGE_LEN.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    let drained: Vec<Deferred> = {
+        // The pin count must be re-checked *while holding the garbage
+        // lock*: entries present now were deferred (hence unlinked)
+        // before this zero-pin observation, so neither the threads that
+        // were pinned then (all gone — the count is zero) nor threads
+        // that pin later (the node was already unreachable) can hold a
+        // reference. Checking before taking the lock would allow a
+        // deferral to slip in between the check and the drain and be
+        // freed while its unlink-era readers are still pinned.
+        let mut g = GARBAGE.lock().unwrap_or_else(|p| p.into_inner());
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if PINS.load(Ordering::SeqCst) != 0 {
+            return;
+        }
+        GARBAGE_LEN.store(0, Ordering::Release);
+        std::mem::take(&mut *g)
+    };
+    for d in drained {
+        // SAFETY: deferred (thus unlinked) before the zero-pin
+        // observation above, so no guard can still reference the node.
+        unsafe { (d.destroy)(d.data) };
+    }
+}
+
+// ---------------------------------------------------------------------
+// Guard
+// ---------------------------------------------------------------------
+
+/// A pinned participant. While any `Guard` is live, deferred garbage is
+/// retained.
+pub struct Guard {
+    pinned: bool,
+}
+
+impl Guard {
+    /// Defers destruction of the pointee until no pinned guard can still
+    /// hold a reference to it.
+    ///
+    /// # Safety
+    /// The caller must guarantee `ptr` has been made unreachable for
+    /// participants that pin afterwards, and that it is never destroyed
+    /// twice.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let data = ptr.raw_addr();
+        debug_assert!(data != 0, "defer_destroy of null");
+        unsafe fn destroy<T>(data: usize) {
+            drop(unsafe { Box::from_raw(data as *mut T) });
+        }
+        if !self.pinned {
+            // The unprotected guard promises exclusive access: destroy
+            // eagerly, matching crossbeam's unprotected() behaviour.
+            unsafe { destroy::<T>(data) };
+            return;
+        }
+        {
+            let mut g = GARBAGE.lock().unwrap_or_else(|p| p.into_inner());
+            g.push(Deferred { data, destroy: destroy::<T> });
+            GARBAGE_LEN.store(g.len(), Ordering::Release);
+        }
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.pinned && PINS.fetch_sub(1, Ordering::SeqCst) == 1 {
+            collect_if_quiescent();
+        }
+    }
+}
+
+/// Pins the current thread; while the returned [`Guard`] lives, shared
+/// pointers loaded through it remain valid.
+pub fn pin() -> Guard {
+    // SeqCst (plus the fence in the collector) totally orders pin
+    // events against zero-pin observations: a pin ordered before the
+    // observation contributes to the count; one ordered after can no
+    // longer reach any node drained by that observation.
+    PINS.fetch_add(1, Ordering::SeqCst);
+    std::sync::atomic::fence(Ordering::SeqCst);
+    Guard { pinned: true }
+}
+
+static UNPROTECTED: Guard = Guard { pinned: false };
+
+/// Returns a dummy guard that does not pin.
+///
+/// # Safety
+/// Usable only when the caller has exclusive access to the data
+/// structure (e.g. inside `Drop` through `&mut self`), as with
+/// crossbeam's `unprotected()`.
+pub unsafe fn unprotected() -> &'static Guard {
+    &UNPROTECTED
+}
+
+// ---------------------------------------------------------------------
+// Tag helpers
+// ---------------------------------------------------------------------
+
+#[inline]
+fn low_bits<T>() -> usize {
+    (1 << std::mem::align_of::<T>().trailing_zeros()) - 1
+}
+
+#[inline]
+fn compose_tag<T>(data: usize, tag: usize) -> usize {
+    (data & !low_bits::<T>()) | (tag & low_bits::<T>())
+}
+
+#[inline]
+fn decompose_tag<T>(data: usize) -> (usize, usize) {
+    (data & !low_bits::<T>(), data & low_bits::<T>())
+}
+
+// ---------------------------------------------------------------------
+// Pointer trait (Owned or Shared as CAS "new" values)
+// ---------------------------------------------------------------------
+
+/// Types that can be stored into an [`Atomic`]: [`Owned`] and
+/// [`Shared`].
+pub trait Pointer<T> {
+    /// Consumes `self`, returning the composed pointer-with-tag word.
+    fn into_usize(self) -> usize;
+    /// Rebuilds the pointer type from a composed word.
+    ///
+    /// # Safety
+    /// `data` must have come from `into_usize` of the same impl, exactly
+    /// once.
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+// ---------------------------------------------------------------------
+// Owned
+// ---------------------------------------------------------------------
+
+/// An owned heap allocation, like `Box<T>`, with room for a tag.
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    pub fn new(value: T) -> Self {
+        let ptr = Box::into_raw(Box::new(value)) as usize;
+        debug_assert_eq!(ptr & low_bits::<T>(), 0);
+        Self { data: ptr, _marker: PhantomData }
+    }
+
+    /// Converts into a [`Shared`] tied to `_guard`'s lifetime, releasing
+    /// ownership to the data structure.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared { data: self.into_usize(), _marker: PhantomData }
+    }
+
+    /// Returns the same allocation with the tag set to `tag`.
+    pub fn with_tag(self, tag: usize) -> Self {
+        let data = self.into_usize();
+        Self { data: compose_tag::<T>(data, tag), _marker: PhantomData }
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        std::mem::forget(self);
+        data
+    }
+
+    unsafe fn from_usize(data: usize) -> Self {
+        Self { data, _marker: PhantomData }
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        let (ptr, _) = decompose_tag::<T>(self.data);
+        unsafe { &*(ptr as *const T) }
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        let (ptr, _) = decompose_tag::<T>(self.data);
+        unsafe { &mut *(ptr as *mut T) }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        let (ptr, _) = decompose_tag::<T>(self.data);
+        drop(unsafe { Box::from_raw(ptr as *mut T) });
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Owned").field(&**self).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared
+// ---------------------------------------------------------------------
+
+/// A tagged pointer loaded under a [`Guard`]; valid for `'g`.
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer (tag 0).
+    pub fn null() -> Self {
+        Self { data: 0, _marker: PhantomData }
+    }
+
+    /// Is the pointer part null (ignoring the tag)?
+    pub fn is_null(&self) -> bool {
+        let (ptr, _) = decompose_tag::<T>(self.data);
+        ptr == 0
+    }
+
+    /// The tag carried in the low bits.
+    pub fn tag(&self) -> usize {
+        let (_, tag) = decompose_tag::<T>(self.data);
+        tag
+    }
+
+    /// The same pointer with the tag replaced by `tag`.
+    pub fn with_tag(&self, tag: usize) -> Self {
+        Self { data: compose_tag::<T>(self.data, tag), _marker: PhantomData }
+    }
+
+    /// Untagged raw address (internal).
+    fn raw_addr(&self) -> usize {
+        let (ptr, _) = decompose_tag::<T>(self.data);
+        ptr
+    }
+
+    /// Dereferences, ignoring the tag.
+    ///
+    /// # Safety
+    /// Pointer must be non-null and the pointee alive for `'g`.
+    pub unsafe fn deref(&self) -> &'g T {
+        unsafe { &*(self.raw_addr() as *const T) }
+    }
+
+    /// `Some(&T)` unless null.
+    ///
+    /// # Safety
+    /// If non-null, the pointee must be alive for `'g`.
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        let ptr = self.raw_addr();
+        if ptr == 0 {
+            None
+        } else {
+            Some(unsafe { &*(ptr as *const T) })
+        }
+    }
+
+    /// Takes back exclusive ownership of the allocation.
+    ///
+    /// # Safety
+    /// Caller must have exclusive access and the pointer must be
+    /// non-null.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.is_null(), "into_owned of null");
+        Owned { data: self.raw_addr(), _marker: PhantomData }
+    }
+}
+
+impl<T> fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (ptr, tag) = decompose_tag::<T>(self.data);
+        f.debug_struct("Shared").field("ptr", &(ptr as *const T)).field("tag", &tag).finish()
+    }
+}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl<T> Eq for Shared<'_, T> {}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+
+    unsafe fn from_usize(data: usize) -> Self {
+        Self { data, _marker: PhantomData }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomic
+// ---------------------------------------------------------------------
+
+/// An atomic tagged pointer to `T`.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Self { data: AtomicUsize::new(0), _marker: PhantomData }
+    }
+
+    /// Allocates `value` and points at it.
+    pub fn new(value: T) -> Self {
+        Self::from(Owned::new(value))
+    }
+
+    /// Loads the pointer under `\_guard`.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared { data: self.data.load(ord), _marker: PhantomData }
+    }
+
+    /// Stores `new` (an [`Owned`] or [`Shared`]).
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.data.store(new.into_usize(), ord);
+    }
+
+    /// Compare-and-exchange: replaces `current` with `new` atomically.
+    /// On failure, returns the observed value and gives `new` back.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_data = new.into_usize();
+        match self.data.compare_exchange(current.into_usize(), new_data, success, failure) {
+            Ok(_) => Ok(Shared { data: new_data, _marker: PhantomData }),
+            Err(observed) => Err(CompareExchangeError {
+                current: Shared { data: observed, _marker: PhantomData },
+                // SAFETY: `new_data` came from `new.into_usize()` above
+                // and the store did not happen, so ownership returns to
+                // the caller exactly once.
+                new: unsafe { P::from_usize(new_data) },
+            }),
+        }
+    }
+
+    /// Takes the pointer out with exclusive access.
+    ///
+    /// # Safety
+    /// Requires exclusive access to the atomic (e.g. during drop).
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        let data = self.data.into_inner();
+        Owned { data: decompose_tag::<T>(data).0, _marker: PhantomData }
+    }
+}
+
+impl<T> From<Owned<T>> for Atomic<T> {
+    fn from(owned: Owned<T>) -> Self {
+        Self { data: AtomicUsize::new(owned.into_usize()), _marker: PhantomData }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let data = self.data.load(Ordering::Relaxed);
+        let (ptr, tag) = decompose_tag::<T>(data);
+        f.debug_struct("Atomic").field("ptr", &(ptr as *const T)).field("tag", &tag).finish()
+    }
+}
+
+/// Error of [`Atomic::compare_exchange`]: the observed pointer plus the
+/// rejected new value, returned so owned insertions can be retried.
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value actually observed in the atomic.
+    pub current: Shared<'g, T>,
+    /// The proposed value, handed back to the caller.
+    pub new: P,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_roundtrip_and_tagging() {
+        let o = Owned::new(41u64);
+        assert_eq!(*o, 41);
+        let o = o.with_tag(1);
+        let guard = pin();
+        let s = o.into_shared(&guard);
+        assert_eq!(s.tag(), 1);
+        assert_eq!(unsafe { *s.deref() }, 41);
+        let back = unsafe { s.with_tag(0).into_owned() };
+        assert_eq!(*back, 41);
+    }
+
+    #[test]
+    fn atomic_cas_success_and_failure() {
+        let a: Atomic<u64> = Atomic::null();
+        let guard = pin();
+        let first = Owned::new(1u64);
+        assert!(a
+            .compare_exchange(Shared::null(), first, Ordering::AcqRel, Ordering::Acquire, &guard)
+            .is_ok());
+        let cur = a.load(Ordering::Acquire, &guard);
+        // A second CAS expecting null must fail and hand the Owned back.
+        let second = Owned::new(2u64);
+        match a.compare_exchange(
+            Shared::null(),
+            second,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            &guard,
+        ) {
+            Ok(_) => panic!("CAS must fail"),
+            Err(e) => {
+                assert_eq!(e.current, cur);
+                assert_eq!(*e.new, 2);
+            }
+        }
+        drop(guard);
+        unsafe { drop(a.into_owned()) };
+    }
+
+    #[test]
+    fn deferred_destruction_waits_for_quiescence() {
+        use std::sync::atomic::AtomicBool;
+        static DROPPED: AtomicBool = AtomicBool::new(false);
+        struct Tattle;
+        impl Drop for Tattle {
+            fn drop(&mut self) {
+                DROPPED.store(true, Ordering::SeqCst);
+            }
+        }
+        DROPPED.store(false, Ordering::SeqCst);
+        let outer = pin();
+        {
+            let inner = pin();
+            let node = Owned::new(Tattle).into_shared(&inner);
+            unsafe { inner.defer_destroy(node) };
+            drop(inner);
+            // outer still pinned: must not have dropped yet.
+            assert!(!DROPPED.load(Ordering::SeqCst));
+        }
+        drop(outer);
+        // Quiescent now (unless a parallel test holds a pin; then the
+        // next quiescent point frees it — force one).
+        let flush = pin();
+        drop(flush);
+        // Allow for concurrently-running tests holding pins briefly.
+        for _ in 0..1000 {
+            if DROPPED.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::yield_now();
+            drop(pin());
+        }
+        assert!(DROPPED.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,587 @@
+//! Offline stand-in for the `proptest` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature property-testing framework with the same caller
+//! grammar: the [`proptest!`] macro, [`Strategy`] combinators
+//! (`prop_map`, tuples, ranges, [`Just`], [`prop_oneof!`],
+//! `prop::collection::vec`, `prop::bool::ANY`, [`any`]), and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from real proptest, deliberate for an offline shim:
+//!
+//! * **No shrinking.** A failing case reports its seed and case index;
+//!   re-running is deterministic (seeds derive from the test name), so
+//!   failures reproduce exactly.
+//! * **Case counts are env-gated.** `PROPTEST_CASES` caps the per-test
+//!   case count (CI sets a small cap for wall-clock bounds; local runs
+//!   keep each test's written count). `PROPTEST_SEED` perturbs the seed
+//!   derivation for exploratory soak runs.
+
+use std::fmt;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator used to produce test inputs.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// New generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors & config
+// ---------------------------------------------------------------------
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed; the run panics with this message.
+    Fail(String),
+    /// The inputs were rejected by [`prop_assume!`]; the case is retried
+    /// with fresh inputs.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config requiring `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone + fmt::Debug>(pub V);
+
+impl<V: Clone + fmt::Debug> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+    O: fmt::Debug,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// [`prop_oneof!`] adapter: picks one of the inner strategies uniformly.
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V: fmt::Debug> Union<V> {
+    /// A union over the given (non-empty) alternatives.
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+        Self(alternatives)
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % width;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng), self.3.generate(rng))
+    }
+}
+
+/// Types with a canonical "generate anything" strategy (see [`any`]).
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: any representable value.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Inclusive-exclusive size bound accepted by [`vec`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            start: usize,
+            end: usize,
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self { start: r.start, end: r.end }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { start: n, end: n + 1 }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors whose elements come from `element` and
+        /// whose length is drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy type of [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        /// Either boolean, uniformly.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// The case loop behind [`proptest!`]. Not part of the public proptest
+/// API; the macro expansion calls it.
+pub mod test_runner {
+    use super::{ProptestConfig, TestCaseError, TestRng};
+
+    /// Maximum rejected-to-required ratio before the runner gives up.
+    const MAX_REJECT_FACTOR: u64 = 32;
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Effective case count: the configured count, capped by the
+    /// `PROPTEST_CASES` environment variable when set (CI sets a small
+    /// cap; local runs keep the written counts).
+    pub fn effective_cases(cfg: &ProptestConfig) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+            Some(cap) => cfg.cases.min(cap.max(1)),
+            None => cfg.cases,
+        }
+    }
+
+    /// Runs `case` until `cfg`'s case count passes (or a case fails,
+    /// which panics). Seeds derive from the test name, so runs are
+    /// deterministic; set `PROPTEST_SEED` to perturb them.
+    pub fn run<F>(cfg: ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let cases = effective_cases(&cfg) as u64;
+        let extra: u64 =
+            std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+        let base = fnv1a(name) ^ extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut passed = 0u64;
+        let mut rejected = 0u64;
+        let mut attempt = 0u64;
+        while passed < cases {
+            let seed = base.wrapping_add(attempt.wrapping_mul(0xA076_1D64_78BD_642F));
+            attempt += 1;
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > cases * MAX_REJECT_FACTOR + 64 {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejected} rejects for {passed}/{cases} passes)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed at case {attempt} (seed {seed:#018x}): {msg}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($argname:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run($cfg, stringify!($name), |rng| {
+                $(let $argname = $crate::Strategy::generate(&($strat), rng);)+
+                let case = move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                };
+                case()
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// One-of strategy: generates from one of the alternatives, uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a proptest case, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// The imports test files are expected to glob.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::test_runner;
+    pub use crate::{any, Any, Arbitrary, BoxedStrategy, Just, Map, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestCaseError, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-100i64..100), &mut rng);
+            assert!((-100..100).contains(&v));
+            let u = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_alternatives() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = TestRng::new(7);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(strat.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let strat = prop::collection::vec(0u64..10, 2..5);
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u64..50, pair in (0usize..4, any::<i64>())) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(pair.0, pair.0);
+            prop_assume!(x != 3);
+            prop_assert!(x != 3, "assume must have filtered {}", x);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            test_runner::run(ProptestConfig::with_cases(10), "det", |rng| {
+                out.push(rng.next_u64());
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+    }
+}
