@@ -8,6 +8,38 @@
 //! began, which is exactly the condition the per-semantics read rules
 //! (opaque validation/extension, elastic cutting, snapshot chain walks)
 //! arbitrate.
+//!
+//! ## Why not GV4 "pass on failure"?
+//!
+//! TL2's GV4 scheme lets a committer whose clock CAS fails *adopt* the
+//! winner's value as its own `wv`. That is sound in C-on-x86 — the
+//! `LOCK`-prefixed lock acquisitions are full fences, so an adopter's
+//! write-set locks are globally visible before its clock load — but it
+//! is **not** expressible with Acquire/Release (or even one-sided SeqCst
+//! fences) in the Rust/C++ memory model: an adopter never stores to the
+//! clock, so a reader that sampled `rv == wv` from the *winner's* RMW
+//! has no synchronizes-with edge to the adopter's lock words. Such a
+//! reader may probe one of the adopter's locations pre-lock (stale,
+//! admitted at an old version) and another post-publish (admitted at
+//! `wv == rv`) — a torn view of one atomic write set that read-only
+//! commits never re-validate. [`GlobalClock::advance`] therefore
+//! retries its CAS until it wins: every committer's `wv` comes from its
+//! **own** AcqRel RMW, so the release-sequence argument below covers
+//! every write version, uncontended cost stays one CAS, and the SeqCst
+//! `fetch_add` of the seed is still gone.
+//!
+//! ## Memory ordering
+//!
+//! All orderings here are Acquire/Release, not SeqCst; see DESIGN.md §1
+//! ("Ordering argument") for the full proof sketch. The load in
+//! [`GlobalClock::now`] is Acquire and every clock mutation is an AcqRel
+//! RMW. Because RMWs extend release sequences, an Acquire load that
+//! observes clock value `c` synchronizes with *every* increment that
+//! produced a value `<= c`; and since a committer locks its entire write
+//! set *before* advancing the clock, a transaction whose `rv >= wv` is
+//! guaranteed to observe that committer's location locks (or its
+//! published values) when it probes — the TL2 invariant that makes
+//! `version <= rv` reads consistent.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -15,7 +47,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// Versions are stored shifted left by one inside per-location lock words
 /// (the low bit is the lock flag), so the usable width is 63 bits. At one
-/// commit per nanosecond this lasts ~292 years; [`GlobalClock::increment`]
+/// commit per nanosecond this lasts ~292 years; [`GlobalClock::advance`]
 /// still guards against overflow in debug builds.
 pub const MAX_VERSION: u64 = (1 << 63) - 1;
 
@@ -35,18 +67,56 @@ impl GlobalClock {
 
     /// Current clock value. Used as the read version `rv` of starting
     /// transactions and as the bound for snapshot reads.
+    ///
+    /// Acquire: synchronizes with the AcqRel increments, so observing
+    /// value `c` makes every lock acquisition performed before an
+    /// increment `<= c` visible (DESIGN.md §1, "rv publication").
     #[inline]
     pub fn now(&self) -> u64 {
-        self.now.load(Ordering::SeqCst)
+        self.now.load(Ordering::Acquire)
     }
 
-    /// Advances the clock and returns the new value, used as the write
-    /// version `wv` of a committing transaction.
+    /// Advances the clock for a committing write set and returns the
+    /// new, unique value: a CAS retried until it wins (never adopted —
+    /// see the module docs for why GV4 adoption is unsound here).
+    ///
+    /// AcqRel success: Release publishes our pre-commit lock stores to
+    /// later `now()` observers (through the release sequence); Acquire
+    /// orders us after the committers whose value we read-modify.
     #[inline]
-    pub fn increment(&self) -> u64 {
-        let wv = self.now.fetch_add(1, Ordering::SeqCst) + 1;
+    pub fn advance(&self) -> u64 {
+        let mut cur = self.now.load(Ordering::Relaxed);
+        loop {
+            match self.now.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    debug_assert!(cur + 1 < MAX_VERSION, "global version clock overflow");
+                    return cur + 1;
+                }
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Advances the clock by exactly one and returns the new, globally
+    /// unique value. Used by irrevocable transactions for their eager
+    /// writes, which run with all optimistic committers drained (see
+    /// `gate.rs`), so this never contends in practice; each eager write
+    /// needs its *own* version because the irrevocable-era protocol
+    /// relies on the strictly increasing per-write sequence to define
+    /// the eager-write window.
+    #[inline]
+    pub fn tick(&self) -> u64 {
+        let wv = self.now.fetch_add(1, Ordering::AcqRel) + 1;
         debug_assert!(wv < MAX_VERSION, "global version clock overflow");
         wv
+    }
+
+    /// Legacy unique-increment entry point, kept for external callers and
+    /// tests; equivalent to [`GlobalClock::tick`].
+    #[inline]
+    pub fn increment(&self) -> u64 {
+        self.tick()
     }
 }
 
@@ -77,6 +147,14 @@ mod tests {
     }
 
     #[test]
+    fn advance_increments_uniquely() {
+        let c = GlobalClock::new();
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.advance(), 2);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
     fn concurrent_increments_are_unique() {
         let c = Arc::new(GlobalClock::new());
         let threads: Vec<_> = (0..4)
@@ -89,6 +167,22 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 4000, "every increment must yield a distinct version");
+        assert_eq!(c.now(), 4000);
+    }
+
+    #[test]
+    fn concurrent_advances_are_unique_too() {
+        let c = Arc::new(GlobalClock::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || (0..1000).map(|_| c.advance()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = threads.into_iter().flat_map(|t| t.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000, "every advance must yield a distinct write version");
         assert_eq!(c.now(), 4000);
     }
 }

@@ -1,0 +1,309 @@
+//! The irrevocable-era gate: gate-free transaction begin/extend.
+//!
+//! An irrevocable transaction publishes each eager write at its own write
+//! version, so a read version sampled *inside* its eager-write window
+//! `[wv1, wvk)` would serialize between those writes and observe them
+//! half-applied. The seed implementation enforced this with a global
+//! `RwLock` taken shared on **every** begin and rv-extension — an atomic
+//! RMW on one shared cache line for every transaction in the system.
+//!
+//! This module replaces it with:
+//!
+//! * an **era word**: even = no irrevocable transaction, odd =
+//!   irrevocable in progress. Optimistic begin/extend samples the clock
+//!   with a seqlock-style double-check of the era (two plain loads, zero
+//!   RMWs, no shared-line writes);
+//! * **striped committer slots**: a writing commit registers in a
+//!   cache-padded per-thread slot for the duration of its lock/publish
+//!   window, so an incoming irrevocable transaction can drain all
+//!   in-flight commits before freezing the committed state. Registration
+//!   is two RMWs per *writing commit* (which already performs a CAS per
+//!   written location), not per begin.
+//!
+//! ## Why the rv double-check is sound (see also DESIGN.md §1)
+//!
+//! The irrevocable path makes the era odd (SeqCst CAS) *before* its
+//! first eager write, and even again (Release `fetch_add`) only *after*
+//! its last; each eager write advances the clock with an AcqRel RMW.
+//! The optimistic sampler loads era (Acquire, must be even), loads the
+//! clock (Acquire), then re-loads era and retries unless it reads the
+//! same even value. Suppose the sampled clock value `c >= wv1` for some
+//! window `[wv1, wvk)`:
+//!
+//! * if that window's era-odd store happened before our first era load,
+//!   the first load sees odd (or a later era) and we spin/retry;
+//! * otherwise the Acquire clock load that observed `c >= wv1` reads
+//!   from the release sequence through `wv1`'s AcqRel increment, which
+//!   synchronizes-with it; the era-odd store is sequenced before that
+//!   increment, so the era re-load (program-ordered after an Acquire
+//!   load, hence not hoisted above it) must observe the odd (or a later)
+//!   era — different from the first load's value — and we retry.
+//!
+//! Conversely `c < wv1` never lands inside the window. A *closed*
+//! window cannot supply a stale `c` either: reading the closing (even,
+//! Release) era value synchronizes-with the close, making the final
+//! clock value `>= wvk` visible before the clock load. Eras strictly
+//! increase, so value equality of the two loads rules out a full
+//! odd→even cycle between them.
+//!
+//! ## Committer/irrevocable mutual exclusion
+//!
+//! A committer registers (SeqCst `fetch_add` on its slot) and *then*
+//! checks the era (SeqCst load); the irrevocable side makes the era odd
+//! (SeqCst CAS) and *then* scans the slots (SeqCst loads). This is the
+//! classic store→load / store→load pattern: in every interleaving either
+//! the committer sees the odd era (and backs out before touching any
+//! location lock) or the irrevocable transaction sees the registration
+//! (and waits for it to drain). SeqCst on these four accesses is what
+//! rules out the both-proceed outcome; everything else is
+//! Acquire/Release.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::clock::GlobalClock;
+use crate::shard::current_thread_index;
+use crate::stm::polite_spin;
+
+/// Number of committer slots. Power of two; threads beyond this share
+/// slots (the slots are counters, so sharing is correct, merely less
+/// parallel).
+const COMMIT_STRIPES: usize = 32;
+
+/// Wait behind a (potentially long) irrevocable era: spin briefly, then
+/// yield, then sleep with a growing interval. Irrevocable bodies run
+/// arbitrary user code, and the seed's RwLock *parked* waiters here —
+/// an unbounded spin would burn CPU (and, oversubscribed, steal quanta
+/// from the very transaction being waited out). A futex-style park on
+/// the era word would be stronger; the sleep keeps the fast path free
+/// of any parking machinery while bounding the burn.
+#[inline]
+fn era_wait(spins: u32) {
+    if spins < 64 {
+        polite_spin(spins);
+    } else {
+        let us = 50 * u64::from((spins - 63).min(20));
+        std::thread::sleep(std::time::Duration::from_micros(us));
+    }
+}
+
+/// The era word plus the striped committer registry (see module docs).
+#[derive(Debug)]
+pub(crate) struct IrrevGate {
+    /// Even = no irrevocable transaction; odd = one in progress.
+    era: AtomicU64,
+    /// In-flight writing commits per thread stripe.
+    committers: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl IrrevGate {
+    pub(crate) fn new() -> Self {
+        Self {
+            era: AtomicU64::new(0),
+            committers: (0..COMMIT_STRIPES).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    /// Current era value (diagnostics/tests).
+    #[cfg(test)]
+    pub(crate) fn era(&self) -> u64 {
+        self.era.load(Ordering::Acquire)
+    }
+
+    /// Samples a read version that is guaranteed not to land inside any
+    /// irrevocable eager-write window. The hot path (no irrevocable in
+    /// progress) is two plain loads around the clock load — no RMW, no
+    /// store, no shared-line invalidation.
+    #[inline]
+    pub(crate) fn sample_rv(&self, clock: &GlobalClock) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            // Acquire: reading an even value synchronizes-with the
+            // Release close of the previous window, so the clock load
+            // below cannot return a value from inside that closed window.
+            let e1 = self.era.load(Ordering::Acquire);
+            if e1 & 1 == 0 {
+                let c = clock.now();
+                // Ordered after the Acquire clock load by program order
+                // (loads are not hoisted above an Acquire load); equality
+                // with `e1` proves no window opened before `c` was
+                // produced — see the module docs for the full argument.
+                if self.era.load(Ordering::Acquire) == e1 {
+                    return c;
+                }
+            }
+            spins += 1;
+            era_wait(spins);
+        }
+    }
+
+    /// Registers this thread as an in-flight writing commit, waiting out
+    /// any irrevocable transaction first. The returned guard must be held
+    /// across the whole lock/validate/publish window and deregisters on
+    /// drop (including abort and panic paths).
+    #[inline]
+    pub(crate) fn enter_commit(&self) -> CommitTicket<'_> {
+        let slot = &self.committers[current_thread_index() & (COMMIT_STRIPES - 1)];
+        let mut spins = 0u32;
+        loop {
+            // Register *before* checking the era (SeqCst store→load, see
+            // module docs): either we see the odd era and back out, or
+            // the irrevocable side sees our registration and drains us.
+            slot.fetch_add(1, Ordering::SeqCst);
+            if self.era.load(Ordering::SeqCst) & 1 == 0 {
+                return CommitTicket { slot };
+            }
+            slot.fetch_sub(1, Ordering::Release);
+            while self.era.load(Ordering::Acquire) & 1 == 1 {
+                spins += 1;
+                era_wait(spins);
+            }
+        }
+    }
+
+    /// Opens an irrevocable era: makes the era odd (excluding other
+    /// irrevocable transactions), then drains every in-flight writing
+    /// commit. On return the committed state is frozen — no optimistic
+    /// transaction holds or can acquire a location lock until the
+    /// returned guard drops.
+    pub(crate) fn enter_irrevocable(&self) -> IrrevTicket<'_> {
+        let mut spins = 0u32;
+        loop {
+            let e = self.era.load(Ordering::Acquire);
+            // SeqCst success: the era-odd store must be totally ordered
+            // against committer registrations (module docs).
+            if e & 1 == 0
+                && self
+                    .era
+                    .compare_exchange_weak(e, e + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break;
+            }
+            spins += 1;
+            era_wait(spins);
+        }
+        for slot in self.committers.iter() {
+            let mut spins = 0u32;
+            while slot.load(Ordering::SeqCst) != 0 {
+                spins += 1;
+                polite_spin(spins);
+            }
+        }
+        IrrevTicket { gate: self }
+    }
+}
+
+/// Registration of one in-flight writing commit; deregisters on drop.
+pub(crate) struct CommitTicket<'g> {
+    slot: &'g CachePadded<AtomicU64>,
+}
+
+impl Drop for CommitTicket<'_> {
+    fn drop(&mut self) {
+        // Release: our lock releases / publishes are ordered before the
+        // deregistration the draining irrevocable transaction acquires.
+        self.slot.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// An open irrevocable era; closes (era becomes even) on drop, including
+/// on panic unwind out of the irrevocable closure.
+pub(crate) struct IrrevTicket<'g> {
+    gate: &'g IrrevGate,
+}
+
+impl Drop for IrrevTicket<'_> {
+    fn drop(&mut self) {
+        // Release-close: samplers that read the new even era see every
+        // eager write (and clock tick) of the window as already done.
+        self.gate.era.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn sample_rv_passes_through_when_idle() {
+        let gate = IrrevGate::new();
+        let clock = GlobalClock::new();
+        clock.increment();
+        clock.increment();
+        assert_eq!(gate.sample_rv(&clock), 2);
+        assert_eq!(gate.era(), 0);
+    }
+
+    #[test]
+    fn irrevocable_ticket_flips_era_parity() {
+        let gate = IrrevGate::new();
+        let t = gate.enter_irrevocable();
+        assert_eq!(gate.era() & 1, 1);
+        drop(t);
+        assert_eq!(gate.era() & 1, 0);
+        assert_eq!(gate.era(), 2, "eras strictly increase");
+    }
+
+    #[test]
+    fn commit_ticket_registers_and_deregisters() {
+        let gate = IrrevGate::new();
+        let t = gate.enter_commit();
+        // An irrevocable entry must wait for the ticket to drop.
+        let entered = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _t = gate.enter_irrevocable();
+                entered.store(true, Ordering::SeqCst);
+            });
+            // Give the irrevocable thread time to reach the drain loop.
+            for _ in 0..100 {
+                std::thread::yield_now();
+            }
+            assert!(!entered.load(Ordering::SeqCst), "must drain registered committers first");
+            drop(t);
+        });
+        assert!(entered.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn sample_rv_waits_out_an_open_era() {
+        let gate = IrrevGate::new();
+        let clock = GlobalClock::new();
+        let ticket = gate.enter_irrevocable();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _rv = gate.sample_rv(&clock);
+                done.store(true, Ordering::SeqCst);
+            });
+            for _ in 0..100 {
+                std::thread::yield_now();
+            }
+            assert!(!done.load(Ordering::SeqCst), "sampling must block while era is odd");
+            drop(ticket);
+        });
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn irrevocable_eras_exclude_each_other() {
+        let gate = IrrevGate::new();
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        let _t = gate.enter_irrevocable();
+                        let v = counter.load(Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        counter.store(v + 1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 800, "eras must be mutually exclusive");
+    }
+}

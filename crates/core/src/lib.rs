@@ -71,11 +71,14 @@
 pub mod clock;
 pub mod cm;
 pub mod error;
+pub(crate) mod gate;
 pub mod semantics;
+pub(crate) mod shard;
 pub mod stats;
 pub mod stm;
 pub mod tarray;
 pub mod tvar;
+pub(crate) mod txdesc;
 pub mod txn;
 pub(crate) mod varcore;
 

@@ -1,0 +1,51 @@
+//! Per-thread shard indices.
+//!
+//! Several hot-path structures stripe their shared state across
+//! cache-padded slots so that unrelated threads do not contend on one
+//! cache line (the committer registry in `gate.rs`, the statistics
+//! shards in `stats.rs`). Each thread draws one process-wide index on
+//! first use and keeps it for its lifetime; consumers reduce it modulo
+//! their own stripe count, so two consumers can use different widths
+//! while still giving each thread a stable home slot.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT_THREAD_INDEX: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's stable shard index (assigned on first call).
+#[inline]
+pub(crate) fn current_thread_index() -> usize {
+    THREAD_INDEX.with(|idx| {
+        let v = idx.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let assigned = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+        idx.set(assigned);
+        assigned
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_stable_within_a_thread() {
+        let a = current_thread_index();
+        let b = current_thread_index();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indices_differ_across_threads() {
+        let mine = current_thread_index();
+        let theirs = std::thread::spawn(current_thread_index).join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+}

@@ -1,87 +1,42 @@
 //! Commit/abort accounting.
 //!
-//! Counters are relaxed atomics padded to cache lines; reading them while
+//! Counters are sharded per thread: each thread records into its own
+//! cache-padded slot (assigned via `shard.rs`) and [`StmStats::snapshot`]
+//! aggregates across shards. A commit therefore never fetch-adds a
+//! *globally shared* cache line — the seed's single padded counter block
+//! serialized every commit at high core counts. Reading while
 //! transactions run yields a consistent-enough snapshot for reporting
 //! (exact totals are only guaranteed quiescently).
 
 use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Mutable counter block owned by an [`crate::Stm`].
+use crate::shard::current_thread_index;
+
+/// Number of counter shards. Power of two; threads beyond this share
+/// shards (still correct — the counters are atomic — merely less
+/// parallel).
+const STAT_SHARDS: usize = 32;
+
+/// One thread stripe's counters. Plain (unpadded) atomics inside one
+/// padded block: a thread touches only its own block.
 #[derive(Debug, Default)]
-pub struct StmStats {
-    commits: CachePadded<AtomicU64>,
-    aborts_read_conflict: CachePadded<AtomicU64>,
-    aborts_locked: CachePadded<AtomicU64>,
-    aborts_validation: CachePadded<AtomicU64>,
-    aborts_snapshot: CachePadded<AtomicU64>,
-    aborts_user_retry: CachePadded<AtomicU64>,
-    elastic_cuts: CachePadded<AtomicU64>,
-    extensions: CachePadded<AtomicU64>,
-    irrevocable_upgrades: CachePadded<AtomicU64>,
-    irrevocable_commits: CachePadded<AtomicU64>,
+struct StatShard {
+    commits: AtomicU64,
+    aborts_read_conflict: AtomicU64,
+    aborts_locked: AtomicU64,
+    aborts_validation: AtomicU64,
+    aborts_snapshot: AtomicU64,
+    aborts_user_retry: AtomicU64,
+    elastic_cuts: AtomicU64,
+    extensions: AtomicU64,
+    irrevocable_upgrades: AtomicU64,
+    irrevocable_commits: AtomicU64,
 }
 
-impl StmStats {
-    pub(crate) fn record_commit(&self) {
-        self.commits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn record_irrevocable_commit(&self) {
-        self.irrevocable_commits.fetch_add(1, Ordering::Relaxed);
-        self.commits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn record_abort(&self, abort: crate::Abort) {
-        use crate::Abort::*;
-        let ctr = match abort {
-            ReadConflict { .. } => &self.aborts_read_conflict,
-            Locked { .. } => &self.aborts_locked,
-            ValidationFailed { .. } => &self.aborts_validation,
-            SnapshotUnavailable { .. } => &self.aborts_snapshot,
-            Retry => &self.aborts_user_retry,
-            // Cancellation, read-only violations and irrevocable restarts
-            // are not contention; count them as user retries for lack of a
-            // better bucket, except Cancel which is not counted at all.
-            ReadOnlyViolation | RestartIrrevocable => &self.aborts_user_retry,
-            Cancel => return,
-        };
-        ctr.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn record_cut(&self, n: u64) {
-        if n > 0 {
-            self.elastic_cuts.fetch_add(n, Ordering::Relaxed);
-        }
-    }
-
-    pub(crate) fn record_extension(&self) {
-        self.extensions.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn record_irrevocable_upgrade(&self) {
-        self.irrevocable_upgrades.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Copy out all counters.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts_read_conflict: self.aborts_read_conflict.load(Ordering::Relaxed),
-            aborts_locked: self.aborts_locked.load(Ordering::Relaxed),
-            aborts_validation: self.aborts_validation.load(Ordering::Relaxed),
-            aborts_snapshot: self.aborts_snapshot.load(Ordering::Relaxed),
-            aborts_user_retry: self.aborts_user_retry.load(Ordering::Relaxed),
-            elastic_cuts: self.elastic_cuts.load(Ordering::Relaxed),
-            extensions: self.extensions.load(Ordering::Relaxed),
-            irrevocable_upgrades: self.irrevocable_upgrades.load(Ordering::Relaxed),
-            irrevocable_commits: self.irrevocable_commits.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Reset all counters to zero (between benchmark phases).
-    pub fn reset(&self) {
-        for c in [
+impl StatShard {
+    fn counters(&self) -> [&AtomicU64; 10] {
+        [
             &self.commits,
             &self.aborts_read_conflict,
             &self.aborts_locked,
@@ -92,8 +47,107 @@ impl StmStats {
             &self.extensions,
             &self.irrevocable_upgrades,
             &self.irrevocable_commits,
-        ] {
-            c.store(0, Ordering::Relaxed);
+        ]
+    }
+}
+
+/// Sharded counter block owned by an [`crate::Stm`].
+#[derive(Debug)]
+pub struct StmStats {
+    shards: Box<[CachePadded<StatShard>]>,
+}
+
+impl Default for StmStats {
+    fn default() -> Self {
+        Self { shards: (0..STAT_SHARDS).map(|_| CachePadded::new(StatShard::default())).collect() }
+    }
+}
+
+impl StmStats {
+    /// This thread's home shard.
+    #[inline]
+    fn shard(&self) -> &StatShard {
+        &self.shards[current_thread_index() & (STAT_SHARDS - 1)]
+    }
+
+    pub(crate) fn record_commit(&self) {
+        self.shard().commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_irrevocable_commit(&self) {
+        let s = self.shard();
+        s.irrevocable_commits.fetch_add(1, Ordering::Relaxed);
+        s.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_abort(&self, abort: crate::Abort) {
+        use crate::Abort::*;
+        let s = self.shard();
+        let ctr = match abort {
+            ReadConflict { .. } => &s.aborts_read_conflict,
+            Locked { .. } => &s.aborts_locked,
+            ValidationFailed { .. } => &s.aborts_validation,
+            SnapshotUnavailable { .. } => &s.aborts_snapshot,
+            Retry => &s.aborts_user_retry,
+            // Cancellation, read-only violations and irrevocable restarts
+            // are not contention; count them as user retries for lack of a
+            // better bucket, except Cancel which is not counted at all.
+            ReadOnlyViolation | RestartIrrevocable => &s.aborts_user_retry,
+            Cancel => return,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` elastic cuts in one add (no-op when `n == 0`).
+    pub(crate) fn record_cuts(&self, n: u64) {
+        if n > 0 {
+            self.shard().elastic_cuts.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` read-version extensions in one add (no-op when
+    /// `n == 0`).
+    pub(crate) fn record_extensions(&self, n: u64) {
+        if n > 0 {
+            self.shard().extensions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_irrevocable_upgrade(&self) {
+        self.shard().irrevocable_upgrades.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregate all shards into one snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut out = StatsSnapshot::default();
+        for shard in self.shards.iter() {
+            // Zipped against counters() so the counter list lives in
+            // exactly one place; a mismatch is a compile error here.
+            let dst: [&mut u64; 10] = [
+                &mut out.commits,
+                &mut out.aborts_read_conflict,
+                &mut out.aborts_locked,
+                &mut out.aborts_validation,
+                &mut out.aborts_snapshot,
+                &mut out.aborts_user_retry,
+                &mut out.elastic_cuts,
+                &mut out.extensions,
+                &mut out.irrevocable_upgrades,
+                &mut out.irrevocable_commits,
+            ];
+            for (src, dst) in shard.counters().iter().zip(dst) {
+                *dst += src.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Reset all counters to zero (between benchmark phases).
+    pub fn reset(&self) {
+        for shard in self.shards.iter() {
+            for c in shard.counters() {
+                c.store(0, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -179,14 +233,15 @@ mod tests {
     #[test]
     fn cuts_extensions_and_upgrades() {
         let s = StmStats::default();
-        s.record_cut(3);
-        s.record_cut(0);
-        s.record_extension();
+        s.record_cuts(3);
+        s.record_cuts(0);
+        s.record_extensions(2);
+        s.record_extensions(0);
         s.record_irrevocable_upgrade();
         s.record_irrevocable_commit();
         let snap = s.snapshot();
         assert_eq!(snap.elastic_cuts, 3);
-        assert_eq!(snap.extensions, 1);
+        assert_eq!(snap.extensions, 2);
         assert_eq!(snap.irrevocable_upgrades, 1);
         assert_eq!(snap.irrevocable_commits, 1);
         assert_eq!(snap.commits, 1);
@@ -210,5 +265,23 @@ mod tests {
     #[test]
     fn abort_ratio_of_empty_snapshot_is_zero() {
         assert_eq!(StatsSnapshot::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn counts_from_many_threads_aggregate() {
+        let s = StmStats::default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        s.record_commit();
+                    }
+                    s.record_abort(Abort::Retry);
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 800);
+        assert_eq!(snap.aborts_user_retry, 8);
     }
 }

@@ -1,15 +1,14 @@
-//! The [`Stm`] instance: global clock, revocation gate, configuration,
-//! statistics, and the `start(p)` entry points [`Stm::run`] /
-//! [`Stm::try_run`].
+//! The [`Stm`] instance: global clock, irrevocable-era gate,
+//! configuration, statistics, and the `start(p)` entry points
+//! [`Stm::run`] / [`Stm::try_run`].
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
-
 use crate::clock::GlobalClock;
 use crate::cm::{ConflictArbiter, ContentionManager, TxMeta};
 use crate::error::{Abort, Canceled, TxResult};
+use crate::gate::IrrevGate;
 use crate::semantics::{NestingPolicy, Semantics};
 use crate::stats::{StatsSnapshot, StmStats};
 use crate::tvar::{TVar, TxValue};
@@ -77,7 +76,7 @@ impl TxParams {
 pub struct Stm {
     id: u64,
     clock: GlobalClock,
-    gate: RwLock<()>,
+    gate: IrrevGate,
     ts_source: AtomicU64,
     config: StmConfig,
     stats: StmStats,
@@ -135,7 +134,7 @@ impl Stm {
         Self {
             id: STM_IDS.fetch_add(1, Ordering::Relaxed),
             clock: GlobalClock::new(),
-            gate: RwLock::new(()),
+            gate: IrrevGate::new(),
             ts_source: AtomicU64::new(1),
             config,
             stats: StmStats::default(),
@@ -156,7 +155,7 @@ impl Stm {
         &self.clock
     }
 
-    pub(crate) fn gate(&self) -> &RwLock<()> {
+    pub(crate) fn gate(&self) -> &IrrevGate {
         &self.gate
     }
 
@@ -222,10 +221,8 @@ impl Stm {
             let abort = match outcome {
                 Ok(value) => match tx.commit() {
                     Ok(receipt) => {
-                        self.stats.record_cut(receipt.cuts);
-                        for _ in 0..receipt.extensions {
-                            self.stats.record_extension();
-                        }
+                        self.stats.record_cuts(receipt.cuts);
+                        self.stats.record_extensions(receipt.extensions);
                         if semantics == Semantics::Irrevocable {
                             self.stats.record_irrevocable_commit();
                         } else {
@@ -245,7 +242,8 @@ impl Stm {
                         );
                     }
                     let receipt = tx.abort_receipt();
-                    self.stats.record_cut(receipt.cuts);
+                    self.stats.record_cuts(receipt.cuts);
+                    self.stats.record_extensions(receipt.extensions);
                     drop(tx);
                     match abort {
                         Abort::Cancel => {

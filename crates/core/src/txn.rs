@@ -12,41 +12,37 @@
 //!   address order (deadlock-free);
 //! * its **read version** `rv`, extensible on demand (revalidating all
 //!   live reads against the current clock);
-//! * the revocation-gate guard when running irrevocably.
+//! * the irrevocable-era ticket when running irrevocably.
+//!
+//! ## Hot-path design (see DESIGN.md §1)
+//!
+//! All growable state lives in a pooled [`TxDescriptor`] reused across
+//! attempts and transactions (zero steady-state allocation); read
+//! versions are sampled through the gate-free era double-check in
+//! `gate.rs` (no RMW, no lock); the global clock is an Acquire/Release
+//! CAS (no SeqCst); and the epoch pin is cached per transaction,
+//! released around arbitrated waits so a stalled conflict never stalls
+//! reclamation.
 
-use std::any::Any;
-use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::mem::ManuallyDrop;
 use std::sync::Arc;
 
 use crossbeam_epoch as epoch;
-use parking_lot::RwLockWriteGuard;
 
 use crate::cm::{ConflictDecision, ContentionManager, TxMeta};
 use crate::error::{Abort, TxResult};
+use crate::gate::IrrevTicket;
 use crate::semantics::{compose, NestingPolicy, Semantics};
 use crate::stm::Stm;
 use crate::tvar::TxValue;
+use crate::txdesc::{
+    stash_descriptor, take_descriptor, ReadEntry, TxDescriptor, WriteEntry, WritePayload,
+};
 use crate::varcore::{CommittedRead, TxSlot, VarCore};
 
-/// One read-set entry.
-struct ReadEntry {
-    slot: Arc<dyn TxSlot>,
-    addr: usize,
-    /// Version of the value observed.
-    seen: u64,
-    /// True once the entry has been elastically cut: it is no longer
-    /// validated and no longer counts as "already read".
-    dead: bool,
-}
-
-/// One buffered write.
-struct WriteEntry {
-    slot: Arc<dyn TxSlot>,
-    addr: usize,
-    /// `None` only transiently while the value is being published.
-    value: Option<Box<dyn Any + Send>>,
-}
+/// How many reads between refreshes of the cached epoch pin (see
+/// [`Transaction::pin`]).
+const PIN_REFRESH_INTERVAL: u32 = 64;
 
 /// An in-flight transaction attempt. See the module docs.
 pub struct Transaction<'s> {
@@ -54,55 +50,50 @@ pub struct Transaction<'s> {
     semantics: Semantics,
     meta: TxMeta,
     rv: u64,
-    reads: Vec<ReadEntry>,
-    /// addr -> index into `reads`, live entries only.
-    read_index: HashMap<usize, usize>,
-    writes: Vec<WriteEntry>,
-    /// addr -> index into `writes`.
-    write_index: HashMap<usize, usize>,
-    /// Indices into `reads` still eligible for elastic cutting, oldest
-    /// first. Non-empty only for elastic transactions before their first
-    /// write and outside nested blocks of different semantics.
-    window_queue: VecDeque<usize>,
     /// Elastic cuts performed by this attempt (flushed to stats at end).
     cuts: u64,
     /// Read-version extensions performed by this attempt.
     extensions: u64,
-    /// Held for the whole transaction when running irrevocably.
-    _gate_guard: Option<RwLockWriteGuard<'s, ()>>,
+    /// Pooled read/write sets and commit scratch; returned to the pool
+    /// (cleared) by `Drop`.
+    desc: ManuallyDrop<Box<TxDescriptor>>,
+    /// Cached epoch pin: taken on first need, dropped around arbitrated
+    /// waits (a parked transaction must not stall reclamation) and at
+    /// the end of the attempt.
+    guard: Option<epoch::Guard>,
+    /// Snapshot reads since the cached pin was last refreshed (see
+    /// [`Transaction::pin`]'s refresh rule; optimistic reads count via
+    /// the read-set length in `push_read` instead).
+    pin_uses: u32,
+    /// Held for the whole transaction when running irrevocably; closes
+    /// the era on drop (commit, abort and panic paths alike).
+    era: Option<IrrevTicket<'s>>,
 }
 
 impl<'s> Transaction<'s> {
     pub(crate) fn begin(stm: &'s Stm, semantics: Semantics, meta: TxMeta) -> Self {
-        let gate_guard =
-            if semantics == Semantics::Irrevocable { Some(stm.gate().write()) } else { None };
-        // Sample rv *after* acquiring the gate so an irrevocable
-        // transaction observes the final pre-gate state. Revocable
-        // transactions sample rv under a *shared* gate acquisition: an
-        // irrevocable transaction publishes each eager write at its own
-        // write version, so a read version sampled in the middle of its
-        // window would serialize between those writes and observe them
-        // half-applied. Beginning mid-irrevocable instead waits the
-        // irrevocable transaction out (it "serializes against all").
-        let rv = if gate_guard.is_some() {
-            stm.clock().now()
+        let (rv, era) = if semantics == Semantics::Irrevocable {
+            // Opening the era excludes other irrevocable transactions and
+            // drains every in-flight writing commit, so the committed
+            // state observed from here on is frozen: sample directly.
+            let ticket = stm.gate().enter_irrevocable();
+            (stm.clock().now(), Some(ticket))
         } else {
-            let _shared = stm.gate().read();
-            stm.clock().now()
+            // Gate-free begin: the era double-check guarantees rv never
+            // lands inside an irrevocable eager-write window (gate.rs).
+            (stm.gate().sample_rv(stm.clock()), None)
         };
         Self {
             stm,
             semantics,
             meta,
             rv,
-            reads: Vec::new(),
-            read_index: HashMap::new(),
-            writes: Vec::new(),
-            write_index: HashMap::new(),
-            window_queue: VecDeque::new(),
             cuts: 0,
             extensions: 0,
-            _gate_guard: gate_guard,
+            desc: ManuallyDrop::new(take_descriptor()),
+            guard: None,
+            pin_uses: 0,
+            era,
         }
     }
 
@@ -131,12 +122,12 @@ impl<'s> Transaction<'s> {
 
     /// Number of live (validated-at-commit) read-set entries.
     pub fn live_reads(&self) -> usize {
-        self.read_index.len()
+        self.desc.read_index.len()
     }
 
     /// Number of buffered writes.
     pub fn pending_writes(&self) -> usize {
-        self.writes.len()
+        self.desc.writes.len()
     }
 
     /// Abort the current attempt and re-execute from the start (after the
@@ -155,6 +146,33 @@ impl<'s> Transaction<'s> {
         Err(Abort::Cancel)
     }
 
+    /// The cached epoch pin, taken lazily.
+    ///
+    /// The vendored epoch frees deferred garbage only when the global
+    /// pin count is *observed at zero*, so a pin held for a whole long
+    /// transaction (with other transactions overlapping it) could
+    /// starve reclamation indefinitely. Long transactions therefore
+    /// refresh the pin periodically — every [`PIN_REFRESH_INTERVAL`]th
+    /// read-set entry (`push_read`) or snapshot read (`read_var`) —
+    /// keeping ~1/64 of the seed's per-read pin cost while guaranteeing
+    /// zero-pin windows keep opening for the collector. The refresh
+    /// check lives on those already-slow paths so this accessor stays
+    /// two instructions.
+    #[inline]
+    fn pin(&mut self) -> &epoch::Guard {
+        if self.guard.is_none() {
+            self.guard = Some(epoch::pin());
+        }
+        self.guard.as_ref().expect("just pinned")
+    }
+
+    /// Releases the cached pin (before waits and sleeps).
+    #[inline]
+    fn unpin(&mut self) {
+        self.guard = None;
+        self.pin_uses = 0;
+    }
+
     // ------------------------------------------------------------------
     // Reads
     // ------------------------------------------------------------------
@@ -166,13 +184,11 @@ impl<'s> Transaction<'s> {
         );
         let addr = core.address();
         // Read-own-write.
-        if let Some(&idx) = self.write_index.get(&addr) {
-            let value = self.writes[idx]
-                .value
-                .as_ref()
-                .expect("write-set value present outside commit")
-                .downcast_ref::<T>()
-                .expect("write-set entry type matches TVar type");
+        if let Some(idx) = self.desc.write_index.get(addr) {
+            let value = self.desc.writes[idx as usize]
+                .payload
+                .get_ref::<T>()
+                .expect("write-set value present outside commit");
             return Ok(value.clone());
         }
         match self.semantics {
@@ -198,21 +214,26 @@ impl<'s> Transaction<'s> {
                     }
                     self.arbitrate_lock(addr, p.owner, &mut spins)?;
                 }
-                // Pin only after the wait: holding an epoch guard across
-                // an arbitrated wait would stall reclamation globally.
-                let guard = epoch::pin();
-                match core.read_snapshot(self.rv, &guard) {
+                // Pin only after the wait (arbitrate_lock unpins): an
+                // epoch guard held across an arbitrated wait would stall
+                // reclamation globally. Long scans refresh the pin
+                // periodically (see `pin`).
+                self.pin_uses += 1;
+                if self.pin_uses >= PIN_REFRESH_INTERVAL {
+                    self.unpin();
+                }
+                let rv = self.rv;
+                match core.read_snapshot(rv, self.pin()) {
                     Some((v, _)) => Ok(v),
                     None => Err(Abort::SnapshotUnavailable { addr }),
                 }
             }
             Semantics::Irrevocable => {
-                // The gate is held exclusively: no other transaction can
-                // commit, so the committed state is frozen apart from our
-                // own (already published) eager writes.
-                let guard = epoch::pin();
+                // The era is ours: no other transaction can commit, so
+                // the committed state is frozen apart from our own
+                // (already published) eager writes.
                 loop {
-                    match core.read_committed(&guard) {
+                    match core.read_committed(self.pin()) {
                         CommittedRead::Value(v, _) => return Ok(v),
                         CommittedRead::Locked(_) => std::hint::spin_loop(),
                     }
@@ -223,11 +244,11 @@ impl<'s> Transaction<'s> {
     }
 
     fn read_optimistic<T: TxValue>(&mut self, core: &Arc<VarCore<T>>, addr: usize) -> TxResult<T> {
-        if let Some(&idx) = self.read_index.get(&addr) {
+        if let Some(idx) = self.desc.read_index.get(addr) {
             // Re-read: the location must still carry the version we saw,
             // otherwise two reads of the same location would return
             // different values inside one transaction.
-            let seen = self.reads[idx].seen;
+            let seen = self.desc.reads[idx as usize].seen;
             let (value, ver) = self.wait_read_committed(core, addr)?;
             return if ver == seen { Ok(value) } else { Err(Abort::ReadConflict { addr }) };
         }
@@ -236,18 +257,25 @@ impl<'s> Transaction<'s> {
         // oldest reads until at most `window - 1` previous reads remain.
         // Only legal before the first write.
         if let Semantics::Elastic { window } = self.semantics {
-            if self.writes.is_empty() {
+            if self.desc.writes.is_empty() {
                 self.cut_to(window.max(1) - 1);
             }
         }
-        let (value, ver) = self.wait_read_committed(core, addr)?;
-        if ver > self.rv {
+        let (mut value, mut ver) = self.wait_read_committed(core, addr)?;
+        while ver > self.rv {
             // The location changed after we started: try to slide our
             // serialization point forward. Live reads must all still be
             // current; elastic transactions have already shed the reads
             // they are allowed to shed, so failure here is final.
             self.extend(addr)?;
-            debug_assert!(ver <= self.rv);
+            // The location may have been republished *between* the read
+            // above and the extension's clock sample; admitting the
+            // buffered value would let a commit with `wv == rv + 1` skip
+            // validation over a stale read (a lost update). Re-read and
+            // re-check against the extended rv.
+            let (v, newer) = self.wait_read_committed(core, addr)?;
+            value = v;
+            ver = newer;
         }
         self.push_read(Arc::clone(core) as Arc<dyn TxSlot>, addr, ver);
         Ok(value)
@@ -256,28 +284,30 @@ impl<'s> Transaction<'s> {
     /// Optimistically read a committed value, arbitrating with the
     /// contention manager while the location is locked by a committer.
     fn wait_read_committed<T: TxValue>(
-        &self,
+        &mut self,
         core: &Arc<VarCore<T>>,
         addr: usize,
     ) -> TxResult<(T, u64)> {
-        let guard = epoch::pin();
         let mut spins = 0u32;
         loop {
-            match core.read_committed(&guard) {
+            let owner = match core.read_committed(self.pin()) {
                 CommittedRead::Value(v, ver) => return Ok((v, ver)),
-                CommittedRead::Locked(owner) => self.arbitrate_lock(addr, owner, &mut spins)?,
-            }
+                CommittedRead::Locked(owner) => owner,
+            };
+            self.arbitrate_lock(addr, owner, &mut spins)?;
         }
     }
 
     /// One arbitration round against the transaction currently holding a
     /// location lock: either aborts this transaction
     /// ([`Abort::Locked`]) or backs off politely and lets the caller
-    /// re-probe. Shared by every lock-wait loop in the runtime.
-    fn arbitrate_lock(&self, addr: usize, owner: u64, spins: &mut u32) -> TxResult<()> {
+    /// re-probe. Shared by every lock-wait loop in the runtime. Releases
+    /// the cached epoch pin before waiting.
+    fn arbitrate_lock(&mut self, addr: usize, owner: u64, spins: &mut u32) -> TxResult<()> {
         match self.stm.arbiter().on_conflict(&self.meta, owner, *spins) {
             ConflictDecision::AbortSelf => Err(Abort::Locked { addr, owner }),
             ConflictDecision::Wait => {
+                self.unpin();
                 *spins += 1;
                 crate::stm::polite_spin(*spins);
                 Ok(())
@@ -287,12 +317,18 @@ impl<'s> Transaction<'s> {
 
     /// Append a read-set entry; elastic reads also enter the cut window.
     fn push_read(&mut self, slot: Arc<dyn TxSlot>, addr: usize, seen: u64) {
-        let idx = self.reads.len();
-        self.reads.push(ReadEntry { slot, addr, seen, dead: false });
-        self.read_index.insert(addr, idx);
+        let idx = self.desc.reads.len() as u32;
+        // Periodic pin refresh for long transactions (see `pin`): the
+        // value for this read is already cloned, so the guard can lapse
+        // here without extending any borrow.
+        if (idx + 1).is_multiple_of(PIN_REFRESH_INTERVAL) {
+            self.unpin();
+        }
+        self.desc.reads.push(ReadEntry { slot, addr, seen, dead: false });
+        self.desc.read_index.insert(addr, idx);
         if let Semantics::Elastic { window } = self.semantics {
-            if self.writes.is_empty() {
-                self.window_queue.push_back(idx);
+            if self.desc.writes.is_empty() {
+                self.desc.window_queue.push_back(idx);
                 // Invariant (defensive; `cut_to` already ran): at most
                 // `window` live elastic reads.
                 self.cut_to(window.max(1));
@@ -303,11 +339,12 @@ impl<'s> Transaction<'s> {
     /// Mark the oldest cuttable reads dead until at most `keep` remain in
     /// the elastic window.
     fn cut_to(&mut self, keep: usize) {
-        while self.window_queue.len() > keep {
-            let old = self.window_queue.pop_front().expect("queue non-empty");
-            let entry = &mut self.reads[old];
+        while self.desc.window_queue.len() > keep {
+            let old = self.desc.window_queue.pop_front().expect("queue non-empty");
+            let entry = &mut self.desc.reads[old as usize];
             entry.dead = true;
-            self.read_index.remove(&entry.addr);
+            let addr = entry.addr;
+            self.desc.read_index.remove(addr);
             self.cuts += 1;
         }
     }
@@ -316,20 +353,20 @@ impl<'s> Transaction<'s> {
     /// still current. `addr` is only for the error value.
     fn extend(&mut self, _addr: usize) -> TxResult<()> {
         // Same rule as at begin: the extended read version must not land
-        // between the eager writes of a running irrevocable transaction,
-        // so sample it under a shared gate acquisition (waiting out any
-        // irrevocable transaction in progress). When *this* transaction
-        // holds the gate exclusively (a nested optimistic block inside
-        // an irrevocable parent), no other irrevocable transaction can
-        // be running and re-acquiring the non-reentrant gate would
-        // self-deadlock — sample the clock directly.
-        let now = if self._gate_guard.is_some() {
+        // inside an irrevocable eager-write window, so sample it through
+        // the era double-check (waiting out any irrevocable transaction
+        // in progress). When *this* transaction holds the era (a nested
+        // optimistic block inside an irrevocable parent), no other
+        // irrevocable transaction can be running — sample directly.
+        let now = if self.era.is_some() {
             self.stm.clock().now()
         } else {
-            let _shared = self.stm.gate().read();
-            self.stm.clock().now()
+            // The sampler may spin behind an open era: release the pin
+            // so the wait cannot stall epoch reclamation.
+            self.unpin();
+            self.stm.gate().sample_rv(self.stm.clock())
         };
-        for entry in self.reads.iter().filter(|e| !e.dead) {
+        for entry in self.desc.reads.iter().filter(|e| !e.dead) {
             let p = entry.slot.probe();
             if p.locked || p.version != entry.seen {
                 return Err(Abort::ReadConflict { addr: entry.addr });
@@ -362,40 +399,42 @@ impl<'s> Transaction<'s> {
             // to this location; this eager write is later in program
             // order and supersedes it (the emptied entry is skipped at
             // commit).
-            if let Some(idx) = self.write_index.remove(&addr) {
-                self.writes[idx].value = None;
+            if let Some(idx) = self.desc.write_index.remove(addr) {
+                self.desc.writes[idx as usize].payload.dispose();
             }
-            // Eager write: we hold the gate, so the lock is at worst held
-            // by a committer that entered before our gate acquisition —
-            // impossible, since committers hold the gate (shared) across
-            // their whole lock-publish window. Still, spin defensively.
+            // Eager write: we hold the era, so every optimistic committer
+            // was drained before our first read and none can re-enter —
+            // the lock is free. Still, spin defensively.
             loop {
                 match core.try_lock(self.meta.birth_ts) {
                     Ok(_prior) => break,
                     Err(_) => std::hint::spin_loop(),
                 }
             }
-            let wv = self.stm.clock().increment();
-            core.publish(value, wv);
+            // Unique tick: each eager write needs its own version so
+            // the era protocol's window `[wv1, wvk)` is well defined
+            // (clock.rs).
+            let wv = self.stm.clock().tick();
+            core.publish_with(value, wv, self.pin());
             return Ok(());
         }
         // First write freezes the elastic window: the remaining window
         // entries become permanent read-set entries, validated at commit.
-        if self.writes.is_empty() {
-            self.window_queue.clear();
+        if self.desc.writes.is_empty() {
+            self.desc.window_queue.clear();
         }
-        match self.write_index.get(&addr) {
-            Some(&idx) => {
-                self.writes[idx].value = Some(Box::new(value));
+        match self.desc.write_index.get(addr) {
+            Some(idx) => {
+                self.desc.writes[idx as usize].payload = WritePayload::new(value);
             }
             None => {
-                let idx = self.writes.len();
-                self.writes.push(WriteEntry {
+                let idx = self.desc.writes.len() as u32;
+                self.desc.writes.push(WriteEntry {
                     slot: Arc::clone(core) as Arc<dyn TxSlot>,
                     addr,
-                    value: Some(Box::new(value)),
+                    payload: WritePayload::new(value),
                 });
-                self.write_index.insert(addr, idx);
+                self.desc.write_index.insert(addr, idx);
             }
         }
         Ok(())
@@ -440,7 +479,7 @@ impl<'s> Transaction<'s> {
         if effective == Semantics::Irrevocable && self.semantics != Semantics::Irrevocable {
             return Err(Abort::RestartIrrevocable);
         }
-        if effective.is_read_only() && !self.writes.is_empty() {
+        if effective.is_read_only() && !self.desc.writes.is_empty() {
             // A snapshot block inside a writing transaction would not see
             // the transaction's own writes; run it opaquely instead. This
             // is the conservative resolution of the paper's composition
@@ -459,11 +498,11 @@ impl<'s> Transaction<'s> {
         // block: start the block with an empty window. Conversely, when
         // the block ends, its window entries become permanent (the parent
         // may have stronger semantics).
-        let saved_window: VecDeque<usize> = std::mem::take(&mut self.window_queue);
+        let saved_window = std::mem::take(&mut self.desc.window_queue);
         self.semantics = effective;
         let result = f(self);
         self.semantics = saved;
-        self.window_queue = saved_window;
+        self.desc.window_queue = saved_window;
         result
     }
 
@@ -477,8 +516,8 @@ impl<'s> Transaction<'s> {
         let receipt = CommitReceipt {
             cuts: self.cuts,
             extensions: self.extensions,
-            live_reads: self.read_index.len() as u64,
-            writes: self.writes.len() as u64,
+            live_reads: self.desc.read_index.len() as u64,
+            writes: self.desc.writes.len() as u64,
         };
         match self.semantics {
             // Snapshot reads were consistent at rv by construction (and
@@ -489,27 +528,32 @@ impl<'s> Transaction<'s> {
             // published, but a nested *revocable* block (e.g. an elastic
             // traversal under NestingPolicy::Parameter) buffers its
             // writes like any optimistic code path; publish them now
-            // rather than silently dropping them. The gate is held
-            // exclusively, so no other transaction can hold a location
-            // lock (committers hold the gate shared across their whole
-            // lock-publish window) and locking cannot contend.
+            // rather than silently dropping them. We hold the era, so no
+            // other transaction can hold a location lock (committers were
+            // drained and stay out) and locking cannot contend.
             Semantics::Irrevocable => {
-                if self.writes.iter().any(|e| e.value.is_some()) {
-                    let wv = self.stm.clock().increment();
-                    for entry in &mut self.writes {
+                if self.desc.writes.iter().any(|e| !e.payload.is_empty()) {
+                    let wv = self.stm.clock().tick();
+                    if self.guard.is_none() {
+                        self.guard = Some(epoch::pin());
+                    }
+                    let guard = self.guard.as_ref().expect("pinned above");
+                    for entry in self.desc.writes.iter_mut() {
                         // Entries emptied by a later eager write to the
                         // same location are superseded; skip them.
-                        let Some(value) = entry.value.take() else { continue };
+                        if entry.payload.is_empty() {
+                            continue;
+                        }
                         while entry.slot.try_lock(self.meta.birth_ts).is_err() {
                             std::hint::spin_loop();
                         }
-                        entry.slot.publish_erased(value, wv);
+                        entry.slot.publish_payload(&mut entry.payload, wv, guard);
                     }
                 }
                 Ok(receipt)
             }
             Semantics::Opaque | Semantics::Elastic { .. } => {
-                if self.writes.is_empty() {
+                if self.desc.writes.is_empty() {
                     // Read-only optimistic transactions are consistent at
                     // their (possibly extended) read version; nothing to
                     // publish, nothing to validate (TL2 read-only rule).
@@ -522,27 +566,53 @@ impl<'s> Transaction<'s> {
     }
 
     fn commit_writes(&mut self) -> TxResult<()> {
-        // Block behind any irrevocable transaction; taken *before* any
-        // per-location lock so lock order is gate -> locations everywhere.
-        let _gate = self.stm.gate().read();
+        // Registration may spin for the whole duration of an open
+        // irrevocable era (arbitrary user code): release the cached pin
+        // first so a queued committer never stalls epoch reclamation.
+        // The publish phase re-pins lazily.
+        self.unpin();
+        // Register as an in-flight writing commit, waiting out any
+        // irrevocable era first. Registration precedes every per-location
+        // lock, preserving the seed's gate -> locations lock order; the
+        // ticket deregisters on drop (success and abort paths alike).
+        let _commit = self.stm.gate().enter_commit();
+
+        // Commit scratch is pooled; take it out to sidestep overlapping
+        // borrows of the descriptor, return it cleared below.
+        let mut order = std::mem::take(&mut self.desc.order);
+        let mut acquired = std::mem::take(&mut self.desc.acquired);
+        let result = self.lock_validate_publish(&mut order, &mut acquired);
+        order.clear();
+        acquired.clear();
+        self.desc.order = order;
+        self.desc.acquired = acquired;
+        result
+    }
+
+    fn lock_validate_publish(
+        &mut self,
+        order: &mut Vec<u32>,
+        acquired: &mut Vec<(u32, u64)>,
+    ) -> TxResult<()> {
+        debug_assert!(order.is_empty() && acquired.is_empty());
 
         // Acquire write locks in address order (global total order =>
         // deadlock freedom even when the contention manager waits).
-        let mut order: Vec<usize> = (0..self.writes.len()).collect();
-        order.sort_unstable_by_key(|&i| self.writes[i].addr);
-        let mut acquired: Vec<(usize, u64)> = Vec::with_capacity(order.len());
-        for &i in &order {
-            let entry = &self.writes[i];
+        order.extend(0..self.desc.writes.len() as u32);
+        order.sort_unstable_by_key(|&i| self.desc.writes[i as usize].addr);
+        for &i in order.iter() {
             let mut spins = 0u32;
             loop {
+                let entry = &self.desc.writes[i as usize];
                 match entry.slot.try_lock(self.meta.birth_ts) {
                     Ok(prior) => {
                         acquired.push((i, prior));
                         break;
                     }
                     Err(owner) => {
-                        if let Err(abort) = self.arbitrate_lock(entry.addr, owner, &mut spins) {
-                            self.release_acquired(&acquired);
+                        let addr = entry.addr;
+                        if let Err(abort) = self.arbitrate_lock(addr, owner, &mut spins) {
+                            self.release_acquired(acquired);
                             return Err(abort);
                         }
                     }
@@ -550,44 +620,55 @@ impl<'s> Transaction<'s> {
             }
         }
 
-        let wv = self.stm.clock().increment();
+        // Advance the clock (retried CAS, never adopted — clock.rs
+        // explains why GV4 adoption is unsound under Acquire/Release):
+        // our wv comes from our own RMW, restoring the TL2 guarantee
+        // that readers with rv >= wv synchronize with our lock stores.
+        let wv = self.stm.clock().advance();
 
         // Validate live reads. Locations we hold locks on are validated
-        // against the pre-lock version returned by try_lock.
+        // against the pre-lock version returned by try_lock (`acquired`
+        // is in address order, so the lookup is a binary search — no
+        // per-commit map allocation). TL2 shortcut: wv == rv + 1 means
+        // our own CAS was the only clock advance since rv, so no one
+        // committed in between and the read set cannot have changed.
         if wv > self.rv + 1 {
-            let prior_of: HashMap<usize, u64> =
-                acquired.iter().map(|&(i, prior)| (self.writes[i].addr, prior)).collect();
-            for entry in self.reads.iter().filter(|e| !e.dead) {
-                let current = match prior_of.get(&entry.addr) {
-                    Some(&prior) => prior,
-                    None => {
+            for entry in self.desc.reads.iter().filter(|e| !e.dead) {
+                let lookup = acquired
+                    .binary_search_by_key(&entry.addr, |&(i, _)| self.desc.writes[i as usize].addr);
+                let current = match lookup {
+                    Ok(pos) => acquired[pos].1,
+                    Err(_) => {
                         let p = entry.slot.probe();
                         if p.locked {
-                            self.release_acquired(&acquired);
+                            self.release_acquired(acquired);
                             return Err(Abort::ValidationFailed { addr: entry.addr });
                         }
                         p.version
                     }
                 };
                 if current != entry.seen {
-                    self.release_acquired(&acquired);
+                    self.release_acquired(acquired);
                     return Err(Abort::ValidationFailed { addr: entry.addr });
                 }
             }
         }
 
-        // Publish & unlock.
-        for &(i, _) in &acquired {
-            let entry = &mut self.writes[i];
-            let value = entry.value.take().expect("write value present at publish");
-            entry.slot.publish_erased(value, wv);
+        // Publish & unlock, pinned once for the whole batch.
+        if self.guard.is_none() {
+            self.guard = Some(epoch::pin());
+        }
+        let guard = self.guard.as_ref().expect("pinned above");
+        for &(i, _) in acquired.iter() {
+            let entry = &mut self.desc.writes[i as usize];
+            entry.slot.publish_payload(&mut entry.payload, wv, guard);
         }
         Ok(())
     }
 
-    fn release_acquired(&self, acquired: &[(usize, u64)]) {
+    fn release_acquired(&self, acquired: &[(u32, u64)]) {
         for &(i, prior) in acquired.iter().rev() {
-            self.writes[i].slot.unlock_restore(prior);
+            self.desc.writes[i as usize].slot.unlock_restore(prior);
         }
     }
 
@@ -596,9 +677,24 @@ impl<'s> Transaction<'s> {
         CommitReceipt {
             cuts: self.cuts,
             extensions: self.extensions,
-            live_reads: self.read_index.len() as u64,
-            writes: self.writes.len() as u64,
+            live_reads: self.desc.read_index.len() as u64,
+            writes: self.desc.writes.len() as u64,
         }
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        // Unpin before recycling (clearing the descriptor can defer
+        // nothing, but keep the pin's lifetime tight regardless).
+        self.guard = None;
+        // SAFETY: `desc` is never touched again — `drop` is the only
+        // place that takes it, and it runs exactly once.
+        let mut desc = unsafe { ManuallyDrop::take(&mut self.desc) };
+        desc.clear();
+        stash_descriptor(desc);
+        // `era` (if any) drops after this body, closing the irrevocable
+        // era even on panic unwind.
     }
 }
 

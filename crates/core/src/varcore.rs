@@ -19,10 +19,10 @@
 //! 3. ABA-free unlocking: versions strictly increase.
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned};
-use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::tvar::TxValue;
+use crate::txdesc::WritePayload;
 
 const LOCKED: u64 = 1;
 
@@ -133,14 +133,23 @@ impl<T: TxValue> VarCore<T> {
 
     /// Publishes `value` as the new head version and releases the lock
     /// with `new_version`. Must be called while holding the lock.
+    /// (Production paths publish through [`VarCore::publish_with`] with a
+    /// cached guard; this convenience wrapper serves the unit tests.)
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn publish(&self, value: T, new_version: u64) {
+        self.publish_with(value, new_version, &epoch::pin());
+    }
+
+    /// [`VarCore::publish`] under a caller-supplied epoch guard, so a
+    /// commit publishing many locations pins once instead of per
+    /// location.
+    pub(crate) fn publish_with(&self, value: T, new_version: u64, guard: &Guard) {
         debug_assert!(self.lockword.load(Ordering::Relaxed) & LOCKED != 0);
-        let guard = epoch::pin();
-        let old_head = self.head.load(Ordering::Relaxed, &guard);
+        let old_head = self.head.load(Ordering::Relaxed, guard);
         let node = Owned::new(VersionNode { version: new_version, value, prev: Atomic::null() });
         node.prev.store(old_head, Ordering::Relaxed);
         self.head.store(node, Ordering::Release);
-        self.truncate_history(&guard);
+        self.truncate_history(guard);
         self.owner.store(0, Ordering::Relaxed);
         self.lockword.store(new_version << 1, Ordering::Release);
     }
@@ -205,22 +214,26 @@ pub(crate) trait TxSlot: Send + Sync {
     /// Release the lock without publishing (abort path), restoring the
     /// pre-lock version.
     fn unlock_restore(&self, prior_version: u64);
-    /// Publish a type-erased value and release the lock with
-    /// `new_version`.
+    /// Publish the buffered value in `payload` (leaving it empty) and
+    /// release the lock with `new_version`.
     ///
     /// # Panics
-    /// Panics if `value` does not downcast to the location's value type —
-    /// impossible through the public API, which pairs write-set entries
-    /// with the `TVar` that created them.
-    fn publish_erased(&self, value: Box<dyn Any + Send>, new_version: u64);
+    /// Panics if the payload is empty or does not hold the location's
+    /// value type — impossible through the public API, which pairs
+    /// write-set entries with the `TVar` that created them.
+    fn publish_payload(&self, payload: &mut WritePayload, new_version: u64, guard: &Guard);
 }
 
 impl<T: TxValue> TxSlot for VarCore<T> {
     fn probe(&self) -> SlotProbe {
         let w = self.lockword.load(Ordering::Acquire);
+        let locked = w & LOCKED != 0;
         SlotProbe {
-            locked: w & LOCKED != 0,
-            owner: self.owner.load(Ordering::Relaxed),
+            locked,
+            // The owner word is only meaningful while locked; skipping
+            // the load in the common unlocked case halves the cost of
+            // the validation probes.
+            owner: if locked { self.owner.load(Ordering::Relaxed) } else { 0 },
             version: w >> 1,
         }
     }
@@ -250,11 +263,9 @@ impl<T: TxValue> TxSlot for VarCore<T> {
         self.lockword.store(prior_version << 1, Ordering::Release);
     }
 
-    fn publish_erased(&self, value: Box<dyn Any + Send>, new_version: u64) {
-        let value = value
-            .downcast::<T>()
-            .expect("type-erased write value must match the TVar's value type");
-        self.publish(*value, new_version);
+    fn publish_payload(&self, payload: &mut WritePayload, new_version: u64, guard: &Guard) {
+        let value = payload.take::<T>().expect("write payload present at publish");
+        self.publish_with(value, new_version, guard);
     }
 }
 
@@ -361,11 +372,13 @@ mod tests {
     }
 
     #[test]
-    fn publish_erased_downcasts() {
+    fn publish_payload_downcasts() {
         let core = VarCore::new(String::from("a"), 1, 0);
         core.try_lock(1).unwrap();
-        TxSlot::publish_erased(&core, Box::new(String::from("b")), 3);
+        let mut payload = WritePayload::new(String::from("b"));
         let guard = epoch::pin();
+        TxSlot::publish_payload(&core, &mut payload, 3, &guard);
+        assert!(payload.is_empty(), "payload moved out at publish");
         match core.read_committed(&guard) {
             CommittedRead::Value(v, ver) => {
                 assert_eq!(v, "b");
@@ -376,10 +389,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "type-erased write value")]
-    fn publish_erased_wrong_type_panics() {
+    #[should_panic(expected = "write payload type must match")]
+    fn publish_payload_wrong_type_panics() {
         let core = VarCore::new(0i64, 1, 0);
         core.try_lock(1).unwrap();
-        TxSlot::publish_erased(&core, Box::new("wrong"), 3);
+        let mut payload = WritePayload::new("wrong");
+        let guard = epoch::pin();
+        TxSlot::publish_payload(&core, &mut payload, 3, &guard);
     }
 }
