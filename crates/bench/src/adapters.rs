@@ -1,5 +1,5 @@
-//! [`ConcurrentSet`] adapters for every implementation under test, so the
-//! workload driver can sweep them uniformly.
+//! [`ConcurrentSet`] / [`RangeSet`] adapters for every implementation
+//! under test, plus the [`Backend`] registry the scenario matrix sweeps.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -9,7 +9,7 @@ use polytm::{Semantics, Stm};
 use polytm_lockfree::{MichaelHashSet, SplitOrderedSet};
 use polytm_locks::{HandOverHandList, StripedHashSet};
 use polytm_structures::{TxHashSet, TxList, TxSkipList};
-use polytm_workload::ConcurrentSet;
+use polytm_workload::{ConcurrentSet, RangeSet};
 
 // ---------------------------------------------------------------------
 // Transactional structures
@@ -30,6 +30,12 @@ impl ConcurrentSet for TxListSet {
     }
 }
 
+impl RangeSet for TxListSet {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.0.range_count_snapshot(lo as i64, hi as i64)
+    }
+}
+
 /// TxSkipList under any per-op semantics.
 pub struct TxSkipListSet(pub TxSkipList);
 
@@ -45,6 +51,12 @@ impl ConcurrentSet for TxSkipListSet {
     }
 }
 
+impl RangeSet for TxSkipListSet {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.0.range_count_snapshot(lo as i64, hi as i64)
+    }
+}
+
 /// TxHashSet under any per-op semantics.
 pub struct TxHashAdapter(pub TxHashSet);
 
@@ -57,6 +69,12 @@ impl ConcurrentSet for TxHashAdapter {
     }
     fn remove(&self, key: u64) -> bool {
         self.0.remove(key)
+    }
+}
+
+impl RangeSet for TxHashAdapter {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.0.range_count_snapshot(lo, hi)
     }
 }
 
@@ -79,6 +97,12 @@ impl ConcurrentSet for HohSet {
     }
 }
 
+impl RangeSet for HohSet {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.0.range_count(lo as i64, hi as i64)
+    }
+}
+
 /// Striped-lock hash adapter.
 pub struct StripedSet(pub StripedHashSet);
 
@@ -91,6 +115,12 @@ impl ConcurrentSet for StripedSet {
     }
     fn remove(&self, key: u64) -> bool {
         self.0.remove(key)
+    }
+}
+
+impl RangeSet for StripedSet {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.0.range_count(lo, hi)
     }
 }
 
@@ -107,6 +137,15 @@ impl ConcurrentSet for GlobalLockSet {
     }
     fn remove(&self, key: u64) -> bool {
         self.0.lock().remove(&key)
+    }
+}
+
+impl RangeSet for GlobalLockSet {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        if lo >= hi {
+            return 0;
+        }
+        self.0.lock().range(lo..hi).count()
     }
 }
 
@@ -129,6 +168,12 @@ impl ConcurrentSet for LockFreeListSet {
     }
 }
 
+impl RangeSet for LockFreeListSet {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.0.range_count(lo, hi)
+    }
+}
+
 /// Michael hash-table adapter.
 pub struct MichaelSet(pub MichaelHashSet);
 
@@ -141,6 +186,12 @@ impl ConcurrentSet for MichaelSet {
     }
     fn remove(&self, key: u64) -> bool {
         self.0.remove(key)
+    }
+}
+
+impl RangeSet for MichaelSet {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.0.range_count(lo, hi)
     }
 }
 
@@ -231,6 +282,188 @@ pub fn make_hash_impl(
     }
 }
 
+impl RangeSet for SplitSet {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.0.range_count(lo, hi)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backend registry — the scenario matrix's axis of implementations
+// ---------------------------------------------------------------------
+
+/// Synchronization family of a backend — the comparison axis of the
+/// paper: transactional vs lock-based vs lock-free implementations of
+/// the same abstractions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Backed by the polymorphic STM.
+    Transactional,
+    /// Fine- or coarse-grained locking.
+    LockBased,
+    /// Non-blocking (CAS + epoch reclamation).
+    LockFree,
+}
+
+impl Family {
+    /// Short label used in bench row names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Transactional => "tx",
+            Family::LockBased => "lock",
+            Family::LockFree => "lockfree",
+        }
+    }
+}
+
+/// Structural shape of a backend. List-shaped structures get smaller key
+/// spaces than hash-shaped ones (O(n) vs O(1) point operations), mirroring
+/// the E4-vs-E6 methodology; comparisons are meaningful within a shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Sorted list / skip list: O(n) or O(log n) point ops.
+    Ordered,
+    /// Hash table: O(1) point ops.
+    Hash,
+}
+
+/// A live backend instance: the structure under test plus its `Stm`
+/// handle when the backend is transactional (for abort accounting).
+pub struct BackendInstance {
+    /// The set, scan-capable, behind the driver's trait object.
+    pub set: Box<dyn RangeSet + Send + Sync>,
+    /// The STM the structure lives in — `None` for non-transactional
+    /// backends.
+    pub stm: Option<Arc<Stm>>,
+}
+
+/// One registered backend: a named constructor plus classification.
+pub struct Backend {
+    /// Stable name used in bench rows (e.g. `tx-list`).
+    pub name: &'static str,
+    /// Synchronization family.
+    pub family: Family,
+    /// Structural shape (drives the key-space choice).
+    pub shape: Shape,
+    make: fn() -> BackendInstance,
+}
+
+impl Backend {
+    /// Construct a fresh instance of this backend.
+    pub fn make(&self) -> BackendInstance {
+        (self.make)()
+    }
+}
+
+fn make_tx_list() -> BackendInstance {
+    let stm = Arc::new(Stm::new());
+    BackendInstance { set: Box::new(TxListSet(TxList::new(Arc::clone(&stm)))), stm: Some(stm) }
+}
+
+fn make_tx_skiplist() -> BackendInstance {
+    let stm = Arc::new(Stm::new());
+    BackendInstance {
+        set: Box::new(TxSkipListSet(TxSkipList::new(Arc::clone(&stm)))),
+        stm: Some(stm),
+    }
+}
+
+fn make_tx_hash() -> BackendInstance {
+    let stm = Arc::new(Stm::new());
+    BackendInstance {
+        set: Box::new(TxHashAdapter(TxHashSet::new(Arc::clone(&stm), 64, 8))),
+        stm: Some(stm),
+    }
+}
+
+fn make_lock_hoh_list() -> BackendInstance {
+    BackendInstance { set: Box::new(HohSet(HandOverHandList::new())), stm: None }
+}
+
+fn make_lock_striped_hash() -> BackendInstance {
+    BackendInstance { set: Box::new(StripedSet(StripedHashSet::new(64, 8))), stm: None }
+}
+
+fn make_lock_global() -> BackendInstance {
+    BackendInstance { set: Box::new(GlobalLockSet(Mutex::new(BTreeSet::new()))), stm: None }
+}
+
+fn make_lockfree_list() -> BackendInstance {
+    BackendInstance {
+        set: Box::new(LockFreeListSet(polytm_lockfree::LockFreeList::new())),
+        stm: None,
+    }
+}
+
+fn make_lockfree_hash() -> BackendInstance {
+    // Fixed table sized for the hash scenarios' steady state (~4k keys):
+    // the inability to resize is this backend's documented limitation.
+    BackendInstance { set: Box::new(MichaelSet(MichaelHashSet::new(1024))), stm: None }
+}
+
+fn make_lockfree_split() -> BackendInstance {
+    BackendInstance { set: Box::new(SplitSet(SplitOrderedSet::new(1 << 16, 8))), stm: None }
+}
+
+/// Every backend the scenario matrix drives: all three families, both
+/// shapes. `scenarios --quick` and the full matrix iterate this table.
+pub const BACKENDS: &[Backend] = &[
+    Backend {
+        name: "tx-list",
+        family: Family::Transactional,
+        shape: Shape::Ordered,
+        make: make_tx_list,
+    },
+    Backend {
+        name: "tx-skiplist",
+        family: Family::Transactional,
+        shape: Shape::Ordered,
+        make: make_tx_skiplist,
+    },
+    Backend {
+        name: "tx-hash",
+        family: Family::Transactional,
+        shape: Shape::Hash,
+        make: make_tx_hash,
+    },
+    Backend {
+        name: "lock-hoh-list",
+        family: Family::LockBased,
+        shape: Shape::Ordered,
+        make: make_lock_hoh_list,
+    },
+    Backend {
+        name: "lock-striped-hash",
+        family: Family::LockBased,
+        shape: Shape::Hash,
+        make: make_lock_striped_hash,
+    },
+    Backend {
+        name: "lock-global",
+        family: Family::LockBased,
+        shape: Shape::Ordered,
+        make: make_lock_global,
+    },
+    Backend {
+        name: "lockfree-list",
+        family: Family::LockFree,
+        shape: Shape::Ordered,
+        make: make_lockfree_list,
+    },
+    Backend {
+        name: "lockfree-hash",
+        family: Family::LockFree,
+        shape: Shape::Hash,
+        make: make_lockfree_hash,
+    },
+    Backend {
+        name: "lockfree-split",
+        family: Family::LockFree,
+        shape: Shape::Hash,
+        make: make_lockfree_split,
+    },
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +497,44 @@ mod tests {
     fn impl_lists_and_factories_agree() {
         assert_eq!(LIST_IMPLS.len(), 6);
         assert_eq!(HASH_IMPLS.len(), 5);
+    }
+
+    #[test]
+    fn registry_covers_all_three_families() {
+        for family in [Family::Transactional, Family::LockBased, Family::LockFree] {
+            assert!(
+                BACKENDS.iter().any(|b| b.family == family),
+                "no backend registered for {family:?}"
+            );
+        }
+        let mut names: Vec<_> = BACKENDS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BACKENDS.len(), "backend names must be unique");
+    }
+
+    #[test]
+    fn every_backend_supports_point_and_range_ops() {
+        for b in BACKENDS {
+            let inst = b.make();
+            let set = inst.set.as_ref();
+            for k in [10u64, 20, 30, 40] {
+                assert!(set.insert(k), "{}", b.name);
+            }
+            assert!(!set.insert(20), "{}", b.name);
+            assert!(set.contains(30), "{}", b.name);
+            assert!(!set.contains(31), "{}", b.name);
+            assert_eq!(set.range_count(10, 41), 4, "{}", b.name);
+            assert_eq!(set.range_count(15, 35), 2, "{}", b.name);
+            assert_eq!(set.range_count(15, 15), 0, "{}", b.name);
+            assert!(set.remove(20), "{}", b.name);
+            assert_eq!(set.range_count(10, 41), 3, "{}", b.name);
+            assert_eq!(
+                inst.stm.is_some(),
+                b.family == Family::Transactional,
+                "{}: stm handle iff transactional",
+                b.name
+            );
+        }
     }
 }

@@ -1,0 +1,102 @@
+//! Schema validator for the perf trajectory files — the CI tripwire
+//! that keeps `BENCH_core.json` / `BENCH_scenarios.json` from silently
+//! rotting.
+//!
+//! ```text
+//! cargo run -p polytm-bench --bin benchlint -- BENCH_core.json BENCH_scenarios.json
+//! cargo run -p polytm-bench --bin benchlint -- --no-git /tmp/smoke.json
+//! ```
+//!
+//! For every file: parse the whole document (strict JSON), check each
+//! row against the file's schema (core or scenarios, inferred from the
+//! first row's fields — `p50_ns` present means scenarios; rows must
+//! carry exactly the known fields with sane values), and verify that
+//! every recorded `rev` names a commit that is an ancestor of `HEAD` —
+//! a row citing a revision outside the history means the trajectory was
+//! edited by hand or survived a rewrite, and fails the lint. `--no-git`
+//! skips the ancestry check (for validating artifacts outside a
+//! repository); `--schema core|scenarios` pins the schema instead of
+//! inferring it.
+
+use polytm_bench::report::{rev_is_ancestor_of_head, validate_trajectory, RowSchema};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let no_git = args.iter().any(|a| a == "--no-git");
+    let forced_schema =
+        args.iter().position(|a| a == "--schema").and_then(|i| args.get(i + 1)).map(|s| {
+            match s.as_str() {
+                "core" => RowSchema::Core,
+                "scenarios" => RowSchema::Scenarios,
+                other => {
+                    eprintln!("benchlint: unknown schema {other:?} (core|scenarios)");
+                    std::process::exit(2);
+                }
+            }
+        });
+    let files: Vec<&String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--schema" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .collect()
+    };
+    if files.is_empty() {
+        eprintln!("usage: benchlint [--no-git] [--schema core|scenarios] <file.json>...");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("benchlint: {path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let (count, revs, schema) = match validate_trajectory(&text, forced_schema) {
+            Ok(ok) => ok,
+            Err(e) => {
+                eprintln!("benchlint: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let mut bad_revs = Vec::new();
+        if !no_git {
+            for rev in &revs {
+                match rev_is_ancestor_of_head(rev) {
+                    Ok(true) => {}
+                    Ok(false) => bad_revs.push(format!("{rev} (not an ancestor of HEAD)")),
+                    Err(e) => bad_revs.push(format!("{rev} ({e})")),
+                }
+            }
+        }
+        if bad_revs.is_empty() {
+            eprintln!(
+                "benchlint: {path}: OK ({count} rows, {} revs{}, schema {schema:?})",
+                revs.len(),
+                if no_git { ", ancestry unchecked" } else { "" }
+            );
+        } else {
+            for bad in &bad_revs {
+                eprintln!("benchlint: {path}: bad rev {bad}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -24,8 +24,9 @@ use std::time::{Duration, Instant};
 use polytm::{Semantics, Stm, StmConfig, TxParams};
 use polytm_bench::make_hash_impl;
 use polytm_bench::make_list_impl;
+use polytm_bench::report::{append_rows, git_rev, BenchCli};
 use polytm_structures::TxCounter;
-use polytm_workload::{run_workload, KeyDist, OpMix, WorkloadSpec};
+use polytm_workload::{run_workload_with, KeyDist, OpMix, WorkloadSpec};
 
 /// One output row of the suite.
 struct Row {
@@ -154,10 +155,12 @@ fn sweep_spec(k: &Knobs, threads: usize, key_space: u64, update_pct: u32) -> Wor
         // Prefill is done by hand before stats reset, so measured
         // abort ratios cover only the steady-state window.
         prefill: false,
-        mix: OpMix::updates(update_pct),
+        mix: OpMix::updates(update_pct).into(),
         dist: KeyDist::Uniform,
+        scan_span: WorkloadSpec::default_scan_span(key_space),
         duration: k.sweep,
         warmup: k.warmup,
+        record_latency: false,
         seed: 0xBE2C_0000 + u64::from(update_pct),
     }
 }
@@ -171,8 +174,11 @@ fn e4_rows(k: &Knobs, rows: &mut Vec<Row>) {
             for key in (0..512).step_by(2) {
                 set.insert(key);
             }
-            stm.reset_stats();
-            let m = run_workload(set.as_ref(), &sweep_spec(k, threads, 512, 20));
+            // Stats reset at window start: abort_ratio then covers the
+            // same interval as the throughput column.
+            let m = run_workload_with(set.as_ref(), &sweep_spec(k, threads, 512, 20), || {
+                stm.reset_stats()
+            });
             let s = stm.stats();
             rows.push(Row {
                 bench,
@@ -189,12 +195,15 @@ fn e6_rows(k: &Knobs, rows: &mut Vec<Row>) {
     for &threads in k.threads {
         let (set, stm) = make_hash_impl("tx-hash-elastic", 4);
         let stm = stm.expect("transactional impl carries an Stm");
-        stm.reset_stats();
-        let m = run_workload(set.as_ref(), &{
-            let mut s = sweep_spec(k, threads, 8192, 50);
-            s.prefill = true; // growth pressure IS the workload here
-            s
-        });
+        let m = run_workload_with(
+            set.as_ref(),
+            &{
+                let mut s = sweep_spec(k, threads, 8192, 50);
+                s.prefill = true; // growth pressure IS the workload here
+                s
+            },
+            || stm.reset_stats(),
+        );
         let s = stm.stats();
         rows.push(Row {
             bench: "e6_hash_growth",
@@ -254,16 +263,6 @@ fn e9_rows(k: &Knobs, rows: &mut Vec<Row>) {
     }
 }
 
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 fn render_row(rev: &str, label: &str, r: &Row) -> String {
     format!(
         "  {{\"rev\":\"{rev}\",\"label\":\"{label}\",\"bench\":\"{}\",\"threads\":{},\
@@ -272,61 +271,16 @@ fn render_row(rev: &str, label: &str, r: &Row) -> String {
     )
 }
 
-/// Append `lines` (row objects, no trailing commas) to the JSON array in
-/// `path`, creating the file if absent. Rows are one-per-line, so the
-/// splice is a plain line operation.
-///
-/// # Panics
-/// Panics (rather than silently dropping history) when the existing
-/// file contains lines this splicer does not understand — e.g. after a
-/// reformat with jq/prettier. Re-emit such a file in the one-row-per-
-/// line layout (or pass `--fresh` to deliberately start over).
-fn write_rows(path: &str, lines: &[String], fresh: bool) {
-    let existing: Vec<String> = if fresh {
-        Vec::new()
-    } else {
-        match std::fs::read_to_string(path) {
-            Err(_) => Vec::new(), // absent: start a new file
-            Ok(s) => s
-                .lines()
-                .map(str::trim_end)
-                .filter(|l| !matches!(*l, "" | "[" | "]"))
-                .map(|l| {
-                    assert!(
-                        l.starts_with("  {") && l.trim_end_matches(',').ends_with('}'),
-                        "{path}: unrecognized line {l:?}; this file must keep the \
-                         one-row-per-line layout perfsuite writes (use --fresh to discard it)"
-                    );
-                    l.trim_end_matches(',').to_string()
-                })
-                .collect(),
-        }
-    };
-    let mut all: Vec<String> = existing;
-    all.extend(lines.iter().cloned());
-    let body = all.join(",\n");
-    std::fs::write(path, format!("[\n{body}\n]\n")).expect("write bench file");
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let fresh = args.iter().any(|a| a == "--fresh");
-    let grab = |flag: &str, default: &str| -> String {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-            .unwrap_or_else(|| default.to_string())
-    };
-    let label = grab("--label", "run");
-    let out = grab("--out", "BENCH_core.json");
+    let cli = BenchCli::parse("BENCH_core.json");
 
-    let knobs = Knobs::new(quick);
+    let knobs = Knobs::new(cli.quick);
     let rev = git_rev();
     eprintln!(
-        "perfsuite: rev {rev}, label {label:?}, mode {}, out {out}",
-        if quick { "quick" } else { "full" }
+        "perfsuite: rev {rev}, label {:?}, mode {}, out {}",
+        cli.label,
+        if cli.quick { "quick" } else { "full" },
+        cli.out
     );
 
     let mut rows = Vec::new();
@@ -341,7 +295,7 @@ fn main() {
             r.bench, r.threads, r.ops_per_sec, r.abort_ratio
         );
     }
-    let lines: Vec<String> = rows.iter().map(|r| render_row(&rev, &label, r)).collect();
-    write_rows(&out, &lines, fresh);
-    eprintln!("perfsuite: wrote {} rows to {out}", lines.len());
+    let lines: Vec<String> = rows.iter().map(|r| render_row(&rev, &cli.label, r)).collect();
+    append_rows(&cli.out, &lines, cli.fresh);
+    eprintln!("perfsuite: wrote {} rows to {}", lines.len(), cli.out);
 }

@@ -1,0 +1,216 @@
+//! The scenario-matrix engine: every registered backend (transactional,
+//! lock-based, lock-free) × every workload scenario × a thread sweep,
+//! reporting throughput, latency quantiles and (for tx backends) abort
+//! ratios as machine-readable rows in `BENCH_scenarios.json`.
+//!
+//! ```text
+//! cargo run --release -p polytm-bench --bin scenarios -- --label after
+//! cargo run --release -p polytm-bench --bin scenarios -- --quick --out /tmp/smoke.json
+//! ```
+//!
+//! Rows share `BENCH_core.json`'s shape, extended with latency
+//! quantiles:
+//!
+//! ```text
+//! {rev, label, bench, threads, ops_per_sec, abort_ratio, p50_ns, p99_ns, p999_ns}
+//! ```
+//!
+//! `bench` is `scenario/backend` (e.g. `hotspot/tx-list`). `--quick`
+//! shrinks the measured windows so CI can exercise the whole matrix in
+//! seconds; only rows from a quiet machine are trajectory data.
+
+use std::time::Duration;
+
+use polytm_bench::report::{append_rows, git_rev, BenchCli};
+use polytm_bench::{Backend, Shape, BACKENDS};
+use polytm_workload::{run_scenario_with, KeyDist, MixSchedule, OpMix, WorkloadSpec};
+
+/// One output row.
+struct Row {
+    bench: String,
+    threads: usize,
+    ops_per_sec: f64,
+    abort_ratio: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
+/// Measurement windows for the two modes.
+struct Knobs {
+    sweep: Duration,
+    warmup: Duration,
+    threads: &'static [usize],
+}
+
+impl Knobs {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                sweep: Duration::from_millis(80),
+                warmup: Duration::from_millis(20),
+                threads: &[1, 2],
+            }
+        } else {
+            Self {
+                sweep: Duration::from_millis(300),
+                warmup: Duration::from_millis(60),
+                threads: &[1, 2, 4],
+            }
+        }
+    }
+}
+
+/// One workload scenario: a named (mix, distribution) pair, scaled to
+/// the backend's key space.
+struct Scenario {
+    name: &'static str,
+    mix: fn() -> MixSchedule,
+    dist: fn(u64) -> KeyDist,
+}
+
+/// The scenario axis. Each entry stresses a different regime — see
+/// DESIGN.md "The scenario matrix" for what each one is meant to
+/// surface.
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "read-dominated",
+        mix: || OpMix::updates(10).into(),
+        dist: |_| KeyDist::Uniform,
+    },
+    Scenario { name: "write-heavy", mix: || OpMix::updates(80).into(), dist: |_| KeyDist::Uniform },
+    Scenario { name: "zipf-skew", mix: || OpMix::updates(20).into(), dist: |_| KeyDist::Zipf(1.1) },
+    Scenario {
+        name: "hotspot",
+        mix: || OpMix::updates(20).into(),
+        dist: |space| KeyDist::Hotspot { hot_fraction: 0.8, hot_keys: (space / 64).max(1) },
+    },
+    Scenario {
+        name: "phased",
+        // Read-heavy cruising interrupted by write bursts, cycling
+        // deterministically by per-thread op index.
+        mix: || MixSchedule::phased_burst(5, 2000, 90, 500),
+        dist: |_| KeyDist::Uniform,
+    },
+    Scenario {
+        name: "snapshot-scan",
+        // Point updates against whole-range readers: the regime where
+        // snapshot semantics (tx) vs best-effort scans (locks/lock-free)
+        // differ the most.
+        mix: || OpMix::with_scans(20, 10).into(),
+        dist: |_| KeyDist::Uniform,
+    },
+];
+
+/// Key space per backend shape: O(n)-traversal structures get the E4
+/// size, O(1) tables the E6 size.
+fn key_space(shape: Shape) -> u64 {
+    match shape {
+        Shape::Ordered => 512,
+        Shape::Hash => 8192,
+    }
+}
+
+fn run_cell(backend: &Backend, scenario: &Scenario, threads: usize, k: &Knobs) -> Row {
+    let space = key_space(backend.shape);
+    let instance = backend.make();
+    // Prefill by hand (not via the spec); stats reset at window start
+    // below, so the abort ratio covers the same interval as the
+    // throughput and latency columns — not prefill, not warmup.
+    for key in (0..space).step_by(2) {
+        instance.set.insert(key);
+    }
+    let spec = WorkloadSpec {
+        threads,
+        key_space: space,
+        prefill: false,
+        mix: (scenario.mix)(),
+        dist: (scenario.dist)(space),
+        scan_span: WorkloadSpec::default_scan_span(space),
+        duration: k.sweep,
+        warmup: k.warmup,
+        record_latency: true,
+        seed: 0x5CE2_A210 ^ (threads as u64) << 32 ^ space,
+    };
+    let m = run_scenario_with(instance.set.as_ref(), &spec, || {
+        if let Some(stm) = &instance.stm {
+            stm.reset_stats();
+        }
+    });
+    let abort_ratio = instance.stm.as_ref().map_or(0.0, |stm| stm.stats().abort_ratio());
+    Row {
+        bench: format!("{}/{}", scenario.name, backend.name),
+        threads,
+        ops_per_sec: m.throughput,
+        abort_ratio,
+        p50_ns: m.latency.p50(),
+        p99_ns: m.latency.p99(),
+        p999_ns: m.latency.p999(),
+    }
+}
+
+fn render_row(rev: &str, label: &str, r: &Row) -> String {
+    format!(
+        "  {{\"rev\":\"{rev}\",\"label\":\"{label}\",\"bench\":\"{}\",\"threads\":{},\
+         \"ops_per_sec\":{:.1},\"abort_ratio\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+        r.bench, r.threads, r.ops_per_sec, r.abort_ratio, r.p50_ns, r.p99_ns, r.p999_ns
+    )
+}
+
+/// Does `backend` match the `--backend` filter? Exact name
+/// (`tx-list`) or exact family label (`tx` / `lock` / `lockfree`) —
+/// never a substring, so `--backend lock` cannot drag in `lockfree-*`.
+fn backend_matches(backend: &Backend, filter: &str) -> bool {
+    filter.is_empty() || backend.name == filter || backend.family.label() == filter
+}
+
+fn main() {
+    let cli = BenchCli::parse("BENCH_scenarios.json");
+    // Optional axis filters (exact matches) for focused reruns.
+    let only_backend = cli.grab("--backend", "");
+    let only_scenario = cli.grab("--scenario", "");
+
+    let knobs = Knobs::new(cli.quick);
+    let rev = git_rev();
+    eprintln!(
+        "scenarios: rev {rev}, label {:?}, mode {}, out {}",
+        cli.label,
+        if cli.quick { "quick" } else { "full" },
+        cli.out
+    );
+
+    let mut rows = Vec::new();
+    for scenario in SCENARIOS {
+        if !only_scenario.is_empty() && scenario.name != only_scenario {
+            continue;
+        }
+        for backend in BACKENDS {
+            if !backend_matches(backend, &only_backend) {
+                continue;
+            }
+            for &threads in knobs.threads {
+                let row = run_cell(backend, scenario, threads, &knobs);
+                eprintln!(
+                    "  {:<32} t={:<2} {:>12.0} ops/s  abort {:.4}  p50 {:>7}ns  p99 {:>8}ns  \
+                     p999 {:>8}ns",
+                    row.bench,
+                    row.threads,
+                    row.ops_per_sec,
+                    row.abort_ratio,
+                    row.p50_ns,
+                    row.p99_ns,
+                    row.p999_ns
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    if rows.is_empty() {
+        eprintln!("scenarios: filters matched nothing; no rows written");
+        std::process::exit(2);
+    }
+    let lines: Vec<String> = rows.iter().map(|r| render_row(&rev, &cli.label, r)).collect();
+    append_rows(&cli.out, &lines, cli.fresh);
+    eprintln!("scenarios: wrote {} rows to {}", lines.len(), cli.out);
+}

@@ -53,10 +53,12 @@ fn spec(profile: &Profile, threads: usize, key_space: u64, update_pct: u32) -> W
         threads,
         key_space,
         prefill: true,
-        mix: OpMix::updates(update_pct),
+        mix: OpMix::updates(update_pct).into(),
         dist: KeyDist::Uniform,
+        scan_span: WorkloadSpec::default_scan_span(key_space),
         duration: profile.duration,
         warmup: profile.warmup,
+        record_latency: false,
         seed: 0xC0FF_EE00 + u64::from(update_pct),
     }
 }

@@ -11,5 +11,9 @@
 
 pub mod adapters;
 pub mod experiments;
+pub mod report;
 
-pub use adapters::{make_hash_impl, make_list_impl, HASH_IMPLS, LIST_IMPLS};
+pub use adapters::{
+    make_hash_impl, make_list_impl, Backend, BackendInstance, Family, Shape, BACKENDS, HASH_IMPLS,
+    LIST_IMPLS,
+};

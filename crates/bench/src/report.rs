@@ -1,0 +1,610 @@
+//! Machine-readable bench trajectory files: row emission shared by
+//! `perfsuite` and `scenarios`, plus the parser/validator behind
+//! `benchlint` (and CI's schema check).
+//!
+//! A trajectory file is a JSON array with one row object per line:
+//!
+//! ```text
+//! [
+//!   {"rev":"abc1234","label":"before","bench":"...","threads":1,...},
+//!   {"rev":"abc1234","label":"after","bench":"...","threads":2,...}
+//! ]
+//! ```
+//!
+//! Successive runs append rows, so a perf PR's before/after is a plain
+//! line diff. The validator parses the whole file (full JSON grammar,
+//! no serde — the container has no crates.io access) and then checks
+//! every row against a fixed schema: required fields, no unknown
+//! fields, sane values, and (optionally) that every `rev` is an
+//! ancestor of `HEAD` — the check that keeps committed trajectory files
+//! from silently rotting.
+
+use std::collections::BTreeSet;
+
+/// Short git revision of `HEAD`, or `"unknown"` outside a repository.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Append `lines` (row objects, no trailing commas) to the JSON array in
+/// `path`, creating the file if absent. Rows are one-per-line, so the
+/// splice is a plain line operation.
+///
+/// # Panics
+/// Panics (rather than silently dropping history) when the existing
+/// file contains lines this splicer does not understand — e.g. after a
+/// reformat with jq/prettier. Re-emit such a file in the one-row-per-
+/// line layout (or pass `fresh` to deliberately start over).
+pub fn append_rows(path: &str, lines: &[String], fresh: bool) {
+    let existing: Vec<String> = if fresh {
+        Vec::new()
+    } else {
+        match std::fs::read_to_string(path) {
+            Err(_) => Vec::new(), // absent: start a new file
+            Ok(s) => s
+                .lines()
+                .map(str::trim_end)
+                .filter(|l| !matches!(*l, "" | "[" | "]"))
+                .map(|l| {
+                    assert!(
+                        l.starts_with("  {") && l.trim_end_matches(',').ends_with('}'),
+                        "{path}: unrecognized line {l:?}; this file must keep the \
+                         one-row-per-line layout the bench binaries write \
+                         (use --fresh to discard it)"
+                    );
+                    l.trim_end_matches(',').to_string()
+                })
+                .collect(),
+        }
+    };
+    let mut all: Vec<String> = existing;
+    all.extend(lines.iter().cloned());
+    let body = all.join(",\n");
+    std::fs::write(path, format!("[\n{body}\n]\n")).expect("write bench file");
+}
+
+/// The CLI surface shared by the bench binaries (`perfsuite`,
+/// `scenarios`): `--quick`, `--fresh`, `--label <l>`, `--out <path>`;
+/// binary-specific flags read through [`BenchCli::grab`].
+pub struct BenchCli {
+    /// Shrunken measurement windows (CI smoke mode).
+    pub quick: bool,
+    /// Discard any existing output file instead of appending.
+    pub fresh: bool,
+    /// Row label (e.g. `before` / `after`).
+    pub label: String,
+    /// Output path.
+    pub out: String,
+    args: Vec<String>,
+}
+
+impl BenchCli {
+    /// Parse `std::env::args`, defaulting `--out` to `default_out`.
+    /// Exits with status 2 when the label cannot be embedded in a JSON
+    /// row verbatim — the row writer does no escaping, so a quote or
+    /// backslash would corrupt the trajectory file for every later run.
+    pub fn parse(default_out: &str) -> BenchCli {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let fresh = args.iter().any(|a| a == "--fresh");
+        let label = grab_from(&args, "--label", "run");
+        let out = grab_from(&args, "--out", default_out);
+        if label.is_empty() || label.chars().any(|c| c == '"' || c == '\\' || c.is_control()) {
+            eprintln!(
+                "--label {label:?} must be non-empty and free of quotes, backslashes and \
+                 control characters (labels are embedded in JSON rows verbatim)"
+            );
+            std::process::exit(2);
+        }
+        BenchCli { quick, fresh, label, out, args }
+    }
+
+    /// Value following `flag`, or `default` when absent.
+    pub fn grab(&self, flag: &str, default: &str) -> String {
+        grab_from(&self.args, flag, default)
+    }
+}
+
+fn grab_from(args: &[String], flag: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (enough of the grammar for trajectory files).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (escape sequences are rejected — bench rows never need
+    /// them, and rejecting beats silently mis-decoding).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let start = *pos;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                let s = std::str::from_utf8(&b[start..*pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?
+                    .to_string();
+                *pos += 1;
+                return Ok(s);
+            }
+            b'\\' => return Err(format!("escape sequences unsupported (byte {})", *pos)),
+            0x00..=0x1F => return Err(format!("control character in string (byte {})", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(&c) = b.get(*pos) {
+        if matches!(c, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).expect("ASCII slice");
+    // f64::parse is laxer than the JSON grammar (it accepts "+1", "01",
+    // "1.", ".5", "inf"); a validator that lets those through would bless
+    // files real JSON consumers reject, so check the grammar first.
+    if !is_json_number(s) {
+        return Err(format!("not a JSON number {s:?} at byte {start}"));
+    }
+    s.parse::<f64>().map(Json::Num).map_err(|_| format!("invalid number {s:?} at byte {start}"))
+}
+
+/// Exact JSON number grammar: `-? (0 | [1-9][0-9]*) (. [0-9]+)?
+/// ([eE] [-+]? [0-9]+)?`.
+fn is_json_number(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(b.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        if !matches!(b.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(b.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'-' | b'+')) {
+            i += 1;
+        }
+        if !matches!(b.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(b.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    i == b.len()
+}
+
+// ---------------------------------------------------------------------
+// Trajectory schemas
+// ---------------------------------------------------------------------
+
+/// Which trajectory file layout a row must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSchema {
+    /// `BENCH_core.json`: `{rev, label, bench, threads, ops_per_sec,
+    /// abort_ratio}`.
+    Core,
+    /// `BENCH_scenarios.json`: the core fields extended with latency
+    /// quantiles `{p50_ns, p99_ns, p999_ns}`.
+    Scenarios,
+}
+
+impl RowSchema {
+    fn required_fields(self) -> &'static [&'static str] {
+        match self {
+            RowSchema::Core => &["rev", "label", "bench", "threads", "ops_per_sec", "abort_ratio"],
+            RowSchema::Scenarios => &[
+                "rev",
+                "label",
+                "bench",
+                "threads",
+                "ops_per_sec",
+                "abort_ratio",
+                "p50_ns",
+                "p99_ns",
+                "p999_ns",
+            ],
+        }
+    }
+}
+
+fn field<'a>(row: &'a [(String, Json)], name: &str) -> Option<&'a Json> {
+    row.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn nonneg_finite(row: &[(String, Json)], name: &str) -> Result<f64, String> {
+    match field(row, name) {
+        Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => Ok(*v),
+        Some(Json::Num(v)) => Err(format!("{name} must be finite and >= 0, got {v}")),
+        Some(_) => Err(format!("{name} must be a number")),
+        None => unreachable!("presence checked before typing"),
+    }
+}
+
+/// Validate one parsed row against `schema`. Returns the row's `rev`.
+fn validate_row(row: &[(String, Json)], schema: RowSchema) -> Result<String, String> {
+    let required = schema.required_fields();
+    for name in required {
+        if field(row, name).is_none() {
+            return Err(format!("missing field {name:?}"));
+        }
+    }
+    for (k, _) in row {
+        if !required.contains(&k.as_str()) {
+            return Err(format!("unknown field {k:?}"));
+        }
+    }
+    if row.len() != required.len() {
+        return Err("duplicate field".into());
+    }
+    let rev = match field(row, "rev") {
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        _ => return Err("rev must be a non-empty string".into()),
+    };
+    for name in ["label", "bench"] {
+        match field(row, name) {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            _ => return Err(format!("{name} must be a non-empty string")),
+        }
+    }
+    match field(row, "threads") {
+        Some(Json::Num(v)) if *v >= 1.0 && v.fract() == 0.0 => {}
+        _ => return Err("threads must be a positive integer".into()),
+    }
+    nonneg_finite(row, "ops_per_sec")?;
+    nonneg_finite(row, "abort_ratio")?;
+    if schema == RowSchema::Scenarios {
+        let p50 = nonneg_finite(row, "p50_ns")?;
+        let p99 = nonneg_finite(row, "p99_ns")?;
+        let p999 = nonneg_finite(row, "p999_ns")?;
+        for (name, v) in [("p50_ns", p50), ("p99_ns", p99), ("p999_ns", p999)] {
+            if v.fract() != 0.0 {
+                return Err(format!("{name} must be an integer nanosecond count"));
+            }
+        }
+        if !(p50 <= p99 && p99 <= p999) {
+            return Err(format!("latency quantiles out of order: p50={p50} p99={p99} p999={p999}"));
+        }
+    }
+    Ok(rev)
+}
+
+/// Validate a whole trajectory file: JSON grammar, array-of-rows shape,
+/// and per-row schema. With `schema: None` the schema is inferred from
+/// the first row's fields (`p50_ns` present → [`RowSchema::Scenarios`])
+/// and every row must then match it — the rows carry the schema, so the
+/// file name never has to. Returns `(row_count, unique_revs, schema)`.
+pub fn validate_trajectory(
+    text: &str,
+    schema: Option<RowSchema>,
+) -> Result<(usize, BTreeSet<String>, RowSchema), String> {
+    let doc = parse_json(text)?;
+    let rows = match doc {
+        Json::Arr(rows) => rows,
+        _ => return Err("top level must be a JSON array of rows".into()),
+    };
+    let schema = match (schema, rows.first()) {
+        (Some(s), _) => s,
+        (None, Some(Json::Obj(fields))) => {
+            if field(fields, "p50_ns").is_some() {
+                RowSchema::Scenarios
+            } else {
+                RowSchema::Core
+            }
+        }
+        // Empty or malformed first row: Core; row validation reports
+        // the malformation itself.
+        (None, _) => RowSchema::Core,
+    };
+    let mut revs = BTreeSet::new();
+    for (i, row) in rows.iter().enumerate() {
+        let fields = match row {
+            Json::Obj(fields) => fields,
+            _ => return Err(format!("row {i}: not an object")),
+        };
+        let rev = validate_row(fields, schema).map_err(|e| format!("row {i}: {e}"))?;
+        revs.insert(rev);
+    }
+    Ok((rows.len(), revs, schema))
+}
+
+/// Is `rev` a commit that is an ancestor of (or equal to) `HEAD`?
+/// `Err` carries the git failure mode for reporting.
+pub fn rev_is_ancestor_of_head(rev: &str) -> Result<bool, String> {
+    let out = std::process::Command::new("git")
+        .args(["merge-base", "--is-ancestor", rev, "HEAD"])
+        .output()
+        .map_err(|e| format!("failed to spawn git: {e}"))?;
+    match out.status.code() {
+        Some(0) => Ok(true),
+        Some(1) => Ok(false),
+        _ => Err(format!(
+            "git merge-base --is-ancestor {rev} HEAD failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_CORE: &str = "[\n  {\"rev\":\"abc1234\",\"label\":\"before\",\"bench\":\"b\",\
+                             \"threads\":2,\"ops_per_sec\":123.4,\"abort_ratio\":0.01}\n]\n";
+
+    const GOOD_SCEN: &str =
+        "[\n  {\"rev\":\"abc1234\",\"label\":\"run\",\"bench\":\"hotspot/tx-list\",\
+                             \"threads\":4,\"ops_per_sec\":9.5,\"abort_ratio\":0.0,\
+                             \"p50_ns\":100,\"p99_ns\":2000,\"p999_ns\":50000}\n]\n";
+
+    #[test]
+    fn json_parser_roundtrips_scalars() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-1.5e3").unwrap(), Json::Num(-1500.0));
+        assert_eq!(parse_json("\"hi\"").unwrap(), Json::Str("hi".into()));
+        assert_eq!(parse_json("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse_json("{}").unwrap(), Json::Obj(vec![]));
+        assert!(parse_json("{\"a\":1}{").is_err(), "trailing data");
+        assert!(parse_json("[1,]").is_err(), "trailing comma");
+        assert!(parse_json("\"a\\nb\"").is_err(), "escapes rejected");
+    }
+
+    #[test]
+    fn non_json_number_forms_are_rejected() {
+        // f64::parse would accept all of these; the JSON grammar does
+        // not, and neither may the validator.
+        for bad in ["+1", "01", "1.", ".5", "1e", "1e+", "inf", "NaN", "-"] {
+            assert!(parse_json(bad).is_err(), "{bad:?} must be rejected");
+        }
+        for good in ["0", "-0", "10", "1.5", "0.25", "1e3", "1.5E-7", "-2.5e+10"] {
+            assert!(parse_json(good).is_ok(), "{good:?} must parse");
+        }
+    }
+
+    #[test]
+    fn good_files_validate() {
+        let (n, revs, _) = validate_trajectory(GOOD_CORE, Some(RowSchema::Core)).unwrap();
+        assert_eq!((n, revs.len()), (1, 1));
+        let (n, _, _) = validate_trajectory(GOOD_SCEN, Some(RowSchema::Scenarios)).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn schema_is_inferred_from_row_content() {
+        // The rows carry the schema — the file name is irrelevant.
+        let (_, _, s) = validate_trajectory(GOOD_CORE, None).unwrap();
+        assert_eq!(s, RowSchema::Core);
+        let (_, _, s) = validate_trajectory(GOOD_SCEN, None).unwrap();
+        assert_eq!(s, RowSchema::Scenarios);
+        // Mixed-schema files fail whichever schema the first row sets.
+        let mixed = format!(
+            "{},{}",
+            GOOD_SCEN.trim_end().trim_end_matches(']').trim_end(),
+            GOOD_CORE.trim_start().trim_start_matches('[')
+        );
+        assert!(validate_trajectory(&mixed, None).unwrap_err().contains("p50_ns"));
+    }
+
+    #[test]
+    fn schema_violations_are_caught() {
+        // Unknown field.
+        let bad = GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"extra\":1");
+        assert!(validate_trajectory(&bad, Some(RowSchema::Core)).unwrap_err().contains("unknown"));
+        // Missing field.
+        let bad = GOOD_CORE.replace(",\"abort_ratio\":0.01", "");
+        assert!(validate_trajectory(&bad, Some(RowSchema::Core))
+            .unwrap_err()
+            .contains("abort_ratio"));
+        // Core rows do not satisfy the scenarios schema.
+        assert!(validate_trajectory(GOOD_CORE, Some(RowSchema::Scenarios)).is_err());
+        // Scenario rows carry fields unknown to the core schema.
+        assert!(validate_trajectory(GOOD_SCEN, Some(RowSchema::Core)).is_err());
+        // Non-integer threads.
+        let bad = GOOD_CORE.replace("\"threads\":2", "\"threads\":2.5");
+        assert!(validate_trajectory(&bad, Some(RowSchema::Core)).is_err());
+        // Negative throughput.
+        let bad = GOOD_CORE.replace("123.4", "-1.0");
+        assert!(validate_trajectory(&bad, Some(RowSchema::Core)).is_err());
+        // Out-of-order quantiles.
+        let bad = GOOD_SCEN.replace("\"p99_ns\":2000", "\"p99_ns\":99999999");
+        assert!(validate_trajectory(&bad, Some(RowSchema::Scenarios))
+            .unwrap_err()
+            .contains("out of order"));
+        // Malformed JSON.
+        assert!(validate_trajectory("[{]", None).is_err());
+        // Not an array.
+        assert!(validate_trajectory("{}", None).is_err());
+    }
+
+    #[test]
+    fn append_then_validate_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("polytm-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_scenarios.json");
+        let path = path.to_str().unwrap();
+        let row = |label: &str| {
+            format!(
+                "  {{\"rev\":\"deadbee\",\"label\":\"{label}\",\"bench\":\"s/b\",\"threads\":1,\
+                 \"ops_per_sec\":10.0,\"abort_ratio\":0.00000,\"p50_ns\":1,\"p99_ns\":2,\
+                 \"p999_ns\":3}}"
+            )
+        };
+        append_rows(path, &[row("a")], true);
+        append_rows(path, &[row("b")], false);
+        let text = std::fs::read_to_string(path).unwrap();
+        let (n, revs, schema) = validate_trajectory(&text, None).unwrap();
+        assert_eq!(n, 2, "append preserved the existing row");
+        assert_eq!(revs.len(), 1);
+        assert_eq!(schema, RowSchema::Scenarios);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn committed_trajectories_stay_schema_valid() {
+        // The repo's own perf history must always parse — this is the
+        // in-tree twin of CI's benchlint step.
+        for (file, schema) in
+            [("BENCH_core.json", RowSchema::Core), ("BENCH_scenarios.json", RowSchema::Scenarios)]
+        {
+            let path = format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"));
+            match std::fs::read_to_string(&path) {
+                Ok(text) => {
+                    let (n, _, inferred) =
+                        validate_trajectory(&text, None).unwrap_or_else(|e| panic!("{file}: {e}"));
+                    assert!(n > 0, "{file} must contain rows");
+                    assert_eq!(inferred, schema, "{file}: wrong inferred schema");
+                }
+                Err(_) => {
+                    // BENCH_scenarios.json does not exist until the first
+                    // matrix run is committed; absence is not rot.
+                }
+            }
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //!
 //! ## Hot-path design (see DESIGN.md §1)
 //!
-//! All growable state lives in a pooled [`TxDescriptor`] reused across
+//! All growable state lives in a pooled `TxDescriptor` reused across
 //! attempts and transactions (zero steady-state allocation); read
 //! versions are sampled through the gate-free era double-check in
 //! `gate.rs` (no RMW, no lock); the global clock is an Acquire/Release

@@ -52,6 +52,13 @@ impl MichaelHashSet {
         self.buckets.iter().map(|b| b.len()).sum()
     }
 
+    /// Number of keys in `[lo, hi)`: a per-bucket wait-free scan summed
+    /// across the table — each bucket sees its own instant, so the total
+    /// is not an atomic cut (exact only at quiescence).
+    pub fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.buckets.iter().map(|b| b.range_count(lo, hi)).sum()
+    }
+
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.buckets.iter().all(|b| b.is_empty())
@@ -78,6 +85,18 @@ mod tests {
         assert!(h.remove(1));
         assert!(!h.remove(1));
         assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn range_count_sums_across_buckets() {
+        let h = MichaelHashSet::new(8);
+        for k in 0..128u64 {
+            h.insert(k);
+        }
+        assert_eq!(h.range_count(0, 128), 128);
+        assert_eq!(h.range_count(32, 96), 64);
+        assert_eq!(h.range_count(127, 1 << 20), 1);
+        assert_eq!(h.range_count(10, 10), 0);
     }
 
     #[test]

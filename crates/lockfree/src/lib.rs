@@ -2,8 +2,8 @@
 //!
 //! The paper's introduction motivates polymorphism against "highly tuned"
 //! non-generic concurrent structures, naming two: Michael's lock-free
-//! hash table / list-based sets (SPAA 2002, citation [3]) and
-//! Shalev–Shavit split-ordered lists (JACM 2006, citation [4], the
+//! hash table / list-based sets (SPAA 2002, citation \[3\]) and
+//! Shalev–Shavit split-ordered lists (JACM 2006, citation \[4\], the
 //! resizable lock-free hash table). These are reimplemented here from
 //! scratch on crossbeam-epoch and serve as the lock-free comparators in
 //! experiments E4 and E6:

@@ -184,6 +184,28 @@ impl LockFreeList {
         self.len() == 0
     }
 
+    /// Number of unmarked keys in `[lo, hi)`. Like every lock-free
+    /// traversal here, this is a *wait-free scan*, not an atomic cut:
+    /// updates that race past the traversal front may or may not be
+    /// observed. The ordered layout at least bounds the walk: it starts
+    /// counting at the first node ≥ `lo` and stops at `hi`.
+    pub fn range_count(&self, lo: u64, hi: u64) -> usize {
+        let guard = epoch::pin();
+        let mut n = 0usize;
+        let mut curr = self.head.load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if node.key >= hi {
+                break;
+            }
+            if node.key >= lo && next.tag() == 0 {
+                n += 1;
+            }
+            curr = next.with_tag(0);
+        }
+        n
+    }
+
     /// Snapshot of keys in order (exact only at quiescence).
     pub fn to_vec(&self) -> Vec<u64> {
         let guard = epoch::pin();
@@ -218,6 +240,19 @@ impl Drop for LockFreeList {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn range_count_half_open_semantics() {
+        let l = LockFreeList::new();
+        for k in [1u64, 3, 5, 7, 9] {
+            l.insert(k);
+        }
+        assert_eq!(l.range_count(3, 8), 3);
+        assert_eq!(l.range_count(0, 100), 5);
+        assert_eq!(l.range_count(4, 5), 0);
+        l.remove(5);
+        assert_eq!(l.range_count(3, 8), 2, "removed key no longer counted");
+    }
 
     #[test]
     fn insert_contains_remove_roundtrip() {

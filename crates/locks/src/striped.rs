@@ -94,6 +94,21 @@ impl StripedHashSet {
         }
     }
 
+    /// Number of keys in `[lo, hi)`. Takes the directory read lock (so
+    /// no resize interleaves) and then each stripe lock *in turn* — a
+    /// stripe-by-stripe view, not an atomic cut: an element moving
+    /// between already-visited and not-yet-visited stripes mid-scan can
+    /// be double-counted or missed. Atomicity would need every stripe
+    /// lock at once (the structure's documented resize pain point);
+    /// the scenario matrix exists to surface exactly that trade-off.
+    pub fn range_count(&self, lo: u64, hi: u64) -> usize {
+        let dir = self.directory.read();
+        dir.stripes
+            .iter()
+            .map(|stripe| stripe.lock().iter().filter(|&&k| lo <= k && k < hi).count())
+            .sum()
+    }
+
     /// Number of keys.
     pub fn len(&self) -> usize {
         self.directory.read().len.load(std::sync::atomic::Ordering::Relaxed)
@@ -148,6 +163,18 @@ mod tests {
         assert!(s.remove(10));
         assert!(!s.remove(10));
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn range_count_filters_across_stripes() {
+        let s = StripedHashSet::new(4, 8);
+        for k in 0..64 {
+            s.insert(k);
+        }
+        assert_eq!(s.range_count(0, 64), 64);
+        assert_eq!(s.range_count(16, 48), 32);
+        assert_eq!(s.range_count(63, 1000), 1);
+        assert_eq!(s.range_count(7, 7), 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   and lock-based forms;
 //! * [`theorems`] — executable statements of Theorems 1 and 2: a
 //!   separating witness plus a bounded-exhaustive inclusion check;
-//! * [`replay`] — a deterministic replayer that drives the *real*
+//! * [`mod@replay`] — a deterministic replayer that drives the *real*
 //!   [`polytm`] STM through a schedule's exact interleaving and reports
 //!   whether the implementation accepts it (no aborts).
 

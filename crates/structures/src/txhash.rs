@@ -173,6 +173,22 @@ impl TxHashSet {
         })
     }
 
+    /// Number of keys in `[lo, hi)` under **snapshot** semantics: one
+    /// consistent cut over the whole directory, never aborting. A hash
+    /// table has no key order, so this walks every bucket — the point of
+    /// the scenario matrix's scan workload is exactly that contrast with
+    /// the ordered structures.
+    pub fn range_count_snapshot(&self, lo: u64, hi: u64) -> usize {
+        self.stm.snapshot(|tx| {
+            let dir = self.dir.read(tx)?;
+            let mut n = 0usize;
+            for slot in dir.iter() {
+                n += slot.read(tx)?.iter().filter(|&&k| lo <= k && k < hi).count();
+            }
+            Ok(n)
+        })
+    }
+
     /// Number of keys (one opaque transaction over all buckets).
     pub fn len(&self) -> usize {
         self.stm.run(TxParams::new(Semantics::Opaque), |tx| {
@@ -214,6 +230,18 @@ mod tests {
         assert!(h.remove(1));
         assert!(!h.remove(1));
         assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn range_count_snapshot_spans_buckets() {
+        let h = fresh();
+        for k in 0..100 {
+            h.insert(k);
+        }
+        assert_eq!(h.range_count_snapshot(0, 100), 100);
+        assert_eq!(h.range_count_snapshot(25, 75), 50);
+        assert_eq!(h.range_count_snapshot(50, 50), 0);
+        assert_eq!(h.range_count_snapshot(99, 200), 1);
     }
 
     #[test]

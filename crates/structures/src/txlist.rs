@@ -182,6 +182,27 @@ impl TxList {
         })
     }
 
+    /// Number of keys in `[lo, hi)` under **snapshot** semantics: the
+    /// scan observes one consistent cut of the list and never aborts,
+    /// however hot the list is — the scenario matrix's range-scan
+    /// operation.
+    pub fn range_count_snapshot(&self, lo: i64, hi: i64) -> usize {
+        self.stm.snapshot(|tx| {
+            let mut n = 0usize;
+            let mut link = self.head.read(tx)?;
+            while let Some(node) = link {
+                if node.key >= hi {
+                    break;
+                }
+                if node.key >= lo {
+                    n += 1;
+                }
+                link = node.next.read(tx)?;
+            }
+            Ok(n)
+        })
+    }
+
     /// Sorted snapshot of the keys (opaque, atomic).
     pub fn to_vec(&self) -> Vec<i64> {
         self.stm.run(TxParams::new(Semantics::Opaque), |tx| {
@@ -219,6 +240,19 @@ mod tests {
         assert_eq!(l.to_vec(), vec![1, 9]);
         assert_eq!(l.len(), 2);
         assert_eq!(l.sum_snapshot(), 10);
+    }
+
+    #[test]
+    fn range_count_snapshot_counts_half_open_ranges() {
+        let l = fresh();
+        for k in [1, 3, 5, 7, 9] {
+            l.insert(k);
+        }
+        assert_eq!(l.range_count_snapshot(3, 8), 3); // 3, 5, 7
+        assert_eq!(l.range_count_snapshot(0, 100), 5);
+        assert_eq!(l.range_count_snapshot(3, 3), 0, "empty range");
+        assert_eq!(l.range_count_snapshot(4, 5), 0, "gap");
+        assert_eq!(l.range_count_snapshot(9, 10), 1, "upper bound exclusive");
     }
 
     #[test]

@@ -205,6 +205,24 @@ impl TxSkipList {
         self.stm.run(TxParams::new(Semantics::Opaque), |tx| Ok(self.head[0].read(tx)?.is_none()))
     }
 
+    /// Number of keys in `[lo, hi)` under **snapshot** semantics: an
+    /// O(log n) tower descent to `lo`, then a level-0 walk to `hi`,
+    /// observing one consistent cut without ever aborting.
+    pub fn range_count_snapshot(&self, lo: i64, hi: i64) -> usize {
+        self.stm.snapshot(|tx| {
+            let (_, mut link) = self.find_preds(tx, lo)?;
+            let mut n = 0usize;
+            while let Some(node) = link {
+                if node.key >= hi {
+                    break;
+                }
+                n += 1;
+                link = node.next[0].read(tx)?;
+            }
+            Ok(n)
+        })
+    }
+
     /// Sorted snapshot of the keys (opaque).
     pub fn to_vec(&self) -> Vec<i64> {
         self.stm.run(TxParams::new(Semantics::Opaque), |tx| {
@@ -241,6 +259,20 @@ mod tests {
         assert!(!s.remove(5));
         assert_eq!(s.to_vec(), vec![1, 3, 7, 9]);
         assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn range_count_snapshot_matches_reference() {
+        let s = fresh();
+        let keys: Vec<i64> = (0..200).map(|i| (i * 13) % 500).collect();
+        for &k in &keys {
+            s.insert(k);
+        }
+        let sorted = s.to_vec();
+        for (lo, hi) in [(0, 500), (100, 300), (250, 250), (499, 500), (300, 100)] {
+            let expect = sorted.iter().filter(|&&k| lo <= k && k < hi).count();
+            assert_eq!(s.range_count_snapshot(lo, hi), expect, "[{lo}, {hi})");
+        }
     }
 
     #[test]

@@ -1,11 +1,14 @@
-//! The measurement driver: N threads hammer one [`ConcurrentSet`] for a
-//! fixed duration and report throughput.
+//! The measurement driver: N threads hammer one [`ConcurrentSet`] (or
+//! [`RangeSet`]) for a fixed duration and report throughput plus
+//! per-operation latency quantiles.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::hist::LatencyHistogram;
 use crate::keys::{KeyDist, KeyStream};
-use crate::mix::{OpKind, OpMix};
+use crate::mix::{MixSchedule, OpKind, OpMix};
 use crate::rng::SplitMix64;
 
 /// Anything that behaves like a concurrent set of `u64` keys. All the
@@ -20,6 +23,16 @@ pub trait ConcurrentSet: Sync {
     fn remove(&self, key: u64) -> bool;
 }
 
+/// Extension for backends that can observe a whole key range in one
+/// operation — the snapshot/range-scan scenarios drive this. On the
+/// transactional side it is backed by `Stm::snapshot`; lock-based and
+/// lock-free backends scan with whatever consistency their discipline
+/// affords (documented per implementation).
+pub trait RangeSet: ConcurrentSet {
+    /// Number of keys in `[lo, hi)`, observed as one scan.
+    fn range_count(&self, lo: u64, hi: u64) -> usize;
+}
+
 /// What to run.
 #[derive(Debug, Clone)]
 pub struct WorkloadSpec {
@@ -30,51 +43,133 @@ pub struct WorkloadSpec {
     /// Pre-fill the set with every even key (≈ 50% occupancy, the
     /// standard steady-state initial condition) when true.
     pub prefill: bool,
-    /// Operation mix.
-    pub mix: OpMix,
+    /// Operation mix, possibly phased over time.
+    pub mix: MixSchedule,
     /// Key distribution.
     pub dist: KeyDist,
+    /// Width of each range scan: a scan drawn at key `k` covers
+    /// `[k, min(k + scan_span, key_space))`. Ignored by scan-free mixes.
+    pub scan_span: u64,
     /// Measured duration (after warmup).
     pub duration: Duration,
     /// Warmup duration (not measured).
     pub warmup: Duration,
+    /// Record per-operation latency into per-thread histograms (merged
+    /// into [`Measurement::latency`] at join). Adds two `Instant` reads
+    /// per operation; leave off for pure-throughput runs.
+    pub record_latency: bool,
     /// Base seed for the deterministic per-thread streams.
     pub seed: u64,
 }
 
 impl WorkloadSpec {
+    /// The conventional scan width for `key_space`: 1/32nd of the
+    /// space, at least one key. The single source of the default-span
+    /// policy for every spec builder.
+    pub fn default_scan_span(key_space: u64) -> u64 {
+        (key_space / 32).max(1)
+    }
+
     /// A conventional spec: `threads` workers over `key_space` keys at
     /// `update_percent`% updates, uniform keys, 200 ms measure + 50 ms
-    /// warmup.
+    /// warmup, no latency recording.
     pub fn quick(threads: usize, key_space: u64, update_percent: u32) -> Self {
         Self {
             threads,
             key_space,
             prefill: true,
-            mix: OpMix::updates(update_percent),
+            mix: OpMix::updates(update_percent).into(),
             dist: KeyDist::Uniform,
+            scan_span: Self::default_scan_span(key_space),
             duration: Duration::from_millis(200),
             warmup: Duration::from_millis(50),
+            record_latency: false,
             seed: 0xC0FF_EE11,
         }
     }
 }
 
 /// The result of one run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Completed operations during the measured window.
     pub ops: u64,
-    /// Measured wall time.
+    /// Measured wall time of the window (not the requested duration:
+    /// sleep overshoot is real time the workers kept running, so
+    /// throughput divides by this).
     pub elapsed: Duration,
-    /// Operations per second.
+    /// Operations per second over the measured window.
     pub throughput: f64,
+    /// Merged per-operation latency histogram; empty unless
+    /// [`WorkloadSpec::record_latency`] was set.
+    pub latency: LatencyHistogram,
 }
 
-/// Run `spec` against `set`. Deterministic op/key streams per thread;
-/// wall-clock-bounded. The caller is responsible for resetting any
-/// statistics before the call if it wants per-run counters.
+/// Adapter that lets scan-free workloads run against a plain
+/// [`ConcurrentSet`]: `run_workload` asserts the mix never draws a scan,
+/// so `range_count` is unreachable.
+struct NoScan<'a, S: ?Sized>(&'a S);
+
+impl<S: ConcurrentSet + ?Sized> ConcurrentSet for NoScan<'_, S> {
+    fn contains(&self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.0.insert(key)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key)
+    }
+}
+
+impl<S: ConcurrentSet + ?Sized> RangeSet for NoScan<'_, S> {
+    fn range_count(&self, _lo: u64, _hi: u64) -> usize {
+        unreachable!("run_workload rejects mixes with range scans")
+    }
+}
+
+/// Run a scan-free `spec` against `set`. Deterministic op/key streams per
+/// thread; wall-clock-bounded. The caller is responsible for resetting
+/// any statistics before the call if it wants per-run counters — or use
+/// [`run_workload_with`] to reset them exactly at window start.
+///
+/// # Panics
+/// Panics when `spec.mix` can draw range scans — those need a
+/// [`RangeSet`] backend via [`run_scenario`].
 pub fn run_workload<S: ConcurrentSet + ?Sized>(set: &S, spec: &WorkloadSpec) -> Measurement {
+    run_workload_with(set, spec, || {})
+}
+
+/// As [`run_workload`], invoking `on_measure_start` at the moment the
+/// measured window opens (after warmup). External counters reset in the
+/// callback — e.g. `Stm::reset_stats` — then describe the same interval
+/// as the returned throughput and latency figures, up to the instant it
+/// takes workers to observe the stop flag.
+pub fn run_workload_with<S: ConcurrentSet + ?Sized>(
+    set: &S,
+    spec: &WorkloadSpec,
+    on_measure_start: impl Fn() + Sync,
+) -> Measurement {
+    assert!(
+        !spec.mix.has_scans(),
+        "mix draws range scans; use run_scenario with a RangeSet backend"
+    );
+    run_scenario_with(&NoScan(set), spec, on_measure_start)
+}
+
+/// Run `spec` — any mix, including phased schedules and range scans —
+/// against a [`RangeSet`] backend.
+pub fn run_scenario<S: RangeSet + ?Sized>(set: &S, spec: &WorkloadSpec) -> Measurement {
+    run_scenario_with(set, spec, || {})
+}
+
+/// As [`run_scenario`] with the window-start callback of
+/// [`run_workload_with`].
+pub fn run_scenario_with<S: RangeSet + ?Sized>(
+    set: &S,
+    spec: &WorkloadSpec,
+    on_measure_start: impl Fn() + Sync,
+) -> Measurement {
     if spec.prefill {
         for k in (0..spec.key_space).step_by(2) {
             set.insert(k);
@@ -83,23 +178,36 @@ pub fn run_workload<S: ConcurrentSet + ?Sized>(set: &S, spec: &WorkloadSpec) -> 
     let stop = AtomicBool::new(false);
     let measuring = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
+    let merged = Mutex::new(LatencyHistogram::new());
 
-    std::thread::scope(|s| {
+    let elapsed = std::thread::scope(|s| {
         for t in 0..spec.threads {
             let stop = &stop;
             let measuring = &measuring;
             let total_ops = &total_ops;
+            let merged = &merged;
             let spec_ref = spec;
             let set = &set;
             s.spawn(move || {
                 let mut keys =
                     KeyStream::new(spec_ref.dist, spec_ref.key_space, spec_ref.seed).for_thread(t);
                 let mut ops_rng = SplitMix64::for_thread(spec_ref.seed ^ 0xDEAD_BEEF, t);
+                // O(1) per draw; phase position advances with this
+                // thread's own op count, deterministically.
+                let mut mix = spec_ref.mix.cursor();
+                let mut hist = LatencyHistogram::new();
                 let mut local_ops = 0u64;
                 let mut counted = false;
                 while !stop.load(Ordering::Relaxed) {
                     let key = keys.next_key();
-                    match spec_ref.mix.next_op(&mut ops_rng) {
+                    let op = mix.next_op(&mut ops_rng);
+                    let in_window = measuring.load(Ordering::Relaxed);
+                    let t0 = if in_window && spec_ref.record_latency {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
+                    match op {
                         OpKind::Contains => {
                             std::hint::black_box(set.contains(key));
                         }
@@ -109,8 +217,15 @@ pub fn run_workload<S: ConcurrentSet + ?Sized>(set: &S, spec: &WorkloadSpec) -> 
                         OpKind::Remove => {
                             std::hint::black_box(set.remove(key));
                         }
+                        OpKind::RangeScan => {
+                            let hi = key.saturating_add(spec_ref.scan_span).min(spec_ref.key_space);
+                            std::hint::black_box(set.range_count(key, hi));
+                        }
                     }
-                    if measuring.load(Ordering::Relaxed) {
+                    if let Some(t0) = t0 {
+                        hist.record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    }
+                    if in_window {
                         if !counted {
                             // Entering the measured window: reset.
                             counted = true;
@@ -122,34 +237,43 @@ pub fn run_workload<S: ConcurrentSet + ?Sized>(set: &S, spec: &WorkloadSpec) -> 
                 if counted {
                     total_ops.fetch_add(local_ops, Ordering::Relaxed);
                 }
+                if hist.count() > 0 {
+                    merged.lock().expect("histogram mutex poisoned").merge(&hist);
+                }
             });
         }
-        // Warmup, then measure.
+        // Warmup, then measure. The measured window is what actually
+        // elapsed between flipping `measuring` on and `stop` — sleep is
+        // allowed to overshoot, and the workers kept counting throughout.
         std::thread::sleep(spec.warmup);
         measuring.store(true, Ordering::Relaxed);
+        on_measure_start();
         let start = Instant::now();
         std::thread::sleep(spec.duration);
         stop.store(true, Ordering::Relaxed);
-        let elapsed = start.elapsed();
+        start.elapsed()
         // Threads join at scope end; ops counted only inside the window.
-        (elapsed, ())
     });
 
     let ops = total_ops.load(Ordering::Relaxed);
-    // Recompute elapsed from spec (scope returned it, but keep it simple
-    // and robust: the measured window is what we slept).
-    let elapsed = spec.duration;
-    Measurement { ops, elapsed, throughput: ops as f64 / elapsed.as_secs_f64() }
+    let latency = merged.into_inner().expect("histogram mutex poisoned");
+    Measurement { ops, elapsed, throughput: ops as f64 / elapsed.as_secs_f64(), latency }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     use std::sync::Mutex;
 
     /// Reference implementation for driver tests.
-    struct MutexSet(Mutex<HashSet<u64>>);
+    struct MutexSet(Mutex<BTreeSet<u64>>);
+
+    impl MutexSet {
+        fn new() -> Self {
+            Self(Mutex::new(BTreeSet::new()))
+        }
+    }
 
     impl ConcurrentSet for MutexSet {
         fn contains(&self, key: u64) -> bool {
@@ -163,32 +287,51 @@ mod tests {
         }
     }
 
+    impl RangeSet for MutexSet {
+        fn range_count(&self, lo: u64, hi: u64) -> usize {
+            self.0.lock().unwrap().range(lo..hi).count()
+        }
+    }
+
     fn tiny_spec(threads: usize) -> WorkloadSpec {
         WorkloadSpec {
             threads,
             key_space: 64,
             prefill: true,
-            mix: OpMix::updates(20),
+            mix: OpMix::updates(20).into(),
             dist: KeyDist::Uniform,
+            scan_span: 8,
             duration: Duration::from_millis(30),
             warmup: Duration::from_millis(5),
+            record_latency: false,
             seed: 1,
         }
     }
 
     #[test]
     fn driver_measures_nonzero_throughput() {
-        let set = MutexSet(Mutex::new(HashSet::new()));
+        let set = MutexSet::new();
         let m = run_workload(&set, &tiny_spec(2));
         assert!(m.ops > 0);
         assert!(m.throughput > 0.0);
     }
 
     #[test]
+    fn throughput_divides_by_measured_window() {
+        let set = MutexSet::new();
+        let spec = tiny_spec(1);
+        let m = run_workload(&set, &spec);
+        // The measured window can only overshoot the requested sleep.
+        assert!(m.elapsed >= spec.duration, "elapsed {:?}", m.elapsed);
+        let recomputed = m.ops as f64 / m.elapsed.as_secs_f64();
+        assert!((m.throughput - recomputed).abs() < 1e-6 * recomputed.max(1.0));
+    }
+
+    #[test]
     fn prefill_populates_even_keys() {
-        let set = MutexSet(Mutex::new(HashSet::new()));
+        let set = MutexSet::new();
         let mut spec = tiny_spec(1);
-        spec.mix = OpMix::updates(0); // read-only: population unchanged
+        spec.mix = OpMix::updates(0).into(); // read-only: population unchanged
         run_workload(&set, &spec);
         let inner = set.0.lock().unwrap();
         for k in (0..64).step_by(2) {
@@ -201,8 +344,70 @@ mod tests {
 
     #[test]
     fn more_threads_still_complete() {
-        let set = MutexSet(Mutex::new(HashSet::new()));
+        let set = MutexSet::new();
         let m = run_workload(&set, &tiny_spec(4));
         assert!(m.ops > 0);
+    }
+
+    #[test]
+    fn latency_recording_fills_the_histogram() {
+        let set = MutexSet::new();
+        let mut spec = tiny_spec(2);
+        spec.record_latency = true;
+        let m = run_workload(&set, &spec);
+        assert!(m.latency.count() > 0, "histogram must receive samples");
+        // Sampled ops are a subset of counted ops (the window flags are
+        // read at slightly different instants), but the same order of
+        // magnitude.
+        assert!(m.latency.count() <= m.ops + spec.threads as u64);
+        assert!(m.latency.p50() <= m.latency.p99());
+        assert!(m.latency.p99() <= m.latency.p999());
+        assert!(m.latency.max() > 0);
+    }
+
+    #[test]
+    fn latency_off_leaves_histogram_empty() {
+        let set = MutexSet::new();
+        let m = run_workload(&set, &tiny_spec(1));
+        assert_eq!(m.latency.count(), 0);
+    }
+
+    #[test]
+    fn measure_start_hook_fires_once_at_window_open() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let set = MutexSet::new();
+        let fired = AtomicU32::new(0);
+        let m = run_workload_with(&set, &tiny_spec(2), || {
+            fired.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "hook fires exactly once");
+        assert!(m.ops > 0);
+    }
+
+    #[test]
+    fn scan_mix_drives_range_counts() {
+        let set = MutexSet::new();
+        let mut spec = tiny_spec(2);
+        spec.mix = OpMix::with_scans(10, 30).into();
+        let m = run_scenario(&set, &spec);
+        assert!(m.ops > 0);
+    }
+
+    #[test]
+    fn phased_mix_runs_end_to_end() {
+        let set = MutexSet::new();
+        let mut spec = tiny_spec(2);
+        spec.mix = MixSchedule::phased_burst(5, 200, 90, 50);
+        let m = run_workload(&set, &spec);
+        assert!(m.ops > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range scans")]
+    fn run_workload_rejects_scan_mixes() {
+        let set = MutexSet::new();
+        let mut spec = tiny_spec(1);
+        spec.mix = OpMix::with_scans(0, 100).into();
+        run_workload(&set, &spec);
     }
 }

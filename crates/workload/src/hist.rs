@@ -108,6 +108,12 @@ impl LatencyHistogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile shorthand (the tail the scenario matrix
+    /// reports).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Fold another histogram into this one (per-thread merge).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -187,6 +193,46 @@ mod tests {
         assert_eq!(a.p50(), both.p50());
         assert_eq!(a.p99(), both.p99());
         assert!((a.mean() - both.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_thread_merge_equals_single_threaded_recording() {
+        // The driver's accounting scheme in miniature: each "thread"
+        // records its own histogram, the main thread folds them together;
+        // every reported statistic must equal a single-threaded recording
+        // of the union of samples.
+        let samples: Vec<u64> =
+            (0..4000u64).map(|i| (i.wrapping_mul(2654435761) % 1_000_000) + 1).collect();
+        let mut reference = LatencyHistogram::new();
+        for &v in &samples {
+            reference.record(v);
+        }
+        let mut merged = LatencyHistogram::new();
+        for chunk in samples.chunks(1000) {
+            // One per-thread histogram per chunk.
+            let mut h = LatencyHistogram::new();
+            for &v in chunk {
+                h.record(v);
+            }
+            merged.merge(&h);
+        }
+        assert_eq!(merged.count(), reference.count());
+        assert_eq!(merged.max(), reference.max());
+        assert!((merged.mean() - reference.mean()).abs() < 1e-9);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), reference.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn p999_sits_in_the_tail() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max());
+        assert!(h.p999() >= 8192, "p999 = {} must land in the last buckets", h.p999());
     }
 
     #[test]

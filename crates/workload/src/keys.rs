@@ -1,4 +1,5 @@
-//! Key streams: uniform and zipfian draws over `[0, space)`.
+//! Key streams: uniform, zipfian and hotspot-overlay draws over
+//! `[0, space)`.
 
 use crate::rng::SplitMix64;
 
@@ -10,6 +11,16 @@ pub enum KeyDist {
     /// Zipf with the given exponent (`s` ≈ 0.8–1.2 models typical skew:
     /// rank-k key has probability ∝ 1/k^s).
     Zipf(f64),
+    /// Hotspot overlay: `hot_fraction` of draws land uniformly on the
+    /// first `hot_keys` keys ("x% of ops on y keys"); the remaining
+    /// draws are uniform over the whole space.
+    Hotspot {
+        /// Fraction of draws directed at the hot set, in `[0, 1]`.
+        hot_fraction: f64,
+        /// Size of the hot set (keys `0..hot_keys`). Must be non-zero
+        /// and no larger than the key space.
+        hot_keys: u64,
+    },
 }
 
 /// A deterministic stream of keys.
@@ -27,6 +38,21 @@ enum Dist {
     Zipf {
         cdf: Vec<f64>,
     },
+    Hotspot {
+        hot_fraction: f64,
+        hot_keys: u64,
+    },
+}
+
+/// Inverse-CDF lookup: the first rank whose cumulative weight is at
+/// least `u`, clamped into the key space. The clamp matters on edge
+/// draws: floating-point accumulation can leave the final cumulative
+/// weight a hair below 1.0, so a `u` at or above it must still map to
+/// the last rank rather than index out of bounds.
+fn zipf_rank(cdf: &[f64], u: f64) -> u64 {
+    match cdf.binary_search_by(|w| w.partial_cmp(&u).expect("no NaN")) {
+        Ok(i) | Err(i) => (i as u64).min(cdf.len() as u64 - 1),
+    }
 }
 
 impl KeyStream {
@@ -48,6 +74,17 @@ impl KeyStream {
                 }
                 Dist::Zipf { cdf }
             }
+            KeyDist::Hotspot { hot_fraction, hot_keys } => {
+                assert!(
+                    (0.0..=1.0).contains(&hot_fraction),
+                    "hot_fraction must be in [0, 1], got {hot_fraction}"
+                );
+                assert!(
+                    hot_keys > 0 && hot_keys <= space,
+                    "hot_keys must be in 1..={space}, got {hot_keys}"
+                );
+                Dist::Hotspot { hot_fraction, hot_keys }
+            }
         };
         Self { rng: SplitMix64::new(seed), space, dist }
     }
@@ -63,11 +100,12 @@ impl KeyStream {
     pub fn next_key(&mut self) -> u64 {
         match &self.dist {
             Dist::Uniform => self.rng.next_below(self.space),
-            Dist::Zipf { cdf } => {
-                let u = self.rng.next_f64();
-                // First rank whose cumulative weight exceeds u.
-                match cdf.binary_search_by(|w| w.partial_cmp(&u).expect("no NaN")) {
-                    Ok(i) | Err(i) => (i as u64).min(self.space - 1),
+            Dist::Zipf { cdf } => zipf_rank(cdf, self.rng.next_f64()),
+            Dist::Hotspot { hot_fraction, hot_keys } => {
+                if self.rng.next_f64() < *hot_fraction {
+                    self.rng.next_below(*hot_keys)
+                } else {
+                    self.rng.next_below(self.space)
                 }
             }
         }
@@ -109,17 +147,79 @@ mod tests {
     }
 
     #[test]
+    fn zipf_edge_draws_clamp_to_last_rank() {
+        // A CDF whose final cumulative weight fell short of 1.0 through
+        // floating-point accumulation: draws at or above it must land on
+        // the last rank, never out of bounds.
+        let cdf = [0.5, 0.8, 0.95]; // space = 3, last weight < 1.0
+        assert_eq!(zipf_rank(&cdf, 0.95), 2, "u exactly on the last weight");
+        assert_eq!(zipf_rank(&cdf, 0.999), 2, "u above the last weight");
+        assert_eq!(zipf_rank(&cdf, 1.0), 2, "u at the theoretical maximum");
+        // Interior draws behave as plain inverse-CDF.
+        assert_eq!(zipf_rank(&cdf, 0.0), 0);
+        assert_eq!(zipf_rank(&cdf, 0.5), 0, "u exactly on a weight selects that rank");
+        assert_eq!(zipf_rank(&cdf, 0.51), 1);
+        // And the real sampler never leaves the space even across many
+        // draws of a heavily-skewed stream.
+        let mut s = KeyStream::new(KeyDist::Zipf(0.01), 7, 11);
+        for _ in 0..10_000 {
+            assert!(s.next_key() < 7);
+        }
+    }
+
+    #[test]
+    fn hotspot_overlay_hits_hot_set_at_requested_rate() {
+        let mut s = KeyStream::new(KeyDist::Hotspot { hot_fraction: 0.8, hot_keys: 16 }, 1024, 5);
+        const N: u32 = 20_000;
+        let mut hot = 0u32;
+        for _ in 0..N {
+            if s.next_key() < 16 {
+                hot += 1;
+            }
+        }
+        // 80% directed + ~1.6% of the uniform remainder ≈ 0.803.
+        let rate = f64::from(hot) / f64::from(N);
+        assert!((0.77..0.84).contains(&rate), "hot-set hit rate {rate}");
+    }
+
+    #[test]
+    fn hotspot_cold_draws_cover_the_whole_space() {
+        let mut s = KeyStream::new(KeyDist::Hotspot { hot_fraction: 0.5, hot_keys: 4 }, 32, 6);
+        let mut seen = [false; 32];
+        for _ in 0..20_000 {
+            seen[s.next_key() as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "cold keys must still be drawn");
+    }
+
+    #[test]
+    #[should_panic]
+    fn hotspot_rejects_oversized_hot_set() {
+        KeyStream::new(KeyDist::Hotspot { hot_fraction: 0.5, hot_keys: 100 }, 10, 1);
+    }
+
+    #[test]
     fn streams_are_deterministic() {
-        let mut a = KeyStream::new(KeyDist::Zipf(0.8), 64, 7);
-        let mut b = KeyStream::new(KeyDist::Zipf(0.8), 64, 7);
-        for _ in 0..200 {
-            assert_eq!(a.next_key(), b.next_key());
+        for dist in [
+            KeyDist::Zipf(0.8),
+            KeyDist::Uniform,
+            KeyDist::Hotspot { hot_fraction: 0.9, hot_keys: 8 },
+        ] {
+            let mut a = KeyStream::new(dist, 64, 7);
+            let mut b = KeyStream::new(dist, 64, 7);
+            for _ in 0..200 {
+                assert_eq!(a.next_key(), b.next_key());
+            }
         }
     }
 
     #[test]
     fn keys_stay_in_range() {
-        for dist in [KeyDist::Uniform, KeyDist::Zipf(1.2)] {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipf(1.2),
+            KeyDist::Hotspot { hot_fraction: 0.7, hot_keys: 3 },
+        ] {
             let mut s = KeyStream::new(dist, 10, 3);
             for _ in 0..500 {
                 assert!(s.next_key() < 10);

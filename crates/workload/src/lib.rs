@@ -11,9 +11,11 @@
 //!   hot path, so it must be branch-light and allocation-free.
 //! * [`keys`] — uniform and zipfian key streams over a bounded key space;
 //! * [`mix`] — operation mixes (`contains`/`insert`/`remove` ratios);
-//! * [`driver`] — the [`driver::ConcurrentSet`] abstraction plus a
-//!   multi-threaded timed driver with warmup and per-thread accounting;
-//! * [`hist`] — a mergeable log-bucketed latency histogram (p50/p95/p99);
+//! * [`driver`] — the [`driver::ConcurrentSet`] / [`driver::RangeSet`]
+//!   abstractions plus a multi-threaded timed driver with warmup,
+//!   per-thread accounting and optional per-op latency histograms;
+//! * [`hist`] — a mergeable log-bucketed latency histogram
+//!   (p50/p95/p99/p999);
 //! * [`table`] — fixed-width ASCII table and CSV emitters for the
 //!   experiment reports.
 
@@ -27,9 +29,12 @@ pub mod mix;
 pub mod rng;
 pub mod table;
 
-pub use driver::{run_workload, ConcurrentSet, Measurement, WorkloadSpec};
+pub use driver::{
+    run_scenario, run_scenario_with, run_workload, run_workload_with, ConcurrentSet, Measurement,
+    RangeSet, WorkloadSpec,
+};
 pub use hist::LatencyHistogram;
 pub use keys::{KeyDist, KeyStream};
-pub use mix::{OpKind, OpMix};
+pub use mix::{MixCursor, MixPhase, MixSchedule, OpKind, OpMix};
 pub use rng::SplitMix64;
 pub use table::Table;

@@ -285,7 +285,7 @@ pub mod prop {
     pub mod collection {
         use super::super::{Strategy, TestRng};
 
-        /// Inclusive-exclusive size bound accepted by [`vec`].
+        /// Inclusive-exclusive size bound accepted by [`fn@vec`].
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             start: usize,
