@@ -1,0 +1,177 @@
+//! Per-class policies: the (semantics, contention-manager, escalation)
+//! triple the controller selects and the [`crate::Advisor`]'s
+//! `plan` implementation serves, packed into one atomic word so the
+//! per-attempt read is a single relaxed load.
+
+use std::time::Duration;
+
+use polytm::{Backoff, ConflictArbiter, Greedy, Semantics, Suicide};
+
+/// Semantics the advisor may assign to a class. Irrevocable is absent
+/// deliberately: escalation is a per-*attempt* decision (retry count
+/// against [`Policy::escalate_after`]), never a steady-state class
+/// policy — pinning a class irrevocable would serialize the whole STM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemanticsChoice {
+    /// The paper's `def`.
+    Opaque,
+    /// The paper's `weak` (window 2).
+    Elastic,
+    /// Multi-versioned read-only. Only ever assigned to classes never
+    /// observed writing (the hard safety rule; see `DESIGN.md`).
+    Snapshot,
+}
+
+impl SemanticsChoice {
+    /// The corresponding runtime semantics.
+    pub fn to_semantics(self) -> Semantics {
+        match self {
+            SemanticsChoice::Opaque => Semantics::Opaque,
+            SemanticsChoice::Elastic => Semantics::elastic(),
+            SemanticsChoice::Snapshot => Semantics::Snapshot,
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            SemanticsChoice::Opaque => 0,
+            SemanticsChoice::Elastic => 1,
+            SemanticsChoice::Snapshot => 2,
+        }
+    }
+
+    fn from_code(code: u64) -> Self {
+        match code {
+            0 => SemanticsChoice::Opaque,
+            1 => SemanticsChoice::Elastic,
+            2 => SemanticsChoice::Snapshot,
+            other => unreachable!("invalid semantics code {other}"),
+        }
+    }
+}
+
+/// Contention-manager policy (decision rule *and* backoff curve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmChoice {
+    /// Abort on conflict, no backoff: lowest latency when conflicts are
+    /// rare.
+    Suicide,
+    /// The default exponential backoff (2 µs base, 1 ms cap).
+    Backoff,
+    /// A steeper curve (8 µs base, 4 ms cap) for validation-dominated
+    /// contention, where desynchronizing retries is what helps.
+    BackoffAggressive,
+    /// Timestamp-priority aging for lock-dominated contention, where
+    /// who-waits-for-whom is what matters.
+    Greedy,
+}
+
+impl CmChoice {
+    /// The corresponding runtime arbiter.
+    pub fn to_arbiter(self) -> ConflictArbiter {
+        match self {
+            CmChoice::Suicide => ConflictArbiter::Suicide(Suicide),
+            CmChoice::Backoff => ConflictArbiter::Backoff(Backoff::default()),
+            CmChoice::BackoffAggressive => ConflictArbiter::Backoff(Backoff {
+                base: Duration::from_micros(8),
+                cap: Duration::from_millis(4),
+            }),
+            CmChoice::Greedy => ConflictArbiter::Greedy(Greedy::default()),
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            CmChoice::Suicide => 0,
+            CmChoice::Backoff => 1,
+            CmChoice::BackoffAggressive => 2,
+            CmChoice::Greedy => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> Self {
+        match code {
+            0 => CmChoice::Suicide,
+            1 => CmChoice::Backoff,
+            2 => CmChoice::BackoffAggressive,
+            3 => CmChoice::Greedy,
+            other => unreachable!("invalid cm code {other}"),
+        }
+    }
+}
+
+/// One class's selected policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Policy {
+    /// Semantics assigned to the class.
+    pub semantics: SemanticsChoice,
+    /// Contention manager assigned to the class.
+    pub cm: CmChoice,
+    /// Retry count at which an attempt escalates to
+    /// [`Semantics::Irrevocable`] (the per-attempt liveness valve; kept
+    /// below the core's own `irrevocable_fallback_after` backstop for
+    /// hot classes).
+    pub escalate_after: u8,
+}
+
+/// Sentinel for "no policy selected yet" in the packed representation.
+pub(crate) const POLICY_UNSET: u64 = u64::MAX;
+
+impl Policy {
+    /// The conservative starting point before any telemetry exists:
+    /// elastic semantics, default backoff, late escalation.
+    pub fn initial() -> Self {
+        Policy { semantics: SemanticsChoice::Elastic, cm: CmChoice::Backoff, escalate_after: 48 }
+    }
+
+    /// Pack into the atomic policy word.
+    pub(crate) fn encode(self) -> u64 {
+        self.semantics.code() | (self.cm.code() << 4) | (u64::from(self.escalate_after) << 8)
+    }
+
+    /// Unpack; `None` for the unset sentinel.
+    pub(crate) fn decode(word: u64) -> Option<Self> {
+        if word == POLICY_UNSET {
+            return None;
+        }
+        Some(Policy {
+            semantics: SemanticsChoice::from_code(word & 0xF),
+            cm: CmChoice::from_code((word >> 4) & 0xF),
+            escalate_after: ((word >> 8) & 0xFF) as u8,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        for semantics in
+            [SemanticsChoice::Opaque, SemanticsChoice::Elastic, SemanticsChoice::Snapshot]
+        {
+            for cm in [
+                CmChoice::Suicide,
+                CmChoice::Backoff,
+                CmChoice::BackoffAggressive,
+                CmChoice::Greedy,
+            ] {
+                for escalate_after in [0u8, 7, 48, 255] {
+                    let p = Policy { semantics, cm, escalate_after };
+                    assert_eq!(Policy::decode(p.encode()), Some(p));
+                }
+            }
+        }
+        assert_eq!(Policy::decode(POLICY_UNSET), None);
+    }
+
+    #[test]
+    fn choices_map_to_runtime_types() {
+        assert_eq!(SemanticsChoice::Elastic.to_semantics(), Semantics::elastic());
+        assert_eq!(SemanticsChoice::Snapshot.to_semantics(), Semantics::Snapshot);
+        assert_eq!(CmChoice::Greedy.to_arbiter().label(), "greedy");
+        assert_eq!(CmChoice::Suicide.to_arbiter().label(), "suicide");
+        assert_eq!(CmChoice::BackoffAggressive.to_arbiter().label(), "backoff");
+    }
+}

@@ -1,0 +1,296 @@
+//! Per-class telemetry: cheap sharded counters fed by
+//! [`polytm::SemanticsSource::observe`] and aggregated on the epoch
+//! cadence.
+//!
+//! Layout mirrors the core's `StmStats`: each thread lands in one
+//! cache-padded shard (no globally shared line on the record path); the
+//! controller sums across shards when an epoch closes. One extra word
+//! per class is *sticky*: the has-ever-written bit, which is never
+//! reset — it backs the hard safety rule that a writing class is never
+//! assigned snapshot semantics.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+use polytm::{current_thread_index, RunTelemetry};
+
+/// Number of distinct class slots the advisor tracks. Class ids fold
+/// into this table (`id % MAX_CLASSES`); colliding classes share a slot
+/// — merely less precise, never unsafe (the sticky write bit is
+/// conservative under sharing).
+pub const MAX_CLASSES: usize = 32;
+
+/// Counter shards (power of two).
+const SHARDS: usize = 8;
+
+/// Counters per (shard, class) cell.
+const COUNTERS: usize = 10;
+
+// Indices into a cell.
+const C_RUNS: usize = 0;
+const C_RETRIES: usize = 1;
+const C_AB_LOCK: usize = 2;
+const C_AB_VALIDATION: usize = 3;
+const C_AB_CUT: usize = 4;
+const C_AB_CAPACITY: usize = 5;
+const C_AB_OTHER: usize = 6;
+const C_READS: usize = 7;
+const C_WRITES: usize = 8;
+const C_UPGRADES: usize = 9;
+
+/// One shard: a dense `[class][counter]` block. A thread touches only
+/// its own shard, so the padding boundary is the shard, not the cell.
+struct Shard {
+    cells: [[AtomicU64; COUNTERS]; MAX_CLASSES],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self { cells: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))) }
+    }
+}
+
+/// The sharded per-class telemetry table.
+pub struct ClassTable {
+    shards: Box<[CachePadded<Shard>]>,
+    /// Sticky: has this class *ever* been observed writing? Never
+    /// cleared (epoch resets must not forget a write — the Snapshot
+    /// safety rule is a lifetime invariant, not a per-epoch one).
+    wrote: [AtomicBool; MAX_CLASSES],
+}
+
+impl Default for ClassTable {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| CachePadded::new(Shard::new())).collect(),
+            wrote: std::array::from_fn(|_| AtomicBool::new(false)),
+        }
+    }
+}
+
+impl ClassTable {
+    /// Fold a class id into the table.
+    pub fn slot(class: polytm::ClassId) -> usize {
+        class.0 as usize % MAX_CLASSES
+    }
+
+    /// Record one completed run's telemetry.
+    pub fn record(&self, t: &RunTelemetry) {
+        let slot = Self::slot(t.class);
+        let cell = &self.shards[current_thread_index() % SHARDS].cells[slot];
+        cell[C_RUNS].fetch_add(1, Ordering::Relaxed);
+        if t.retries > 0 {
+            cell[C_RETRIES].fetch_add(u64::from(t.retries), Ordering::Relaxed);
+        }
+        for (idx, n) in [
+            (C_AB_LOCK, t.aborts_lock),
+            (C_AB_VALIDATION, t.aborts_validation),
+            (C_AB_CUT, t.aborts_cut),
+            (C_AB_CAPACITY, t.aborts_capacity),
+            (C_AB_OTHER, t.aborts_other),
+        ] {
+            if n > 0 {
+                cell[idx].fetch_add(u64::from(n), Ordering::Relaxed);
+            }
+        }
+        if t.reads > 0 {
+            cell[C_READS].fetch_add(t.reads, Ordering::Relaxed);
+        }
+        if t.writes > 0 {
+            cell[C_WRITES].fetch_add(t.writes, Ordering::Relaxed);
+        }
+        if t.upgraded {
+            cell[C_UPGRADES].fetch_add(1, Ordering::Relaxed);
+        }
+        if t.wrote {
+            // Release: a plan() that later reads `true` (Acquire) must
+            // also see the counters behind it — and conservatively, the
+            // bit is allowed to win races (extra safety, never less).
+            self.wrote[slot].store(true, Ordering::Release);
+        }
+    }
+
+    /// Sticky has-ever-written bit for a class slot.
+    pub fn has_written(&self, slot: usize) -> bool {
+        self.wrote[slot].load(Ordering::Acquire)
+    }
+
+    /// Aggregate a class slot across shards (monotonic lifetime totals).
+    pub fn totals(&self, slot: usize) -> ClassTotals {
+        let mut out = [0u64; COUNTERS];
+        for shard in self.shards.iter() {
+            for (acc, ctr) in out.iter_mut().zip(shard.cells[slot].iter()) {
+                *acc += ctr.load(Ordering::Relaxed);
+            }
+        }
+        ClassTotals {
+            runs: out[C_RUNS],
+            retries: out[C_RETRIES],
+            aborts_lock: out[C_AB_LOCK],
+            aborts_validation: out[C_AB_VALIDATION],
+            aborts_cut: out[C_AB_CUT],
+            aborts_capacity: out[C_AB_CAPACITY],
+            aborts_other: out[C_AB_OTHER],
+            reads: out[C_READS],
+            writes: out[C_WRITES],
+            upgrades: out[C_UPGRADES],
+        }
+    }
+}
+
+/// Aggregated counters for one class (lifetime totals, or an epoch
+/// delta via [`ClassTotals::delta_since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing counter labels
+pub struct ClassTotals {
+    pub runs: u64,
+    pub retries: u64,
+    pub aborts_lock: u64,
+    pub aborts_validation: u64,
+    pub aborts_cut: u64,
+    pub aborts_capacity: u64,
+    pub aborts_other: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub upgrades: u64,
+}
+
+impl ClassTotals {
+    /// Contention aborts (the four causes; user retries excluded).
+    pub fn contention_aborts(&self) -> u64 {
+        self.aborts_lock + self.aborts_validation + self.aborts_cut + self.aborts_capacity
+    }
+
+    /// Contention aborts per run; 0.0 when no runs.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.contention_aborts() as f64 / self.runs as f64
+        }
+    }
+
+    /// Mean observed reads per run (0 when no runs).
+    pub fn avg_reads(&self) -> u64 {
+        self.reads.checked_div(self.runs).unwrap_or(0)
+    }
+
+    /// Counter-wise difference (for per-epoch accounting).
+    pub fn delta_since(&self, earlier: &ClassTotals) -> ClassTotals {
+        ClassTotals {
+            runs: self.runs - earlier.runs,
+            retries: self.retries - earlier.retries,
+            aborts_lock: self.aborts_lock - earlier.aborts_lock,
+            aborts_validation: self.aborts_validation - earlier.aborts_validation,
+            aborts_cut: self.aborts_cut - earlier.aborts_cut,
+            aborts_capacity: self.aborts_capacity - earlier.aborts_capacity,
+            aborts_other: self.aborts_other - earlier.aborts_other,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            upgrades: self.upgrades - earlier.upgrades,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polytm::{ClassId, Semantics};
+
+    fn telemetry(class: u16) -> RunTelemetry {
+        // Build through the public surface: a RunTelemetry is Copy with
+        // all-public fields.
+        let mut t = sample();
+        t.class = ClassId(class);
+        t
+    }
+
+    fn sample() -> RunTelemetry {
+        RunTelemetry {
+            class: ClassId(0),
+            requested: Semantics::elastic(),
+            committed_semantics: Semantics::elastic(),
+            retries: 2,
+            aborts_lock: 1,
+            aborts_validation: 1,
+            aborts_cut: 0,
+            aborts_capacity: 0,
+            aborts_other: 0,
+            reads: 10,
+            writes: 1,
+            wrote: true,
+            upgraded: false,
+            read_only_violation: false,
+        }
+    }
+
+    #[test]
+    fn record_and_aggregate() {
+        let table = ClassTable::default();
+        for _ in 0..5 {
+            table.record(&telemetry(3));
+        }
+        let t = table.totals(3);
+        assert_eq!(t.runs, 5);
+        assert_eq!(t.retries, 10);
+        assert_eq!(t.aborts_lock, 5);
+        assert_eq!(t.contention_aborts(), 10);
+        assert_eq!(t.avg_reads(), 10);
+        assert!((t.abort_ratio() - 2.0).abs() < 1e-12);
+        assert_eq!(table.totals(4), ClassTotals::default(), "other classes untouched");
+    }
+
+    #[test]
+    fn wrote_bit_is_sticky() {
+        let table = ClassTable::default();
+        assert!(!table.has_written(1));
+        let mut t = telemetry(1);
+        t.wrote = false;
+        table.record(&t);
+        assert!(!table.has_written(1));
+        t.wrote = true;
+        table.record(&t);
+        assert!(table.has_written(1));
+        // Later read-only observations never clear it.
+        t.wrote = false;
+        table.record(&t);
+        assert!(table.has_written(1));
+    }
+
+    #[test]
+    fn class_ids_fold_into_the_table() {
+        assert_eq!(ClassTable::slot(ClassId(0)), 0);
+        assert_eq!(ClassTable::slot(ClassId(MAX_CLASSES as u16)), 0);
+        assert_eq!(ClassTable::slot(ClassId(MAX_CLASSES as u16 + 3)), 3);
+        let table = ClassTable::default();
+        table.record(&telemetry(MAX_CLASSES as u16 + 3));
+        assert_eq!(table.totals(3).runs, 1);
+    }
+
+    #[test]
+    fn delta_since_subtracts_counterwise() {
+        let table = ClassTable::default();
+        table.record(&telemetry(0));
+        let first = table.totals(0);
+        table.record(&telemetry(0));
+        let second = table.totals(0);
+        let d = second.delta_since(&first);
+        assert_eq!(d.runs, 1);
+        assert_eq!(d.reads, 10);
+    }
+
+    #[test]
+    fn concurrent_records_aggregate() {
+        let table = ClassTable::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        table.record(&telemetry(7));
+                    }
+                });
+            }
+        });
+        assert_eq!(table.totals(7).runs, 400);
+    }
+}

@@ -5,7 +5,8 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use polytm::{Semantics, Stm};
+use polytm::{ClassId, Semantics, Stm, StmConfig, TxParams};
+use polytm_adaptive::Advisor;
 use polytm_lockfree::{MichaelHashSet, SplitOrderedSet};
 use polytm_locks::{HandOverHandList, StripedHashSet};
 use polytm_structures::{TxHashSet, TxList, TxSkipList};
@@ -75,6 +76,173 @@ impl ConcurrentSet for TxHashAdapter {
 impl RangeSet for TxHashAdapter {
     fn range_count(&self, lo: u64, hi: u64) -> usize {
         self.0.range_count_snapshot(lo, hi)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptive transactional structures
+// ---------------------------------------------------------------------
+
+/// Phase slots an adaptive backend distinguishes: workload phases fold
+/// into this many class groups (phased scenarios cycle through 3).
+const ADAPTIVE_PHASES: usize = 4;
+
+/// Operation kinds per phase slot (read / update / scan).
+const ADAPTIVE_KINDS: u16 = 3;
+
+/// Thread stripes of a [`PhaseState`] (power of two).
+const PHASE_STRIPES: usize = 64;
+
+/// Per-*instance*, per-thread workload phase, fed by
+/// [`ConcurrentSet::note_phase`]. Phase position is a per-thread
+/// property of the deterministic schedule, and it must be per-instance
+/// state: a process-wide slot would let one backend's phase change
+/// retag another's operations (and leak stale phases to reused
+/// threads across runs). Beyond `PHASE_STRIPES` live worker threads,
+/// colliding threads overwrite each other's phase tag; that can
+/// misattribute *telemetry* between phase classes (the advisor learns
+/// from slightly mixed signals) but never affects the correctness of
+/// the set operations themselves.
+struct PhaseState {
+    slots: [std::sync::atomic::AtomicUsize; PHASE_STRIPES],
+}
+
+impl PhaseState {
+    fn new() -> Self {
+        Self { slots: std::array::from_fn(|_| std::sync::atomic::AtomicUsize::new(0)) }
+    }
+
+    #[inline]
+    fn set(&self, phase: usize) {
+        self.slots[polytm::current_thread_index() & (PHASE_STRIPES - 1)]
+            .store(phase, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn slot(&self) -> usize {
+        self.slots[polytm::current_thread_index() & (PHASE_STRIPES - 1)]
+            .load(std::sync::atomic::Ordering::Relaxed)
+            % ADAPTIVE_PHASES
+    }
+}
+
+/// Per-phase-slot `start(p)` parameter triple: each (phase, op-kind)
+/// pair is its own advisor class, so a phase change moves operations to
+/// classes the epoch controller classifies independently —
+/// reclassification mid-run.
+fn adaptive_params(phase_slot: usize) -> (TxParams, TxParams, TxParams) {
+    let base = (phase_slot as u16) * ADAPTIVE_KINDS;
+    (
+        TxParams::new(Semantics::elastic()).with_class(ClassId(base)),
+        TxParams::new(Semantics::elastic()).with_class(ClassId(base + 1)),
+        TxParams::new(Semantics::Snapshot).with_class(ClassId(base + 2)),
+    )
+}
+
+/// TxList under a live advisor: per-(phase, op-kind) classes, semantics
+/// and contention management selected by feedback.
+pub struct AdaptiveListSet {
+    /// One handle per phase slot, sharing the same underlying list.
+    handles: Vec<TxList>,
+    phase: PhaseState,
+    /// The advisor, exposed for diagnostics.
+    pub advisor: Arc<Advisor>,
+}
+
+impl AdaptiveListSet {
+    /// Fresh adaptive list on its own STM/advisor pair.
+    pub fn new() -> (Self, Arc<Stm>) {
+        let advisor = Arc::new(Advisor::default());
+        let stm = Arc::new(Stm::with_advisor(StmConfig::default(), Arc::clone(&advisor) as _));
+        let (read, update, scan) = adaptive_params(0);
+        let slot0 = TxList::with_op_params(Arc::clone(&stm), read, update, scan);
+        let handles = (1..ADAPTIVE_PHASES)
+            .map(|slot| {
+                let (read, update, scan) = adaptive_params(slot);
+                slot0.clone_with_params(read, update, scan)
+            })
+            .collect::<Vec<_>>();
+        let handles = std::iter::once(slot0).chain(handles).collect();
+        (Self { handles, phase: PhaseState::new(), advisor }, stm)
+    }
+
+    #[inline]
+    fn handle(&self) -> &TxList {
+        &self.handles[self.phase.slot()]
+    }
+}
+
+impl ConcurrentSet for AdaptiveListSet {
+    fn contains(&self, key: u64) -> bool {
+        self.handle().contains(key as i64)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.handle().insert(key as i64)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.handle().remove(key as i64)
+    }
+    fn note_phase(&self, phase: usize) {
+        self.phase.set(phase);
+    }
+}
+
+impl RangeSet for AdaptiveListSet {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.handle().range_count_snapshot(lo as i64, hi as i64)
+    }
+}
+
+/// TxHashSet under a live advisor (see [`AdaptiveListSet`]).
+pub struct AdaptiveHashSet {
+    handles: Vec<TxHashSet>,
+    phase: PhaseState,
+    /// The advisor, exposed for diagnostics.
+    pub advisor: Arc<Advisor>,
+}
+
+impl AdaptiveHashSet {
+    /// Fresh adaptive table on its own STM/advisor pair.
+    pub fn new(buckets: usize, max_load: usize) -> (Self, Arc<Stm>) {
+        let advisor = Arc::new(Advisor::default());
+        let stm = Arc::new(Stm::with_advisor(StmConfig::default(), Arc::clone(&advisor) as _));
+        let (read, update, scan) = adaptive_params(0);
+        let slot0 =
+            TxHashSet::with_op_params(Arc::clone(&stm), buckets, max_load, read, update, scan);
+        let handles = (1..ADAPTIVE_PHASES)
+            .map(|slot| {
+                let (read, update, scan) = adaptive_params(slot);
+                slot0.clone_with_params(read, update, scan)
+            })
+            .collect::<Vec<_>>();
+        let handles = std::iter::once(slot0).chain(handles).collect();
+        (Self { handles, phase: PhaseState::new(), advisor }, stm)
+    }
+
+    #[inline]
+    fn handle(&self) -> &TxHashSet {
+        &self.handles[self.phase.slot()]
+    }
+}
+
+impl ConcurrentSet for AdaptiveHashSet {
+    fn contains(&self, key: u64) -> bool {
+        self.handle().contains(key)
+    }
+    fn insert(&self, key: u64) -> bool {
+        self.handle().insert(key)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.handle().remove(key)
+    }
+    fn note_phase(&self, phase: usize) {
+        self.phase.set(phase);
+    }
+}
+
+impl RangeSet for AdaptiveHashSet {
+    fn range_count(&self, lo: u64, hi: u64) -> usize {
+        self.handle().range_count_snapshot(lo, hi)
     }
 }
 
@@ -405,6 +573,16 @@ fn make_lockfree_split() -> BackendInstance {
     BackendInstance { set: Box::new(SplitSet(SplitOrderedSet::new(1 << 16, 8))), stm: None }
 }
 
+fn make_adaptive_list() -> BackendInstance {
+    let (set, stm) = AdaptiveListSet::new();
+    BackendInstance { set: Box::new(set), stm: Some(stm) }
+}
+
+fn make_adaptive_hash() -> BackendInstance {
+    let (set, stm) = AdaptiveHashSet::new(64, 8);
+    BackendInstance { set: Box::new(set), stm: Some(stm) }
+}
+
 /// Every backend the scenario matrix drives: all three families, both
 /// shapes. `scenarios --quick` and the full matrix iterate this table.
 pub const BACKENDS: &[Backend] = &[
@@ -462,6 +640,18 @@ pub const BACKENDS: &[Backend] = &[
         shape: Shape::Hash,
         make: make_lockfree_split,
     },
+    Backend {
+        name: "adaptive-list",
+        family: Family::Transactional,
+        shape: Shape::Ordered,
+        make: make_adaptive_list,
+    },
+    Backend {
+        name: "adaptive-hash",
+        family: Family::Transactional,
+        shape: Shape::Hash,
+        make: make_adaptive_hash,
+    },
 ];
 
 #[cfg(test)]
@@ -497,6 +687,67 @@ mod tests {
     fn impl_lists_and_factories_agree() {
         assert_eq!(LIST_IMPLS.len(), 6);
         assert_eq!(HASH_IMPLS.len(), 5);
+    }
+
+    #[test]
+    fn adaptive_backends_are_registered_and_transactional() {
+        let adaptive: Vec<_> =
+            BACKENDS.iter().filter(|b| b.name.starts_with("adaptive-")).collect();
+        assert!(adaptive.len() >= 2, "at least two adaptive backends must be registered");
+        assert!(adaptive.iter().any(|b| b.shape == Shape::Ordered));
+        assert!(adaptive.iter().any(|b| b.shape == Shape::Hash));
+        for b in &adaptive {
+            assert_eq!(b.family, Family::Transactional, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn adaptive_backends_classify_ops_and_respect_phases() {
+        let (set, stm) = AdaptiveListSet::new();
+        let advisor = Arc::clone(&set.advisor);
+        // Drive enough classified operations through the advisor for at
+        // least one epoch to close (default epoch is 512 runs).
+        for k in 0..64 {
+            assert!(set.insert(k), "{k}");
+        }
+        for _ in 0..10 {
+            for k in 0..64 {
+                assert!(set.contains(k));
+                std::hint::black_box(set.range_count(0, 64));
+            }
+        }
+        assert!(advisor.epochs() >= 1, "epochs must close under load");
+        // Class layout: phase-0 read class 0, update class 1, scan class 2.
+        assert!(!advisor.has_written(polytm::ClassId(0)), "contains never writes");
+        assert!(advisor.has_written(polytm::ClassId(1)), "inserts write");
+        assert!(!advisor.has_written(polytm::ClassId(2)), "scans never write");
+        // Phase switch moves subsequent ops to the next class group.
+        set.note_phase(1);
+        assert!(set.insert(1000));
+        assert!(advisor.has_written(polytm::ClassId(3 + 1)), "phase-1 update class");
+        set.note_phase(0);
+        assert!(set.remove(1000));
+        // The structure still behaves like a set throughout.
+        assert_eq!(set.range_count(0, 64), 64);
+        assert!(stm.stats().commits > 0);
+    }
+
+    #[test]
+    fn adaptive_hash_behaves_like_a_set_across_phases() {
+        let (set, _stm) = AdaptiveHashSet::new(8, 4);
+        for k in 0..200 {
+            assert!(set.insert(k), "{k}");
+        }
+        set.note_phase(2);
+        for k in 0..200 {
+            assert!(set.contains(k), "{k}");
+        }
+        assert_eq!(set.range_count(50, 150), 100);
+        set.note_phase(0);
+        for k in 0..200 {
+            assert!(set.remove(k), "{k}");
+        }
+        assert_eq!(set.range_count(0, 200), 0);
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! ```
 //!
 //! Rows share `BENCH_core.json`'s shape, extended with latency
-//! quantiles:
+//! quantiles and per-cause abort counts over the measured window:
 //!
 //! ```text
-//! {rev, label, bench, threads, ops_per_sec, abort_ratio, p50_ns, p99_ns, p999_ns}
+//! {rev, label, bench, threads, ops_per_sec, abort_ratio, p50_ns, p99_ns, p999_ns,
+//!  aborts_lock, aborts_validation, aborts_cut, aborts_capacity}
 //! ```
 //!
 //! `bench` is `scenario/backend` (e.g. `hotspot/tx-list`). `--quick`
@@ -34,6 +35,10 @@ struct Row {
     p50_ns: u64,
     p99_ns: u64,
     p999_ns: u64,
+    /// Aborts by cause over the measured window (all 0 for
+    /// non-transactional backends): lock-conflict, validation, elastic
+    /// cut, snapshot capacity.
+    aborts_by_cause: [u64; 4],
 }
 
 /// Measurement windows for the two modes.
@@ -86,7 +91,9 @@ const SCENARIOS: &[Scenario] = &[
         dist: |space| KeyDist::Hotspot { hot_fraction: 0.8, hot_keys: (space / 64).max(1) },
     },
     Scenario {
-        name: "phased",
+        // Named after the schedule constructor; earlier trajectory rows
+        // carry the old name `phased` for the same cell.
+        name: "phased_burst",
         // Read-heavy cruising interrupted by write bursts, cycling
         // deterministically by per-thread op index.
         mix: || MixSchedule::phased_burst(5, 2000, 90, 500),
@@ -137,7 +144,10 @@ fn run_cell(backend: &Backend, scenario: &Scenario, threads: usize, k: &Knobs) -
             stm.reset_stats();
         }
     });
-    let abort_ratio = instance.stm.as_ref().map_or(0.0, |stm| stm.stats().abort_ratio());
+    let stats = instance.stm.as_ref().map(|stm| stm.stats());
+    let abort_ratio = stats.as_ref().map_or(0.0, |s| s.abort_ratio());
+    let aborts_by_cause =
+        stats.as_ref().map_or([0; 4], |s| s.aborts_by_cause().map(|(_label, count)| count));
     Row {
         bench: format!("{}/{}", scenario.name, backend.name),
         threads,
@@ -146,13 +156,17 @@ fn run_cell(backend: &Backend, scenario: &Scenario, threads: usize, k: &Knobs) -
         p50_ns: m.latency.p50(),
         p99_ns: m.latency.p99(),
         p999_ns: m.latency.p999(),
+        aborts_by_cause,
     }
 }
 
 fn render_row(rev: &str, label: &str, r: &Row) -> String {
+    let [lock, validation, cut, capacity] = r.aborts_by_cause;
     format!(
         "  {{\"rev\":\"{rev}\",\"label\":\"{label}\",\"bench\":\"{}\",\"threads\":{},\
-         \"ops_per_sec\":{:.1},\"abort_ratio\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+         \"ops_per_sec\":{:.1},\"abort_ratio\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
+         \"aborts_lock\":{lock},\"aborts_validation\":{validation},\"aborts_cut\":{cut},\
+         \"aborts_capacity\":{capacity}}}",
         r.bench, r.threads, r.ops_per_sec, r.abort_ratio, r.p50_ns, r.p99_ns, r.p999_ns
     )
 }

@@ -14,6 +14,6 @@ pub mod experiments;
 pub mod report;
 
 pub use adapters::{
-    make_hash_impl, make_list_impl, Backend, BackendInstance, Family, Shape, BACKENDS, HASH_IMPLS,
-    LIST_IMPLS,
+    make_hash_impl, make_list_impl, AdaptiveHashSet, AdaptiveListSet, Backend, BackendInstance,
+    Family, Shape, BACKENDS, HASH_IMPLS, LIST_IMPLS,
 };

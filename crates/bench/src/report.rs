@@ -351,6 +351,18 @@ impl RowSchema {
             ],
         }
     }
+
+    /// Fields a row *may* carry beyond the required set. The scenarios
+    /// schema grew per-cause abort counts after the first batches were
+    /// recorded; rows from before the extension stay valid.
+    fn optional_fields(self) -> &'static [&'static str] {
+        match self {
+            RowSchema::Core => &[],
+            RowSchema::Scenarios => {
+                &["aborts_lock", "aborts_validation", "aborts_cut", "aborts_capacity"]
+            }
+        }
+    }
 }
 
 fn field<'a>(row: &'a [(String, Json)], name: &str) -> Option<&'a Json> {
@@ -369,17 +381,21 @@ fn nonneg_finite(row: &[(String, Json)], name: &str) -> Result<f64, String> {
 /// Validate one parsed row against `schema`. Returns the row's `rev`.
 fn validate_row(row: &[(String, Json)], schema: RowSchema) -> Result<String, String> {
     let required = schema.required_fields();
+    let optional = schema.optional_fields();
     for name in required {
         if field(row, name).is_none() {
             return Err(format!("missing field {name:?}"));
         }
     }
     for (k, _) in row {
-        if !required.contains(&k.as_str()) {
+        if !required.contains(&k.as_str()) && !optional.contains(&k.as_str()) {
             return Err(format!("unknown field {k:?}"));
         }
     }
-    if row.len() != required.len() {
+    let mut keys: Vec<&str> = row.iter().map(|(k, _)| k.as_str()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    if row.len() != keys.len() {
         return Err("duplicate field".into());
     }
     let rev = match field(row, "rev") {
@@ -409,6 +425,14 @@ fn validate_row(row: &[(String, Json)], schema: RowSchema) -> Result<String, Str
         }
         if !(p50 <= p99 && p99 <= p999) {
             return Err(format!("latency quantiles out of order: p50={p50} p99={p99} p999={p999}"));
+        }
+        for name in schema.optional_fields() {
+            if field(row, name).is_some() {
+                let v = nonneg_finite(row, name)?;
+                if v.fract() != 0.0 {
+                    return Err(format!("{name} must be an integer count"));
+                }
+            }
         }
     }
     Ok(rev)
@@ -529,6 +553,32 @@ mod tests {
             GOOD_CORE.trim_start().trim_start_matches('[')
         );
         assert!(validate_trajectory(&mixed, None).unwrap_err().contains("p50_ns"));
+    }
+
+    #[test]
+    fn optional_cause_fields_are_accepted_and_typed() {
+        // Rows may carry the per-cause abort counts...
+        let with_causes = GOOD_SCEN.replace(
+            "\"p999_ns\":50000",
+            "\"p999_ns\":50000,\"aborts_lock\":3,\"aborts_validation\":0,\
+             \"aborts_cut\":12,\"aborts_capacity\":0",
+        );
+        let (n, _, s) = validate_trajectory(&with_causes, None).unwrap();
+        assert_eq!((n, s), (1, RowSchema::Scenarios));
+        // ...or any subset (older rows carry none), ...
+        let partial = GOOD_SCEN.replace("\"p999_ns\":50000", "\"p999_ns\":50000,\"aborts_lock\":3");
+        assert!(validate_trajectory(&partial, None).is_ok());
+        // ...but present fields must be integer counts, ...
+        let bad = with_causes.replace("\"aborts_cut\":12", "\"aborts_cut\":12.5");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("aborts_cut"));
+        let bad = with_causes.replace("\"aborts_cut\":12", "\"aborts_cut\":-1");
+        assert!(validate_trajectory(&bad, None).is_err());
+        // ...and the core schema accepts none of them.
+        let core_bad =
+            GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"aborts_lock\":1");
+        assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
+            .unwrap_err()
+            .contains("unknown"));
     }
 
     #[test]

@@ -59,10 +59,50 @@ pub enum Abort {
     Cancel,
 }
 
+/// The contention-cause buckets aborts are classified into — the single
+/// source of the split reported by [`crate::StatsSnapshot`]'s cause
+/// counters, the bench rows' `aborts_*` columns, and the advisor's
+/// [`crate::RunTelemetry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// A location lock held by another transaction.
+    LockConflict,
+    /// Read validation (a read-time conflict under non-elastic
+    /// semantics, or commit-time read-set validation).
+    Validation,
+    /// An elastic window that could not absorb a conflicting update
+    /// (read-time conflict under elastic semantics).
+    Cut,
+    /// A snapshot needed a version older than the location's bounded
+    /// history.
+    Capacity,
+    /// Not contention: user retries, read-only violations, irrevocable
+    /// restarts.
+    Other,
+}
+
 impl Abort {
     /// True when the runtime should transparently retry the transaction.
     pub fn is_retryable(self) -> bool {
         !matches!(self, Abort::Cancel)
+    }
+
+    /// Contention cause of this abort in a transaction running under
+    /// `semantics`; `None` for [`Abort::Cancel`], which is not counted
+    /// as an abort at all.
+    pub fn cause(self, semantics: crate::Semantics) -> Option<AbortCause> {
+        Some(match self {
+            Abort::ReadConflict { .. } if matches!(semantics, crate::Semantics::Elastic { .. }) => {
+                AbortCause::Cut
+            }
+            Abort::ReadConflict { .. } | Abort::ValidationFailed { .. } => AbortCause::Validation,
+            Abort::Locked { .. } => AbortCause::LockConflict,
+            Abort::SnapshotUnavailable { .. } => AbortCause::Capacity,
+            Abort::Retry | Abort::ReadOnlyViolation | Abort::RestartIrrevocable => {
+                AbortCause::Other
+            }
+            Abort::Cancel => return None,
+        })
     }
 
     /// Short machine-readable label used by the statistics counters.
@@ -134,6 +174,34 @@ mod tests {
         ] {
             assert!(a.is_retryable(), "{a} must be retryable");
         }
+    }
+
+    #[test]
+    fn cause_classifies_by_variant_and_semantics() {
+        use crate::Semantics;
+        assert_eq!(
+            Abort::ReadConflict { addr: 0 }.cause(Semantics::elastic()),
+            Some(AbortCause::Cut)
+        );
+        assert_eq!(
+            Abort::ReadConflict { addr: 0 }.cause(Semantics::Opaque),
+            Some(AbortCause::Validation)
+        );
+        assert_eq!(
+            Abort::ValidationFailed { addr: 0 }.cause(Semantics::elastic()),
+            Some(AbortCause::Validation),
+            "commit-time validation stays validation even when elastic"
+        );
+        assert_eq!(
+            Abort::Locked { addr: 0, owner: 1 }.cause(Semantics::Opaque),
+            Some(AbortCause::LockConflict)
+        );
+        assert_eq!(
+            Abort::SnapshotUnavailable { addr: 0 }.cause(Semantics::Snapshot),
+            Some(AbortCause::Capacity)
+        );
+        assert_eq!(Abort::Retry.cause(Semantics::Opaque), Some(AbortCause::Other));
+        assert_eq!(Abort::Cancel.cause(Semantics::Opaque), None);
     }
 
     #[test]

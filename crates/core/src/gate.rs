@@ -95,6 +95,15 @@ pub(crate) struct IrrevGate {
     era: AtomicU64,
     /// In-flight writing commits per thread stripe.
     committers: Box<[CachePadded<AtomicU64>]>,
+    /// Smallest birth timestamp among transactions currently waiting to
+    /// open an era; `u64::MAX` when none. Era admission is age-ordered
+    /// through this word (see [`IrrevGate::enter_irrevocable`]): without
+    /// it, the transaction that the irrevocable *liveness fallback*
+    /// upgraded precisely because it kept losing could lose the era CAS
+    /// to a stream of younger irrevocable transactions too — the
+    /// contention-manager identity (`TxMeta::birth_ts`) silently dropped
+    /// out of the one path whose whole point is aging.
+    oldest_waiter: CachePadded<AtomicU64>,
 }
 
 impl IrrevGate {
@@ -102,6 +111,7 @@ impl IrrevGate {
         Self {
             era: AtomicU64::new(0),
             committers: (0..COMMIT_STRIPES).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            oldest_waiter: CachePadded::new(AtomicU64::new(u64::MAX)),
         }
     }
 
@@ -167,18 +177,48 @@ impl IrrevGate {
     /// commit. On return the committed state is frozen — no optimistic
     /// transaction holds or can acquire a location lock until the
     /// returned guard drops.
-    pub(crate) fn enter_irrevocable(&self) -> IrrevTicket<'_> {
+    ///
+    /// Admission among competing irrevocable transactions is ordered by
+    /// `birth_ts` (oldest first), matching the Greedy contention
+    /// manager's aging discipline: every waiter keeps re-asserting its
+    /// timestamp into [`IrrevGate::oldest_waiter`] and only the current
+    /// minimum attempts the era CAS. Birth timestamps increase
+    /// monotonically, so the oldest waiter only ever advances to the
+    /// front — a transaction upgraded after many aborts cannot be
+    /// starved by younger irrevocable arrivals. (`birth_ts` must not be
+    /// `u64::MAX`, which encodes "no waiter"; the `Stm` timestamp
+    /// source starts at 1 and increments.)
+    pub(crate) fn enter_irrevocable(&self, birth_ts: u64) -> IrrevTicket<'_> {
+        debug_assert_ne!(birth_ts, u64::MAX, "u64::MAX encodes the absence of a waiter");
         let mut spins = 0u32;
         loop {
+            // Re-assert every round: the previous winner resets the word
+            // on entry, and only re-assertion repopulates it. The RMW is
+            // skipped while the word already carries our (or an older)
+            // timestamp, so parked waiters poll with plain loads instead
+            // of ping-ponging the line.
+            if self.oldest_waiter.load(Ordering::Acquire) > birth_ts {
+                self.note_waiter(birth_ts);
+            }
             let e = self.era.load(Ordering::Acquire);
             // SeqCst success: the era-odd store must be totally ordered
             // against committer registrations (module docs).
             if e & 1 == 0
+                && self.oldest_waiter.load(Ordering::Acquire) == birth_ts
                 && self
                     .era
                     .compare_exchange_weak(e, e + 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok()
             {
+                // Withdraw our claim. An even older transaction may have
+                // registered meanwhile (it will win the *next* era); in
+                // that case the word is no longer ours and stays.
+                let _ = self.oldest_waiter.compare_exchange(
+                    birth_ts,
+                    u64::MAX,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
                 break;
             }
             spins += 1;
@@ -192,6 +232,13 @@ impl IrrevGate {
             }
         }
         IrrevTicket { gate: self }
+    }
+
+    /// Register `birth_ts` as an era waiter unless an older one is
+    /// already registered (an atomic min).
+    #[inline]
+    fn note_waiter(&self, birth_ts: u64) {
+        self.oldest_waiter.fetch_min(birth_ts, Ordering::AcqRel);
     }
 }
 
@@ -240,7 +287,7 @@ mod tests {
     #[test]
     fn irrevocable_ticket_flips_era_parity() {
         let gate = IrrevGate::new();
-        let t = gate.enter_irrevocable();
+        let t = gate.enter_irrevocable(1);
         assert_eq!(gate.era() & 1, 1);
         drop(t);
         assert_eq!(gate.era() & 1, 0);
@@ -255,7 +302,7 @@ mod tests {
         let entered = AtomicBool::new(false);
         std::thread::scope(|s| {
             s.spawn(|| {
-                let _t = gate.enter_irrevocable();
+                let _t = gate.enter_irrevocable(1);
                 entered.store(true, Ordering::SeqCst);
             });
             // Give the irrevocable thread time to reach the drain loop.
@@ -272,7 +319,7 @@ mod tests {
     fn sample_rv_waits_out_an_open_era() {
         let gate = IrrevGate::new();
         let clock = GlobalClock::new();
-        let ticket = gate.enter_irrevocable();
+        let ticket = gate.enter_irrevocable(1);
         let done = AtomicBool::new(false);
         std::thread::scope(|s| {
             s.spawn(|| {
@@ -292,11 +339,13 @@ mod tests {
     fn irrevocable_eras_exclude_each_other() {
         let gate = IrrevGate::new();
         let counter = AtomicU64::new(0);
+        // Unique, monotonically drawn birth timestamps, as Stm issues.
+        let next_ts = AtomicU64::new(1);
         std::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
                     for _ in 0..200 {
-                        let _t = gate.enter_irrevocable();
+                        let _t = gate.enter_irrevocable(next_ts.fetch_add(1, Ordering::Relaxed));
                         let v = counter.load(Ordering::Relaxed);
                         std::hint::spin_loop();
                         counter.store(v + 1, Ordering::Relaxed);
@@ -305,5 +354,37 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 800, "eras must be mutually exclusive");
+    }
+
+    #[test]
+    fn era_admission_is_age_ordered() {
+        // Regression test for the CM-identity hole: a younger irrevocable
+        // transaction must not open the era while an older transaction is
+        // registered as a waiter — the Greedy aging order extends to the
+        // irrevocable-upgrade path.
+        let gate = IrrevGate::new();
+        // The older transaction (birth_ts = 5) has announced itself but
+        // not entered yet (it is, say, between retries).
+        gate.note_waiter(5);
+        let entered_young = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _t = gate.enter_irrevocable(9);
+                entered_young.store(true, Ordering::SeqCst);
+            });
+            for _ in 0..200 {
+                std::thread::yield_now();
+            }
+            assert!(
+                !entered_young.load(Ordering::SeqCst),
+                "younger waiter must defer to the registered older one"
+            );
+            // The older transaction arrives: it enters first, even though
+            // the younger one has been spinning the whole time.
+            let old = gate.enter_irrevocable(5);
+            assert!(!entered_young.load(Ordering::SeqCst));
+            drop(old);
+        });
+        assert!(entered_young.load(Ordering::SeqCst), "younger waiter enters after the older");
     }
 }

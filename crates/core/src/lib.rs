@@ -68,12 +68,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod advisor;
 pub mod clock;
 pub mod cm;
 pub mod error;
 pub(crate) mod gate;
 pub mod semantics;
-pub(crate) mod shard;
+pub mod shard;
 pub mod stats;
 pub mod stm;
 pub mod tarray;
@@ -82,12 +83,14 @@ pub(crate) mod txdesc;
 pub mod txn;
 pub(crate) mod varcore;
 
+pub use advisor::{AttemptPlan, ClassId, RunTelemetry, SemanticsSource};
 pub use clock::GlobalClock;
 pub use cm::{
     Backoff, ConflictArbiter, ConflictDecision, ContentionManager, Greedy, Suicide, TxMeta,
 };
-pub use error::{Abort, Canceled, TxResult};
+pub use error::{Abort, AbortCause, Canceled, TxResult};
 pub use semantics::{NestingPolicy, Semantics, Strength};
+pub use shard::current_thread_index;
 pub use stats::{StatsSnapshot, StmStats};
 pub use stm::{Stm, StmConfig, TxParams};
 pub use tarray::TArray;

@@ -18,8 +18,12 @@ thread_local! {
 }
 
 /// This thread's stable shard index (assigned on first call).
+///
+/// Public so sibling crates that stripe their own state (e.g. the
+/// adaptive advisor's class telemetry) share one index per thread
+/// instead of re-implementing the assignment.
 #[inline]
-pub(crate) fn current_thread_index() -> usize {
+pub fn current_thread_index() -> usize {
     THREAD_INDEX.with(|idx| {
         let v = idx.get();
         if v != usize::MAX {

@@ -11,6 +11,7 @@
 use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::semantics::Semantics;
 use crate::shard::current_thread_index;
 
 /// Number of counter shards. Power of two; threads beyond this share
@@ -26,6 +27,7 @@ struct StatShard {
     aborts_read_conflict: AtomicU64,
     aborts_locked: AtomicU64,
     aborts_validation: AtomicU64,
+    aborts_elastic_cut: AtomicU64,
     aborts_snapshot: AtomicU64,
     aborts_user_retry: AtomicU64,
     elastic_cuts: AtomicU64,
@@ -35,12 +37,13 @@ struct StatShard {
 }
 
 impl StatShard {
-    fn counters(&self) -> [&AtomicU64; 10] {
+    fn counters(&self) -> [&AtomicU64; 11] {
         [
             &self.commits,
             &self.aborts_read_conflict,
             &self.aborts_locked,
             &self.aborts_validation,
+            &self.aborts_elastic_cut,
             &self.aborts_snapshot,
             &self.aborts_user_retry,
             &self.elastic_cuts,
@@ -80,20 +83,24 @@ impl StmStats {
         s.commits.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_abort(&self, abort: crate::Abort) {
-        use crate::Abort::*;
+    /// Record one abort, classified by [`crate::error::AbortCause`]
+    /// (the `semantics` of the aborted attempt decides whether a
+    /// read-time conflict is a *cut* or plain validation). The
+    /// validation cause keeps the finer read-time vs commit-time split
+    /// in two counters.
+    pub(crate) fn record_abort(&self, abort: crate::Abort, semantics: Semantics) {
+        use crate::error::AbortCause;
         let s = self.shard();
-        let ctr = match abort {
-            ReadConflict { .. } => &s.aborts_read_conflict,
-            Locked { .. } => &s.aborts_locked,
-            ValidationFailed { .. } => &s.aborts_validation,
-            SnapshotUnavailable { .. } => &s.aborts_snapshot,
-            Retry => &s.aborts_user_retry,
-            // Cancellation, read-only violations and irrevocable restarts
-            // are not contention; count them as user retries for lack of a
-            // better bucket, except Cancel which is not counted at all.
-            ReadOnlyViolation | RestartIrrevocable => &s.aborts_user_retry,
-            Cancel => return,
+        let ctr = match abort.cause(semantics) {
+            None => return, // Cancel is not an abort
+            Some(AbortCause::Cut) => &s.aborts_elastic_cut,
+            Some(AbortCause::LockConflict) => &s.aborts_locked,
+            Some(AbortCause::Capacity) => &s.aborts_snapshot,
+            Some(AbortCause::Other) => &s.aborts_user_retry,
+            Some(AbortCause::Validation) => match abort {
+                crate::Abort::ReadConflict { .. } => &s.aborts_read_conflict,
+                _ => &s.aborts_validation,
+            },
         };
         ctr.fetch_add(1, Ordering::Relaxed);
     }
@@ -123,11 +130,12 @@ impl StmStats {
         for shard in self.shards.iter() {
             // Zipped against counters() so the counter list lives in
             // exactly one place; a mismatch is a compile error here.
-            let dst: [&mut u64; 10] = [
+            let dst: [&mut u64; 11] = [
                 &mut out.commits,
                 &mut out.aborts_read_conflict,
                 &mut out.aborts_locked,
                 &mut out.aborts_validation,
+                &mut out.aborts_elastic_cut,
                 &mut out.aborts_snapshot,
                 &mut out.aborts_user_retry,
                 &mut out.elastic_cuts,
@@ -160,6 +168,7 @@ pub struct StatsSnapshot {
     pub aborts_read_conflict: u64,
     pub aborts_locked: u64,
     pub aborts_validation: u64,
+    pub aborts_elastic_cut: u64,
     pub aborts_snapshot: u64,
     pub aborts_user_retry: u64,
     pub elastic_cuts: u64,
@@ -174,8 +183,26 @@ impl StatsSnapshot {
         self.aborts_read_conflict
             + self.aborts_locked
             + self.aborts_validation
+            + self.aborts_elastic_cut
             + self.aborts_snapshot
             + self.aborts_user_retry
+    }
+
+    /// The four contention causes as `(label, count)` pairs, in the
+    /// order the bench rows report them: lock-conflict (a location lock
+    /// held by another transaction), validation (read-time or
+    /// commit-time read-set validation under non-elastic semantics),
+    /// cut (an elastic window that could not absorb a conflicting
+    /// update), capacity (snapshot history truncated past the bound).
+    /// User retries are deliberately excluded: they are workload logic,
+    /// not contention.
+    pub fn aborts_by_cause(&self) -> [(&'static str, u64); 4] {
+        [
+            ("lock-conflict", self.aborts_locked),
+            ("validation", self.aborts_read_conflict + self.aborts_validation),
+            ("cut", self.aborts_elastic_cut),
+            ("capacity", self.aborts_snapshot),
+        ]
     }
 
     /// Aborts per commit; 0.0 when nothing committed.
@@ -194,6 +221,7 @@ impl StatsSnapshot {
             aborts_read_conflict: self.aborts_read_conflict - earlier.aborts_read_conflict,
             aborts_locked: self.aborts_locked - earlier.aborts_locked,
             aborts_validation: self.aborts_validation - earlier.aborts_validation,
+            aborts_elastic_cut: self.aborts_elastic_cut - earlier.aborts_elastic_cut,
             aborts_snapshot: self.aborts_snapshot - earlier.aborts_snapshot,
             aborts_user_retry: self.aborts_user_retry - earlier.aborts_user_retry,
             elastic_cuts: self.elastic_cuts - earlier.elastic_cuts,
@@ -214,9 +242,9 @@ mod tests {
         let s = StmStats::default();
         s.record_commit();
         s.record_commit();
-        s.record_abort(Abort::ReadConflict { addr: 0 });
-        s.record_abort(Abort::Locked { addr: 0, owner: 0 });
-        s.record_abort(Abort::ValidationFailed { addr: 0 });
+        s.record_abort(Abort::ReadConflict { addr: 0 }, Semantics::Opaque);
+        s.record_abort(Abort::Locked { addr: 0, owner: 0 }, Semantics::Opaque);
+        s.record_abort(Abort::ValidationFailed { addr: 0 }, Semantics::Opaque);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts(), 3);
@@ -224,9 +252,41 @@ mod tests {
     }
 
     #[test]
+    fn elastic_read_conflicts_count_as_cut_aborts() {
+        let s = StmStats::default();
+        s.record_abort(Abort::ReadConflict { addr: 0 }, Semantics::elastic());
+        s.record_abort(Abort::ReadConflict { addr: 0 }, Semantics::Opaque);
+        // Commit-time validation stays validation even when elastic.
+        s.record_abort(Abort::ValidationFailed { addr: 0 }, Semantics::elastic());
+        let snap = s.snapshot();
+        assert_eq!(snap.aborts_elastic_cut, 1);
+        assert_eq!(snap.aborts_read_conflict, 1);
+        assert_eq!(snap.aborts_validation, 1);
+        assert_eq!(snap.aborts(), 3);
+    }
+
+    #[test]
+    fn cause_groups_cover_the_contention_buckets() {
+        let s = StmStats::default();
+        s.record_abort(Abort::Locked { addr: 0, owner: 1 }, Semantics::Opaque);
+        s.record_abort(Abort::ReadConflict { addr: 0 }, Semantics::Opaque);
+        s.record_abort(Abort::ValidationFailed { addr: 0 }, Semantics::Opaque);
+        s.record_abort(Abort::ReadConflict { addr: 0 }, Semantics::elastic());
+        s.record_abort(Abort::SnapshotUnavailable { addr: 0 }, Semantics::Snapshot);
+        s.record_abort(Abort::Retry, Semantics::Opaque);
+        let by_cause = s.snapshot().aborts_by_cause();
+        assert_eq!(
+            by_cause,
+            [("lock-conflict", 1), ("validation", 2), ("cut", 1), ("capacity", 1)]
+        );
+        // User retries are in the total but not a contention cause.
+        assert_eq!(s.snapshot().aborts(), 6);
+    }
+
+    #[test]
     fn cancel_is_not_an_abort() {
         let s = StmStats::default();
-        s.record_abort(Abort::Cancel);
+        s.record_abort(Abort::Cancel, Semantics::Opaque);
         assert_eq!(s.snapshot().aborts(), 0);
     }
 
@@ -253,7 +313,7 @@ mod tests {
         s.record_commit();
         let first = s.snapshot();
         s.record_commit();
-        s.record_abort(Abort::Retry);
+        s.record_abort(Abort::Retry, Semantics::Opaque);
         let second = s.snapshot();
         let d = second.delta_since(&first);
         assert_eq!(d.commits, 1);
@@ -276,7 +336,7 @@ mod tests {
                     for _ in 0..100 {
                         s.record_commit();
                     }
-                    s.record_abort(Abort::Retry);
+                    s.record_abort(Abort::Retry, Semantics::Opaque);
                 });
             }
         });

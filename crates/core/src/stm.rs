@@ -4,7 +4,9 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use crate::advisor::{ClassId, RunTelemetry, SemanticsSource};
 use crate::clock::GlobalClock;
 use crate::cm::{ConflictArbiter, ContentionManager, TxMeta};
 use crate::error::{Abort, Canceled, TxResult};
@@ -48,22 +50,35 @@ pub struct TxParams {
     /// The semantic parameter `p`. [`Default`] is the paper's `def`
     /// (opaque) semantics.
     pub semantics: Semantics,
+    /// Transaction class this run belongs to, for the installed
+    /// [`SemanticsSource`] (if any) to plan per-attempt parameters.
+    /// `None` (the default) opts the run out of advice entirely: it
+    /// runs under `semantics`, full stop.
+    pub class: Option<ClassId>,
 }
 
 impl TxParams {
     /// `start(p)` with an explicit semantics.
     pub const fn new(semantics: Semantics) -> Self {
-        Self { semantics }
+        Self { semantics, class: None }
     }
 
     /// The paper's `start(def)`.
     pub const fn default_semantics() -> Self {
-        Self { semantics: Semantics::Opaque }
+        Self::new(Semantics::Opaque)
     }
 
     /// The paper's `start(weak)`.
     pub const fn weak() -> Self {
-        Self { semantics: Semantics::elastic() }
+        Self::new(Semantics::elastic())
+    }
+
+    /// Tag the run with a transaction class; `semantics` becomes the
+    /// *requested* semantics the installed advisor may override per
+    /// attempt (and the fallback when its advice proves unusable).
+    pub const fn with_class(mut self, class: ClassId) -> Self {
+        self.class = Some(class);
+        self
     }
 }
 
@@ -72,7 +87,6 @@ impl TxParams {
 /// All [`TVar`]s created through [`Stm::new_tvar`] share this instance's
 /// global version clock; do not mix vars across instances (checked in
 /// debug builds).
-#[derive(Debug)]
 pub struct Stm {
     id: u64,
     clock: GlobalClock,
@@ -80,6 +94,20 @@ pub struct Stm {
     ts_source: AtomicU64,
     config: StmConfig,
     stats: StmStats,
+    /// Installed per-attempt parameter source; consulted only for runs
+    /// tagged with a [`ClassId`]. Fixed at construction so the hot path
+    /// reads a plain field, not a synchronized cell.
+    advisor: Option<Arc<dyn SemanticsSource>>,
+}
+
+impl std::fmt::Debug for Stm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stm")
+            .field("id", &self.id)
+            .field("config", &self.config)
+            .field("advisor", &self.advisor.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Source of unique [`Stm::id`]s for debug-mode TVar/Stm pairing checks.
@@ -138,7 +166,21 @@ impl Stm {
             ts_source: AtomicU64::new(1),
             config,
             stats: StmStats::default(),
+            advisor: None,
         }
+    }
+
+    /// New instance with an installed [`SemanticsSource`]: runs tagged
+    /// with a [`ClassId`] (see [`TxParams::with_class`]) consult it
+    /// before every attempt and report telemetry when they finish.
+    /// Untagged runs behave exactly as on an advisor-free instance.
+    pub fn with_advisor(config: StmConfig, advisor: Arc<dyn SemanticsSource>) -> Self {
+        Self { advisor: Some(advisor), ..Self::with_config(config) }
+    }
+
+    /// The installed advisor, if any.
+    pub fn advisor(&self) -> Option<&Arc<dyn SemanticsSource>> {
+        self.advisor.as_ref()
     }
 
     /// Unique instance id (used for debug-mode TVar pairing checks).
@@ -157,10 +199,6 @@ impl Stm {
 
     pub(crate) fn gate(&self) -> &IrrevGate {
         &self.gate
-    }
-
-    pub(crate) fn arbiter(&self) -> &ConflictArbiter {
-        &self.config.arbiter
     }
 
     /// Current value of the global version clock.
@@ -211,12 +249,63 @@ impl Stm {
         F: FnMut(&mut Transaction<'_>) -> TxResult<T>,
     {
         let _reentrancy = ReentrancyGuard::enter();
+        // One birth timestamp per run, threaded unchanged through every
+        // attempt — including attempts upgraded to irrevocable semantics
+        // — so contention-manager aging (Greedy, and the era gate's
+        // age-ordered admission) keeps ordering the same transaction.
         let birth_ts = self.ts_source.fetch_add(1, Ordering::Relaxed);
-        let mut semantics = params.semantics;
+        let requested = params.semantics;
+        let advisor = match params.class {
+            Some(_) => self.advisor.as_deref(),
+            None => None,
+        };
+        let class = params.class.unwrap_or(ClassId(0));
+        // Telemetry exists only when someone will observe it: unadvised
+        // runs must not pay for per-abort cause accounting.
+        let mut telemetry = advisor.map(|_| RunTelemetry::new(class, requested));
+        let mut semantics = requested;
         let mut retries = 0u32;
+        // One-way runtime overrides a per-attempt plan must not undo.
+        let mut upgraded = false;
+        let mut snapshot_rejected = false;
         loop {
+            let mut arbiter = self.config.arbiter;
+            if let Some(src) = advisor {
+                let plan = src.plan(class, retries, requested);
+                if let Some(a) = plan.arbiter {
+                    arbiter = a;
+                }
+                // A plan may never weaken the run's guarantees: a
+                // caller-requested irrevocable run stays irrevocable
+                // (its closure is written to execute exactly once), a
+                // caller-requested snapshot keeps an atomic view (only
+                // other single-critical-step semantics may replace it —
+                // elastic would let the closure observe a torn cut), and
+                // a runtime upgrade is one-way.
+                if !upgraded && requested != Semantics::Irrevocable {
+                    let atomic_view = matches!(
+                        plan.semantics,
+                        Semantics::Snapshot | Semantics::Opaque | Semantics::Irrevocable
+                    );
+                    // An injected Snapshot that already collided with a
+                    // write in this run likewise falls back to the
+                    // caller's requested semantics.
+                    let rejected = snapshot_rejected && plan.semantics == Semantics::Snapshot;
+                    semantics = if rejected || (requested == Semantics::Snapshot && !atomic_view) {
+                        requested
+                    } else {
+                        plan.semantics
+                    };
+                    if semantics == Semantics::Irrevocable {
+                        // Plan-directed escalation is an upgrade like any
+                        // other: one-way, and accounted as one.
+                        self.stats.record_irrevocable_upgrade();
+                        upgraded = true;
+                    }
+                }
+            }
             let meta = TxMeta { birth_ts, retries };
-            let mut tx = Transaction::begin(self, semantics, meta);
+            let mut tx = Transaction::begin(self, semantics, meta, arbiter);
             let outcome = f(&mut tx);
             let abort = match outcome {
                 Ok(value) => match tx.commit() {
@@ -228,9 +317,27 @@ impl Stm {
                         } else {
                             self.stats.record_commit();
                         }
+                        if let (Some(src), Some(telemetry)) = (advisor, telemetry.as_mut()) {
+                            telemetry.committed_semantics = semantics;
+                            telemetry.retries = retries;
+                            telemetry.upgraded = upgraded;
+                            telemetry.reads = receipt.live_reads + receipt.cuts;
+                            telemetry.writes = receipt.writes;
+                            telemetry.wrote |= receipt.writes > 0;
+                            src.observe(telemetry);
+                        }
                         return Ok(value);
                     }
-                    Err(abort) => abort,
+                    Err((abort, receipt)) => {
+                        // The failed attempt's cuts/extensions are real
+                        // work; account them like the abort path below.
+                        self.stats.record_cuts(receipt.cuts);
+                        self.stats.record_extensions(receipt.extensions);
+                        if let Some(t) = telemetry.as_mut() {
+                            t.wrote |= receipt.writes > 0;
+                        }
+                        abort
+                    }
                 },
                 Err(abort) => {
                     if semantics == Semantics::Irrevocable {
@@ -244,15 +351,38 @@ impl Stm {
                     let receipt = tx.abort_receipt();
                     self.stats.record_cuts(receipt.cuts);
                     self.stats.record_extensions(receipt.extensions);
+                    if let Some(t) = telemetry.as_mut() {
+                        t.wrote |= receipt.writes > 0;
+                    }
                     drop(tx);
                     match abort {
                         Abort::Cancel => {
-                            self.stats.record_abort(Abort::Cancel);
+                            self.stats.record_abort(Abort::Cancel, semantics);
                             return Err(Canceled);
                         }
                         Abort::RestartIrrevocable => {
                             self.stats.record_irrevocable_upgrade();
                             semantics = Semantics::Irrevocable;
+                            upgraded = true;
+                            continue;
+                        }
+                        Abort::ReadOnlyViolation
+                            if semantics == Semantics::Snapshot
+                                && requested != Semantics::Snapshot =>
+                        {
+                            // The advisor assigned Snapshot to a class
+                            // that writes: note the rejection (sticky for
+                            // this run, reported in telemetry so the
+                            // advisor learns) and re-run revocably under
+                            // the requested semantics.
+                            self.stats.record_abort(abort, semantics);
+                            if let Some(t) = telemetry.as_mut() {
+                                t.record_abort(abort, semantics);
+                                t.wrote = true;
+                                t.read_only_violation = true;
+                            }
+                            snapshot_rejected = true;
+                            retries = retries.saturating_add(1);
                             continue;
                         }
                         other => other,
@@ -260,7 +390,10 @@ impl Stm {
                 }
             };
             // Aborted attempt: account, back off, maybe upgrade, retry.
-            self.stats.record_abort(abort);
+            self.stats.record_abort(abort, semantics);
+            if let Some(t) = telemetry.as_mut() {
+                t.record_abort(abort, semantics);
+            }
             retries = retries.saturating_add(1);
             if let Some(limit) = self.config.irrevocable_fallback_after {
                 if retries >= limit
@@ -269,9 +402,10 @@ impl Stm {
                 {
                     self.stats.record_irrevocable_upgrade();
                     semantics = Semantics::Irrevocable;
+                    upgraded = true;
                 }
             }
-            if let Some(d) = self.config.arbiter.backoff(retries) {
+            if let Some(d) = arbiter.backoff(retries) {
                 if !d.is_zero() {
                     std::thread::sleep(d);
                 }

@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use crossbeam_epoch as epoch;
 
-use crate::cm::{ConflictDecision, ContentionManager, TxMeta};
+use crate::cm::{ConflictArbiter, ConflictDecision, ContentionManager, TxMeta};
 use crate::error::{Abort, TxResult};
 use crate::gate::IrrevTicket;
 use crate::semantics::{compose, NestingPolicy, Semantics};
@@ -49,11 +49,20 @@ pub struct Transaction<'s> {
     stm: &'s Stm,
     semantics: Semantics,
     meta: TxMeta,
+    /// Contention manager for this attempt: the configured arbiter, or
+    /// the per-attempt override an installed advisor planned.
+    arbiter: ConflictArbiter,
     rv: u64,
     /// Elastic cuts performed by this attempt (flushed to stats at end).
     cuts: u64,
     /// Read-version extensions performed by this attempt.
     extensions: u64,
+    /// Eagerly published (irrevocable) writes — not in the write set,
+    /// counted separately so receipts report true write activity.
+    eager_writes: u64,
+    /// Snapshot/irrevocable reads — not in the read set, counted
+    /// separately so receipts report true read activity.
+    direct_reads: u64,
     /// Pooled read/write sets and commit scratch; returned to the pool
     /// (cleared) by `Drop`.
     desc: ManuallyDrop<Box<TxDescriptor>>,
@@ -71,12 +80,19 @@ pub struct Transaction<'s> {
 }
 
 impl<'s> Transaction<'s> {
-    pub(crate) fn begin(stm: &'s Stm, semantics: Semantics, meta: TxMeta) -> Self {
+    pub(crate) fn begin(
+        stm: &'s Stm,
+        semantics: Semantics,
+        meta: TxMeta,
+        arbiter: ConflictArbiter,
+    ) -> Self {
         let (rv, era) = if semantics == Semantics::Irrevocable {
             // Opening the era excludes other irrevocable transactions and
             // drains every in-flight writing commit, so the committed
             // state observed from here on is frozen: sample directly.
-            let ticket = stm.gate().enter_irrevocable();
+            // Admission is ordered by our birth timestamp, so an aged
+            // (upgraded) transaction is not starved by younger ones.
+            let ticket = stm.gate().enter_irrevocable(meta.birth_ts);
             (stm.clock().now(), Some(ticket))
         } else {
             // Gate-free begin: the era double-check guarantees rv never
@@ -87,9 +103,12 @@ impl<'s> Transaction<'s> {
             stm,
             semantics,
             meta,
+            arbiter,
             rv,
             cuts: 0,
             extensions: 0,
+            eager_writes: 0,
+            direct_reads: 0,
             desc: ManuallyDrop::new(take_descriptor()),
             guard: None,
             pin_uses: 0,
@@ -223,6 +242,7 @@ impl<'s> Transaction<'s> {
                     self.unpin();
                 }
                 let rv = self.rv;
+                self.direct_reads += 1;
                 match core.read_snapshot(rv, self.pin()) {
                     Some((v, _)) => Ok(v),
                     None => Err(Abort::SnapshotUnavailable { addr }),
@@ -232,6 +252,7 @@ impl<'s> Transaction<'s> {
                 // The era is ours: no other transaction can commit, so
                 // the committed state is frozen apart from our own
                 // (already published) eager writes.
+                self.direct_reads += 1;
                 loop {
                     match core.read_committed(self.pin()) {
                         CommittedRead::Value(v, _) => return Ok(v),
@@ -304,7 +325,7 @@ impl<'s> Transaction<'s> {
     /// re-probe. Shared by every lock-wait loop in the runtime. Releases
     /// the cached epoch pin before waiting.
     fn arbitrate_lock(&mut self, addr: usize, owner: u64, spins: &mut u32) -> TxResult<()> {
-        match self.stm.arbiter().on_conflict(&self.meta, owner, *spins) {
+        match self.arbiter.on_conflict(&self.meta, owner, *spins) {
             ConflictDecision::AbortSelf => Err(Abort::Locked { addr, owner }),
             ConflictDecision::Wait => {
                 self.unpin();
@@ -416,6 +437,7 @@ impl<'s> Transaction<'s> {
             // (clock.rs).
             let wv = self.stm.clock().tick();
             core.publish_with(value, wv, self.pin());
+            self.eager_writes += 1;
             return Ok(());
         }
         // First write freezes the elastic window: the remaining window
@@ -511,13 +533,16 @@ impl<'s> Transaction<'s> {
     // ------------------------------------------------------------------
 
     /// Attempt to commit. Consumes the attempt; on `Err` the caller
-    /// re-executes the closure on a fresh [`Transaction`].
-    pub(crate) fn commit(mut self) -> TxResult<CommitReceipt> {
+    /// re-executes the closure on a fresh [`Transaction`]. Both arms
+    /// carry the attempt's receipt: the cuts and extensions of a failed
+    /// commit are work that happened and must not vanish from the
+    /// statistics.
+    pub(crate) fn commit(mut self) -> Result<CommitReceipt, (Abort, CommitReceipt)> {
         let receipt = CommitReceipt {
             cuts: self.cuts,
             extensions: self.extensions,
-            live_reads: self.desc.read_index.len() as u64,
-            writes: self.desc.writes.len() as u64,
+            live_reads: self.desc.read_index.len() as u64 + self.direct_reads,
+            writes: self.desc.writes.len() as u64 + self.eager_writes,
         };
         match self.semantics {
             // Snapshot reads were consistent at rv by construction (and
@@ -559,8 +584,10 @@ impl<'s> Transaction<'s> {
                     // publish, nothing to validate (TL2 read-only rule).
                     return Ok(receipt);
                 }
-                self.commit_writes()?;
-                Ok(receipt)
+                match self.commit_writes() {
+                    Ok(()) => Ok(receipt),
+                    Err(abort) => Err((abort, receipt)),
+                }
             }
         }
     }
@@ -677,8 +704,8 @@ impl<'s> Transaction<'s> {
         CommitReceipt {
             cuts: self.cuts,
             extensions: self.extensions,
-            live_reads: self.desc.read_index.len() as u64,
-            writes: self.desc.writes.len() as u64,
+            live_reads: self.desc.read_index.len() as u64 + self.direct_reads,
+            writes: self.desc.writes.len() as u64 + self.eager_writes,
         }
     }
 }
@@ -698,13 +725,12 @@ impl Drop for Transaction<'_> {
     }
 }
 
-/// Per-attempt counters reported back to [`crate::Stm`] for statistics.
+/// Per-attempt counters reported back to [`crate::Stm`] for statistics
+/// and advisor telemetry.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct CommitReceipt {
     pub cuts: u64,
     pub extensions: u64,
-    #[allow(dead_code)]
     pub live_reads: u64,
-    #[allow(dead_code)]
     pub writes: u64,
 }

@@ -1,0 +1,269 @@
+//! Contention-manager identity across retries and upgrades, plus the
+//! per-attempt advisor hook's safety fallbacks.
+//!
+//! The regression of interest: a transaction upgraded to irrevocable
+//! semantics (nested request or liveness fallback) must keep the birth
+//! timestamp it aged under — otherwise Greedy-style aging, and the era
+//! gate's age-ordered admission, stop ordering the very transaction the
+//! upgrade was meant to rescue.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use polytm::{
+    Abort, AttemptPlan, ClassId, ConflictArbiter, Greedy, RunTelemetry, Semantics, SemanticsSource,
+    Stm, StmConfig, TxParams,
+};
+
+#[test]
+fn fallback_upgrade_keeps_birth_timestamp() {
+    let stm = Stm::with_config(StmConfig {
+        irrevocable_fallback_after: Some(3),
+        arbiter: ConflictArbiter::Greedy(Greedy::default()),
+        ..StmConfig::default()
+    });
+    let v = stm.new_tvar(0i64);
+    let seen: Mutex<Vec<(u64, Semantics)>> = Mutex::new(Vec::new());
+    stm.run(TxParams::default(), |tx| {
+        seen.lock().unwrap().push((tx.birth_ts(), tx.semantics()));
+        if tx.semantics() != Semantics::Irrevocable {
+            // Keep aborting until the liveness fallback upgrades us.
+            return tx.retry();
+        }
+        v.write(tx, 1)?;
+        Ok(())
+    });
+    let seen = seen.lock().unwrap();
+    assert!(seen.len() >= 4, "three aborts then an upgraded attempt: {seen:?}");
+    assert_eq!(seen.last().unwrap().1, Semantics::Irrevocable);
+    let birth = seen[0].0;
+    assert!(
+        seen.iter().all(|&(ts, _)| ts == birth),
+        "birth_ts must be stable across retries and the irrevocable upgrade: {seen:?}"
+    );
+    assert_eq!(stm.stats().irrevocable_upgrades, 1);
+    assert_eq!(v.load_committed(), 1);
+}
+
+#[test]
+fn nested_restart_upgrade_keeps_birth_timestamp() {
+    let stm = Stm::new();
+    let v = stm.new_tvar(0i64);
+    let seen: Mutex<Vec<(u64, Semantics)>> = Mutex::new(Vec::new());
+    stm.run(TxParams::default(), |tx| {
+        seen.lock().unwrap().push((tx.birth_ts(), tx.semantics()));
+        // Requesting irrevocable semantics inside a revocable parent
+        // restarts the whole transaction irrevocably.
+        tx.nested(Semantics::Irrevocable, |tx| {
+            let cur = v.read(tx)?;
+            v.write(tx, cur + 1)
+        })
+    });
+    let seen = seen.lock().unwrap();
+    assert_eq!(seen.len(), 2, "one revocable attempt, one irrevocable restart: {seen:?}");
+    assert_eq!(seen[1].1, Semantics::Irrevocable);
+    assert_eq!(seen[0].0, seen[1].0, "birth_ts lost across RestartIrrevocable: {seen:?}");
+    assert_eq!(v.load_committed(), 1);
+}
+
+/// A test advisor with a fixed plan, recording every observation.
+struct FixedPlan {
+    semantics: Semantics,
+    plans: AtomicU32,
+    observed: Mutex<Vec<RunTelemetry>>,
+}
+
+impl FixedPlan {
+    fn new(semantics: Semantics) -> Self {
+        Self { semantics, plans: AtomicU32::new(0), observed: Mutex::new(Vec::new()) }
+    }
+}
+
+impl SemanticsSource for FixedPlan {
+    fn plan(&self, _class: ClassId, _retries: u32, _requested: Semantics) -> AttemptPlan {
+        self.plans.fetch_add(1, Ordering::Relaxed);
+        AttemptPlan::semantics(self.semantics)
+    }
+
+    fn observe(&self, telemetry: &RunTelemetry) {
+        self.observed.lock().unwrap().push(*telemetry);
+    }
+}
+
+#[test]
+fn advisor_plans_every_attempt_and_observes_the_run() {
+    let advisor = Arc::new(FixedPlan::new(Semantics::elastic()));
+    let stm = Stm::with_advisor(StmConfig::default(), Arc::clone(&advisor) as _);
+    let v = stm.new_tvar(0i64);
+    let params = TxParams::new(Semantics::Opaque).with_class(ClassId(4));
+    let ran_under = stm.run(params, |tx| {
+        let cur = v.read(tx)?;
+        v.write(tx, cur + 1)?;
+        Ok(tx.semantics())
+    });
+    assert_eq!(ran_under, Semantics::elastic(), "plan must override the requested semantics");
+    assert_eq!(advisor.plans.load(Ordering::Relaxed), 1);
+    let obs = advisor.observed.lock().unwrap();
+    assert_eq!(obs.len(), 1);
+    assert_eq!(obs[0].class, ClassId(4));
+    assert_eq!(obs[0].requested, Semantics::Opaque);
+    assert_eq!(obs[0].committed_semantics, Semantics::elastic());
+    assert!(obs[0].wrote);
+    assert_eq!(obs[0].retries, 0);
+}
+
+#[test]
+fn requested_irrevocable_is_never_downgraded_by_a_plan() {
+    // The closure of a caller-requested irrevocable run is written to
+    // execute exactly once; an advisor plan must not weaken that.
+    let advisor = Arc::new(FixedPlan::new(Semantics::elastic()));
+    let stm = Stm::with_advisor(StmConfig::default(), Arc::clone(&advisor) as _);
+    let v = stm.new_tvar(0i64);
+    let params = TxParams::new(Semantics::Irrevocable).with_class(ClassId(2));
+    let ran_under = stm.run(params, |tx| {
+        let cur = v.read(tx)?;
+        v.write(tx, cur + 1)?;
+        Ok(tx.semantics())
+    });
+    assert_eq!(ran_under, Semantics::Irrevocable);
+    assert_eq!(v.load_committed(), 1);
+    let obs = advisor.observed.lock().unwrap();
+    assert_eq!(obs.len(), 1);
+    assert_eq!(obs[0].committed_semantics, Semantics::Irrevocable);
+    assert!(!obs[0].upgraded, "requested, not upgraded");
+    assert_eq!(stm.stats().irrevocable_upgrades, 0);
+}
+
+#[test]
+fn requested_snapshot_keeps_an_atomic_view() {
+    // A scan that asks for Snapshot relies on observing one consistent
+    // cut; a plan may strengthen that (Opaque/Irrevocable) but must not
+    // weaken it to elastic, whose sliding window can show a torn cut.
+    let advisor = Arc::new(FixedPlan::new(Semantics::elastic()));
+    let stm = Stm::with_advisor(StmConfig::default(), Arc::clone(&advisor) as _);
+    let v = stm.new_tvar(0i64);
+    let params = TxParams::new(Semantics::Snapshot).with_class(ClassId(5));
+    let ran_under = stm.run(params, |tx| {
+        v.read(tx)?;
+        Ok(tx.semantics())
+    });
+    assert_eq!(ran_under, Semantics::Snapshot, "elastic plan must not weaken a snapshot request");
+    // A strengthening plan is honoured.
+    let strengthen = Arc::new(FixedPlan::new(Semantics::Opaque));
+    let stm = Stm::with_advisor(StmConfig::default(), Arc::clone(&strengthen) as _);
+    let v = stm.new_tvar(0i64);
+    let ran_under = stm.run(TxParams::new(Semantics::Snapshot).with_class(ClassId(5)), |tx| {
+        v.read(tx)?;
+        Ok(tx.semantics())
+    });
+    assert_eq!(ran_under, Semantics::Opaque);
+}
+
+#[test]
+fn plan_directed_escalation_is_accounted_as_an_upgrade() {
+    // An advisor that escalates to irrevocable must show up in the
+    // upgrade statistics and in the run's telemetry.
+    let advisor = Arc::new(FixedPlan::new(Semantics::Irrevocable));
+    let stm = Stm::with_advisor(StmConfig::default(), Arc::clone(&advisor) as _);
+    let v = stm.new_tvar(0i64);
+    stm.run(TxParams::new(Semantics::Opaque).with_class(ClassId(3)), |tx| v.write(tx, 1));
+    assert_eq!(v.load_committed(), 1);
+    assert_eq!(stm.stats().irrevocable_upgrades, 1);
+    assert_eq!(stm.stats().irrevocable_commits, 1);
+    let obs = advisor.observed.lock().unwrap();
+    assert!(obs[0].upgraded, "plan-directed escalation is an upgrade");
+    assert_eq!(obs[0].committed_semantics, Semantics::Irrevocable);
+}
+
+#[test]
+fn untagged_runs_bypass_the_advisor() {
+    let advisor = Arc::new(FixedPlan::new(Semantics::Snapshot));
+    let stm = Stm::with_advisor(StmConfig::default(), Arc::clone(&advisor) as _);
+    let v = stm.new_tvar(0i64);
+    // No class: the run must never consult the advisor (whose Snapshot
+    // plan would reject this write).
+    stm.run(TxParams::new(Semantics::Opaque), |tx| v.write(tx, 7));
+    assert_eq!(advisor.plans.load(Ordering::Relaxed), 0);
+    assert!(advisor.observed.lock().unwrap().is_empty());
+    assert_eq!(v.load_committed(), 7);
+}
+
+#[test]
+fn injected_snapshot_on_a_writing_class_falls_back_to_requested() {
+    let advisor = Arc::new(FixedPlan::new(Semantics::Snapshot));
+    let stm = Stm::with_advisor(StmConfig::default(), Arc::clone(&advisor) as _);
+    let v = stm.new_tvar(0i64);
+    let params = TxParams::new(Semantics::Opaque).with_class(ClassId(1));
+    // A mis-advised writing class must still commit — under the
+    // requested semantics — rather than loop on ReadOnlyViolation.
+    stm.run(params, |tx| {
+        let cur = v.read(tx)?;
+        v.write(tx, cur + 1)
+    });
+    assert_eq!(v.load_committed(), 1);
+    let obs = advisor.observed.lock().unwrap();
+    assert_eq!(obs.len(), 1);
+    assert!(obs[0].read_only_violation, "the advisor must learn its Snapshot was rejected");
+    assert!(obs[0].wrote);
+    assert_eq!(obs[0].committed_semantics, Semantics::Opaque);
+    assert!(obs[0].retries >= 1);
+}
+
+#[test]
+fn advisor_arbiter_override_drives_backoff_and_conflicts() {
+    // A plan can override the contention manager per attempt; verify the
+    // override reaches the attempt by running a Suicide plan against a
+    // Greedy default and checking the run still completes (Suicide aborts
+    // on conflict instead of waiting, so any livelock here would hang the
+    // test under contention).
+    struct SuicidePlan;
+    impl SemanticsSource for SuicidePlan {
+        fn plan(&self, _class: ClassId, _retries: u32, requested: Semantics) -> AttemptPlan {
+            AttemptPlan {
+                semantics: requested,
+                arbiter: Some(ConflictArbiter::Suicide(polytm::Suicide)),
+            }
+        }
+        fn observe(&self, _telemetry: &RunTelemetry) {}
+    }
+    let stm = Stm::with_advisor(
+        StmConfig { arbiter: ConflictArbiter::Greedy(Greedy::default()), ..StmConfig::default() },
+        Arc::new(SuicidePlan),
+    );
+    let v = stm.new_tvar(0i64);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..200 {
+                    stm.run(TxParams::new(Semantics::Opaque).with_class(ClassId(0)), |tx| {
+                        let cur = v.read(tx)?;
+                        v.write(tx, cur + 1)
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(v.load_committed(), 800);
+}
+
+#[test]
+fn user_requested_snapshot_violation_still_surfaces() {
+    // The fallback only covers *injected* snapshots: a caller who asks
+    // for Snapshot and writes keeps the read-only violation semantics
+    // (a retry loop; probe one attempt via try_run + cancel).
+    let stm = Stm::new();
+    let v = stm.new_tvar(0i64);
+    let mut attempts = 0u32;
+    let res = stm.try_run(TxParams::new(Semantics::Snapshot), |tx| {
+        attempts += 1;
+        if attempts > 1 {
+            return tx.cancel::<()>();
+        }
+        match v.write(tx, 1) {
+            Err(Abort::ReadOnlyViolation) => Err(Abort::ReadOnlyViolation),
+            other => panic!("write under Snapshot must be a ReadOnlyViolation: {other:?}"),
+        }
+    });
+    assert!(res.is_err(), "cancelled after observing the violation");
+    assert_eq!(v.load_committed(), 0);
+}

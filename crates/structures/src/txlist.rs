@@ -41,23 +41,50 @@ struct Node {
 pub struct TxList {
     stm: Arc<Stm>,
     head: TVar<Link>,
-    /// Semantics used by the single-key operations (`weak` by default).
-    op_semantics: Semantics,
+    /// `start(p)` parameters for read operations (`contains`).
+    read_params: TxParams,
+    /// `start(p)` parameters for updates (`insert`/`remove`).
+    update_params: TxParams,
+    /// `start(p)` parameters for range scans
+    /// ([`TxList::range_count_snapshot`]); snapshot by default.
+    scan_params: TxParams,
 }
 
 impl TxList {
     /// Empty set on the given STM, single-key operations elastic.
     pub fn new(stm: Arc<Stm>) -> Self {
-        let head = stm.new_tvar(None);
-        Self { stm, head, op_semantics: Semantics::elastic() }
+        Self::with_op_semantics(stm, Semantics::elastic())
     }
 
     /// Empty set whose single-key operations use `semantics` — pass
     /// [`Semantics::Opaque`] to emulate a monomorphic TM (the baseline in
     /// E4/E5).
     pub fn with_op_semantics(stm: Arc<Stm>, semantics: Semantics) -> Self {
+        Self::with_op_params(
+            stm,
+            TxParams::new(semantics),
+            TxParams::new(semantics),
+            TxParams::new(Semantics::Snapshot),
+        )
+    }
+
+    /// Empty set with full per-operation-kind `start(p)` parameters:
+    /// `read` drives `contains`, `update` drives `insert`/`remove`,
+    /// `scan` drives [`TxList::range_count_snapshot`]. Tagging the
+    /// parameters with distinct [`polytm::ClassId`]s (and installing an
+    /// advisor on the STM) makes the list *adaptively* polymorphic: the
+    /// runtime learns each operation kind's best semantics.
+    ///
+    /// # Panics
+    /// Panics when `update` requests read-only semantics (updates
+    /// write; they would abort forever).
+    pub fn with_op_params(stm: Arc<Stm>, read: TxParams, update: TxParams, scan: TxParams) -> Self {
+        assert!(
+            !update.semantics.is_read_only(),
+            "update operations write; read-only semantics cannot commit them"
+        );
         let head = stm.new_tvar(None);
-        Self { stm, head, op_semantics: semantics }
+        Self { stm, head, read_params: read, update_params: update, scan_params: scan }
     }
 
     /// The STM this list lives in.
@@ -67,9 +94,31 @@ impl TxList {
 
     /// A handle to the *same* underlying list whose single-key operations
     /// run under `semantics` — polymorphism at the handle level (used by
-    /// the semantics-mix ablation E7).
+    /// the semantics-mix ablation E7). For a read-only (snapshot) handle
+    /// use [`TxList::clone_with_params`] with a writable update
+    /// semantics.
+    ///
+    /// # Panics
+    /// Panics on read-only semantics (the handle's updates would retry
+    /// forever).
     pub fn clone_with_semantics(&self, semantics: Semantics) -> TxList {
-        TxList { stm: Arc::clone(&self.stm), head: self.head.clone(), op_semantics: semantics }
+        self.clone_with_params(TxParams::new(semantics), TxParams::new(semantics), self.scan_params)
+    }
+
+    /// A handle to the *same* underlying list with different
+    /// per-operation parameters (see [`TxList::with_op_params`]).
+    pub fn clone_with_params(&self, read: TxParams, update: TxParams, scan: TxParams) -> TxList {
+        assert!(
+            !update.semantics.is_read_only(),
+            "update operations write; read-only semantics cannot commit them"
+        );
+        TxList {
+            stm: Arc::clone(&self.stm),
+            head: self.head.clone(),
+            read_params: read,
+            update_params: update,
+            scan_params: scan,
+        }
     }
 
     /// Transaction-composable membership test.
@@ -133,19 +182,20 @@ impl TxList {
     }
 
     /// Is `key` in the set? Runs one transaction under the list's
-    /// operation semantics (`start(weak)` by default — Figure 1's p1).
+    /// read-operation parameters (`start(weak)` by default — Figure 1's
+    /// p1).
     pub fn contains(&self, key: i64) -> bool {
-        self.stm.run(TxParams::new(self.op_semantics), |tx| self.contains_in(tx, key))
+        self.stm.run(self.read_params, |tx| self.contains_in(tx, key))
     }
 
     /// Insert `key`; `false` if present.
     pub fn insert(&self, key: i64) -> bool {
-        self.stm.run(TxParams::new(self.op_semantics), |tx| self.insert_in(tx, key))
+        self.stm.run(self.update_params, |tx| self.insert_in(tx, key))
     }
 
     /// Remove `key`; `false` if absent.
     pub fn remove(&self, key: i64) -> bool {
-        self.stm.run(TxParams::new(self.op_semantics), |tx| self.remove_in(tx, key))
+        self.stm.run(self.update_params, |tx| self.remove_in(tx, key))
     }
 
     /// Number of keys — an *atomic* aggregate, so it runs `def` (opaque):
@@ -182,12 +232,14 @@ impl TxList {
         })
     }
 
-    /// Number of keys in `[lo, hi)` under **snapshot** semantics: the
-    /// scan observes one consistent cut of the list and never aborts,
-    /// however hot the list is — the scenario matrix's range-scan
-    /// operation.
+    /// Number of keys in `[lo, hi)` under the list's scan parameters —
+    /// **snapshot** semantics by default, where the scan observes one
+    /// consistent cut of the list and never aborts, however hot the
+    /// list is (the scenario matrix's range-scan operation). Handles
+    /// built with weaker scan parameters trade that consistency the
+    /// same way the lock-based scans do.
     pub fn range_count_snapshot(&self, lo: i64, hi: i64) -> usize {
-        self.stm.snapshot(|tx| {
+        self.stm.run(self.scan_params, |tx| {
             let mut n = 0usize;
             let mut link = self.head.read(tx)?;
             while let Some(node) = link {

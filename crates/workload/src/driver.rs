@@ -21,6 +21,13 @@ pub trait ConcurrentSet: Sync {
     fn insert(&self, key: u64) -> bool;
     /// Remove; false if absent.
     fn remove(&self, key: u64) -> bool;
+    /// Phase notification: the driver calls this from a worker thread
+    /// whenever that thread's (phased) schedule crosses a phase
+    /// boundary, before the first operation of the new phase. Adaptive
+    /// backends use it to tag the thread's subsequent operations with a
+    /// phase-specific transaction class, so mid-run phase changes
+    /// surface as reclassifiable classes. The default ignores it.
+    fn note_phase(&self, _phase: usize) {}
 }
 
 /// Extension for backends that can observe a whole key range in one
@@ -120,6 +127,9 @@ impl<S: ConcurrentSet + ?Sized> ConcurrentSet for NoScan<'_, S> {
     fn remove(&self, key: u64) -> bool {
         self.0.remove(key)
     }
+    fn note_phase(&self, phase: usize) {
+        self.0.note_phase(phase);
+    }
 }
 
 impl<S: ConcurrentSet + ?Sized> RangeSet for NoScan<'_, S> {
@@ -198,8 +208,17 @@ pub fn run_scenario_with<S: RangeSet + ?Sized>(
                 let mut hist = LatencyHistogram::new();
                 let mut local_ops = 0u64;
                 let mut counted = false;
+                let mut cur_phase = 0usize;
                 while !stop.load(Ordering::Relaxed) {
                     let key = keys.next_key();
+                    // Phase of the op about to be drawn; notify the
+                    // backend on boundaries (constant schedules never
+                    // leave phase 0, so this is one predictable compare).
+                    let phase = mix.phase();
+                    if phase != cur_phase {
+                        cur_phase = phase;
+                        set.note_phase(phase);
+                    }
                     let op = mix.next_op(&mut ops_rng);
                     let in_window = measuring.load(Ordering::Relaxed);
                     let t0 = if in_window && spec_ref.record_latency {
@@ -400,6 +419,38 @@ mod tests {
         spec.mix = MixSchedule::phased_burst(5, 200, 90, 50);
         let m = run_workload(&set, &spec);
         assert!(m.ops > 0);
+    }
+
+    #[test]
+    fn phase_notifications_reach_the_backend() {
+        struct PhaseRecorder {
+            inner: MutexSet,
+            phases: Mutex<Vec<usize>>,
+        }
+        impl ConcurrentSet for PhaseRecorder {
+            fn contains(&self, key: u64) -> bool {
+                self.inner.contains(key)
+            }
+            fn insert(&self, key: u64) -> bool {
+                self.inner.insert(key)
+            }
+            fn remove(&self, key: u64) -> bool {
+                self.inner.remove(key)
+            }
+            fn note_phase(&self, phase: usize) {
+                self.phases.lock().unwrap().push(phase);
+            }
+        }
+        let set = PhaseRecorder { inner: MutexSet::new(), phases: Mutex::new(Vec::new()) };
+        let mut spec = tiny_spec(1);
+        spec.mix = MixSchedule::phased_burst(5, 20, 90, 10);
+        run_workload(&set, &spec);
+        let phases = set.phases.lock().unwrap();
+        assert!(!phases.is_empty(), "phased schedule must emit phase notifications");
+        // Single thread: boundaries cycle 1, 2, 0, 1, 2, 0, ...
+        for (i, &p) in phases.iter().enumerate() {
+            assert_eq!(p, (i + 1) % 3, "boundary {i} out of order: {phases:?}");
+        }
     }
 
     #[test]

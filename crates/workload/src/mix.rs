@@ -183,6 +183,15 @@ pub struct MixCursor<'a> {
 }
 
 impl MixCursor<'_> {
+    /// Index (into the schedule's phase list) of the phase the *next*
+    /// drawn operation belongs to. Always 0 for constant schedules.
+    /// Backends that adapt per phase read this through the driver's
+    /// phase notifications.
+    #[inline]
+    pub fn phase(&self) -> usize {
+        self.phase_idx
+    }
+
     /// Draw the next operation and advance.
     #[inline]
     pub fn next_op(&mut self, rng: &mut SplitMix64) -> OpKind {
@@ -321,6 +330,29 @@ mod tests {
             for i in 0..500 {
                 assert_eq!(cursor.next_op(&mut r1), sched.next_op(i, &mut r2), "op {i}");
             }
+        }
+    }
+
+    #[test]
+    fn cursor_phase_tracks_boundaries() {
+        let sched = MixSchedule::Phased(vec![
+            MixPhase { mix: OpMix::updates(0), ops: 3 },
+            MixPhase { mix: OpMix::updates(100), ops: 2 },
+        ]);
+        let mut cursor = sched.cursor();
+        let mut rng = SplitMix64::new(5);
+        let mut phases = Vec::new();
+        for _ in 0..10 {
+            phases.push(cursor.phase());
+            cursor.next_op(&mut rng);
+        }
+        assert_eq!(phases, vec![0, 0, 0, 1, 1, 0, 0, 0, 1, 1]);
+        // Constant schedules never leave phase 0.
+        let constant = MixSchedule::Constant(OpMix::updates(10));
+        let mut cursor = constant.cursor();
+        for _ in 0..5 {
+            assert_eq!(cursor.phase(), 0);
+            cursor.next_op(&mut rng);
         }
     }
 

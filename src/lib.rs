@@ -19,7 +19,10 @@
 //!   per-operation semantics (list, hash set with transactional resize,
 //!   skip list, counter, queue);
 //! * [`workload`] (crate `polytm-workload`) — deterministic workload
-//!   generation and the measurement driver.
+//!   generation and the measurement driver;
+//! * [`adaptive`] (crate `polytm-adaptive`) — the adaptive polymorphism
+//!   runtime: a feedback-driven advisor that observes per-class
+//!   telemetry and selects semantics and contention management live.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use polytm as stm;
+pub use polytm_adaptive as adaptive;
 pub use polytm_lockfree as lockfree;
 pub use polytm_locks as locks;
 pub use polytm_schedule as schedule;
@@ -48,8 +52,10 @@ pub use polytm_workload as workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use polytm::{
-        Abort, NestingPolicy, Semantics, Stm, StmConfig, TVar, Transaction, TxParams, TxResult,
+        Abort, ClassId, NestingPolicy, Semantics, Stm, StmConfig, TVar, Transaction, TxParams,
+        TxResult,
     };
+    pub use polytm_adaptive::Advisor;
     pub use polytm_schedule::{accepts, figure1_interleaving, figure1_program, Synchronization};
     pub use polytm_structures::{TxCounter, TxHashSet, TxList, TxQueue, TxSkipList};
 }
