@@ -92,10 +92,15 @@ pub fn select(cfg: &AdvisorConfig, wrote: bool, delta: &ClassTotals, current: Po
         // History keeps getting truncated under snapshot bounds: fall
         // back to optimistic reads.
         SemanticsChoice::Elastic
-    } else if avg_reads >= cfg.snapshot_read_len || optimistic_hot {
+    } else if avg_reads >= cfg.snapshot_read_len
+        || (optimistic_hot && avg_reads >= cfg.elastic_read_len)
+    {
         // Read-only and either long (validation cost scales with the
-        // read set) or contended (optimistic reads keep aborting):
-        // multi-versioned reads sidestep both.
+        // read set) or contended *and* non-trivial (optimistic reads
+        // keep aborting): multi-versioned reads sidestep both. Very
+        // short reads stay optimistic even when hot — retrying a
+        // two-read transaction is cheaper than walking version chains
+        // of hot locations.
         SemanticsChoice::Snapshot
     } else {
         SemanticsChoice::Elastic
@@ -195,9 +200,14 @@ mod tests {
     }
 
     #[test]
-    fn contended_read_only_classes_get_snapshot_even_when_short() {
-        let p = select(&cfg(), false, &delta(100, 2, 60, 0), Policy::initial());
+    fn contended_read_only_classes_get_snapshot_when_non_trivial() {
+        // Medium-length contended reads go multi-versioned...
+        let p = select(&cfg(), false, &delta(100, 5, 60, 0), Policy::initial());
         assert_eq!(p.semantics, SemanticsChoice::Snapshot);
+        // ...but trivial (two-read) ones stay optimistic even when hot:
+        // retrying them is cheaper than walking hot version chains.
+        let p = select(&cfg(), false, &delta(100, 2, 60, 0), Policy::initial());
+        assert_eq!(p.semantics, SemanticsChoice::Elastic);
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub struct Advisor {
     /// Observed runs since creation; epochs close every
     /// `config.epoch_runs` observations.
     observations: CachePadded<AtomicU64>,
+    /// Observation count at which the next epoch closes. A compare
+    /// against this (plus a CAS for the one thread that crosses it)
+    /// replaces a per-observe modulo — `epoch_runs` is a runtime knob,
+    /// so `%` would be a hardware division on every commit.
+    next_epoch: CachePadded<AtomicU64>,
     /// Closed epochs (diagnostics).
     epochs: CachePadded<AtomicU64>,
     control: Mutex<ControlState>,
@@ -112,11 +117,16 @@ impl Advisor {
     pub fn new(config: AdvisorConfig) -> Self {
         assert!(config.epoch_runs > 0, "epoch_runs must be positive");
         assert!(config.hysteresis > 0, "hysteresis must be positive");
+        assert!(
+            config.min_epoch_runs > 0,
+            "min_epoch_runs must be positive (0 would install data-free policies)"
+        );
         Self {
             config,
             stats: ClassTable::default(),
             policies: std::array::from_fn(|_| AtomicU64::new(POLICY_UNSET)),
             observations: CachePadded::new(AtomicU64::new(0)),
+            next_epoch: CachePadded::new(AtomicU64::new(config.epoch_runs)),
             epochs: CachePadded::new(AtomicU64::new(0)),
             control: Mutex::new(ControlState {
                 last: [ClassTotals::default(); MAX_CLASSES],
@@ -212,7 +222,20 @@ impl SemanticsSource for Advisor {
     fn observe(&self, telemetry: &RunTelemetry) {
         self.stats.record(telemetry);
         let n = self.observations.fetch_add(1, Ordering::Relaxed) + 1;
-        if n.is_multiple_of(self.config.epoch_runs) {
+        let boundary = self.next_epoch.load(Ordering::Relaxed);
+        if n >= boundary
+            && self
+                .next_epoch
+                .compare_exchange(
+                    boundary,
+                    boundary + self.config.epoch_runs,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+        {
+            // Exactly one thread crosses each boundary and closes the
+            // epoch; the others see the bumped boundary and move on.
             self.close_epoch();
         }
     }

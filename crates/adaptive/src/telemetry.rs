@@ -102,10 +102,13 @@ impl ClassTable {
         if t.upgraded {
             cell[C_UPGRADES].fetch_add(1, Ordering::Relaxed);
         }
-        if t.wrote {
-            // Release: a plan() that later reads `true` (Acquire) must
-            // also see the counters behind it — and conservatively, the
-            // bit is allowed to win races (extra safety, never less).
+        if t.wrote && !self.wrote[slot].load(Ordering::Relaxed) {
+            // Checked first so steady-state writing classes read a
+            // shared line instead of storing to it on every run; only
+            // the first writer's store publishes (no ordering guarantee
+            // for later writers' counters — readers sum the counters
+            // Relaxed and treat them as approximate anyway). The bit is
+            // allowed to win races: extra safety, never less.
             self.wrote[slot].store(true, Ordering::Release);
         }
     }

@@ -75,7 +75,13 @@ impl TxParams {
 
     /// Tag the run with a transaction class; `semantics` becomes the
     /// *requested* semantics the installed advisor may override per
-    /// attempt (and the fallback when its advice proves unusable).
+    /// attempt (and the fallback when its advice proves unusable). A
+    /// plan can never weaken a requested [`Semantics::Irrevocable`],
+    /// and a requested [`Semantics::Snapshot`] keeps its atomic view —
+    /// but it may be *strengthened* to another single-critical-step
+    /// semantics, so a classed snapshot run must not rely on writes
+    /// being rejected (under a strengthened plan a write commits
+    /// instead of aborting with `ReadOnlyViolation`).
     pub const fn with_class(mut self, class: ClassId) -> Self {
         self.class = Some(class);
         self
