@@ -1,16 +1,18 @@
-//! [`ConcurrentSet`] / [`RangeSet`] adapters for every implementation
-//! under test, plus the [`Backend`] registry the scenario matrix sweeps.
+//! [`ConcurrentSet`] / [`RangeSet`] / [`KvTable`] adapters for every
+//! implementation under test, plus the [`Backend`] and [`KvBackend`]
+//! registries the scenario matrix sweeps.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use polytm::{ClassId, Semantics, Stm, StmConfig, TxParams};
 use polytm_adaptive::Advisor;
+use polytm_kv::{KvConfig, KvParams, KvStore, Value};
 use polytm_lockfree::{MichaelHashSet, SplitOrderedSet};
 use polytm_locks::{HandOverHandList, StripedHashSet};
 use polytm_structures::{TxHashSet, TxList, TxSkipList};
-use polytm_workload::{ConcurrentSet, RangeSet};
+use polytm_workload::{ConcurrentSet, KvTable, RangeSet};
 
 // ---------------------------------------------------------------------
 // Transactional structures
@@ -654,6 +656,144 @@ pub const BACKENDS: &[Backend] = &[
     },
 ];
 
+// ---------------------------------------------------------------------
+// KV backends — the YCSB-style record-store axis
+// ---------------------------------------------------------------------
+
+/// `polytm-kv` store driven through the workload crate's [`KvTable`].
+/// Records are 8-byte values derived from the driver's value stream.
+pub struct KvStoreTable(pub KvStore);
+
+impl KvTable for KvStoreTable {
+    fn read(&self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn update(&self, key: u64, value: u64) {
+        self.0.put(key, Value::from_u64(value));
+    }
+    fn insert(&self, key: u64, value: u64) {
+        self.0.put(key, Value::from_u64(value));
+    }
+    fn delete(&self, key: u64) -> bool {
+        self.0.delete(key).is_some()
+    }
+    fn read_modify_write(&self, key: u64, value: u64) {
+        self.0.modify(key, |cur| Value::from_u64(cur.and_then(Value::as_u64).unwrap_or(0) ^ value));
+    }
+    fn scan(&self, lo: u64, hi: u64) -> usize {
+        self.0.range_count(lo, hi)
+    }
+    fn load(&self, entries: &[(u64, u64)]) {
+        // Batched ingest: one transaction per chunk instead of one per
+        // record (the chunk bound keeps each transaction's write set
+        // small enough to stay conflict-friendly).
+        for chunk in entries.chunks(256) {
+            let batch: Vec<(u64, Value)> =
+                chunk.iter().map(|&(k, v)| (k, Value::from_u64(v))).collect();
+            self.0.multi_put(&batch);
+        }
+    }
+}
+
+/// The "one big lock" record-store control: a `Mutex<HashMap>`. Scans
+/// hold the lock for their whole pass — trivially consistent, trivially
+/// serial.
+pub struct CoarseLockKv(pub Mutex<HashMap<u64, Value>>);
+
+impl KvTable for CoarseLockKv {
+    fn read(&self, key: u64) -> bool {
+        self.0.lock().contains_key(&key)
+    }
+    fn update(&self, key: u64, value: u64) {
+        self.0.lock().insert(key, Value::from_u64(value));
+    }
+    fn insert(&self, key: u64, value: u64) {
+        self.0.lock().insert(key, Value::from_u64(value));
+    }
+    fn delete(&self, key: u64) -> bool {
+        self.0.lock().remove(&key).is_some()
+    }
+    fn read_modify_write(&self, key: u64, value: u64) {
+        let mut map = self.0.lock();
+        let cur = map.get(&key).and_then(Value::as_u64).unwrap_or(0);
+        map.insert(key, Value::from_u64(cur ^ value));
+    }
+    fn scan(&self, lo: u64, hi: u64) -> usize {
+        self.0.lock().keys().filter(|&&k| lo <= k && k < hi).count()
+    }
+}
+
+/// A live KV backend instance: the table plus its `Stm` handle when
+/// transactional (for abort accounting).
+pub struct KvBackendInstance {
+    /// The record store behind the KV driver's trait object.
+    pub table: Box<dyn KvTable + Send + Sync>,
+    /// The STM the store lives in — `None` for the lock control.
+    pub stm: Option<Arc<Stm>>,
+}
+
+/// One registered KV backend.
+pub struct KvBackend {
+    /// Stable name used in bench rows (e.g. `kv-sharded`).
+    pub name: &'static str,
+    /// Synchronization family.
+    pub family: Family,
+    make: fn() -> KvBackendInstance,
+}
+
+impl KvBackend {
+    /// Construct a fresh instance of this backend.
+    pub fn make(&self) -> KvBackendInstance {
+        (self.make)()
+    }
+}
+
+fn make_kv_sharded() -> KvBackendInstance {
+    let stm = Arc::new(Stm::new());
+    let store = KvStore::with_config(
+        Arc::clone(&stm),
+        KvConfig { shards: 16, initial_slots: 64, params: KvParams::fixed() },
+    );
+    KvBackendInstance { table: Box::new(KvStoreTable(store)), stm: Some(stm) }
+}
+
+fn make_kv_adaptive() -> KvBackendInstance {
+    // The sharded store under a live advisor: each operation kind is
+    // its own transaction class (reads may converge to snapshot;
+    // writers request opaque, which plans can escalate but never
+    // weaken).
+    let advisor = Arc::new(Advisor::default());
+    let stm = Arc::new(Stm::with_advisor(StmConfig::default(), advisor as _));
+    let store = KvStore::with_config(
+        Arc::clone(&stm),
+        KvConfig { shards: 16, initial_slots: 64, params: KvParams::classed(0) },
+    );
+    KvBackendInstance { table: Box::new(KvStoreTable(store)), stm: Some(stm) }
+}
+
+fn make_kv_single() -> KvBackendInstance {
+    // One shard: same store, no sharding — isolates what the shard
+    // fan-out buys from what the STM itself costs.
+    let stm = Arc::new(Stm::new());
+    let store = KvStore::with_config(
+        Arc::clone(&stm),
+        KvConfig { shards: 1, initial_slots: 1024, params: KvParams::fixed() },
+    );
+    KvBackendInstance { table: Box::new(KvStoreTable(store)), stm: Some(stm) }
+}
+
+fn make_kv_coarse_lock() -> KvBackendInstance {
+    KvBackendInstance { table: Box::new(CoarseLockKv(Mutex::new(HashMap::new()))), stm: None }
+}
+
+/// Every KV backend the YCSB scenario family drives.
+pub const KV_BACKENDS: &[KvBackend] = &[
+    KvBackend { name: "kv-sharded", family: Family::Transactional, make: make_kv_sharded },
+    KvBackend { name: "kv-adaptive", family: Family::Transactional, make: make_kv_adaptive },
+    KvBackend { name: "kv-single", family: Family::Transactional, make: make_kv_single },
+    KvBackend { name: "kv-coarse-lock", family: Family::LockBased, make: make_kv_coarse_lock },
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -748,6 +888,62 @@ mod tests {
             assert!(set.remove(k), "{k}");
         }
         assert_eq!(set.range_count(0, 200), 0);
+    }
+
+    #[test]
+    fn every_kv_backend_behaves_like_a_record_store() {
+        for b in KV_BACKENDS {
+            let inst = b.make();
+            let t = inst.table.as_ref();
+            assert!(!t.read(5), "{}", b.name);
+            t.insert(5, 50);
+            assert!(t.read(5), "{}", b.name);
+            t.update(5, 51);
+            t.read_modify_write(5, 0xFF);
+            for k in 10..20 {
+                t.insert(k, k);
+            }
+            assert_eq!(t.scan(10, 20), 10, "{}", b.name);
+            assert_eq!(t.scan(10, 15), 5, "{}", b.name);
+            assert!(t.delete(5), "{}", b.name);
+            assert!(!t.delete(5), "{}", b.name);
+            assert!(!t.read(5), "{}", b.name);
+            assert_eq!(
+                inst.stm.is_some(),
+                b.family == Family::Transactional,
+                "{}: stm handle iff transactional",
+                b.name
+            );
+        }
+        let mut names: Vec<_> = KV_BACKENDS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KV_BACKENDS.len(), "kv backend names must be unique");
+        assert!(KV_BACKENDS.len() >= 3, "sharded, single-shard and coarse-lock at minimum");
+    }
+
+    #[test]
+    fn adaptive_kv_backend_classifies_under_load() {
+        let inst = KV_BACKENDS.iter().find(|b| b.name == "kv-adaptive").unwrap().make();
+        let t = inst.table.as_ref();
+        for k in 0..256u64 {
+            t.insert(k, k);
+        }
+        for _ in 0..6 {
+            for k in 0..256u64 {
+                assert!(t.read(k));
+            }
+        }
+        let stm = inst.stm.as_ref().unwrap();
+        let advisor = stm.advisor().expect("adaptive backend installs an advisor");
+        // The advisor observed classed runs; regardless of what it
+        // selected, the store must still behave like a record store.
+        let plan = advisor.plan(polytm::ClassId(0), 0, Semantics::elastic());
+        assert_ne!(plan.semantics, Semantics::Irrevocable, "calm reads never escalate");
+        assert!(t.read(0));
+        t.read_modify_write(0, 7);
+        assert!(t.delete(0));
+        assert!(stm.stats().commits > 0);
     }
 
     #[test]

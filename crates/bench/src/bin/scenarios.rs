@@ -1,30 +1,39 @@
 //! The scenario-matrix engine: every registered backend (transactional,
 //! lock-based, lock-free) × every workload scenario × a thread sweep,
 //! reporting throughput, latency quantiles and (for tx backends) abort
-//! ratios as machine-readable rows in `BENCH_scenarios.json`.
+//! ratios as machine-readable rows in `BENCH_scenarios.json`. The
+//! matrix has two wings: the set-shaped scenarios over `BACKENDS`, and
+//! the YCSB-style record-store family (`ycsb-*`) over `KV_BACKENDS`.
 //!
 //! ```text
 //! cargo run --release -p polytm-bench --bin scenarios -- --label after
 //! cargo run --release -p polytm-bench --bin scenarios -- --quick --out /tmp/smoke.json
+//! cargo run --release -p polytm-bench --bin scenarios -- --scenario ycsb-a --backend kv-sharded
 //! ```
 //!
 //! Rows share `BENCH_core.json`'s shape, extended with latency
-//! quantiles and per-cause abort counts over the measured window:
+//! quantiles and per-cause abort counts over the measured window; kv
+//! rows additionally carry their read-hit ratio and key space:
 //!
 //! ```text
 //! {rev, label, bench, threads, ops_per_sec, abort_ratio, p50_ns, p99_ns, p999_ns,
-//!  aborts_lock, aborts_validation, aborts_cut, aborts_capacity}
+//!  aborts_lock, aborts_validation, aborts_cut, aborts_capacity
+//!  [, found_ratio, kv_space]}
 //! ```
 //!
-//! `bench` is `scenario/backend` (e.g. `hotspot/tx-list`). `--quick`
-//! shrinks the measured windows so CI can exercise the whole matrix in
-//! seconds; only rows from a quiet machine are trajectory data.
+//! `bench` is `scenario/backend` (e.g. `hotspot/tx-list`,
+//! `ycsb-a/kv-sharded`). `--quick` shrinks the measured windows so CI
+//! can exercise the whole matrix in seconds; only rows from a quiet
+//! machine are trajectory data.
 
 use std::time::Duration;
 
 use polytm_bench::report::{append_rows, git_rev, BenchCli};
-use polytm_bench::{Backend, Shape, BACKENDS};
-use polytm_workload::{run_scenario_with, KeyDist, MixSchedule, OpMix, WorkloadSpec};
+use polytm_bench::{Backend, Family, KvBackend, Shape, BACKENDS, KV_BACKENDS};
+use polytm_workload::{
+    run_kv_scenario_with, run_scenario_with, KeyDist, KvMix, KvSpec, MixSchedule, OpMix,
+    WorkloadSpec,
+};
 
 /// One output row.
 struct Row {
@@ -39,6 +48,8 @@ struct Row {
     /// non-transactional backends): lock-conflict, validation, elastic
     /// cut, snapshot capacity.
     aborts_by_cause: [u64; 4],
+    /// KV rows only: `(found_ratio, key_space)`.
+    kv: Option<(f64, u64)>,
 }
 
 /// Measurement windows for the two modes.
@@ -118,6 +129,63 @@ fn key_space(shape: Shape) -> u64 {
     }
 }
 
+/// One YCSB-style record-store scenario over the KV backends.
+struct KvScenario {
+    name: &'static str,
+    mix: fn() -> KvMix,
+    dist: fn() -> KeyDist,
+}
+
+/// Key population for the YCSB family (hash-shaped stores).
+const KV_KEY_SPACE: u64 = 8192;
+
+/// The YCSB core-workload axis. A/B/C/F draw Zipf(0.99) keys (the YCSB
+/// default skew); D reads the latest-inserted records behind a growing
+/// frontier.
+const KV_SCENARIOS: &[KvScenario] = &[
+    KvScenario { name: "ycsb-a", mix: KvMix::ycsb_a, dist: || KeyDist::Zipf(0.99) },
+    KvScenario { name: "ycsb-b", mix: KvMix::ycsb_b, dist: || KeyDist::Zipf(0.99) },
+    KvScenario { name: "ycsb-c", mix: KvMix::ycsb_c, dist: || KeyDist::Zipf(0.99) },
+    KvScenario { name: "ycsb-d", mix: KvMix::ycsb_d, dist: || KeyDist::Latest(0.99) },
+    KvScenario { name: "ycsb-f", mix: KvMix::ycsb_f, dist: || KeyDist::Zipf(0.99) },
+];
+
+fn run_kv_cell(backend: &KvBackend, scenario: &KvScenario, threads: usize, k: &Knobs) -> Row {
+    let instance = backend.make();
+    let spec = KvSpec {
+        threads,
+        key_space: KV_KEY_SPACE,
+        prefill: true,
+        mix: (scenario.mix)(),
+        dist: (scenario.dist)(),
+        scan_span: WorkloadSpec::default_scan_span(KV_KEY_SPACE),
+        duration: k.sweep,
+        warmup: k.warmup,
+        record_latency: true,
+        seed: 0x7C5B_A210 ^ (threads as u64) << 32,
+    };
+    let m = run_kv_scenario_with(instance.table.as_ref(), &spec, || {
+        if let Some(stm) = &instance.stm {
+            stm.reset_stats();
+        }
+    });
+    let stats = instance.stm.as_ref().map(|stm| stm.stats());
+    let abort_ratio = stats.as_ref().map_or(0.0, |s| s.abort_ratio());
+    let aborts_by_cause =
+        stats.as_ref().map_or([0; 4], |s| s.aborts_by_cause().map(|(_label, count)| count));
+    Row {
+        bench: format!("{}/{}", scenario.name, backend.name),
+        threads,
+        ops_per_sec: m.measurement.throughput,
+        abort_ratio,
+        p50_ns: m.measurement.latency.p50(),
+        p99_ns: m.measurement.latency.p99(),
+        p999_ns: m.measurement.latency.p999(),
+        aborts_by_cause,
+        kv: Some((m.found_ratio(), KV_KEY_SPACE)),
+    }
+}
+
 fn run_cell(backend: &Backend, scenario: &Scenario, threads: usize, k: &Knobs) -> Row {
     let space = key_space(backend.shape);
     let instance = backend.make();
@@ -157,25 +225,32 @@ fn run_cell(backend: &Backend, scenario: &Scenario, threads: usize, k: &Knobs) -
         p99_ns: m.latency.p99(),
         p999_ns: m.latency.p999(),
         aborts_by_cause,
+        kv: None,
     }
 }
 
 fn render_row(rev: &str, label: &str, r: &Row) -> String {
     let [lock, validation, cut, capacity] = r.aborts_by_cause;
+    let kv_fields =
+        r.kv.map(|(found_ratio, space)| {
+            format!(",\"found_ratio\":{found_ratio:.5},\"kv_space\":{space}")
+        })
+        .unwrap_or_default();
     format!(
         "  {{\"rev\":\"{rev}\",\"label\":\"{label}\",\"bench\":\"{}\",\"threads\":{},\
          \"ops_per_sec\":{:.1},\"abort_ratio\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
          \"aborts_lock\":{lock},\"aborts_validation\":{validation},\"aborts_cut\":{cut},\
-         \"aborts_capacity\":{capacity}}}",
+         \"aborts_capacity\":{capacity}{kv_fields}}}",
         r.bench, r.threads, r.ops_per_sec, r.abort_ratio, r.p50_ns, r.p99_ns, r.p999_ns
     )
 }
 
-/// Does `backend` match the `--backend` filter? Exact name
-/// (`tx-list`) or exact family label (`tx` / `lock` / `lockfree`) —
-/// never a substring, so `--backend lock` cannot drag in `lockfree-*`.
-fn backend_matches(backend: &Backend, filter: &str) -> bool {
-    filter.is_empty() || backend.name == filter || backend.family.label() == filter
+/// Does a backend named `name` in `family` match the `--backend`
+/// filter? Exact name (`tx-list`) or exact family label (`tx` /
+/// `lock` / `lockfree`) — never a substring, so `--backend lock`
+/// cannot drag in `lockfree-*`. Shared by both registries.
+fn matches_filter(name: &str, family: Family, filter: &str) -> bool {
+    filter.is_empty() || name == filter || family.label() == filter
 }
 
 fn main() {
@@ -199,7 +274,7 @@ fn main() {
             continue;
         }
         for backend in BACKENDS {
-            if !backend_matches(backend, &only_backend) {
+            if !matches_filter(backend.name, backend.family, &only_backend) {
                 continue;
             }
             for &threads in knobs.threads {
@@ -214,6 +289,34 @@ fn main() {
                     row.p50_ns,
                     row.p99_ns,
                     row.p999_ns
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    // The record-store (YCSB) wing of the matrix.
+    for scenario in KV_SCENARIOS {
+        if !only_scenario.is_empty() && scenario.name != only_scenario {
+            continue;
+        }
+        for backend in KV_BACKENDS {
+            if !matches_filter(backend.name, backend.family, &only_backend) {
+                continue;
+            }
+            for &threads in knobs.threads {
+                let row = run_kv_cell(backend, scenario, threads, &knobs);
+                let (found, _) = row.kv.expect("kv cell rows carry kv fields");
+                eprintln!(
+                    "  {:<32} t={:<2} {:>12.0} ops/s  abort {:.4}  p50 {:>7}ns  p99 {:>8}ns  \
+                     found {:.3}",
+                    row.bench,
+                    row.threads,
+                    row.ops_per_sec,
+                    row.abort_ratio,
+                    row.p50_ns,
+                    row.p99_ns,
+                    found
                 );
                 rows.push(row);
             }

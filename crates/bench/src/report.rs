@@ -354,12 +354,30 @@ impl RowSchema {
 
     /// Fields a row *may* carry beyond the required set. The scenarios
     /// schema grew per-cause abort counts after the first batches were
-    /// recorded; rows from before the extension stay valid.
+    /// recorded, and the kv (YCSB) family later added its read-hit
+    /// ratio and key-space columns; rows from before either extension
+    /// stay valid.
     fn optional_fields(self) -> &'static [&'static str] {
         match self {
             RowSchema::Core => &[],
+            RowSchema::Scenarios => &[
+                "aborts_lock",
+                "aborts_validation",
+                "aborts_cut",
+                "aborts_capacity",
+                "found_ratio",
+                "kv_space",
+            ],
+        }
+    }
+
+    /// Optional fields that must be integer counts when present (the
+    /// rest have their own value rules in `validate_row`).
+    fn optional_integer_fields(self) -> &'static [&'static str] {
+        match self {
+            RowSchema::Core => &[],
             RowSchema::Scenarios => {
-                &["aborts_lock", "aborts_validation", "aborts_cut", "aborts_capacity"]
+                &["aborts_lock", "aborts_validation", "aborts_cut", "aborts_capacity", "kv_space"]
             }
         }
     }
@@ -426,12 +444,19 @@ fn validate_row(row: &[(String, Json)], schema: RowSchema) -> Result<String, Str
         if !(p50 <= p99 && p99 <= p999) {
             return Err(format!("latency quantiles out of order: p50={p50} p99={p99} p999={p999}"));
         }
-        for name in schema.optional_fields() {
+        for name in schema.optional_integer_fields() {
             if field(row, name).is_some() {
                 let v = nonneg_finite(row, name)?;
                 if v.fract() != 0.0 {
                     return Err(format!("{name} must be an integer count"));
                 }
+            }
+        }
+        // The kv read-hit ratio is a fraction, not a count.
+        if field(row, "found_ratio").is_some() {
+            let v = nonneg_finite(row, "found_ratio")?;
+            if v > 1.0 {
+                return Err(format!("found_ratio must be a fraction in [0, 1], got {v}"));
             }
         }
     }
@@ -576,6 +601,35 @@ mod tests {
         // ...and the core schema accepts none of them.
         let core_bad =
             GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"aborts_lock\":1");
+        assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
+            .unwrap_err()
+            .contains("unknown"));
+    }
+
+    #[test]
+    fn kv_fields_are_accepted_and_typed() {
+        // A kv (YCSB) row carries the read-hit ratio and key space...
+        let kv_row = GOOD_SCEN.replace(
+            "\"p999_ns\":50000",
+            "\"p999_ns\":50000,\"found_ratio\":0.98765,\"kv_space\":8192",
+        );
+        let (n, _, s) = validate_trajectory(&kv_row, None).unwrap();
+        assert_eq!((n, s), (1, RowSchema::Scenarios));
+        // ...or either alone (set rows carry neither), ...
+        let ratio_only =
+            GOOD_SCEN.replace("\"p999_ns\":50000", "\"p999_ns\":50000,\"found_ratio\":1");
+        assert!(validate_trajectory(&ratio_only, None).is_ok());
+        // ...but the ratio is a fraction, ...
+        let bad = kv_row.replace("\"found_ratio\":0.98765", "\"found_ratio\":1.5");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("found_ratio"));
+        let bad = kv_row.replace("\"found_ratio\":0.98765", "\"found_ratio\":-0.1");
+        assert!(validate_trajectory(&bad, None).is_err());
+        // ...the key space is an integer count, ...
+        let bad = kv_row.replace("\"kv_space\":8192", "\"kv_space\":81.5");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("kv_space"));
+        // ...and the core schema accepts neither.
+        let core_bad =
+            GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"found_ratio\":1");
         assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
             .unwrap_err()
             .contains("unknown"));

@@ -16,10 +16,14 @@
 //!   ([`SemanticsSource::observe`]; cancelled runs report nothing).
 //! * The runtime never lets a plan weaken its own guarantees: an
 //!   attempt already upgraded to [`Semantics::Irrevocable`] stays
-//!   irrevocable, and a class that turns out to write under an injected
-//!   [`Semantics::Snapshot`] is transparently re-run under the caller's
-//!   requested semantics (the `ReadOnlyViolation` fallback) — a
-//!   misbehaving advisor can cost throughput, never safety.
+//!   irrevocable; a plan never serves semantics weaker than the
+//!   caller's request (no elastic plan for a requested-opaque class,
+//!   no narrowed elastic window) except [`Semantics::Snapshot`]'s
+//!   atomic view; and a class that turns out to write under an
+//!   injected [`Semantics::Snapshot`] is transparently re-run under
+//!   the caller's requested semantics (the `ReadOnlyViolation`
+//!   fallback) — a misbehaving advisor can cost throughput, never
+//!   safety.
 
 use crate::cm::ConflictArbiter;
 use crate::semantics::Semantics;

@@ -95,7 +95,20 @@ pub use stats::{StatsSnapshot, StmStats};
 pub use stm::{Stm, StmConfig, TxParams};
 pub use tarray::TArray;
 pub use tvar::{TVar, TxValue};
+pub use txdesc::INLINE_WRITE_WORDS;
 pub use txn::Transaction;
+
+/// True when buffered transactional writes of `T` use the descriptor's
+/// allocation-free inline payload storage. Payloads larger than
+/// [`INLINE_WRITE_WORDS`] machine words (or over-aligned ones) are
+/// boxed per write — an allocation plus an erased destructor on the
+/// commit hot path, counted in [`StatsSnapshot::boxed_writes`]. Value
+/// types meant for hot write paths should be designed to satisfy this
+/// predicate, typically by `Arc`-boxing their large part (one pointer
+/// inline; the bytes shared).
+pub const fn write_payload_fits_inline<T: TxValue>() -> bool {
+    txdesc::fits_inline::<T>()
+}
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {

@@ -34,10 +34,11 @@ struct StatShard {
     extensions: AtomicU64,
     irrevocable_upgrades: AtomicU64,
     irrevocable_commits: AtomicU64,
+    boxed_writes: AtomicU64,
 }
 
 impl StatShard {
-    fn counters(&self) -> [&AtomicU64; 11] {
+    fn counters(&self) -> [&AtomicU64; 12] {
         [
             &self.commits,
             &self.aborts_read_conflict,
@@ -50,6 +51,7 @@ impl StatShard {
             &self.extensions,
             &self.irrevocable_upgrades,
             &self.irrevocable_commits,
+            &self.boxed_writes,
         ]
     }
 }
@@ -124,13 +126,23 @@ impl StmStats {
         self.shard().irrevocable_upgrades.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one buffered write whose payload exceeded the inline
+    /// budget and took the `Box<dyn Any>` slow path (an allocation plus
+    /// an erased destructor per buffered write). A steadily growing
+    /// count on a hot path means a value type should be redesigned to
+    /// fit [`crate::INLINE_WRITE_WORDS`] — typically by `Arc`-boxing
+    /// the large part, as `polytm-kv`'s `Value` does.
+    pub(crate) fn record_boxed_write(&self) {
+        self.shard().boxed_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Aggregate all shards into one snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut out = StatsSnapshot::default();
         for shard in self.shards.iter() {
             // Zipped against counters() so the counter list lives in
             // exactly one place; a mismatch is a compile error here.
-            let dst: [&mut u64; 11] = [
+            let dst: [&mut u64; 12] = [
                 &mut out.commits,
                 &mut out.aborts_read_conflict,
                 &mut out.aborts_locked,
@@ -142,6 +154,7 @@ impl StmStats {
                 &mut out.extensions,
                 &mut out.irrevocable_upgrades,
                 &mut out.irrevocable_commits,
+                &mut out.boxed_writes,
             ];
             for (src, dst) in shard.counters().iter().zip(dst) {
                 *dst += src.load(Ordering::Relaxed);
@@ -175,6 +188,7 @@ pub struct StatsSnapshot {
     pub extensions: u64,
     pub irrevocable_upgrades: u64,
     pub irrevocable_commits: u64,
+    pub boxed_writes: u64,
 }
 
 impl StatsSnapshot {
@@ -228,6 +242,7 @@ impl StatsSnapshot {
             extensions: self.extensions - earlier.extensions,
             irrevocable_upgrades: self.irrevocable_upgrades - earlier.irrevocable_upgrades,
             irrevocable_commits: self.irrevocable_commits - earlier.irrevocable_commits,
+            boxed_writes: self.boxed_writes - earlier.boxed_writes,
         }
     }
 }
@@ -320,6 +335,18 @@ mod tests {
         assert_eq!(d.aborts_user_retry, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn boxed_writes_are_counted_and_reset() {
+        let s = StmStats::default();
+        s.record_boxed_write();
+        s.record_boxed_write();
+        assert_eq!(s.snapshot().boxed_writes, 2);
+        let d = s.snapshot().delta_since(&StatsSnapshot::default());
+        assert_eq!(d.boxed_writes, 2);
+        s.reset();
+        assert_eq!(s.snapshot().boxed_writes, 0);
     }
 
     #[test]

@@ -76,12 +76,19 @@ impl TxParams {
     /// Tag the run with a transaction class; `semantics` becomes the
     /// *requested* semantics the installed advisor may override per
     /// attempt (and the fallback when its advice proves unusable). A
-    /// plan can never weaken a requested [`Semantics::Irrevocable`],
-    /// and a requested [`Semantics::Snapshot`] keeps its atomic view —
-    /// but it may be *strengthened* to another single-critical-step
-    /// semantics, so a classed snapshot run must not rely on writes
-    /// being rejected (under a strengthened plan a write commits
-    /// instead of aborting with `ReadOnlyViolation`).
+    /// plan can never weaken the run's requested discipline: a
+    /// requested [`Semantics::Irrevocable`] stays irrevocable, a
+    /// requested [`Semantics::Snapshot`] keeps its atomic view, a
+    /// requested opaque class is never served elastic semantics, and
+    /// an elastic request never has its window narrowed. The two
+    /// moves a plan *may* make are strengthening (elastic → opaque →
+    /// irrevocable) and switching a class to [`Semantics::Snapshot`]'s
+    /// multi-versioned atomic view (a write under an injected snapshot
+    /// re-runs under the requested semantics). A classed run may
+    /// therefore be *strengthened* past snapshot, so a classed
+    /// snapshot run must not rely on writes being rejected (under a
+    /// strengthened plan a write commits instead of aborting with
+    /// `ReadOnlyViolation`).
     pub const fn with_class(mut self, class: ClassId) -> Self {
         self.class = Some(class);
         self
@@ -207,6 +214,10 @@ impl Stm {
         &self.gate
     }
 
+    pub(crate) fn raw_stats(&self) -> &StmStats {
+        &self.stats
+    }
+
     /// Current value of the global version clock.
     pub fn clock_now(&self) -> u64 {
         self.clock.now()
@@ -300,7 +311,31 @@ impl Stm {
                     semantics = if rejected || (requested == Semantics::Snapshot && !atomic_view) {
                         requested
                     } else {
-                        plan.semantics
+                        match (plan.semantics, requested) {
+                            // An elastic plan may not narrow the window
+                            // the caller asked for: the requested window
+                            // is part of the operation's correctness
+                            // argument (tower- and probe-writing
+                            // structures widen it), not a tuning knob
+                            // the advisor owns.
+                            (Semantics::Elastic { window }, Semantics::Elastic { window: req }) => {
+                                Semantics::Elastic { window: window.max(req) }
+                            }
+                            // A plan may strengthen the request, or
+                            // switch a class to Snapshot's atomic view
+                            // (backstopped by the ReadOnlyViolation
+                            // fallback below) — but never weaken the
+                            // requested discipline: an elastic plan for
+                            // a requested-opaque class would cut reads
+                            // the caller's write safety depends on.
+                            (planned, req)
+                                if planned != Semantics::Snapshot
+                                    && planned.strength() < req.strength() =>
+                            {
+                                req
+                            }
+                            (planned, _) => planned,
+                        }
                     };
                     if semantics == Semantics::Irrevocable {
                         // Plan-directed escalation is an upgrade like any

@@ -32,9 +32,20 @@ use crate::varcore::TxSlot;
 
 /// Inline storage: 3 words covers `u64`/`i64` counters, `Arc`/`Option
 /// <Arc>` links, and small value structs, i.e. the payloads of every
-/// structure in `polytm-structures`.
-const INLINE_WORDS: usize = 3;
-const INLINE_BYTES: usize = INLINE_WORDS * 8;
+/// structure in `polytm-structures`. Re-exported as
+/// [`crate::INLINE_WRITE_WORDS`] so value types can be *designed* to
+/// fit (see `polytm-kv`'s `Value`, which `Arc`-boxes large byte
+/// payloads precisely to stay under this budget).
+pub const INLINE_WRITE_WORDS: usize = 3;
+const INLINE_BYTES: usize = INLINE_WRITE_WORDS * 8;
+
+/// Does a buffered write of `T` use the descriptor's inline payload
+/// storage? Re-exported as [`crate::write_payload_fits_inline`]; the
+/// condition is the exact branch [`WritePayload::new`] takes, so a
+/// `true` here guarantees the allocation-free inline path.
+pub const fn fits_inline<T>() -> bool {
+    size_of::<T>() <= INLINE_BYTES && align_of::<T>() <= align_of::<u64>()
+}
 
 enum PayloadState {
     /// No value (entry superseded by a later eager write, or already
@@ -42,7 +53,11 @@ enum PayloadState {
     Empty,
     /// Value stored inline. `drop_fn` destroys it in place when the
     /// payload is discarded without being published.
-    Inline { data: [MaybeUninit<u64>; INLINE_WORDS], ty: TypeId, drop_fn: unsafe fn(*mut u64) },
+    Inline {
+        data: [MaybeUninit<u64>; INLINE_WRITE_WORDS],
+        ty: TypeId,
+        drop_fn: unsafe fn(*mut u64),
+    },
     /// Value too large (or over-aligned) for inline storage.
     Boxed(Box<dyn Any + Send>),
 }
@@ -64,8 +79,8 @@ impl WritePayload {
     #[inline]
     pub(crate) fn new<T: TxValue>(value: T) -> Self {
         // Const-foldable per T: exactly one branch survives codegen.
-        if size_of::<T>() <= INLINE_BYTES && align_of::<T>() <= align_of::<u64>() {
-            let mut data = [MaybeUninit::<u64>::uninit(); INLINE_WORDS];
+        if fits_inline::<T>() {
+            let mut data = [MaybeUninit::<u64>::uninit(); INLINE_WRITE_WORDS];
             // SAFETY: size/alignment checked above; `data` is writable
             // and exclusively ours.
             unsafe { std::ptr::write(data.as_mut_ptr().cast::<T>(), value) };

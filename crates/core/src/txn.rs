@@ -440,6 +440,14 @@ impl<'s> Transaction<'s> {
             self.eager_writes += 1;
             return Ok(());
         }
+        // Oversized payloads take the boxed slow path (allocation +
+        // erased destructor per buffered write); count them so a hot
+        // value type that misses the inline budget shows up in the
+        // stats instead of silently costing an allocation per write.
+        // The check is const-foldable per T: inline types pay nothing.
+        if !crate::txdesc::fits_inline::<T>() {
+            self.stm.raw_stats().record_boxed_write();
+        }
         // First write freezes the elastic window: the remaining window
         // entries become permanent read-set entries, validated at commit.
         if self.desc.writes.is_empty() {

@@ -92,22 +92,24 @@ impl SemanticsSource for FixedPlan {
 
 #[test]
 fn advisor_plans_every_attempt_and_observes_the_run() {
-    let advisor = Arc::new(FixedPlan::new(Semantics::elastic()));
+    // The plan strengthens the request (weakening is vetoed by the
+    // core — see tests/plan_guardrails.rs).
+    let advisor = Arc::new(FixedPlan::new(Semantics::Opaque));
     let stm = Stm::with_advisor(StmConfig::default(), Arc::clone(&advisor) as _);
     let v = stm.new_tvar(0i64);
-    let params = TxParams::new(Semantics::Opaque).with_class(ClassId(4));
+    let params = TxParams::new(Semantics::elastic()).with_class(ClassId(4));
     let ran_under = stm.run(params, |tx| {
         let cur = v.read(tx)?;
         v.write(tx, cur + 1)?;
         Ok(tx.semantics())
     });
-    assert_eq!(ran_under, Semantics::elastic(), "plan must override the requested semantics");
+    assert_eq!(ran_under, Semantics::Opaque, "plan must override the requested semantics");
     assert_eq!(advisor.plans.load(Ordering::Relaxed), 1);
     let obs = advisor.observed.lock().unwrap();
     assert_eq!(obs.len(), 1);
     assert_eq!(obs[0].class, ClassId(4));
-    assert_eq!(obs[0].requested, Semantics::Opaque);
-    assert_eq!(obs[0].committed_semantics, Semantics::elastic());
+    assert_eq!(obs[0].requested, Semantics::elastic());
+    assert_eq!(obs[0].committed_semantics, Semantics::Opaque);
     assert!(obs[0].wrote);
     assert_eq!(obs[0].retries, 0);
 }

@@ -1,0 +1,117 @@
+//! Guardrails on advisor plans: a `SemanticsSource` may strengthen a
+//! classed run or hand it Snapshot's atomic view, but may never weaken
+//! the discipline the caller requested — no elastic plan for a
+//! requested-opaque class, no narrowed elastic window. These are the
+//! invariants `polytm-kv` relies on when it classes its probe-writing
+//! operations (an elastic cut across an open-addressing probe chain can
+//! admit duplicate inserts, so those classes *request* opaque).
+
+use std::sync::Arc;
+
+use polytm::{
+    AttemptPlan, ClassId, RunTelemetry, Semantics, SemanticsSource, Stm, StmConfig, TxParams,
+};
+
+/// An advisor that serves one fixed semantics to every class.
+struct FixedPlan(Semantics);
+
+impl SemanticsSource for FixedPlan {
+    fn plan(&self, _class: ClassId, _retries: u32, _requested: Semantics) -> AttemptPlan {
+        AttemptPlan::semantics(self.0)
+    }
+    fn observe(&self, _telemetry: &RunTelemetry) {}
+}
+
+fn stm_with_plan(plan: Semantics) -> Stm {
+    Stm::with_advisor(StmConfig::default(), Arc::new(FixedPlan(plan)))
+}
+
+/// The semantics the first attempt of a classed run actually executes
+/// under, observed from inside the closure.
+fn served(stm: &Stm, requested: Semantics) -> Semantics {
+    stm.run(TxParams::new(requested).with_class(ClassId(0)), |tx| Ok(tx.semantics()))
+}
+
+#[test]
+fn elastic_plan_never_weakens_a_requested_opaque_class() {
+    let stm = stm_with_plan(Semantics::elastic());
+    assert_eq!(served(&stm, Semantics::Opaque), Semantics::Opaque);
+}
+
+#[test]
+fn elastic_plan_never_narrows_a_requested_window() {
+    let stm = stm_with_plan(Semantics::elastic()); // window 2
+    assert_eq!(
+        served(&stm, Semantics::Elastic { window: 8 }),
+        Semantics::Elastic { window: 8 },
+        "a structure-widened window is a correctness parameter, not advisor-owned"
+    );
+}
+
+#[test]
+fn wider_elastic_plans_are_served() {
+    let stm = stm_with_plan(Semantics::Elastic { window: 16 });
+    assert_eq!(served(&stm, Semantics::elastic()), Semantics::Elastic { window: 16 });
+}
+
+#[test]
+fn opaque_plan_strengthens_a_requested_elastic_class() {
+    let stm = stm_with_plan(Semantics::Opaque);
+    assert_eq!(served(&stm, Semantics::elastic()), Semantics::Opaque);
+}
+
+#[test]
+fn snapshot_plan_is_the_admissible_weakening_for_read_only_runs() {
+    let stm = stm_with_plan(Semantics::Snapshot);
+    assert_eq!(served(&stm, Semantics::Opaque), Semantics::Snapshot);
+    assert_eq!(served(&stm, Semantics::elastic()), Semantics::Snapshot);
+}
+
+#[test]
+fn snapshot_plan_on_a_writing_run_falls_back_to_the_request() {
+    let stm = stm_with_plan(Semantics::Snapshot);
+    let v = stm.new_tvar(0i64);
+    // The injected snapshot hits the write, aborts with
+    // ReadOnlyViolation, and the run is transparently re-run under the
+    // requested (opaque) semantics — the write must land.
+    stm.run(TxParams::new(Semantics::Opaque).with_class(ClassId(1)), |tx| {
+        let cur = v.read(tx)?;
+        v.write(tx, cur + 1)
+    });
+    assert_eq!(v.load_committed(), 1);
+}
+
+#[test]
+fn unclassed_runs_ignore_the_advisor_entirely() {
+    let stm = stm_with_plan(Semantics::Snapshot);
+    let got = stm.run(TxParams::new(Semantics::Opaque), |tx| Ok(tx.semantics()));
+    assert_eq!(got, Semantics::Opaque);
+}
+
+#[test]
+fn oversized_write_payloads_are_counted() {
+    // 5 words cannot live inline; the buffered write takes the boxed
+    // slow path and must show up in the stats.
+    assert!(!polytm::write_payload_fits_inline::<[u64; 5]>());
+    assert!(polytm::write_payload_fits_inline::<u64>());
+    assert!(polytm::write_payload_fits_inline::<[u64; polytm::INLINE_WRITE_WORDS]>());
+
+    let stm = Stm::new();
+    let big = stm.new_tvar([0u64; 5]);
+    let small = stm.new_tvar(0u64);
+    stm.run(TxParams::default(), |tx| {
+        small.write(tx, 1)?;
+        big.write(tx, [1, 2, 3, 4, 5])
+    });
+    let stats = stm.stats();
+    assert_eq!(stats.boxed_writes, 1, "exactly the oversized write is counted");
+    assert_eq!(big.load_committed(), [1, 2, 3, 4, 5]);
+    // Overwriting the same oversized location in one transaction counts
+    // each buffered write (each one allocates).
+    stm.reset_stats();
+    stm.run(TxParams::default(), |tx| {
+        big.write(tx, [9, 9, 9, 9, 9])?;
+        big.write(tx, [7, 7, 7, 7, 7])
+    });
+    assert_eq!(stm.stats().boxed_writes, 2);
+}

@@ -1,0 +1,184 @@
+//! Cross-shard transaction tests: multi-key atomicity under concurrent
+//! mutation — the property that makes the sharding a contention
+//! structure rather than a consistency boundary.
+//!
+//! Iteration counts are env-gated like the core stress suites:
+//! `POLYTM_STRESS_THREADS` (worker count) and `POLYTM_STRESS_SCALE`
+//! (percentage of the written iteration counts).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use polytm::Stm;
+use polytm_kv::{KvConfig, KvParams, KvStore, Value};
+
+fn threads() -> usize {
+    std::env::var("POLYTM_STRESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(2)
+}
+
+fn scaled(n: u64) -> u64 {
+    let pct = std::env::var("POLYTM_STRESS_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100)
+        .max(1);
+    (n * pct / 100).max(1)
+}
+
+fn store_with(shards: usize, slots: usize) -> KvStore {
+    KvStore::with_config(
+        Arc::new(Stm::new()),
+        KvConfig { shards, initial_slots: slots, params: KvParams::fixed() },
+    )
+}
+
+/// Accounts spread across every shard; concurrent transfers move money
+/// between randomly chosen accounts while snapshot scanners keep
+/// asserting conservation *mid-flight*. A torn cross-shard commit —
+/// one write visible without the other — breaks the invariant
+/// immediately.
+#[test]
+fn cross_shard_transfers_conserve_total_under_concurrency() {
+    const ACCOUNTS: u64 = 64;
+    const INITIAL: u64 = 1_000;
+    let store = store_with(16, 16);
+    for k in 0..ACCOUNTS {
+        store.put(k, Value::from_u64(INITIAL));
+    }
+    let total = ACCOUNTS * INITIAL;
+    let writers = threads();
+    let per_thread = scaled(300);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for t in 0..writers as u64 {
+            let store = store.clone();
+            s.spawn(move || {
+                let mut seed = 0x1234_5678u64.wrapping_mul(t + 1);
+                for _ in 0..per_thread {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let from = (seed >> 33) % ACCOUNTS;
+                    let to = (seed >> 13) % ACCOUNTS;
+                    if from == to {
+                        continue;
+                    }
+                    let amount = seed % 50;
+                    store.txn(|kv| {
+                        let a = kv.get(from)?.and_then(|v| v.as_u64()).expect("account exists");
+                        let b = kv.get(to)?.and_then(|v| v.as_u64()).expect("account exists");
+                        if a >= amount {
+                            kv.put(from, Value::from_u64(a - amount))?;
+                            kv.put(to, Value::from_u64(b + amount))?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+        // Concurrent snapshot scanner: the scan is one consistent cut,
+        // so the balance total must hold at every observation.
+        let scanner_store = store.clone();
+        let stop = &stop;
+        s.spawn(move || {
+            let mut observations = 0u32;
+            while !stop.load(Ordering::Relaxed) || observations == 0 {
+                let sum: u64 = scanner_store
+                    .scan_range(0, ACCOUNTS)
+                    .into_iter()
+                    .map(|(_, v)| v.as_u64().expect("balance record"))
+                    .sum();
+                assert_eq!(sum, total, "mid-flight snapshot saw a torn transfer");
+                observations += 1;
+            }
+        });
+        // Let the scanner overlap the writers for a while, then release
+        // it; the writers keep the scope open until they finish, and
+        // conservation is re-checked at quiescence below.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let final_sum: u64 =
+        store.scan_range(0, ACCOUNTS).into_iter().map(|(_, v)| v.as_u64().unwrap()).sum();
+    assert_eq!(final_sum, total, "conservation must hold at quiescence");
+    let stats = store.stm().stats();
+    assert!(stats.commits > 0);
+}
+
+/// Concurrent put/delete churn against disjoint key ranges plus a
+/// shared hot range, with concurrent growth: membership afterwards must
+/// be exactly what each thread's deterministic schedule produced.
+#[test]
+fn concurrent_churn_with_growth_preserves_membership() {
+    let store = store_with(8, 8); // tiny: forces many resizes under churn
+    let workers = threads() as u64;
+    let per_thread = scaled(400);
+    std::thread::scope(|s| {
+        for t in 0..workers {
+            let store = store.clone();
+            s.spawn(move || {
+                let base = t * 1_000_000;
+                for i in 0..per_thread {
+                    let k = base + i;
+                    store.put(k, Value::from_u64(i));
+                    if i % 3 == 0 {
+                        assert_eq!(store.delete(k), Some(Value::from_u64(i)), "key {k}");
+                    }
+                }
+            });
+        }
+    });
+    for t in 0..workers {
+        let base = t * 1_000_000;
+        for i in 0..per_thread {
+            let k = base + i;
+            if i % 3 == 0 {
+                assert!(!store.contains(k), "deleted key {k} resurfaced");
+            } else {
+                assert_eq!(store.get(k), Some(Value::from_u64(i)), "key {k} lost");
+            }
+        }
+    }
+    let expected: u64 = workers * (per_thread - per_thread.div_ceil(3));
+    assert_eq!(store.len() as u64, expected);
+}
+
+/// Batched ingest racing point mutators: each batch is one transaction,
+/// so a concurrent snapshot scan sees each batch entirely or not at
+/// all.
+#[test]
+fn multi_put_batches_are_atomic_against_scans() {
+    let store = store_with(8, 16);
+    const BATCH: u64 = 50;
+    let batches = scaled(40);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let writer = store.clone();
+        s.spawn(move || {
+            for b in 0..batches {
+                // Batch b fills keys [b*BATCH, (b+1)*BATCH) with value b.
+                let entries: Vec<(u64, Value)> =
+                    (0..BATCH).map(|i| (b * BATCH + i, Value::from_u64(b))).collect();
+                writer.multi_put(&entries);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let scanner = store.clone();
+        s.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let n = scanner.range_count(0, batches * BATCH);
+                assert_eq!(
+                    n as u64 % BATCH,
+                    0,
+                    "scan observed a partially applied batch ({n} records)"
+                );
+            }
+        });
+    });
+    assert_eq!(store.len() as u64, batches * BATCH);
+}

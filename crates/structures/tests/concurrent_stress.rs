@@ -1,0 +1,276 @@
+//! Concurrency stress tests for the ADTs that previously had none:
+//! [`TxMap`] (the ordered skip-list map) and [`TxQueue`] (the all-opaque
+//! two-stack FIFO). Invariants that must hold under arbitrary
+//! interleavings: per-key linearizability, snapshot-consistent exports,
+//! cross-structure atomic composition, and FIFO conservation.
+//!
+//! Iteration counts are env-gated like the core stress suites:
+//! `POLYTM_STRESS_THREADS` (worker count) and `POLYTM_STRESS_SCALE`
+//! (percentage of the written iteration counts).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use polytm::Stm;
+use polytm_structures::{TxMap, TxQueue};
+
+fn threads() -> usize {
+    std::env::var("POLYTM_STRESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(2)
+}
+
+fn scaled(n: u64) -> u64 {
+    let pct = std::env::var("POLYTM_STRESS_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100)
+        .max(1);
+    (n * pct / 100).max(1)
+}
+
+#[test]
+fn txmap_concurrent_counters_sum_exactly() {
+    const KEYS: i64 = 16;
+    let map: TxMap<u64> = TxMap::new(Arc::new(Stm::new()));
+    for k in 0..KEYS {
+        map.insert(k, 0);
+    }
+    let workers = threads();
+    let per_thread = scaled(500);
+    std::thread::scope(|s| {
+        for t in 0..workers as u64 {
+            let map = map.clone();
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    map.update(((t + i) % KEYS as u64) as i64, |v| v + 1);
+                }
+            });
+        }
+    });
+    let total: u64 = map.entries_snapshot().into_iter().map(|(_, v)| v).sum();
+    assert_eq!(total, workers as u64 * per_thread, "lost or duplicated updates");
+}
+
+#[test]
+fn txmap_disjoint_key_churn_preserves_membership() {
+    let map: TxMap<u64> = TxMap::new(Arc::new(Stm::new()));
+    let workers = threads() as u64;
+    let per_thread = scaled(400);
+    std::thread::scope(|s| {
+        for t in 0..workers {
+            let map = map.clone();
+            s.spawn(move || {
+                let base = (t * 1_000_000) as i64;
+                for i in 0..per_thread as i64 {
+                    let k = base + i;
+                    assert_eq!(map.insert(k, i as u64), None, "key {k}");
+                    if i % 3 == 0 {
+                        assert_eq!(map.remove(k), Some(i as u64), "key {k}");
+                    } else if i % 3 == 1 {
+                        assert!(map.update(k, |v| v * 2), "key {k}");
+                    }
+                }
+            });
+        }
+    });
+    for t in 0..workers {
+        let base = (t * 1_000_000) as i64;
+        for i in 0..per_thread as i64 {
+            let k = base + i;
+            match i % 3 {
+                0 => assert_eq!(map.get(k), None, "removed key {k} resurfaced"),
+                1 => assert_eq!(map.get(k), Some(i as u64 * 2), "key {k}"),
+                _ => assert_eq!(map.get(k), Some(i as u64), "key {k}"),
+            }
+        }
+    }
+    // The ordered export is sorted and complete.
+    let entries = map.entries_snapshot();
+    assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "export must be sorted unique");
+    assert_eq!(entries.len(), map.len());
+}
+
+#[test]
+fn txmap_snapshot_export_is_a_consistent_cut() {
+    // Writers keep a fixed-sum invariant across two keys; every
+    // concurrent snapshot export must observe the invariant intact.
+    const SUM: u64 = 1_000;
+    let map: TxMap<u64> = TxMap::new(Arc::new(Stm::new()));
+    map.insert(1, SUM);
+    map.insert(2, 0);
+    let stop = AtomicBool::new(false);
+    let rounds = scaled(300);
+    std::thread::scope(|s| {
+        let stop_ref = &stop;
+        let writer = map.clone();
+        s.spawn(move || {
+            let stm = Arc::clone(writer.stm());
+            for i in 0..rounds {
+                let delta = (i % 50) + 1;
+                stm.run(polytm::TxParams::default(), |tx| {
+                    let a = writer.get_in(tx, 1)?.expect("key 1");
+                    let b = writer.get_in(tx, 2)?.expect("key 2");
+                    if a >= delta {
+                        writer.insert_in(tx, 1, a - delta)?;
+                        writer.insert_in(tx, 2, b + delta)?;
+                    }
+                    Ok(())
+                });
+            }
+            stop_ref.store(true, Ordering::Relaxed);
+        });
+        let reader = map.clone();
+        s.spawn(move || {
+            let mut observations = 0u32;
+            while !stop_ref.load(Ordering::Relaxed) || observations == 0 {
+                let entries = reader.entries_snapshot();
+                let sum: u64 = entries.iter().map(|&(_, v)| v).sum();
+                assert_eq!(sum, SUM, "snapshot export saw a torn transfer: {entries:?}");
+                observations += 1;
+            }
+        });
+    });
+}
+
+#[test]
+fn txqueue_many_producers_many_consumers_conserve_items() {
+    use std::sync::atomic::AtomicU64;
+    let q: TxQueue<u64> = TxQueue::new(Arc::new(Stm::new()));
+    let producers = threads() / 2 + 1;
+    let consumers = threads() / 2 + 1;
+    let per_producer = scaled(300);
+    let total = producers as u64 * per_producer;
+    let consumed = std::sync::Mutex::new(Vec::new());
+    // Dequeues so far, across consumers: once it reaches `total`, the
+    // queue is drained for good (everything enqueued was consumed), so
+    // consumers can exit without a producers-done handshake.
+    let dequeued = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..producers as u64 {
+            let q = q.clone();
+            s.spawn(move || {
+                for i in 0..per_producer {
+                    q.enqueue(t * 1_000_000 + i);
+                }
+            });
+        }
+        for _ in 0..consumers {
+            let q = q.clone();
+            let consumed = &consumed;
+            let dequeued = &dequeued;
+            s.spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match q.dequeue() {
+                        Some(v) => {
+                            got.push(v);
+                            dequeued.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None if dequeued.load(Ordering::Relaxed) >= total => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                consumed.lock().unwrap().extend(got);
+            });
+        }
+    });
+    let mut all = consumed.into_inner().unwrap();
+    assert_eq!(all.len() as u64, total, "every item consumed exactly once");
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len() as u64, total, "no duplicates");
+    assert!(q.is_empty());
+}
+
+#[test]
+fn txqueue_per_producer_fifo_order_holds_under_concurrency() {
+    let q: TxQueue<u64> = TxQueue::new(Arc::new(Stm::new()));
+    let producers = threads().min(4) as u64;
+    let per_producer = scaled(250);
+    std::thread::scope(|s| {
+        for t in 0..producers {
+            let q = q.clone();
+            s.spawn(move || {
+                for i in 0..per_producer {
+                    q.enqueue(t * 1_000_000 + i);
+                }
+            });
+        }
+    });
+    // Single consumer after quiescence: each producer's items must come
+    // out in that producer's order (FIFO is per-producer under
+    // concurrent enqueues).
+    let mut last_of = vec![None::<u64>; producers as usize];
+    while let Some(v) = q.dequeue() {
+        let producer = (v / 1_000_000) as usize;
+        let seq = v % 1_000_000;
+        if let Some(prev) = last_of[producer] {
+            assert!(seq > prev, "producer {producer} reordered: {seq} after {prev}");
+        }
+        last_of[producer] = Some(seq);
+    }
+    for (producer, last) in last_of.iter().enumerate() {
+        assert_eq!(last.unwrap(), per_producer - 1, "producer {producer} items missing");
+    }
+}
+
+#[test]
+fn txmap_and_txqueue_compose_atomically() {
+    // A work-queue pattern: move an entry from the map into the queue
+    // in one transaction; concurrently drain the queue back into the
+    // map. No entry may ever be in both or neither (conservation).
+    let stm = Arc::new(Stm::new());
+    let map: TxMap<u64> = TxMap::new(Arc::clone(&stm));
+    let q: TxQueue<i64> = TxQueue::new(Arc::clone(&stm));
+    const ITEMS: i64 = 32;
+    for k in 0..ITEMS {
+        map.insert(k, 1);
+    }
+    let rounds = scaled(200);
+    std::thread::scope(|s| {
+        // Mover: map -> queue.
+        {
+            let (map, q, stm) = (map.clone(), q.clone(), Arc::clone(&stm));
+            s.spawn(move || {
+                let mut seed = 99u64;
+                for _ in 0..rounds {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let k = ((seed >> 33) % ITEMS as u64) as i64;
+                    stm.run(polytm::TxParams::default(), |tx| {
+                        if map.remove_in(tx, k)?.is_some() {
+                            q.enqueue_in(tx, k)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+        // Drainer: queue -> map.
+        {
+            let (map, q, stm) = (map.clone(), q.clone(), Arc::clone(&stm));
+            s.spawn(move || {
+                for _ in 0..rounds {
+                    stm.run(polytm::TxParams::default(), |tx| {
+                        if let Some(k) = q.dequeue_in(tx)? {
+                            map.insert_in(tx, k, 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    // Quiescent conservation: everything is somewhere, exactly once.
+    let mut drained = Vec::new();
+    while let Some(k) = q.dequeue() {
+        drained.push(k);
+    }
+    let in_map: Vec<i64> = map.entries_snapshot().into_iter().map(|(k, _)| k).collect();
+    let mut all: Vec<i64> = in_map.into_iter().chain(drained).collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), ITEMS as usize, "items lost or duplicated: {all:?}");
+}

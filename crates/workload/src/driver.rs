@@ -185,98 +185,157 @@ pub fn run_scenario_with<S: RangeSet + ?Sized>(
             set.insert(k);
         }
     }
+    let (measurement, ()) = run_timed(
+        spec.threads,
+        spec.warmup,
+        spec.duration,
+        spec.record_latency,
+        on_measure_start,
+        |t| {
+            let mut keys = KeyStream::new(spec.dist, spec.key_space, spec.seed).for_thread(t);
+            let mut ops_rng = SplitMix64::for_thread(spec.seed ^ 0xDEAD_BEEF, t);
+            // O(1) per draw; phase position advances with this
+            // thread's own op count, deterministically.
+            let mut mix = spec.mix.cursor();
+            let mut cur_phase = 0usize;
+            move |timed: bool| {
+                let key = keys.next_key();
+                // Phase of the op about to be drawn; notify the
+                // backend on boundaries (constant schedules never
+                // leave phase 0, so this is one predictable compare).
+                let phase = mix.phase();
+                if phase != cur_phase {
+                    cur_phase = phase;
+                    set.note_phase(phase);
+                }
+                let op = mix.next_op(&mut ops_rng);
+                // Latency covers the set operation only, not the
+                // deterministic key/op draws above (the boundary every
+                // recorded trajectory row was measured with).
+                let t0 = timed.then(Instant::now);
+                match op {
+                    OpKind::Contains => {
+                        std::hint::black_box(set.contains(key));
+                    }
+                    OpKind::Insert => {
+                        std::hint::black_box(set.insert(key));
+                    }
+                    OpKind::Remove => {
+                        std::hint::black_box(set.remove(key));
+                    }
+                    OpKind::RangeScan => {
+                        let hi = key.saturating_add(spec.scan_span).min(spec.key_space);
+                        std::hint::black_box(set.range_count(key, hi));
+                    }
+                }
+                ((), t0.map(elapsed_ns))
+            }
+        },
+        |(), ()| {},
+    );
+    measurement
+}
+
+/// Saturating nanoseconds since `t0` (the histogram sample form).
+pub(crate) fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// The timed-measurement core shared by the set driver above and the
+/// record-store driver in [`crate::kv`]: `threads` workers each run a
+/// per-thread step closure (built by `make_step`, which owns the
+/// thread's deterministic streams) until the stop flag. Each step is
+/// told whether to time itself (`true` only inside the measured window
+/// with latency recording on — the step picks its own timing boundary
+/// around the measured operation and returns the sample). Operations
+/// are counted — and each step's tally of type `T` folded — only
+/// inside the measured window (warmup work is discarded by resetting
+/// on window entry); latency samples go into per-thread histograms
+/// merged at join. The window-discipline subtleties live here, once:
+/// the window flag is sampled *before* the step so an op straddling
+/// the window open is attributed consistently with its latency sample,
+/// and `on_measure_start` fires after the flag flips but before the
+/// window clock starts.
+pub(crate) fn run_timed<T, S>(
+    threads: usize,
+    warmup: Duration,
+    duration: Duration,
+    record_latency: bool,
+    on_measure_start: impl Fn() + Sync,
+    make_step: impl Fn(usize) -> S + Sync,
+    fold: impl Fn(&mut T, T) + Sync,
+) -> (Measurement, T)
+where
+    // Generic (not boxed) step: the per-op call monomorphizes and
+    // inlines, so the measured hot loop is the same machine code shape
+    // as the pre-extraction drivers — trajectory rows stay comparable.
+    S: FnMut(bool) -> (T, Option<u64>),
+    T: Default + Send,
+{
     let stop = AtomicBool::new(false);
     let measuring = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
-    let merged = Mutex::new(LatencyHistogram::new());
+    let merged_hist = Mutex::new(LatencyHistogram::new());
+    let merged_tally = Mutex::new(T::default());
 
     let elapsed = std::thread::scope(|s| {
-        for t in 0..spec.threads {
+        for t in 0..threads {
             let stop = &stop;
             let measuring = &measuring;
             let total_ops = &total_ops;
-            let merged = &merged;
-            let spec_ref = spec;
-            let set = &set;
+            let merged_hist = &merged_hist;
+            let merged_tally = &merged_tally;
+            let make_step = &make_step;
+            let fold = &fold;
             s.spawn(move || {
-                let mut keys =
-                    KeyStream::new(spec_ref.dist, spec_ref.key_space, spec_ref.seed).for_thread(t);
-                let mut ops_rng = SplitMix64::for_thread(spec_ref.seed ^ 0xDEAD_BEEF, t);
-                // O(1) per draw; phase position advances with this
-                // thread's own op count, deterministically.
-                let mut mix = spec_ref.mix.cursor();
+                let mut step = make_step(t);
                 let mut hist = LatencyHistogram::new();
                 let mut local_ops = 0u64;
+                let mut tally = T::default();
                 let mut counted = false;
-                let mut cur_phase = 0usize;
                 while !stop.load(Ordering::Relaxed) {
-                    let key = keys.next_key();
-                    // Phase of the op about to be drawn; notify the
-                    // backend on boundaries (constant schedules never
-                    // leave phase 0, so this is one predictable compare).
-                    let phase = mix.phase();
-                    if phase != cur_phase {
-                        cur_phase = phase;
-                        set.note_phase(phase);
-                    }
-                    let op = mix.next_op(&mut ops_rng);
                     let in_window = measuring.load(Ordering::Relaxed);
-                    let t0 = if in_window && spec_ref.record_latency {
-                        Some(Instant::now())
-                    } else {
-                        None
-                    };
-                    match op {
-                        OpKind::Contains => {
-                            std::hint::black_box(set.contains(key));
-                        }
-                        OpKind::Insert => {
-                            std::hint::black_box(set.insert(key));
-                        }
-                        OpKind::Remove => {
-                            std::hint::black_box(set.remove(key));
-                        }
-                        OpKind::RangeScan => {
-                            let hi = key.saturating_add(spec_ref.scan_span).min(spec_ref.key_space);
-                            std::hint::black_box(set.range_count(key, hi));
-                        }
-                    }
-                    if let Some(t0) = t0 {
-                        hist.record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    let (delta, sample_ns) = step(in_window && record_latency);
+                    if let Some(ns) = sample_ns {
+                        hist.record(ns);
                     }
                     if in_window {
                         if !counted {
                             // Entering the measured window: reset.
                             counted = true;
                             local_ops = 0;
+                            tally = T::default();
                         }
                         local_ops += 1;
+                        fold(&mut tally, delta);
                     }
                 }
                 if counted {
                     total_ops.fetch_add(local_ops, Ordering::Relaxed);
+                    fold(&mut merged_tally.lock().expect("tally mutex poisoned"), tally);
                 }
                 if hist.count() > 0 {
-                    merged.lock().expect("histogram mutex poisoned").merge(&hist);
+                    merged_hist.lock().expect("histogram mutex poisoned").merge(&hist);
                 }
             });
         }
         // Warmup, then measure. The measured window is what actually
         // elapsed between flipping `measuring` on and `stop` — sleep is
         // allowed to overshoot, and the workers kept counting throughout.
-        std::thread::sleep(spec.warmup);
+        std::thread::sleep(warmup);
         measuring.store(true, Ordering::Relaxed);
         on_measure_start();
         let start = Instant::now();
-        std::thread::sleep(spec.duration);
+        std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
         start.elapsed()
         // Threads join at scope end; ops counted only inside the window.
     });
 
     let ops = total_ops.load(Ordering::Relaxed);
-    let latency = merged.into_inner().expect("histogram mutex poisoned");
-    Measurement { ops, elapsed, throughput: ops as f64 / elapsed.as_secs_f64(), latency }
+    let latency = merged_hist.into_inner().expect("histogram mutex poisoned");
+    let tally = merged_tally.into_inner().expect("tally mutex poisoned");
+    (Measurement { ops, elapsed, throughput: ops as f64 / elapsed.as_secs_f64(), latency }, tally)
 }
 
 #[cfg(test)]

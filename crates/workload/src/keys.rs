@@ -21,6 +21,15 @@ pub enum KeyDist {
         /// and no larger than the key space.
         hot_keys: u64,
     },
+    /// YCSB's "latest" distribution: reads skew toward the most
+    /// recently inserted keys. The stream maintains a *frontier* —
+    /// initially `space`, advanced by [`KeyStream::next_insert_key`] —
+    /// and reads draw `frontier - 1 - offset`, where `offset` is
+    /// Zipf(`s`)-distributed over a recency window of `space` keys
+    /// (clamped to key 0 when the offset reaches past the frontier).
+    /// Insert-heavy workloads thus keep shifting the read mass onto the
+    /// growing tail — YCSB-D's access pattern.
+    Latest(f64),
 }
 
 /// A deterministic stream of keys.
@@ -42,6 +51,18 @@ enum Dist {
         hot_fraction: f64,
         hot_keys: u64,
     },
+    /// Recency-skewed draws behind a growing insert frontier; `cdf` is
+    /// the Zipf inverse-CDF over recency *offsets* `0..space`.
+    Latest {
+        cdf: Vec<f64>,
+        /// One past the newest key this stream knows exists. Starts at
+        /// the key space (the prefilled population) and advances with
+        /// every [`KeyStream::next_insert_key`]. Per-stream state: two
+        /// threads may insert the same key (an upsert on a record
+        /// store), but every key below a stream's frontier exists, so
+        /// recency-skewed reads stay dense.
+        frontier: u64,
+    },
 }
 
 /// Inverse-CDF lookup: the first rank whose cumulative weight is at
@@ -55,6 +76,20 @@ fn zipf_rank(cdf: &[f64], u: f64) -> u64 {
     }
 }
 
+/// Normalized Zipf(`s`) cumulative weights over `n` ranks.
+fn zipf_cdf(n: u64, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n as usize);
+    let mut total = 0.0f64;
+    for k in 1..=n {
+        total += 1.0 / (k as f64).powf(s);
+        cdf.push(total);
+    }
+    for w in &mut cdf {
+        *w /= total;
+    }
+    cdf
+}
+
 impl KeyStream {
     /// A stream drawing from `[0, space)` with the given distribution.
     /// Zipf precomputes its CDF (O(space)); keep the key space ≤ ~1e6.
@@ -62,18 +97,8 @@ impl KeyStream {
         assert!(space > 0);
         let dist = match dist {
             KeyDist::Uniform => Dist::Uniform,
-            KeyDist::Zipf(s) => {
-                let mut cdf = Vec::with_capacity(space as usize);
-                let mut total = 0.0f64;
-                for k in 1..=space {
-                    total += 1.0 / (k as f64).powf(s);
-                    cdf.push(total);
-                }
-                for w in &mut cdf {
-                    *w /= total;
-                }
-                Dist::Zipf { cdf }
-            }
+            KeyDist::Zipf(s) => Dist::Zipf { cdf: zipf_cdf(space, s) },
+            KeyDist::Latest(s) => Dist::Latest { cdf: zipf_cdf(space, s), frontier: space },
             KeyDist::Hotspot { hot_fraction, hot_keys } => {
                 assert!(
                     (0.0..=1.0).contains(&hot_fraction),
@@ -96,7 +121,10 @@ impl KeyStream {
         s
     }
 
-    /// Next key in `[0, space)`.
+    /// Next key — in `[0, space)` for the stationary distributions, in
+    /// `[0, frontier)` for [`KeyDist::Latest`] (recency-skewed: the
+    /// newest keys carry the most mass, offsets reaching past the
+    /// frontier clamp to key 0).
     pub fn next_key(&mut self) -> u64 {
         match &self.dist {
             Dist::Uniform => self.rng.next_below(self.space),
@@ -108,6 +136,34 @@ impl KeyStream {
                     self.rng.next_below(self.space)
                 }
             }
+            Dist::Latest { cdf, frontier } => {
+                let offset = zipf_rank(cdf, self.rng.next_f64());
+                frontier.saturating_sub(1 + offset)
+            }
+        }
+    }
+
+    /// Key for an *insert* operation. Under [`KeyDist::Latest`] this is
+    /// the frontier key (the stream then advances, so subsequent reads
+    /// skew toward it); under every other distribution it is a plain
+    /// [`KeyStream::next_key`] draw.
+    pub fn next_insert_key(&mut self) -> u64 {
+        match &mut self.dist {
+            Dist::Latest { frontier, .. } => {
+                let key = *frontier;
+                *frontier += 1;
+                key
+            }
+            _ => self.next_key(),
+        }
+    }
+
+    /// One past the newest key this stream knows exists: the insert
+    /// frontier for [`KeyDist::Latest`], the key-space bound otherwise.
+    pub fn frontier(&self) -> u64 {
+        match &self.dist {
+            Dist::Latest { frontier, .. } => *frontier,
+            _ => self.space,
         }
     }
 
@@ -196,6 +252,91 @@ mod tests {
     #[should_panic]
     fn hotspot_rejects_oversized_hot_set() {
         KeyStream::new(KeyDist::Hotspot { hot_fraction: 0.5, hot_keys: 100 }, 10, 1);
+    }
+
+    #[test]
+    fn latest_reads_skew_to_the_frontier() {
+        let mut s = KeyStream::new(KeyDist::Latest(0.99), 1000, 3);
+        const N: u32 = 10_000;
+        let mut near = 0u32;
+        for _ in 0..N {
+            // Top decile of the recency window (keys 900..1000).
+            if s.next_key() >= 900 {
+                near += 1;
+            }
+        }
+        // Zipf(0.99) over 1000 offsets puts ~2/3 of the mass on the
+        // first 100 offsets; uniform would give 10%.
+        assert!(near > N / 2, "latest skew too weak: {near}/{N} draws in the newest decile");
+    }
+
+    #[test]
+    fn latest_frontier_grows_with_inserts_and_pulls_reads_along() {
+        let mut s = KeyStream::new(KeyDist::Latest(1.0), 64, 4);
+        assert_eq!(s.frontier(), 64, "frontier starts at the prefilled population");
+        // Inserts hand out consecutive fresh keys...
+        for i in 0..32 {
+            assert_eq!(s.next_insert_key(), 64 + i);
+        }
+        assert_eq!(s.frontier(), 96);
+        // ...and every read stays below the advanced frontier, with the
+        // newly inserted tail now carrying read mass.
+        let mut tail_hits = 0u32;
+        for _ in 0..5_000 {
+            let k = s.next_key();
+            assert!(k < 96, "read key {k} beyond the frontier");
+            if k >= 64 {
+                tail_hits += 1;
+            }
+        }
+        assert!(tail_hits > 1_000, "inserted tail must attract reads: {tail_hits}");
+    }
+
+    #[test]
+    fn latest_offsets_past_the_frontier_clamp_to_key_zero() {
+        // A frontier of 1 with a recency window of 8: every non-zero
+        // offset reaches past the beginning and must clamp to key 0,
+        // never wrap.
+        let mut s = KeyStream::new(KeyDist::Latest(0.01), 8, 5);
+        // Shrink is impossible (frontier only grows), so emulate the
+        // smallest case: space 1.
+        let mut tiny = KeyStream::new(KeyDist::Latest(0.5), 1, 6);
+        for _ in 0..1_000 {
+            assert_eq!(tiny.next_key(), 0);
+            assert!(s.next_key() < 8);
+        }
+    }
+
+    #[test]
+    fn latest_streams_are_deterministic_across_equal_seeds() {
+        let mut a = KeyStream::new(KeyDist::Latest(0.9), 128, 7);
+        let mut b = KeyStream::new(KeyDist::Latest(0.9), 128, 7);
+        for i in 0..500 {
+            // Interleave reads and inserts the same way on both sides.
+            if i % 10 == 0 {
+                assert_eq!(a.next_insert_key(), b.next_insert_key());
+            } else {
+                assert_eq!(a.next_key(), b.next_key());
+            }
+        }
+        // Different seeds diverge on the read stream (the insert stream
+        // is deliberately sequential).
+        let mut c = KeyStream::new(KeyDist::Latest(0.9), 128, 8);
+        let mut d = KeyStream::new(KeyDist::Latest(0.9), 128, 9);
+        let diverged = (0..100).any(|_| c.next_key() != d.next_key());
+        assert!(diverged, "distinct seeds must yield distinct read streams");
+    }
+
+    #[test]
+    fn non_latest_insert_keys_fall_back_to_plain_draws() {
+        let mut s = KeyStream::new(KeyDist::Uniform, 16, 2);
+        let mut t = KeyStream::new(KeyDist::Uniform, 16, 2);
+        for _ in 0..100 {
+            let k = s.next_insert_key();
+            assert_eq!(k, t.next_key());
+            assert!(k < 16);
+        }
+        assert_eq!(s.frontier(), 16, "stationary distributions have a fixed frontier");
     }
 
     #[test]

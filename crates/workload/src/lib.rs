@@ -14,6 +14,9 @@
 //! * [`driver`] — the [`driver::ConcurrentSet`] / [`driver::RangeSet`]
 //!   abstractions plus a multi-threaded timed driver with warmup,
 //!   per-thread accounting and optional per-op latency histograms;
+//! * [`kv`] — the record-store (YCSB-style) counterpart: the
+//!   [`kv::KvTable`] abstraction, [`kv::KvMix`] operation mixes with
+//!   the YCSB A–F presets, and a timed driver with read-hit accounting;
 //! * [`hist`] — a mergeable log-bucketed latency histogram
 //!   (p50/p95/p99/p999);
 //! * [`table`] — fixed-width ASCII table and CSV emitters for the
@@ -25,6 +28,7 @@
 pub mod driver;
 pub mod hist;
 pub mod keys;
+pub mod kv;
 pub mod mix;
 pub mod rng;
 pub mod table;
@@ -35,6 +39,7 @@ pub use driver::{
 };
 pub use hist::LatencyHistogram;
 pub use keys::{KeyDist, KeyStream};
+pub use kv::{run_kv_scenario, run_kv_scenario_with, KvMeasurement, KvMix, KvOp, KvSpec, KvTable};
 pub use mix::{MixCursor, MixPhase, MixSchedule, OpKind, OpMix};
 pub use rng::SplitMix64;
 pub use table::Table;

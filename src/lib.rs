@@ -18,6 +18,9 @@
 //! * [`structures`] (crate `polytm-structures`) — transactional ADTs with
 //!   per-operation semantics (list, hash set with transactional resize,
 //!   skip list, counter, queue);
+//! * [`kv`] (crate `polytm-kv`) — a sharded transactional key-value
+//!   store: multi-key cross-shard transactions, snapshot range/prefix
+//!   scans, CAS, batched ingest — the YCSB-style serving workload;
 //! * [`workload`] (crate `polytm-workload`) — deterministic workload
 //!   generation and the measurement driver;
 //! * [`adaptive`] (crate `polytm-adaptive`) — the adaptive polymorphism
@@ -43,6 +46,7 @@
 
 pub use polytm as stm;
 pub use polytm_adaptive as adaptive;
+pub use polytm_kv as kv;
 pub use polytm_lockfree as lockfree;
 pub use polytm_locks as locks;
 pub use polytm_schedule as schedule;
@@ -56,6 +60,7 @@ pub mod prelude {
         TxResult,
     };
     pub use polytm_adaptive::Advisor;
+    pub use polytm_kv::{KvStore, Value};
     pub use polytm_schedule::{accepts, figure1_interleaving, figure1_program, Synchronization};
     pub use polytm_structures::{TxCounter, TxHashSet, TxList, TxQueue, TxSkipList};
 }
