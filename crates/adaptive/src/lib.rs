@@ -255,6 +255,7 @@ mod tests {
             aborts_validation: 0,
             aborts_cut: 0,
             aborts_capacity: 0,
+            aborts_unavailable: 0,
             aborts_other: 0,
             reads,
             writes: 0,

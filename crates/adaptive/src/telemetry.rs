@@ -86,7 +86,11 @@ impl ClassTable {
             (C_AB_LOCK, t.aborts_lock),
             (C_AB_VALIDATION, t.aborts_validation),
             (C_AB_CUT, t.aborts_cut),
-            (C_AB_CAPACITY, t.aborts_capacity),
+            // Registry-capacity and history-unavailable aborts both mean
+            // "this class's snapshot bounds are starving", which is the
+            // one thing the controller's capacity signal exists to
+            // detect — fold them into one bucket.
+            (C_AB_CAPACITY, t.aborts_capacity + t.aborts_unavailable),
             (C_AB_OTHER, t.aborts_other),
         ] {
             if n > 0 {
@@ -218,6 +222,7 @@ mod tests {
             aborts_validation: 1,
             aborts_cut: 0,
             aborts_capacity: 0,
+            aborts_unavailable: 0,
             aborts_other: 0,
             reads: 10,
             writes: 1,

@@ -32,6 +32,7 @@ fn telemetry_strategy() -> impl Strategy<Value = RunTelemetry> {
                     aborts_validation,
                     aborts_cut: 0,
                     aborts_capacity: 0,
+                    aborts_unavailable: 0,
                     aborts_other: 0,
                     reads,
                     writes,

@@ -2,7 +2,7 @@
 //! E4/E6/E9 workloads plus single-thread op-latency microbenches, written
 //! as machine-readable rows to `BENCH_core.json`.
 //!
-//! Every row is `{rev, label, bench, threads, ops_per_sec, abort_ratio}`;
+//! Every row is `{rev, label, bench, threads, cores, ops_per_sec, abort_ratio}`;
 //! the file is a JSON array with one row per line, so successive runs
 //! (e.g. a "before" and an "after" of a perf PR) append rows and stay
 //! trivially diffable. This file is the perf trajectory every later
@@ -263,10 +263,10 @@ fn e9_rows(k: &Knobs, rows: &mut Vec<Row>) {
     }
 }
 
-fn render_row(rev: &str, label: &str, r: &Row) -> String {
+fn render_row(rev: &str, label: &str, cores: usize, r: &Row) -> String {
     format!(
         "  {{\"rev\":\"{rev}\",\"label\":\"{label}\",\"bench\":\"{}\",\"threads\":{},\
-         \"ops_per_sec\":{:.1},\"abort_ratio\":{:.5}}}",
+         \"cores\":{cores},\"ops_per_sec\":{:.1},\"abort_ratio\":{:.5}}}",
         r.bench, r.threads, r.ops_per_sec, r.abort_ratio
     )
 }
@@ -276,8 +276,9 @@ fn main() {
 
     let knobs = Knobs::new(cli.quick);
     let rev = git_rev();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
-        "perfsuite: rev {rev}, label {:?}, mode {}, out {}",
+        "perfsuite: rev {rev}, label {:?}, mode {}, cores {cores}, out {}",
         cli.label,
         if cli.quick { "quick" } else { "full" },
         cli.out
@@ -295,7 +296,7 @@ fn main() {
             r.bench, r.threads, r.ops_per_sec, r.abort_ratio
         );
     }
-    let lines: Vec<String> = rows.iter().map(|r| render_row(&rev, &cli.label, r)).collect();
+    let lines: Vec<String> = rows.iter().map(|r| render_row(&rev, &cli.label, cores, r)).collect();
     append_rows(&cli.out, &lines, cli.fresh);
     eprintln!("perfsuite: wrote {} rows to {}", lines.len(), cli.out);
 }

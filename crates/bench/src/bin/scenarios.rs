@@ -2,38 +2,56 @@
 //! lock-based, lock-free) × every workload scenario × a thread sweep,
 //! reporting throughput, latency quantiles and (for tx backends) abort
 //! ratios as machine-readable rows in `BENCH_scenarios.json`. The
-//! matrix has two wings: the set-shaped scenarios over `BACKENDS`, and
-//! the YCSB-style record-store family (`ycsb-*`) over `KV_BACKENDS`.
+//! matrix has three wings: the set-shaped scenarios over `BACKENDS`,
+//! the YCSB-style record-store family (`ycsb-*`) over `KV_BACKENDS`,
+//! and the HTAP family (`htap`) — long analytical scans concurrent
+//! with YCSB-A-style writers — over both registries.
 //!
 //! ```text
 //! cargo run --release -p polytm-bench --bin scenarios -- --label after
 //! cargo run --release -p polytm-bench --bin scenarios -- --quick --out /tmp/smoke.json
-//! cargo run --release -p polytm-bench --bin scenarios -- --scenario ycsb-a --backend kv-sharded
+//! cargo run --release -p polytm-bench --bin scenarios -- --scenario htap --backend kv-sharded
 //! ```
 //!
 //! Rows share `BENCH_core.json`'s shape, extended with latency
-//! quantiles and per-cause abort counts over the measured window; kv
-//! rows additionally carry their read-hit ratio and key space:
+//! quantiles, per-cause abort counts over the measured window and the
+//! runner's core count; kv rows additionally carry their read-hit
+//! ratio and key space; htap rows carry scan-only latency quantiles
+//! and the number of scan-starving aborts:
 //!
 //! ```text
-//! {rev, label, bench, threads, ops_per_sec, abort_ratio, p50_ns, p99_ns, p999_ns,
-//!  aborts_lock, aborts_validation, aborts_cut, aborts_capacity
-//!  [, found_ratio, kv_space]}
+//! {rev, label, bench, threads, cores, ops_per_sec, abort_ratio,
+//!  p50_ns, p99_ns, p999_ns,
+//!  aborts_lock, aborts_validation, aborts_cut, aborts_capacity, aborts_unavailable
+//!  [, found_ratio, kv_space]
+//!  [, scan_p50_ns, scan_p99_ns, scan_p999_ns, scan_aborts]}
 //! ```
 //!
 //! `bench` is `scenario/backend` (e.g. `hotspot/tx-list`,
-//! `ycsb-a/kv-sharded`). `--quick` shrinks the measured windows so CI
-//! can exercise the whole matrix in seconds; only rows from a quiet
-//! machine are trajectory data.
+//! `ycsb-a/kv-sharded`, `htap/kv-adaptive`). For `htap/*` rows the
+//! `threads` column is the *writer* count (the sweep axis); one
+//! dedicated scanner thread runs alongside. `--quick` shrinks the
+//! measured windows so CI can exercise the whole matrix in seconds;
+//! only rows from a quiet machine are trajectory data.
 
 use std::time::Duration;
 
 use polytm_bench::report::{append_rows, git_rev, BenchCli};
 use polytm_bench::{Backend, Family, KvBackend, Shape, BACKENDS, KV_BACKENDS};
 use polytm_workload::{
-    run_kv_scenario_with, run_scenario_with, KeyDist, KvMix, KvSpec, MixSchedule, OpMix,
-    WorkloadSpec,
+    run_htap_kv, run_htap_set, run_kv_scenario_with, run_scenario_with, HtapSpec, KeyDist, KvMix,
+    KvSpec, MixSchedule, OpMix, WorkloadSpec,
 };
+
+/// Scan-side columns of an HTAP row: scan-only latency quantiles plus
+/// the aborts that starve scans (registry capacity + history
+/// truncation) over the measured window.
+struct ScanFields {
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    aborts: u64,
+}
 
 /// One output row.
 struct Row {
@@ -46,10 +64,12 @@ struct Row {
     p999_ns: u64,
     /// Aborts by cause over the measured window (all 0 for
     /// non-transactional backends): lock-conflict, validation, elastic
-    /// cut, snapshot capacity.
-    aborts_by_cause: [u64; 4],
+    /// cut, snapshot-registry capacity, history-unavailable.
+    aborts_by_cause: [u64; 5],
     /// KV rows only: `(found_ratio, key_space)`.
     kv: Option<(f64, u64)>,
+    /// HTAP rows only: the scan-side columns.
+    scan: Option<ScanFields>,
 }
 
 /// Measurement windows for the two modes.
@@ -150,6 +170,34 @@ const KV_SCENARIOS: &[KvScenario] = &[
     KvScenario { name: "ycsb-f", mix: KvMix::ycsb_f, dist: || KeyDist::Zipf(0.99) },
 ];
 
+/// The HTAP scenario name (its writer mix is fixed: YCSB-A-shaped
+/// churn; the analytical side is one dedicated scanner thread).
+const HTAP_SCENARIO: &str = "htap";
+
+/// Scanners per HTAP cell (the `threads` sweep varies writers).
+const HTAP_SCANNERS: usize = 1;
+
+/// HTAP scans are *long*: a quarter of the key space per scan, not the
+/// point-mix default of 1/32nd.
+fn htap_scan_span(space: u64) -> u64 {
+    (space / 4).max(1)
+}
+
+fn htap_spec(writers: usize, space: u64, dist: KeyDist, k: &Knobs) -> HtapSpec {
+    HtapSpec {
+        writers,
+        scanners: HTAP_SCANNERS,
+        key_space: space,
+        prefill: true,
+        dist,
+        scan_span: htap_scan_span(space),
+        duration: k.sweep,
+        warmup: k.warmup,
+        record_latency: true,
+        seed: 0x117A_90F1 ^ (writers as u64) << 32 ^ space,
+    }
+}
+
 fn run_kv_cell(backend: &KvBackend, scenario: &KvScenario, threads: usize, k: &Knobs) -> Row {
     let instance = backend.make();
     let spec = KvSpec {
@@ -172,7 +220,7 @@ fn run_kv_cell(backend: &KvBackend, scenario: &KvScenario, threads: usize, k: &K
     let stats = instance.stm.as_ref().map(|stm| stm.stats());
     let abort_ratio = stats.as_ref().map_or(0.0, |s| s.abort_ratio());
     let aborts_by_cause =
-        stats.as_ref().map_or([0; 4], |s| s.aborts_by_cause().map(|(_label, count)| count));
+        stats.as_ref().map_or([0; 5], |s| s.aborts_by_cause().map(|(_label, count)| count));
     Row {
         bench: format!("{}/{}", scenario.name, backend.name),
         threads,
@@ -183,6 +231,7 @@ fn run_kv_cell(backend: &KvBackend, scenario: &KvScenario, threads: usize, k: &K
         p999_ns: m.measurement.latency.p999(),
         aborts_by_cause,
         kv: Some((m.found_ratio(), KV_KEY_SPACE)),
+        scan: None,
     }
 }
 
@@ -215,7 +264,7 @@ fn run_cell(backend: &Backend, scenario: &Scenario, threads: usize, k: &Knobs) -
     let stats = instance.stm.as_ref().map(|stm| stm.stats());
     let abort_ratio = stats.as_ref().map_or(0.0, |s| s.abort_ratio());
     let aborts_by_cause =
-        stats.as_ref().map_or([0; 4], |s| s.aborts_by_cause().map(|(_label, count)| count));
+        stats.as_ref().map_or([0; 5], |s| s.aborts_by_cause().map(|(_label, count)| count));
     Row {
         bench: format!("{}/{}", scenario.name, backend.name),
         threads,
@@ -226,21 +275,98 @@ fn run_cell(backend: &Backend, scenario: &Scenario, threads: usize, k: &Knobs) -
         p999_ns: m.latency.p999(),
         aborts_by_cause,
         kv: None,
+        scan: None,
     }
 }
 
-fn render_row(rev: &str, label: &str, r: &Row) -> String {
-    let [lock, validation, cut, capacity] = r.aborts_by_cause;
+/// Assemble the HTAP row shared by both backend families. The
+/// `threads` column records the writer count (the sweep axis); the
+/// standard latency columns equal the scan quantiles because the HTAP
+/// driver samples scans only.
+fn htap_row(
+    bench: String,
+    writers: usize,
+    m: &polytm_workload::HtapMeasurement,
+    stats: Option<&polytm::StatsSnapshot>,
+) -> Row {
+    let abort_ratio = stats.map_or(0.0, |s| s.abort_ratio());
+    let aborts_by_cause =
+        stats.map_or([0; 5], |s| s.aborts_by_cause().map(|(_label, count)| count));
+    // The aborts that kill or delay scans: registry capacity and
+    // history truncation (both "the snapshot side is starving").
+    let scan_aborts = stats.map_or(0, |s| s.aborts_capacity + s.aborts_unavailable);
+    let lat = &m.measurement.latency;
+    Row {
+        bench,
+        threads: writers,
+        ops_per_sec: m.measurement.throughput,
+        abort_ratio,
+        p50_ns: lat.p50(),
+        p99_ns: lat.p99(),
+        p999_ns: lat.p999(),
+        aborts_by_cause,
+        kv: None,
+        scan: Some(ScanFields {
+            p50_ns: lat.p50(),
+            p99_ns: lat.p99(),
+            p999_ns: lat.p999(),
+            aborts: scan_aborts,
+        }),
+    }
+}
+
+fn run_htap_set_cell(backend: &Backend, writers: usize, k: &Knobs) -> Row {
+    let space = key_space(backend.shape);
+    let instance = backend.make();
+    // Half-updates point churn against the long scans; uniform keys so
+    // the churn sweeps the whole scanned range.
+    let spec = htap_spec(writers, space, KeyDist::Uniform, k);
+    let m = run_htap_set(instance.set.as_ref(), OpMix::updates(50), &spec, || {
+        if let Some(stm) = &instance.stm {
+            stm.reset_stats();
+        }
+    });
+    let stats = instance.stm.as_ref().map(|stm| stm.stats());
+    htap_row(format!("{HTAP_SCENARIO}/{}", backend.name), writers, &m, stats.as_ref())
+}
+
+fn run_htap_kv_cell(backend: &KvBackend, writers: usize, k: &Knobs) -> Row {
+    let instance = backend.make();
+    // YCSB-A churn (50/50 read/update, Zipf skew) under the scanner.
+    let spec = htap_spec(writers, KV_KEY_SPACE, KeyDist::Zipf(0.99), k);
+    let m = run_htap_kv(instance.table.as_ref(), KvMix::ycsb_a(), &spec, || {
+        if let Some(stm) = &instance.stm {
+            stm.reset_stats();
+        }
+    });
+    let stats = instance.stm.as_ref().map(|stm| stm.stats());
+    htap_row(format!("{HTAP_SCENARIO}/{}", backend.name), writers, &m, stats.as_ref())
+}
+
+fn render_row(rev: &str, label: &str, cores: usize, r: &Row) -> String {
+    let [lock, validation, cut, capacity, unavailable] = r.aborts_by_cause;
     let kv_fields =
         r.kv.map(|(found_ratio, space)| {
             format!(",\"found_ratio\":{found_ratio:.5},\"kv_space\":{space}")
         })
         .unwrap_or_default();
+    let scan_fields = r
+        .scan
+        .as_ref()
+        .map(|s| {
+            format!(
+                ",\"scan_p50_ns\":{},\"scan_p99_ns\":{},\"scan_p999_ns\":{},\"scan_aborts\":{}",
+                s.p50_ns, s.p99_ns, s.p999_ns, s.aborts
+            )
+        })
+        .unwrap_or_default();
     format!(
         "  {{\"rev\":\"{rev}\",\"label\":\"{label}\",\"bench\":\"{}\",\"threads\":{},\
+         \"cores\":{cores},\
          \"ops_per_sec\":{:.1},\"abort_ratio\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
          \"aborts_lock\":{lock},\"aborts_validation\":{validation},\"aborts_cut\":{cut},\
-         \"aborts_capacity\":{capacity}{kv_fields}}}",
+         \"aborts_capacity\":{capacity},\"aborts_unavailable\":{unavailable}\
+         {kv_fields}{scan_fields}}}",
         r.bench, r.threads, r.ops_per_sec, r.abort_ratio, r.p50_ns, r.p99_ns, r.p999_ns
     )
 }
@@ -261,8 +387,9 @@ fn main() {
 
     let knobs = Knobs::new(cli.quick);
     let rev = git_rev();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
-        "scenarios: rev {rev}, label {:?}, mode {}, out {}",
+        "scenarios: rev {rev}, label {:?}, mode {}, cores {cores}, out {}",
         cli.label,
         if cli.quick { "quick" } else { "full" },
         cli.out
@@ -323,11 +450,48 @@ fn main() {
         }
     }
 
+    // The HTAP wing: long scans under write churn, over both
+    // registries. `threads` sweeps the writer count.
+    if only_scenario.is_empty() || only_scenario == HTAP_SCENARIO {
+        let mut htap_rows = Vec::new();
+        for backend in BACKENDS {
+            if !matches_filter(backend.name, backend.family, &only_backend) {
+                continue;
+            }
+            for &writers in knobs.threads {
+                htap_rows.push(run_htap_set_cell(backend, writers, &knobs));
+            }
+        }
+        for backend in KV_BACKENDS {
+            if !matches_filter(backend.name, backend.family, &only_backend) {
+                continue;
+            }
+            for &writers in knobs.threads {
+                htap_rows.push(run_htap_kv_cell(backend, writers, &knobs));
+            }
+        }
+        for row in htap_rows {
+            let scan = row.scan.as_ref().expect("htap rows carry scan fields");
+            eprintln!(
+                "  {:<32} w={:<2} {:>12.0} ops/s  abort {:.4}  scan p50 {:>9}ns  p99 {:>9}ns  \
+                 scan-aborts {}",
+                row.bench,
+                row.threads,
+                row.ops_per_sec,
+                row.abort_ratio,
+                scan.p50_ns,
+                scan.p99_ns,
+                scan.aborts
+            );
+            rows.push(row);
+        }
+    }
+
     if rows.is_empty() {
         eprintln!("scenarios: filters matched nothing; no rows written");
         std::process::exit(2);
     }
-    let lines: Vec<String> = rows.iter().map(|r| render_row(&rev, &cli.label, r)).collect();
+    let lines: Vec<String> = rows.iter().map(|r| render_row(&rev, &cli.label, cores, r)).collect();
     append_rows(&cli.out, &lines, cli.fresh);
     eprintln!("scenarios: wrote {} rows to {}", lines.len(), cli.out);
 }

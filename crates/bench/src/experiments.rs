@@ -394,7 +394,8 @@ pub fn e9_snapshot_scans(profile: &Profile) -> String {
         let stats = stm.stats();
         let scan_aborts = stats.aborts_read_conflict
             + stats.aborts_validation
-            + stats.aborts_snapshot
+            + stats.aborts_capacity
+            + stats.aborts_unavailable
             + stats.aborts_locked;
         t.row(&[
             name.to_string(),

@@ -354,19 +354,27 @@ impl RowSchema {
 
     /// Fields a row *may* carry beyond the required set. The scenarios
     /// schema grew per-cause abort counts after the first batches were
-    /// recorded, and the kv (YCSB) family later added its read-hit
-    /// ratio and key-space columns; rows from before either extension
-    /// stay valid.
+    /// recorded, the kv (YCSB) family later added its read-hit ratio
+    /// and key-space columns, and the HTAP family added scan-only
+    /// latency quantiles and scan-abort counts; both schemas may carry
+    /// the runner's core count. Rows from before any extension stay
+    /// valid.
     fn optional_fields(self) -> &'static [&'static str] {
         match self {
-            RowSchema::Core => &[],
+            RowSchema::Core => &["cores"],
             RowSchema::Scenarios => &[
                 "aborts_lock",
                 "aborts_validation",
                 "aborts_cut",
                 "aborts_capacity",
+                "aborts_unavailable",
                 "found_ratio",
                 "kv_space",
+                "scan_p50_ns",
+                "scan_p99_ns",
+                "scan_p999_ns",
+                "scan_aborts",
+                "cores",
             ],
         }
     }
@@ -375,10 +383,20 @@ impl RowSchema {
     /// rest have their own value rules in `validate_row`).
     fn optional_integer_fields(self) -> &'static [&'static str] {
         match self {
-            RowSchema::Core => &[],
-            RowSchema::Scenarios => {
-                &["aborts_lock", "aborts_validation", "aborts_cut", "aborts_capacity", "kv_space"]
-            }
+            RowSchema::Core => &["cores"],
+            RowSchema::Scenarios => &[
+                "aborts_lock",
+                "aborts_validation",
+                "aborts_cut",
+                "aborts_capacity",
+                "aborts_unavailable",
+                "kv_space",
+                "scan_p50_ns",
+                "scan_p99_ns",
+                "scan_p999_ns",
+                "scan_aborts",
+                "cores",
+            ],
         }
     }
 }
@@ -444,19 +462,38 @@ fn validate_row(row: &[(String, Json)], schema: RowSchema) -> Result<String, Str
         if !(p50 <= p99 && p99 <= p999) {
             return Err(format!("latency quantiles out of order: p50={p50} p99={p99} p999={p999}"));
         }
-        for name in schema.optional_integer_fields() {
-            if field(row, name).is_some() {
-                let v = nonneg_finite(row, name)?;
-                if v.fract() != 0.0 {
-                    return Err(format!("{name} must be an integer count"));
-                }
-            }
-        }
         // The kv read-hit ratio is a fraction, not a count.
         if field(row, "found_ratio").is_some() {
             let v = nonneg_finite(row, "found_ratio")?;
             if v > 1.0 {
                 return Err(format!("found_ratio must be a fraction in [0, 1], got {v}"));
+            }
+        }
+        // HTAP scan quantiles obey the same ordering as the row's main
+        // quantiles — but they travel together: a row carrying one
+        // carries all three (scan_aborts may appear on its own; a
+        // partially-emitted quantile triple is a writer bug).
+        let scan_quantiles =
+            ["scan_p50_ns", "scan_p99_ns", "scan_p999_ns"].map(|name| field(row, name).is_some());
+        if scan_quantiles.iter().any(|&p| p) {
+            if !scan_quantiles.iter().all(|&p| p) {
+                return Err("scan latency quantiles must appear as a full triple".into());
+            }
+            let s50 = nonneg_finite(row, "scan_p50_ns")?;
+            let s99 = nonneg_finite(row, "scan_p99_ns")?;
+            let s999 = nonneg_finite(row, "scan_p999_ns")?;
+            if !(s50 <= s99 && s99 <= s999) {
+                return Err(format!(
+                    "scan quantiles out of order: scan_p50={s50} scan_p99={s99} scan_p999={s999}"
+                ));
+            }
+        }
+    }
+    for name in schema.optional_integer_fields() {
+        if field(row, name).is_some() {
+            let v = nonneg_finite(row, name)?;
+            if v.fract() != 0.0 {
+                return Err(format!("{name} must be an integer count"));
             }
         }
     }
@@ -633,6 +670,61 @@ mod tests {
         assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
             .unwrap_err()
             .contains("unknown"));
+    }
+
+    #[test]
+    fn scan_fields_are_accepted_and_typed() {
+        // An htap row carries the scan-only quantiles and abort count...
+        let htap_row = GOOD_SCEN.replace(
+            "\"p999_ns\":50000",
+            "\"p999_ns\":50000,\"scan_p50_ns\":1000,\"scan_p99_ns\":40000,\
+             \"scan_p999_ns\":90000,\"scan_aborts\":4",
+        );
+        let (n, _, s) = validate_trajectory(&htap_row, None).unwrap();
+        assert_eq!((n, s), (1, RowSchema::Scenarios));
+        // ...scan_aborts may appear alone (abort accounting without
+        // latency recording), ...
+        let aborts_only =
+            GOOD_SCEN.replace("\"p999_ns\":50000", "\"p999_ns\":50000,\"scan_aborts\":2");
+        assert!(validate_trajectory(&aborts_only, None).is_ok());
+        // ...but a partial quantile triple is a writer bug, ...
+        let partial =
+            GOOD_SCEN.replace("\"p999_ns\":50000", "\"p999_ns\":50000,\"scan_p99_ns\":40000");
+        assert!(validate_trajectory(&partial, None).unwrap_err().contains("full triple"));
+        // ...the quantiles must be ordered, ...
+        let bad = htap_row.replace("\"scan_p99_ns\":40000", "\"scan_p99_ns\":99999999");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("out of order"));
+        // ...integer-valued, ...
+        let bad = htap_row.replace("\"scan_aborts\":4", "\"scan_aborts\":4.5");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("scan_aborts"));
+        // ...and the core schema accepts none of them.
+        let core_bad =
+            GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"scan_aborts\":1");
+        assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
+            .unwrap_err()
+            .contains("unknown"));
+    }
+
+    #[test]
+    fn cores_field_is_accepted_on_both_schemas() {
+        let core = GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"cores\":8");
+        assert!(validate_trajectory(&core, Some(RowSchema::Core)).is_ok());
+        let scen = GOOD_SCEN.replace("\"p999_ns\":50000", "\"p999_ns\":50000,\"cores\":8");
+        assert!(validate_trajectory(&scen, Some(RowSchema::Scenarios)).is_ok());
+        // Integer-valued on both.
+        let bad = core.replace("\"cores\":8", "\"cores\":8.5");
+        assert!(validate_trajectory(&bad, Some(RowSchema::Core)).unwrap_err().contains("cores"));
+    }
+
+    #[test]
+    fn unavailable_abort_field_is_accepted_and_typed() {
+        let row = GOOD_SCEN.replace(
+            "\"p999_ns\":50000",
+            "\"p999_ns\":50000,\"aborts_capacity\":1,\"aborts_unavailable\":2",
+        );
+        assert!(validate_trajectory(&row, None).is_ok());
+        let bad = row.replace("\"aborts_unavailable\":2", "\"aborts_unavailable\":-2");
+        assert!(validate_trajectory(&bad, None).is_err());
     }
 
     #[test]

@@ -81,9 +81,12 @@ pub struct RunTelemetry {
     /// Aborts of elastic attempts whose cut/extension machinery could
     /// not absorb a conflicting update.
     pub aborts_cut: u32,
-    /// Aborts because a snapshot needed a version older than the
-    /// location's bounded history (capacity).
+    /// Aborts because the snapshot registry had no free slot to protect
+    /// the run's read bound (a resource-capacity failure).
     pub aborts_capacity: u32,
+    /// Aborts because a snapshot needed a version older than the
+    /// history retained for the location (its bound was unprotected).
+    pub aborts_unavailable: u32,
     /// Aborts outside the four contention causes (user retries and
     /// read-only violations).
     pub aborts_other: u32,
@@ -121,6 +124,7 @@ impl RunTelemetry {
             aborts_validation: 0,
             aborts_cut: 0,
             aborts_capacity: 0,
+            aborts_unavailable: 0,
             aborts_other: 0,
             reads: 0,
             writes: 0,
@@ -141,6 +145,7 @@ impl RunTelemetry {
             Some(AbortCause::Validation) => &mut self.aborts_validation,
             Some(AbortCause::Cut) => &mut self.aborts_cut,
             Some(AbortCause::Capacity) => &mut self.aborts_capacity,
+            Some(AbortCause::Unavailable) => &mut self.aborts_unavailable,
             Some(AbortCause::Other) => &mut self.aborts_other,
         };
         *ctr += 1;
@@ -176,10 +181,18 @@ mod tests {
         t.record_abort(Abort::ReadConflict { addr: 0 }, Semantics::elastic());
         t.record_abort(Abort::ValidationFailed { addr: 0 }, Semantics::elastic());
         t.record_abort(Abort::SnapshotUnavailable { addr: 0 }, Semantics::Snapshot);
+        t.record_abort(Abort::SnapshotCapacity { addr: 0 }, Semantics::Snapshot);
         t.record_abort(Abort::Retry, Semantics::Opaque);
         assert_eq!(
-            (t.aborts_lock, t.aborts_validation, t.aborts_cut, t.aborts_capacity, t.aborts_other),
-            (1, 2, 1, 1, 1)
+            (
+                t.aborts_lock,
+                t.aborts_validation,
+                t.aborts_cut,
+                t.aborts_capacity,
+                t.aborts_unavailable,
+                t.aborts_other
+            ),
+            (1, 2, 1, 1, 1, 1)
         );
     }
 

@@ -39,9 +39,19 @@ pub enum Abort {
         /// Address of the first invalid read-set entry.
         addr: usize,
     },
-    /// A snapshot transaction required a version older than the bounded
-    /// history retained by the location.
+    /// A snapshot transaction required a version older than the history
+    /// retained by the location. With watermark-based retention this
+    /// only happens to snapshots whose bound was not registered (see
+    /// [`Abort::SnapshotCapacity`]) or to nested snapshots piggybacking
+    /// on a parent without a slot.
     SnapshotUnavailable {
+        /// Address of the location whose history was too short.
+        addr: usize,
+    },
+    /// A snapshot transaction could not protect its read bound because
+    /// the snapshot registry was full, and a location's history was
+    /// truncated past the bound.
+    SnapshotCapacity {
         /// Address of the location whose history was too short.
         addr: usize,
     },
@@ -73,9 +83,13 @@ pub enum AbortCause {
     /// An elastic window that could not absorb a conflicting update
     /// (read-time conflict under elastic semantics).
     Cut,
-    /// A snapshot needed a version older than the location's bounded
-    /// history.
+    /// A runtime resource limit: the snapshot registry had no free slot
+    /// to protect a snapshot's read bound, and the unprotected bound
+    /// fell behind truncation.
     Capacity,
+    /// A snapshot needed a version older than the history retained for
+    /// the location (the bound was never registry-protected).
+    Unavailable,
     /// Not contention: user retries, read-only violations, irrevocable
     /// restarts.
     Other,
@@ -97,7 +111,8 @@ impl Abort {
             }
             Abort::ReadConflict { .. } | Abort::ValidationFailed { .. } => AbortCause::Validation,
             Abort::Locked { .. } => AbortCause::LockConflict,
-            Abort::SnapshotUnavailable { .. } => AbortCause::Capacity,
+            Abort::SnapshotUnavailable { .. } => AbortCause::Unavailable,
+            Abort::SnapshotCapacity { .. } => AbortCause::Capacity,
             Abort::Retry | Abort::ReadOnlyViolation | Abort::RestartIrrevocable => {
                 AbortCause::Other
             }
@@ -112,6 +127,7 @@ impl Abort {
             Abort::Locked { .. } => "locked",
             Abort::ValidationFailed { .. } => "validation",
             Abort::SnapshotUnavailable { .. } => "snapshot-unavailable",
+            Abort::SnapshotCapacity { .. } => "snapshot-capacity",
             Abort::ReadOnlyViolation => "read-only-violation",
             Abort::Retry => "retry",
             Abort::RestartIrrevocable => "restart-irrevocable",
@@ -132,6 +148,9 @@ impl fmt::Display for Abort {
             }
             Abort::SnapshotUnavailable { addr } => {
                 write!(f, "snapshot version unavailable at {addr:#x}")
+            }
+            Abort::SnapshotCapacity { addr } => {
+                write!(f, "snapshot registry at capacity; version unavailable at {addr:#x}")
             }
             Abort::ReadOnlyViolation => write!(f, "write attempted in a read-only transaction"),
             Abort::Retry => write!(f, "user-requested retry"),
@@ -168,6 +187,7 @@ mod tests {
             Abort::Locked { addr: 1, owner: 2 },
             Abort::ValidationFailed { addr: 1 },
             Abort::SnapshotUnavailable { addr: 1 },
+            Abort::SnapshotCapacity { addr: 1 },
             Abort::ReadOnlyViolation,
             Abort::Retry,
             Abort::RestartIrrevocable,
@@ -198,6 +218,10 @@ mod tests {
         );
         assert_eq!(
             Abort::SnapshotUnavailable { addr: 0 }.cause(Semantics::Snapshot),
+            Some(AbortCause::Unavailable)
+        );
+        assert_eq!(
+            Abort::SnapshotCapacity { addr: 0 }.cause(Semantics::Snapshot),
             Some(AbortCause::Capacity)
         );
         assert_eq!(Abort::Retry.cause(Semantics::Opaque), Some(AbortCause::Other));
@@ -211,6 +235,7 @@ mod tests {
             Abort::Locked { addr: 0, owner: 0 }.label(),
             Abort::ValidationFailed { addr: 0 }.label(),
             Abort::SnapshotUnavailable { addr: 0 }.label(),
+            Abort::SnapshotCapacity { addr: 0 }.label(),
             Abort::ReadOnlyViolation.label(),
             Abort::Retry.label(),
             Abort::RestartIrrevocable.label(),

@@ -75,6 +75,7 @@ pub mod error;
 pub(crate) mod gate;
 pub mod semantics;
 pub mod shard;
+pub(crate) mod snapreg;
 pub mod stats;
 pub mod stm;
 pub mod tarray;

@@ -28,7 +28,8 @@ struct StatShard {
     aborts_locked: AtomicU64,
     aborts_validation: AtomicU64,
     aborts_elastic_cut: AtomicU64,
-    aborts_snapshot: AtomicU64,
+    aborts_capacity: AtomicU64,
+    aborts_unavailable: AtomicU64,
     aborts_user_retry: AtomicU64,
     elastic_cuts: AtomicU64,
     extensions: AtomicU64,
@@ -38,14 +39,15 @@ struct StatShard {
 }
 
 impl StatShard {
-    fn counters(&self) -> [&AtomicU64; 12] {
+    fn counters(&self) -> [&AtomicU64; 13] {
         [
             &self.commits,
             &self.aborts_read_conflict,
             &self.aborts_locked,
             &self.aborts_validation,
             &self.aborts_elastic_cut,
-            &self.aborts_snapshot,
+            &self.aborts_capacity,
+            &self.aborts_unavailable,
             &self.aborts_user_retry,
             &self.elastic_cuts,
             &self.extensions,
@@ -97,7 +99,8 @@ impl StmStats {
             None => return, // Cancel is not an abort
             Some(AbortCause::Cut) => &s.aborts_elastic_cut,
             Some(AbortCause::LockConflict) => &s.aborts_locked,
-            Some(AbortCause::Capacity) => &s.aborts_snapshot,
+            Some(AbortCause::Capacity) => &s.aborts_capacity,
+            Some(AbortCause::Unavailable) => &s.aborts_unavailable,
             Some(AbortCause::Other) => &s.aborts_user_retry,
             Some(AbortCause::Validation) => match abort {
                 crate::Abort::ReadConflict { .. } => &s.aborts_read_conflict,
@@ -142,13 +145,14 @@ impl StmStats {
         for shard in self.shards.iter() {
             // Zipped against counters() so the counter list lives in
             // exactly one place; a mismatch is a compile error here.
-            let dst: [&mut u64; 12] = [
+            let dst: [&mut u64; 13] = [
                 &mut out.commits,
                 &mut out.aborts_read_conflict,
                 &mut out.aborts_locked,
                 &mut out.aborts_validation,
                 &mut out.aborts_elastic_cut,
-                &mut out.aborts_snapshot,
+                &mut out.aborts_capacity,
+                &mut out.aborts_unavailable,
                 &mut out.aborts_user_retry,
                 &mut out.elastic_cuts,
                 &mut out.extensions,
@@ -182,7 +186,8 @@ pub struct StatsSnapshot {
     pub aborts_locked: u64,
     pub aborts_validation: u64,
     pub aborts_elastic_cut: u64,
-    pub aborts_snapshot: u64,
+    pub aborts_capacity: u64,
+    pub aborts_unavailable: u64,
     pub aborts_user_retry: u64,
     pub elastic_cuts: u64,
     pub extensions: u64,
@@ -198,24 +203,27 @@ impl StatsSnapshot {
             + self.aborts_locked
             + self.aborts_validation
             + self.aborts_elastic_cut
-            + self.aborts_snapshot
+            + self.aborts_capacity
+            + self.aborts_unavailable
             + self.aborts_user_retry
     }
 
-    /// The four contention causes as `(label, count)` pairs, in the
+    /// The five contention causes as `(label, count)` pairs, in the
     /// order the bench rows report them: lock-conflict (a location lock
     /// held by another transaction), validation (read-time or
     /// commit-time read-set validation under non-elastic semantics),
     /// cut (an elastic window that could not absorb a conflicting
-    /// update), capacity (snapshot history truncated past the bound).
-    /// User retries are deliberately excluded: they are workload logic,
-    /// not contention.
-    pub fn aborts_by_cause(&self) -> [(&'static str, u64); 4] {
+    /// update), capacity (the snapshot registry had no free slot to
+    /// protect a bound), unavailable (snapshot history truncated past
+    /// an unprotected bound). User retries are deliberately excluded:
+    /// they are workload logic, not contention.
+    pub fn aborts_by_cause(&self) -> [(&'static str, u64); 5] {
         [
             ("lock-conflict", self.aborts_locked),
             ("validation", self.aborts_read_conflict + self.aborts_validation),
             ("cut", self.aborts_elastic_cut),
-            ("capacity", self.aborts_snapshot),
+            ("capacity", self.aborts_capacity),
+            ("unavailable", self.aborts_unavailable),
         ]
     }
 
@@ -236,7 +244,8 @@ impl StatsSnapshot {
             aborts_locked: self.aborts_locked - earlier.aborts_locked,
             aborts_validation: self.aborts_validation - earlier.aborts_validation,
             aborts_elastic_cut: self.aborts_elastic_cut - earlier.aborts_elastic_cut,
-            aborts_snapshot: self.aborts_snapshot - earlier.aborts_snapshot,
+            aborts_capacity: self.aborts_capacity - earlier.aborts_capacity,
+            aborts_unavailable: self.aborts_unavailable - earlier.aborts_unavailable,
             aborts_user_retry: self.aborts_user_retry - earlier.aborts_user_retry,
             elastic_cuts: self.elastic_cuts - earlier.elastic_cuts,
             extensions: self.extensions - earlier.extensions,
@@ -288,14 +297,21 @@ mod tests {
         s.record_abort(Abort::ValidationFailed { addr: 0 }, Semantics::Opaque);
         s.record_abort(Abort::ReadConflict { addr: 0 }, Semantics::elastic());
         s.record_abort(Abort::SnapshotUnavailable { addr: 0 }, Semantics::Snapshot);
+        s.record_abort(Abort::SnapshotCapacity { addr: 0 }, Semantics::Snapshot);
         s.record_abort(Abort::Retry, Semantics::Opaque);
         let by_cause = s.snapshot().aborts_by_cause();
         assert_eq!(
             by_cause,
-            [("lock-conflict", 1), ("validation", 2), ("cut", 1), ("capacity", 1)]
+            [
+                ("lock-conflict", 1),
+                ("validation", 2),
+                ("cut", 1),
+                ("capacity", 1),
+                ("unavailable", 1)
+            ]
         );
         // User retries are in the total but not a contention cause.
-        assert_eq!(s.snapshot().aborts(), 6);
+        assert_eq!(s.snapshot().aborts(), 7);
     }
 
     #[test]

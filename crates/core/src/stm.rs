@@ -12,6 +12,7 @@ use crate::cm::{ConflictArbiter, ContentionManager, TxMeta};
 use crate::error::{Abort, Canceled, TxResult};
 use crate::gate::IrrevGate;
 use crate::semantics::{NestingPolicy, Semantics};
+use crate::snapreg::SnapshotRegistry;
 use crate::stats::{StatsSnapshot, StmStats};
 use crate::tvar::{TVar, TxValue};
 use crate::txn::Transaction;
@@ -19,8 +20,13 @@ use crate::txn::Transaction;
 /// Tuning knobs of an [`Stm`] instance.
 #[derive(Debug, Clone, Copy)]
 pub struct StmConfig {
-    /// Number of *older* versions each location retains behind its head
-    /// (for [`Semantics::Snapshot`] transactions). 0 disables history.
+    /// *Floor* on the number of older versions each location retains
+    /// behind its head (for [`Semantics::Snapshot`] transactions). 0
+    /// disables the floor. Retention beyond the floor is driven by the
+    /// snapshot registry's watermark: any version a live snapshot
+    /// bound can still reach is kept regardless of depth, so this knob
+    /// trades memory for how much history *idle* (unregistered)
+    /// periods keep around, not for scan survivability.
     pub history_depth: usize,
     /// The contention manager.
     pub arbiter: ConflictArbiter,
@@ -104,6 +110,7 @@ pub struct Stm {
     id: u64,
     clock: GlobalClock,
     gate: IrrevGate,
+    snapreg: SnapshotRegistry,
     ts_source: AtomicU64,
     config: StmConfig,
     stats: StmStats,
@@ -176,6 +183,7 @@ impl Stm {
             id: STM_IDS.fetch_add(1, Ordering::Relaxed),
             clock: GlobalClock::new(),
             gate: IrrevGate::new(),
+            snapreg: SnapshotRegistry::new(),
             ts_source: AtomicU64::new(1),
             config,
             stats: StmStats::default(),
@@ -212,6 +220,10 @@ impl Stm {
 
     pub(crate) fn gate(&self) -> &IrrevGate {
         &self.gate
+    }
+
+    pub(crate) fn snapreg(&self) -> &SnapshotRegistry {
+        &self.snapreg
     }
 
     pub(crate) fn raw_stats(&self) -> &StmStats {

@@ -21,6 +21,12 @@ impl<T: Clone + Send + Sync + 'static> TxValue for T {}
 
 /// Default snapshot history depth for vars created outside an
 /// [`crate::Stm`] (see [`crate::StmConfig::history_depth`]).
+///
+/// Under watermark-based retention this is a *floor*, not a cap: a
+/// var always keeps at least this many versions, and additionally
+/// keeps every version a live snapshot bound (tracked by the snapshot
+/// registry) can still reach — long scans extend retention past the
+/// floor instead of dying with `SnapshotUnavailable`.
 pub const DEFAULT_HISTORY_DEPTH: usize = 16;
 
 /// A shared register accessed through transactions — the paper's shared

@@ -74,6 +74,12 @@ pub struct Transaction<'s> {
     /// [`Transaction::pin`]'s refresh rule; optimistic reads count via
     /// the read-set length in `push_read` instead).
     pin_uses: u32,
+    /// Slot in the STM's snapshot registry protecting this
+    /// transaction's read bound from version-chain truncation, when one
+    /// was free. `None` for non-snapshot semantics, and for snapshot
+    /// attempts that found the registry full (whose chain-walk misses
+    /// report as capacity aborts).
+    snap_slot: Option<usize>,
     /// Held for the whole transaction when running irrevocably; closes
     /// the era on drop (commit, abort and panic paths alike).
     era: Option<IrrevTicket<'s>>,
@@ -86,18 +92,29 @@ impl<'s> Transaction<'s> {
         meta: TxMeta,
         arbiter: ConflictArbiter,
     ) -> Self {
-        let (rv, era) = if semantics == Semantics::Irrevocable {
+        let (rv, era, snap_slot) = if semantics == Semantics::Irrevocable {
             // Opening the era excludes other irrevocable transactions and
             // drains every in-flight writing commit, so the committed
             // state observed from here on is frozen: sample directly.
             // Admission is ordered by our birth timestamp, so an aged
             // (upgraded) transaction is not starved by younger ones.
             let ticket = stm.gate().enter_irrevocable(meta.birth_ts);
-            (stm.clock().now(), Some(ticket))
+            (stm.clock().now(), Some(ticket), None)
+        } else if semantics == Semantics::Snapshot {
+            // Protect the read bound from version-chain truncation
+            // *before* sampling it: register a pre-sample of the clock,
+            // then take rv (`>=` the registered bound, so everything rv
+            // can reach, the registration protects). The registration's
+            // SeqCst CAS + fence pairs with the committer-side watermark
+            // fence — a committer that misses this slot is one whose
+            // clock advance our rv already observed (snapreg.rs).
+            let c0 = stm.clock().now();
+            let snap_slot = stm.snapreg().register(c0);
+            (stm.gate().sample_rv(stm.clock()), None, snap_slot)
         } else {
             // Gate-free begin: the era double-check guarantees rv never
             // lands inside an irrevocable eager-write window (gate.rs).
-            (stm.gate().sample_rv(stm.clock()), None)
+            (stm.gate().sample_rv(stm.clock()), None, None)
         };
         Self {
             stm,
@@ -112,6 +129,7 @@ impl<'s> Transaction<'s> {
             desc: ManuallyDrop::new(take_descriptor()),
             guard: None,
             pin_uses: 0,
+            snap_slot,
             era,
         }
     }
@@ -212,51 +230,77 @@ impl<'s> Transaction<'s> {
         }
         match self.semantics {
             Semantics::Snapshot => {
-                // Wait out in-flight commits before walking the chain.
-                // A committer locks its whole write set *before* taking
-                // its write version, so a committer observed holding
-                // this location's lock may have wv <= rv and its value
-                // must be inside our cut; conversely, any locker that
-                // arrives after we observe the location unlocked gets
-                // wv > rv, which the bounded chain walk skips. Without
-                // this wait a snapshot could see one location of a
-                // commit and miss another (a torn cut). The wait is
-                // arbitrated like every other lock wait: if the
-                // contention manager says abort, the whole snapshot
-                // retries with a fresh bound rather than spinning
-                // unboundedly (or forever, on a leaked lock).
+                // Refresh the cached pin *before* this read begins, so
+                // the guard taken for the chain walk below spans the
+                // whole head-load-to-deref path — a refresh between
+                // those two points could open a reclamation window
+                // under a node the walk still holds.
+                if self.pin_uses >= PIN_REFRESH_INTERVAL {
+                    self.unpin();
+                }
+                self.pin_uses += 1;
+                let rv = self.rv;
+                // Wait-free against committers: a committer locks its
+                // whole write set *before* taking its write version and
+                // announces the version on every held lock right after
+                // (pending_wv). If the announced wv > rv, the entire
+                // commit serializes after our cut — every version
+                // `<= rv` is already on the chain, frozen (later
+                // commits only prepend strictly newer versions), so we
+                // walk it without arbitrating. We only wait in the
+                // sentinel window (locked, wv not yet announced) or
+                // when wv <= rv (the committer's value belongs in our
+                // cut but is not published yet); both waits stay
+                // arbitrated so a leaked lock aborts us instead of
+                // spinning forever. See DESIGN.md "MVCC read path" for
+                // the ordering proof (including why an announced wv can
+                // never be a stale leftover of an earlier committer).
                 let mut spins = 0u32;
                 loop {
                     let p = core.probe();
                     if !p.locked {
                         break;
                     }
+                    let wv = core.pending_wv();
+                    if wv != 0 && wv > rv {
+                        break;
+                    }
                     self.arbitrate_lock(addr, p.owner, &mut spins)?;
                 }
-                // Pin only after the wait (arbitrate_lock unpins): an
-                // epoch guard held across an arbitrated wait would stall
-                // reclamation globally. Long scans refresh the pin
-                // periodically (see `pin`).
-                self.pin_uses += 1;
-                if self.pin_uses >= PIN_REFRESH_INTERVAL {
-                    self.unpin();
-                }
-                let rv = self.rv;
                 self.direct_reads += 1;
                 match core.read_snapshot(rv, self.pin()) {
                     Some((v, _)) => Ok(v),
-                    None => Err(Abort::SnapshotUnavailable { addr }),
+                    None => Err(self.snapshot_miss(addr)),
                 }
             }
             Semantics::Irrevocable => {
                 // The era is ours: no other transaction can commit, so
                 // the committed state is frozen apart from our own
-                // (already published) eager writes.
+                // (already published) eager writes. `Locked` is
+                // unreachable here: optimistic committers register with
+                // the gate *before* taking any location lock and the
+                // era open drained them all (gate.rs), none re-enter
+                // while it stays open, other irrevocable transactions
+                // are excluded by the era parity, and our own eager
+                // writes release their lock before returning. Assert
+                // that in debug builds; in release, arbitrate like
+                // every other lock wait — the resulting abort trips the
+                // "irrevocable closures must be infallible" panic in
+                // stm.rs, which beats spinning forever on a leaked
+                // lock.
                 self.direct_reads += 1;
+                let mut spins = 0u32;
                 loop {
                     match core.read_committed(self.pin()) {
                         CommittedRead::Value(v, _) => return Ok(v),
-                        CommittedRead::Locked(_) => std::hint::spin_loop(),
+                        CommittedRead::Locked(owner) => {
+                            debug_assert!(
+                                false,
+                                "location {addr:#x} locked by {owner} during an irrevocable \
+                                 read; the era grant should exclude all committers"
+                            );
+                            self.arbitrate_lock(addr, owner, &mut spins)?;
+                        }
                     }
                 }
             }
@@ -316,6 +360,21 @@ impl<'s> Transaction<'s> {
                 CommittedRead::Locked(owner) => owner,
             };
             self.arbitrate_lock(addr, owner, &mut spins)?;
+        }
+    }
+
+    /// Classify a snapshot chain-walk miss. A registered bound is
+    /// protected from truncation (snapreg.rs), so a miss *with* a slot
+    /// means the bound predates the registration (a nested snapshot
+    /// block registering mid-flight) — history genuinely unavailable. A
+    /// miss *without* a slot means the registry was full: a resource
+    /// capacity failure, reported distinctly so operators can tell
+    /// "raise the slot count" from "history retention raced my scan".
+    fn snapshot_miss(&self, addr: usize) -> Abort {
+        if self.snap_slot.is_some() {
+            Abort::SnapshotUnavailable { addr }
+        } else {
+            Abort::SnapshotCapacity { addr }
         }
     }
 
@@ -434,9 +493,14 @@ impl<'s> Transaction<'s> {
             }
             // Unique tick: each eager write needs its own version so
             // the era protocol's window `[wv1, wvk)` is well defined
-            // (clock.rs).
+            // (clock.rs). No pending_wv announcement here: the lock is
+            // held only for the publish below (no validation phase), so
+            // the sentinel window a concurrent snapshot reader can
+            // observe is a few instructions wide — the arbitrated
+            // fallback covers it.
             let wv = self.stm.clock().tick();
-            core.publish_with(value, wv, self.pin());
+            let watermark = self.stm.snapreg().watermark(wv);
+            core.publish_with(value, wv, watermark, self.pin());
             self.eager_writes += 1;
             return Ok(());
         }
@@ -524,6 +588,15 @@ impl<'s> Transaction<'s> {
         F: FnOnce(&mut Transaction<'s>) -> TxResult<T>,
     {
         let saved = self.semantics;
+        if effective == Semantics::Snapshot && self.snap_slot.is_none() {
+            // A snapshot block inside an optimistic parent inherits a
+            // bound sampled without registration. Register it now,
+            // best-effort: truncation that already passed the bound is
+            // not undone (misses report as unavailable, not capacity),
+            // but from here on the bound is protected. The slot is
+            // released with the transaction.
+            self.snap_slot = self.stm.snapreg().register(self.rv);
+        }
         // Reads made by the parent must never be cut by an elastic nested
         // block: start the block with an empty window. Conversely, when
         // the block ends, its window entries become permanent (the parent
@@ -567,6 +640,7 @@ impl<'s> Transaction<'s> {
             Semantics::Irrevocable => {
                 if self.desc.writes.iter().any(|e| !e.payload.is_empty()) {
                     let wv = self.stm.clock().tick();
+                    let watermark = self.stm.snapreg().watermark(wv);
                     if self.guard.is_none() {
                         self.guard = Some(epoch::pin());
                     }
@@ -580,7 +654,7 @@ impl<'s> Transaction<'s> {
                         while entry.slot.try_lock(self.meta.birth_ts).is_err() {
                             std::hint::spin_loop();
                         }
-                        entry.slot.publish_payload(&mut entry.payload, wv, guard);
+                        entry.slot.publish_payload(&mut entry.payload, wv, watermark, guard);
                     }
                 }
                 Ok(receipt)
@@ -661,6 +735,15 @@ impl<'s> Transaction<'s> {
         // that readers with rv >= wv synchronize with our lock stores.
         let wv = self.stm.clock().advance();
 
+        // Announce wv on every held lock immediately — before
+        // validation, so the sentinel window snapshot readers must wait
+        // out is just the lock-to-advance gap, not the whole validation
+        // phase. `release_acquired` withdraws the announcements if
+        // validation fails below.
+        for &(i, _) in acquired.iter() {
+            self.desc.writes[i as usize].slot.publish_wv(wv);
+        }
+
         // Validate live reads. Locations we hold locks on are validated
         // against the pre-lock version returned by try_lock (`acquired`
         // is in address order, so the lookup is a binary search — no
@@ -689,6 +772,12 @@ impl<'s> Transaction<'s> {
             }
         }
 
+        // Truncation bound for the publishes below: the oldest live
+        // registered snapshot bound, clamped to our own wv. Sampled
+        // once per commit, after our clock advance (the SeqCst pairing
+        // snapreg.rs relies on).
+        let watermark = self.stm.snapreg().watermark(wv);
+
         // Publish & unlock, pinned once for the whole batch.
         if self.guard.is_none() {
             self.guard = Some(epoch::pin());
@@ -696,7 +785,7 @@ impl<'s> Transaction<'s> {
         let guard = self.guard.as_ref().expect("pinned above");
         for &(i, _) in acquired.iter() {
             let entry = &mut self.desc.writes[i as usize];
-            entry.slot.publish_payload(&mut entry.payload, wv, guard);
+            entry.slot.publish_payload(&mut entry.payload, wv, watermark, guard);
         }
         Ok(())
     }
@@ -723,6 +812,11 @@ impl Drop for Transaction<'_> {
         // Unpin before recycling (clearing the descriptor can defer
         // nothing, but keep the pin's lifetime tight regardless).
         self.guard = None;
+        // Stop protecting this attempt's read bound; a retry registers
+        // its fresh bound in `begin`.
+        if let Some(slot) = self.snap_slot.take() {
+            self.stm.snapreg().release(slot);
+        }
         // SAFETY: `desc` is never touched again — `drop` is the only
         // place that takes it, and it runs exactly once.
         let mut desc = unsafe { ManuallyDrop::take(&mut self.desc) };
@@ -741,4 +835,118 @@ pub(crate) struct CommitReceipt {
     pub extensions: u64,
     pub live_reads: u64,
     pub writes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cm::Suicide;
+
+    /// A snapshot transaction whose arbiter aborts on the *first*
+    /// conflict round: any `arbitrate_lock` call inside a read surfaces
+    /// as `Err(Abort::Locked)`, so these tests distinguish "waited" from
+    /// "wait-free" by the result alone.
+    fn begin_suicide_snapshot(stm: &Stm) -> Transaction<'_> {
+        Transaction::begin(
+            stm,
+            Semantics::Snapshot,
+            TxMeta { birth_ts: 1, retries: 0 },
+            ConflictArbiter::Suicide(Suicide),
+        )
+    }
+
+    /// ISSUE 6 acceptance: a snapshot read of a slot locked by a
+    /// committer that has announced `wv > rv` completes without calling
+    /// `arbitrate_lock`.
+    #[test]
+    fn snapshot_read_of_future_committer_lock_is_wait_free() {
+        let stm = Stm::new();
+        let core = Arc::new(VarCore::new(7i64, 4, stm.id()));
+        // Commit version 1, then advance the clock so a snapshot begun
+        // now reads at rv = 2.
+        core.try_lock(1).unwrap();
+        core.publish(7, stm.clock().advance());
+        stm.clock().advance();
+        let mut tx = begin_suicide_snapshot(&stm);
+        assert_eq!(tx.read_version(), 2);
+        // An in-flight committer holds the lock and has announced a
+        // write version above the snapshot's bound.
+        core.try_lock(99).unwrap();
+        TxSlot::publish_wv(&*core, 3);
+        assert_eq!(tx.read_var(&core), Ok(7), "must read the pre-lock head without arbitrating");
+        core.unlock_restore(1);
+    }
+
+    /// In the sentinel window (locked, no wv announced yet) the read
+    /// still arbitrates — it cannot know which side of its cut the
+    /// committer will land on.
+    #[test]
+    fn snapshot_read_arbitrates_in_the_sentinel_window() {
+        let stm = Stm::new();
+        let core = Arc::new(VarCore::new(7i64, 4, stm.id()));
+        core.try_lock(1).unwrap();
+        core.publish(7, stm.clock().advance());
+        stm.clock().advance();
+        let mut tx = begin_suicide_snapshot(&stm);
+        core.try_lock(99).unwrap();
+        assert_eq!(
+            tx.read_var(&core),
+            Err(Abort::Locked { addr: core.address(), owner: 99 }),
+            "sentinel window must fall back to the arbitrated wait"
+        );
+        core.unlock_restore(1);
+    }
+
+    /// A committer whose announced wv falls inside the snapshot's cut
+    /// (`wv <= rv`) must be waited out: its value belongs in the cut
+    /// but is not published yet.
+    #[test]
+    fn snapshot_read_arbitrates_when_committer_is_inside_its_cut() {
+        let stm = Stm::new();
+        let core = Arc::new(VarCore::new(7i64, 4, stm.id()));
+        core.try_lock(1).unwrap();
+        core.publish(7, stm.clock().advance());
+        stm.clock().advance();
+        let mut tx = begin_suicide_snapshot(&stm);
+        assert_eq!(tx.read_version(), 2);
+        core.try_lock(99).unwrap();
+        TxSlot::publish_wv(&*core, 2);
+        assert_eq!(
+            tx.read_var(&core),
+            Err(Abort::Locked { addr: core.address(), owner: 99 }),
+            "an announced wv <= rv belongs in the cut and must be waited for"
+        );
+        core.unlock_restore(1);
+    }
+
+    /// An unregistered snapshot (registry full) that misses the chain
+    /// reports a capacity abort; a registered one reports unavailable.
+    #[test]
+    fn chain_miss_classification_tracks_registration() {
+        let stm = Stm::new();
+        let core = Arc::new(VarCore::new(0i64, 0, stm.id()));
+        // Three commits at depth 0: only the head survives, so a bound
+        // below it misses.
+        for _ in 0..3 {
+            core.try_lock(1).unwrap();
+            core.publish(1, stm.clock().advance());
+        }
+        let mut registered = begin_suicide_snapshot(&stm);
+        assert!(registered.snap_slot.is_some());
+        registered.rv = 1; // force a bound below the retained head
+        assert_eq!(
+            registered.read_var(&core),
+            Err(Abort::SnapshotUnavailable { addr: core.address() })
+        );
+        let mut unregistered = begin_suicide_snapshot(&stm);
+        // Simulate a full registry at begin.
+        if let Some(slot) = unregistered.snap_slot.take() {
+            stm.snapreg().release(slot);
+        }
+        unregistered.rv = 1;
+        assert_eq!(
+            unregistered.read_var(&core),
+            Err(Abort::SnapshotCapacity { addr: core.address() })
+        );
+    }
 }

@@ -61,10 +61,23 @@ pub(crate) enum CommittedRead<T> {
 pub(crate) struct VarCore<T> {
     lockword: AtomicU64,
     owner: AtomicU64,
+    /// Write version the current lock holder will publish at, or 0 while
+    /// no committer has announced one (unlocked, or locked but the clock
+    /// has not been advanced yet — the "acquiring" sentinel window).
+    ///
+    /// Snapshot readers holding bound `rv` use this to stay wait-free
+    /// against committers: if the announced `wv > rv`, the committer's
+    /// entire write set commits *after* the reader's cut, so the pre-lock
+    /// chain already holds every version `<= rv` and the reader can walk
+    /// it without arbitrating (see DESIGN.md "MVCC read path" for the
+    /// ordering proof).
+    pending_wv: AtomicU64,
     head: Atomic<VersionNode<T>>,
-    /// Number of versions retained behind the head (≥ 0). The head itself
-    /// is always retained, so snapshot transactions can look
-    /// `history_depth` versions into the past.
+    /// Minimum number of versions retained behind the head (≥ 0). The
+    /// head itself is always retained. Beyond this floor, retention is
+    /// governed by the snapshot watermark passed to publish: versions a
+    /// live snapshot bound could still reach are kept regardless of
+    /// depth.
     history_depth: usize,
     /// Identifier of the [`crate::Stm`] this var is tagged to, or 0 for
     /// untagged vars. Mixing vars across STM instances breaks version
@@ -78,10 +91,21 @@ impl<T: TxValue> VarCore<T> {
         Self {
             lockword: AtomicU64::new(0),
             owner: AtomicU64::new(0),
+            pending_wv: AtomicU64::new(0),
             head: Atomic::from(node),
             history_depth,
             stm_id,
         }
+    }
+
+    /// Write version announced by the current lock holder, or 0 while
+    /// none is announced (the sentinel). Acquire: pairs with the Release
+    /// store in [`TxSlot::publish_wv`], so a reader that observes `wv`
+    /// also observes every chain publication that happened before the
+    /// announcing committer acquired its locks.
+    #[inline]
+    pub(crate) fn pending_wv(&self) -> u64 {
+        self.pending_wv.load(Ordering::Acquire)
     }
 
     /// Stable identity of the location (used for write-set ordering and
@@ -132,55 +156,77 @@ impl<T: TxValue> VarCore<T> {
     }
 
     /// Publishes `value` as the new head version and releases the lock
-    /// with `new_version`. Must be called while holding the lock.
-    /// (Production paths publish through [`VarCore::publish_with`] with a
-    /// cached guard; this convenience wrapper serves the unit tests.)
+    /// with `new_version`, retaining every version still reachable by a
+    /// live snapshot (watermark `u64::MAX` = depth-only retention). Must
+    /// be called while holding the lock. (Production paths publish
+    /// through [`VarCore::publish_with`] with a cached guard; this
+    /// convenience wrapper serves the unit tests.)
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn publish(&self, value: T, new_version: u64) {
-        self.publish_with(value, new_version, &epoch::pin());
+        self.publish_with(value, new_version, u64::MAX, &epoch::pin());
     }
 
     /// [`VarCore::publish`] under a caller-supplied epoch guard, so a
     /// commit publishing many locations pins once instead of per
-    /// location.
-    pub(crate) fn publish_with(&self, value: T, new_version: u64, guard: &Guard) {
+    /// location. `watermark` is the oldest live snapshot bound: versions
+    /// above it, plus the newest version at or below it, stay reachable
+    /// regardless of `history_depth`.
+    pub(crate) fn publish_with(&self, value: T, new_version: u64, watermark: u64, guard: &Guard) {
         debug_assert!(self.lockword.load(Ordering::Relaxed) & LOCKED != 0);
         let old_head = self.head.load(Ordering::Relaxed, guard);
         let node = Owned::new(VersionNode { version: new_version, value, prev: Atomic::null() });
         node.prev.store(old_head, Ordering::Relaxed);
         self.head.store(node, Ordering::Release);
-        self.truncate_history(guard);
+        self.truncate_history(watermark, guard);
         self.owner.store(0, Ordering::Relaxed);
+        // Withdraw any announced write version *before* the lock word is
+        // released: the Release store below orders this clear ahead of
+        // the unlock for every reader that still observes the lock bit
+        // (through the lock word's release sequence), so a stale wv can
+        // never be attributed to a later lock holder.
+        self.pending_wv.store(0, Ordering::Relaxed);
         self.lockword.store(new_version << 1, Ordering::Release);
     }
 
-    /// Severs and defer-destroys chain nodes beyond `history_depth`.
-    /// Caller must hold the lock (the chain is only mutated by lock
-    /// holders, so the walk is race-free).
-    fn truncate_history(&self, guard: &Guard) {
+    /// Severs and defer-destroys chain nodes that are neither within the
+    /// `history_depth` retention floor nor reachable by a snapshot bound
+    /// `>= watermark`. A node is reachable by bound `b` iff it is the
+    /// newest node with `version <= b`; so the retained set is the floor
+    /// prefix, every node with `version > watermark`, and the newest
+    /// node at or below the watermark. Caller must hold the lock (the
+    /// chain is only mutated by lock holders, so the walk is race-free).
+    fn truncate_history(&self, watermark: u64, guard: &Guard) {
         let mut kept = 0usize;
+        // Set once the walk passes the newest node with
+        // `version <= watermark` — everything older is unreachable by
+        // any live snapshot bound.
+        let mut crossed = false;
         let mut cur = self.head.load(Ordering::Relaxed, guard);
-        // Walk the retained prefix: head + history_depth older nodes.
-        while !cur.is_null() && kept <= self.history_depth {
+        while !cur.is_null() {
             // SAFETY: lock held; nodes reachable and epoch-protected.
             let node = unsafe { cur.deref() };
             let next = node.prev.load(Ordering::Relaxed, guard);
-            if kept == self.history_depth && !next.is_null() {
-                node.prev.store(epoch::Shared::null(), Ordering::Release);
-                // Defer-destroy the severed suffix node by node.
-                let mut dead = next;
-                while !dead.is_null() {
-                    // SAFETY: severed nodes are unreachable from the new
-                    // chain; concurrent snapshot readers pinned before the
-                    // severing may still hold them, which is exactly what
-                    // deferred destruction protects.
-                    let after = unsafe { dead.deref() }.prev.load(Ordering::Relaxed, guard);
-                    unsafe { guard.defer_destroy(dead) };
-                    dead = after;
+            if node.version <= watermark {
+                crossed = true;
+            }
+            kept += 1;
+            if kept > self.history_depth && crossed {
+                if !next.is_null() {
+                    node.prev.store(epoch::Shared::null(), Ordering::Release);
+                    // Defer-destroy the severed suffix node by node.
+                    let mut dead = next;
+                    while !dead.is_null() {
+                        // SAFETY: severed nodes are unreachable from the
+                        // new chain; concurrent snapshot readers pinned
+                        // before the severing may still hold them, which
+                        // is exactly what deferred destruction protects.
+                        let after = unsafe { dead.deref() }.prev.load(Ordering::Relaxed, guard);
+                        unsafe { guard.defer_destroy(dead) };
+                        dead = after;
+                    }
                 }
                 return;
             }
-            kept += 1;
             cur = next;
         }
     }
@@ -212,16 +258,28 @@ pub(crate) trait TxSlot: Send + Sync {
     /// timestamp.
     fn try_lock(&self, owner_ts: u64) -> Result<u64, u64>;
     /// Release the lock without publishing (abort path), restoring the
-    /// pre-lock version.
+    /// pre-lock version and withdrawing any announced write version.
     fn unlock_restore(&self, prior_version: u64);
+    /// Announce the write version this lock holder will publish at, so
+    /// snapshot readers with an older bound can walk the version chain
+    /// without arbitrating. Must be called while holding the lock;
+    /// cleared again by publish/`unlock_restore`.
+    fn publish_wv(&self, wv: u64);
     /// Publish the buffered value in `payload` (leaving it empty) and
-    /// release the lock with `new_version`.
+    /// release the lock with `new_version`, truncating history no deeper
+    /// than the snapshot `watermark` allows.
     ///
     /// # Panics
     /// Panics if the payload is empty or does not hold the location's
     /// value type — impossible through the public API, which pairs
     /// write-set entries with the `TVar` that created them.
-    fn publish_payload(&self, payload: &mut WritePayload, new_version: u64, guard: &Guard);
+    fn publish_payload(
+        &self,
+        payload: &mut WritePayload,
+        new_version: u64,
+        watermark: u64,
+        guard: &Guard,
+    );
 }
 
 impl<T: TxValue> TxSlot for VarCore<T> {
@@ -260,12 +318,32 @@ impl<T: TxValue> TxSlot for VarCore<T> {
     fn unlock_restore(&self, prior_version: u64) {
         debug_assert!(self.lockword.load(Ordering::Relaxed) & LOCKED != 0);
         self.owner.store(0, Ordering::Relaxed);
+        // Sequenced before the Release unlock, like in `publish_with`:
+        // covers the abort-after-announce path (validation failure after
+        // the clock was advanced).
+        self.pending_wv.store(0, Ordering::Relaxed);
         self.lockword.store(prior_version << 1, Ordering::Release);
     }
 
-    fn publish_payload(&self, payload: &mut WritePayload, new_version: u64, guard: &Guard) {
+    fn publish_wv(&self, wv: u64) {
+        debug_assert!(self.lockword.load(Ordering::Relaxed) & LOCKED != 0);
+        debug_assert!(wv != 0, "write versions start at 1");
+        // Release: a snapshot reader that Acquire-loads this value also
+        // sees every chain publication ordered before our lock
+        // acquisitions, which is what makes its unarbitrated chain walk
+        // complete up to its bound (DESIGN.md "MVCC read path").
+        self.pending_wv.store(wv, Ordering::Release);
+    }
+
+    fn publish_payload(
+        &self,
+        payload: &mut WritePayload,
+        new_version: u64,
+        watermark: u64,
+        guard: &Guard,
+    ) {
         let value = payload.take::<T>().expect("write payload present at publish");
-        self.publish_with(value, new_version, guard);
+        self.publish_with(value, new_version, watermark, guard);
     }
 }
 
@@ -377,7 +455,7 @@ mod tests {
         core.try_lock(1).unwrap();
         let mut payload = WritePayload::new(String::from("b"));
         let guard = epoch::pin();
-        TxSlot::publish_payload(&core, &mut payload, 3, &guard);
+        TxSlot::publish_payload(&core, &mut payload, 3, u64::MAX, &guard);
         assert!(payload.is_empty(), "payload moved out at publish");
         match core.read_committed(&guard) {
             CommittedRead::Value(v, ver) => {
@@ -395,6 +473,75 @@ mod tests {
         core.try_lock(1).unwrap();
         let mut payload = WritePayload::new("wrong");
         let guard = epoch::pin();
-        TxSlot::publish_payload(&core, &mut payload, 3, &guard);
+        TxSlot::publish_payload(&core, &mut payload, 3, u64::MAX, &guard);
+    }
+
+    #[test]
+    fn pending_wv_lifecycle_publish_and_abort() {
+        let core = VarCore::new(0i64, 4, 0);
+        assert_eq!(core.pending_wv(), 0, "fresh var has no announced wv");
+        core.try_lock(1).unwrap();
+        assert_eq!(core.pending_wv(), 0, "locking alone is the sentinel");
+        TxSlot::publish_wv(&core, 9);
+        assert_eq!(core.pending_wv(), 9);
+        core.publish(1, 9);
+        assert_eq!(core.pending_wv(), 0, "publish withdraws the announcement");
+        core.try_lock(2).unwrap();
+        TxSlot::publish_wv(&core, 12);
+        core.unlock_restore(9);
+        assert_eq!(core.pending_wv(), 0, "abort withdraws the announcement");
+        assert_eq!(value_of(&core), (1, 9));
+    }
+
+    #[test]
+    fn watermark_retains_versions_past_the_depth_floor() {
+        let core = VarCore::new(0i64, 2, 0);
+        let guard = epoch::pin();
+        // A live snapshot bound of 15 forces retention of version 10
+        // (the newest <= 15) no matter how deep the chain grows.
+        for i in 1..=10u64 {
+            core.try_lock(1).unwrap();
+            core.publish_with(i as i64, i * 10, 15, &guard);
+        }
+        assert_eq!(core.read_snapshot(15, &guard), Some((1, 10)));
+        // Everything between the watermark cut and the depth floor is
+        // retained too (it is newer than the watermark).
+        for i in 2..=10u64 {
+            assert_eq!(core.read_snapshot(i * 10, &guard), Some((i as i64, i * 10)));
+        }
+        // ...but nothing older than the watermark cut survives.
+        assert_eq!(core.read_snapshot(9, &guard), None);
+    }
+
+    #[test]
+    fn watermark_above_head_reduces_to_depth_only_retention() {
+        let core = VarCore::new(0i64, 2, 0);
+        let guard = epoch::pin();
+        for i in 1..=10u64 {
+            core.try_lock(1).unwrap();
+            // Watermark ahead of every version: nothing old is live.
+            core.publish_with(i as i64, i * 10, 1_000, &guard);
+        }
+        assert_eq!(core.read_snapshot(u64::MAX, &guard), Some((10, 100)));
+        assert_eq!(core.read_snapshot(95, &guard), Some((9, 90)));
+        assert_eq!(core.read_snapshot(85, &guard), Some((8, 80)));
+        assert_eq!(core.read_snapshot(75, &guard), None);
+    }
+
+    #[test]
+    fn watermark_zero_retains_the_whole_chain() {
+        let core = VarCore::new(0i64, 1, 0);
+        let guard = epoch::pin();
+        // A snapshot pinned before every publish keeps all history: the
+        // initial version-0 node is the watermark cut and everything
+        // newer stays.
+        for i in 1..=6u64 {
+            core.try_lock(1).unwrap();
+            core.publish_with(i as i64, i * 10, 0, &guard);
+        }
+        for i in 1..=6u64 {
+            assert_eq!(core.read_snapshot(i * 10, &guard), Some((i as i64, i * 10)));
+        }
+        assert_eq!(core.read_snapshot(0, &guard), Some((0, 0)));
     }
 }

@@ -1,0 +1,352 @@
+//! HTAP (hybrid transactional/analytical) workloads: long range scans
+//! running *concurrently* with point-write traffic over the same keyed
+//! data.
+//!
+//! The set and KV drivers mix scans into every thread's operation
+//! stream, so a scan-heavy mix measures mostly scans and a write-heavy
+//! mix barely scans at all. HTAP serving is different: a small pool of
+//! analytical readers runs long scans *while* an independent pool of
+//! transactional writers churns the same records. What matters is the
+//! scan tail latency under that churn and whether scans complete at all
+//! (snapshot-starved backends abort them). This driver dedicates
+//! threads to each role — `writers` threads draw from a write mix,
+//! `scanners` threads run back-to-back full-width scans — and reports a
+//! latency histogram that covers **only the scans**, so the recorded
+//! p50/p99/p999 are scan quantiles, not a blend of microsecond point
+//! ops and millisecond scans.
+
+use std::time::{Duration, Instant};
+
+use crate::driver::{elapsed_ns, run_timed, Measurement, RangeSet};
+use crate::keys::{KeyDist, KeyStream};
+use crate::kv::{KvMix, KvOp, KvTable};
+use crate::mix::{OpKind, OpMix};
+use crate::rng::SplitMix64;
+
+/// What to run: role split, data shape and timing. The write mix is
+/// passed to the entry points ([`run_htap_kv`] takes a [`KvMix`],
+/// [`run_htap_set`] an [`OpMix`]) since its type depends on the
+/// backend family.
+#[derive(Debug, Clone)]
+pub struct HtapSpec {
+    /// Threads running the transactional write mix.
+    pub writers: usize,
+    /// Threads running back-to-back range scans.
+    pub scanners: usize,
+    /// Key space (keys drawn from `[0, key_space)`).
+    pub key_space: u64,
+    /// Prefill before the run (every key for KV tables, every even key
+    /// for sets — matching each family's steady-state convention).
+    pub prefill: bool,
+    /// Key distribution for the writers.
+    pub dist: KeyDist,
+    /// Width of each analytical scan: `[lo, min(lo + scan_span,
+    /// key_space))`. HTAP scans are meant to be *long* — a sizeable
+    /// fraction of the space, not the 1/32nd point-mix default.
+    pub scan_span: u64,
+    /// Measured duration (after warmup).
+    pub duration: Duration,
+    /// Warmup duration (not measured).
+    pub warmup: Duration,
+    /// Record per-scan latency (scans only; writers never sample).
+    pub record_latency: bool,
+    /// Base seed for the deterministic per-thread streams.
+    pub seed: u64,
+}
+
+impl HtapSpec {
+    /// Total worker threads (`writers + scanners`).
+    pub fn threads(&self) -> usize {
+        self.writers + self.scanners
+    }
+}
+
+/// Result of one HTAP run. `measurement.latency` holds **scan**
+/// latency only; `measurement.ops` counts both roles' completed
+/// operations (one scan = one op).
+#[derive(Debug, Clone)]
+pub struct HtapMeasurement {
+    /// Window timing, combined throughput and the scan-only latency
+    /// histogram.
+    pub measurement: Measurement,
+    /// Write-mix operations completed inside the measured window.
+    pub writer_ops: u64,
+    /// Scans completed inside the measured window.
+    pub scans: u64,
+}
+
+impl HtapMeasurement {
+    /// Completed scans per second over the measured window.
+    pub fn scan_throughput(&self) -> f64 {
+        let secs = self.measurement.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.scans as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Scanner-side stream: deterministic scan origins, uniform over the
+/// space regardless of the writers' distribution (analytical scans
+/// sweep the table; they do not chase the writers' hot set).
+fn scan_bounds(rng: &mut SplitMix64, key_space: u64, span: u64) -> (u64, u64) {
+    let lo = rng.next_below(key_space.max(1));
+    (lo, lo.saturating_add(span).min(key_space))
+}
+
+/// Run an HTAP workload against a [`KvTable`]: `spec.writers` threads
+/// draw from `mix` (typically [`KvMix::ycsb_a`]) while `spec.scanners`
+/// threads run back-to-back `scan` calls. `on_measure_start` fires at
+/// the instant the measured window opens (reset external counters
+/// there).
+pub fn run_htap_kv<T: KvTable + ?Sized>(
+    table: &T,
+    mix: KvMix,
+    spec: &HtapSpec,
+    on_measure_start: impl Fn() + Sync,
+) -> HtapMeasurement {
+    if spec.prefill {
+        let entries: Vec<(u64, u64)> =
+            (0..spec.key_space).map(|k| (k, k.wrapping_mul(0x9E37_79B9_7F4A_7C15))).collect();
+        table.load(&entries);
+    }
+    let (measurement, (writer_ops, scans)) = run_timed(
+        spec.threads(),
+        spec.warmup,
+        spec.duration,
+        spec.record_latency,
+        on_measure_start,
+        |t| {
+            let scanner = t >= spec.writers;
+            let mut keys = KeyStream::new(spec.dist, spec.key_space, spec.seed).for_thread(t);
+            let mut ops_rng = SplitMix64::for_thread(spec.seed ^ 0x6B76_0D12, t);
+            let mut val_rng = SplitMix64::for_thread(spec.seed ^ 0x5EED_F00D, t);
+            move |timed: bool| {
+                if scanner {
+                    let (lo, hi) = scan_bounds(&mut ops_rng, spec.key_space, spec.scan_span);
+                    let t0 = timed.then(Instant::now);
+                    std::hint::black_box(table.scan(lo, hi));
+                    return ((0u64, 1u64), t0.map(elapsed_ns));
+                }
+                // Writers never sample: the merged histogram stays
+                // scan-only whatever the mix draws.
+                match mix.next_op(&mut ops_rng) {
+                    KvOp::Read => {
+                        std::hint::black_box(table.read(keys.next_key()));
+                    }
+                    KvOp::Update => table.update(keys.next_key(), val_rng.next_u64()),
+                    KvOp::Insert => table.insert(keys.next_insert_key(), val_rng.next_u64()),
+                    KvOp::Delete => {
+                        std::hint::black_box(table.delete(keys.next_key()));
+                    }
+                    KvOp::ReadModifyWrite => {
+                        table.read_modify_write(keys.next_key(), val_rng.next_u64())
+                    }
+                    KvOp::Scan => {
+                        // A scan drawn by the *write* mix is a short
+                        // transactional range op, not an analytical
+                        // scan; it counts as writer work and is not
+                        // sampled.
+                        let lo = keys.next_key();
+                        let hi = lo.saturating_add(spec.scan_span).min(keys.frontier());
+                        std::hint::black_box(table.scan(lo, hi));
+                    }
+                }
+                ((1u64, 0u64), None)
+            }
+        },
+        |acc: &mut (u64, u64), d| {
+            acc.0 += d.0;
+            acc.1 += d.1;
+        },
+    );
+    HtapMeasurement { measurement, writer_ops, scans }
+}
+
+/// Run an HTAP workload against a [`RangeSet`]: `spec.writers` threads
+/// draw from `mix` (point membership traffic) while `spec.scanners`
+/// threads run back-to-back `range_count` calls.
+pub fn run_htap_set<S: RangeSet + ?Sized>(
+    set: &S,
+    mix: OpMix,
+    spec: &HtapSpec,
+    on_measure_start: impl Fn() + Sync,
+) -> HtapMeasurement {
+    if spec.prefill {
+        for k in (0..spec.key_space).step_by(2) {
+            set.insert(k);
+        }
+    }
+    let (measurement, (writer_ops, scans)) = run_timed(
+        spec.threads(),
+        spec.warmup,
+        spec.duration,
+        spec.record_latency,
+        on_measure_start,
+        |t| {
+            let scanner = t >= spec.writers;
+            let mut keys = KeyStream::new(spec.dist, spec.key_space, spec.seed).for_thread(t);
+            let mut ops_rng = SplitMix64::for_thread(spec.seed ^ 0xDEAD_BEEF, t);
+            move |timed: bool| {
+                if scanner {
+                    let (lo, hi) = scan_bounds(&mut ops_rng, spec.key_space, spec.scan_span);
+                    let t0 = timed.then(Instant::now);
+                    std::hint::black_box(set.range_count(lo, hi));
+                    return ((0u64, 1u64), t0.map(elapsed_ns));
+                }
+                let key = keys.next_key();
+                match mix.next_op(&mut ops_rng) {
+                    OpKind::Contains => {
+                        std::hint::black_box(set.contains(key));
+                    }
+                    OpKind::Insert => {
+                        std::hint::black_box(set.insert(key));
+                    }
+                    OpKind::Remove => {
+                        std::hint::black_box(set.remove(key));
+                    }
+                    OpKind::RangeScan => {
+                        let hi = key.saturating_add(spec.scan_span).min(spec.key_space);
+                        std::hint::black_box(set.range_count(key, hi));
+                    }
+                }
+                ((1u64, 0u64), None)
+            }
+        },
+        |acc: &mut (u64, u64), d| {
+            acc.0 += d.0;
+            acc.1 += d.1;
+        },
+    );
+    HtapMeasurement { measurement, writer_ops, scans }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::ConcurrentSet;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::Mutex;
+
+    struct MutexTable(Mutex<BTreeMap<u64, u64>>);
+
+    impl KvTable for MutexTable {
+        fn read(&self, key: u64) -> bool {
+            self.0.lock().unwrap().contains_key(&key)
+        }
+        fn update(&self, key: u64, value: u64) {
+            self.0.lock().unwrap().insert(key, value);
+        }
+        fn insert(&self, key: u64, value: u64) {
+            self.0.lock().unwrap().insert(key, value);
+        }
+        fn delete(&self, key: u64) -> bool {
+            self.0.lock().unwrap().remove(&key).is_some()
+        }
+        fn read_modify_write(&self, key: u64, value: u64) {
+            let mut map = self.0.lock().unwrap();
+            let next = map.get(&key).map_or(value, |v| v ^ value);
+            map.insert(key, next);
+        }
+        fn scan(&self, lo: u64, hi: u64) -> usize {
+            if lo >= hi {
+                return 0;
+            }
+            self.0.lock().unwrap().range(lo..hi).count()
+        }
+    }
+
+    struct MutexSet(Mutex<BTreeSet<u64>>);
+
+    impl ConcurrentSet for MutexSet {
+        fn contains(&self, key: u64) -> bool {
+            self.0.lock().unwrap().contains(&key)
+        }
+        fn insert(&self, key: u64) -> bool {
+            self.0.lock().unwrap().insert(key)
+        }
+        fn remove(&self, key: u64) -> bool {
+            self.0.lock().unwrap().remove(&key)
+        }
+    }
+
+    impl RangeSet for MutexSet {
+        fn range_count(&self, lo: u64, hi: u64) -> usize {
+            if lo >= hi {
+                return 0;
+            }
+            self.0.lock().unwrap().range(lo..hi).count()
+        }
+    }
+
+    fn tiny_spec() -> HtapSpec {
+        HtapSpec {
+            writers: 2,
+            scanners: 1,
+            key_space: 128,
+            prefill: true,
+            dist: KeyDist::Uniform,
+            scan_span: 64,
+            duration: Duration::from_millis(30),
+            warmup: Duration::from_millis(5),
+            record_latency: true,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn kv_run_splits_roles_and_samples_scans_only() {
+        let table = MutexTable(Mutex::new(BTreeMap::new()));
+        let m = run_htap_kv(&table, KvMix::ycsb_a(), &tiny_spec(), || {});
+        assert!(m.writer_ops > 0, "writers made no progress");
+        assert!(m.scans > 0, "scanner made no progress");
+        assert_eq!(m.measurement.ops, m.writer_ops + m.scans);
+        // Scan-only histogram: every sample is a scan, so the count
+        // can never exceed the scan tally.
+        assert!(m.measurement.latency.count() > 0);
+        assert!(m.measurement.latency.count() <= m.scans);
+        assert!(m.scan_throughput() > 0.0);
+    }
+
+    #[test]
+    fn set_run_splits_roles_and_samples_scans_only() {
+        let set = MutexSet(Mutex::new(BTreeSet::new()));
+        let m = run_htap_set(&set, OpMix::updates(50), &tiny_spec(), || {});
+        assert!(m.writer_ops > 0);
+        assert!(m.scans > 0);
+        assert!(m.measurement.latency.count() <= m.scans);
+    }
+
+    #[test]
+    fn latency_recording_can_be_disabled() {
+        let table = MutexTable(Mutex::new(BTreeMap::new()));
+        let mut spec = tiny_spec();
+        spec.record_latency = false;
+        let m = run_htap_kv(&table, KvMix::ycsb_a(), &spec, || {});
+        assert_eq!(m.measurement.latency.count(), 0);
+        assert!(m.scans > 0);
+    }
+
+    #[test]
+    fn measure_start_hook_fires_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let set = MutexSet(Mutex::new(BTreeSet::new()));
+        let fired = AtomicU32::new(0);
+        run_htap_set(&set, OpMix::updates(20), &tiny_spec(), || {
+            fired.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scan_bounds_stay_inside_the_space() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let (lo, hi) = scan_bounds(&mut rng, 100, 40);
+            assert!(lo < 100);
+            assert!(hi <= 100);
+            assert!(hi >= lo);
+        }
+    }
+}

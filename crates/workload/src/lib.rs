@@ -17,6 +17,9 @@
 //! * [`kv`] — the record-store (YCSB-style) counterpart: the
 //!   [`kv::KvTable`] abstraction, [`kv::KvMix`] operation mixes with
 //!   the YCSB A–F presets, and a timed driver with read-hit accounting;
+//! * [`htap`] — dedicated-role hybrid workloads: analytical scanner
+//!   threads running long range scans concurrently with transactional
+//!   writer threads, reporting scan-only latency quantiles;
 //! * [`hist`] — a mergeable log-bucketed latency histogram
 //!   (p50/p95/p99/p999);
 //! * [`table`] — fixed-width ASCII table and CSV emitters for the
@@ -27,6 +30,7 @@
 
 pub mod driver;
 pub mod hist;
+pub mod htap;
 pub mod keys;
 pub mod kv;
 pub mod mix;
@@ -38,6 +42,7 @@ pub use driver::{
     RangeSet, WorkloadSpec,
 };
 pub use hist::LatencyHistogram;
+pub use htap::{run_htap_kv, run_htap_set, HtapMeasurement, HtapSpec};
 pub use keys::{KeyDist, KeyStream};
 pub use kv::{run_kv_scenario, run_kv_scenario_with, KvMeasurement, KvMix, KvOp, KvSpec, KvTable};
 pub use mix::{MixCursor, MixPhase, MixSchedule, OpKind, OpMix};
