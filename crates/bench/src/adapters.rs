@@ -8,6 +8,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use polytm::{ClassId, Semantics, Stm, StmConfig, TxParams};
 use polytm_adaptive::Advisor;
+use polytm_durable::{Durability, DurableKv, DurableKvConfig, RealFs, WalConfig};
 use polytm_kv::{KvConfig, KvParams, KvStore, Value};
 use polytm_lockfree::{MichaelHashSet, SplitOrderedSet};
 use polytm_locks::{HandOverHandList, StripedHashSet};
@@ -786,12 +787,100 @@ fn make_kv_coarse_lock() -> KvBackendInstance {
     KvBackendInstance { table: Box::new(CoarseLockKv(Mutex::new(HashMap::new()))), stm: None }
 }
 
+/// The durable store behind the KV driver: every mutation is a logged
+/// transaction over a real on-disk WAL (a fresh temp directory per
+/// instance, deleted on drop). The durability counters it feeds the
+/// STM stats become the `commits_durable`/`fsyncs`/`wal_bytes` bench
+/// columns.
+pub struct DurableKvTable {
+    store: DurableKv,
+    dir: std::path::PathBuf,
+}
+
+impl DurableKvTable {
+    fn open(mode: Durability) -> Self {
+        static INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("polytm-bench-wal-{}-{n}", std::process::id()));
+        let fs = Arc::new(RealFs::open(&dir).expect("create bench WAL directory"));
+        let store = DurableKv::open(
+            fs,
+            DurableKvConfig {
+                kv: KvConfig { shards: 16, initial_slots: 64, params: KvParams::fixed() },
+                wal: WalConfig { mode, ..WalConfig::default() },
+            },
+        )
+        .expect("open durable bench store");
+        Self { store, dir }
+    }
+}
+
+impl Drop for DurableKvTable {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl KvTable for DurableKvTable {
+    fn read(&self, key: u64) -> bool {
+        self.store.contains(key)
+    }
+    fn update(&self, key: u64, value: u64) {
+        self.store.put(key, Value::from_u64(value)).expect("bench WAL healthy");
+    }
+    fn insert(&self, key: u64, value: u64) {
+        self.store.put(key, Value::from_u64(value)).expect("bench WAL healthy");
+    }
+    fn delete(&self, key: u64) -> bool {
+        self.store.delete(key).expect("bench WAL healthy").is_some()
+    }
+    fn read_modify_write(&self, key: u64, value: u64) {
+        self.store
+            .txn(|tx| {
+                let cur = tx.get(key)?.and_then(|v| v.as_u64()).unwrap_or(0);
+                tx.put(key, Value::from_u64(cur ^ value))?;
+                Ok(())
+            })
+            .expect("bench WAL healthy");
+    }
+    fn scan(&self, lo: u64, hi: u64) -> usize {
+        self.store.range_count(lo, hi)
+    }
+    fn load(&self, entries: &[(u64, u64)]) {
+        let batch: Vec<(u64, Value)> =
+            entries.iter().map(|&(k, v)| (k, Value::from_u64(v))).collect();
+        self.store.multi_put(&batch).expect("bench WAL healthy");
+    }
+}
+
+fn make_kv_durable_sync() -> KvBackendInstance {
+    let table = DurableKvTable::open(Durability::Sync);
+    let stm = Arc::clone(table.store.stm());
+    KvBackendInstance { table: Box::new(table), stm: Some(stm) }
+}
+
+fn make_kv_durable_async() -> KvBackendInstance {
+    let table = DurableKvTable::open(Durability::Async);
+    let stm = Arc::clone(table.store.stm());
+    KvBackendInstance { table: Box::new(table), stm: Some(stm) }
+}
+
 /// Every KV backend the YCSB scenario family drives.
 pub const KV_BACKENDS: &[KvBackend] = &[
     KvBackend { name: "kv-sharded", family: Family::Transactional, make: make_kv_sharded },
     KvBackend { name: "kv-adaptive", family: Family::Transactional, make: make_kv_adaptive },
     KvBackend { name: "kv-single", family: Family::Transactional, make: make_kv_single },
     KvBackend { name: "kv-coarse-lock", family: Family::LockBased, make: make_kv_coarse_lock },
+    KvBackend {
+        name: "kv-durable-sync",
+        family: Family::Transactional,
+        make: make_kv_durable_sync,
+    },
+    KvBackend {
+        name: "kv-durable-async",
+        family: Family::Transactional,
+        make: make_kv_durable_async,
+    },
 ];
 
 #[cfg(test)]

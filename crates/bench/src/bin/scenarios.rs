@@ -53,6 +53,37 @@ struct ScanFields {
     aborts: u64,
 }
 
+/// Durability columns of a row whose backend commits through a WAL:
+/// the group-commit bucket over the measured window, plus the fsync
+/// rate the window implies.
+struct DurabilityFields {
+    commits_durable: u64,
+    group_commit_batches: u64,
+    fsyncs: u64,
+    wal_bytes: u64,
+    fsyncs_per_sec: f64,
+}
+
+/// Durability columns from the measured window's stats, when the
+/// backend logged anything (non-durable backends report all-zero
+/// buckets and get no columns).
+fn durability_fields(
+    stats: Option<&polytm::StatsSnapshot>,
+    window: Duration,
+) -> Option<DurabilityFields> {
+    let s = stats?;
+    if s.commits_durable == 0 && s.fsyncs == 0 {
+        return None;
+    }
+    Some(DurabilityFields {
+        commits_durable: s.commits_durable,
+        group_commit_batches: s.group_commit_batches,
+        fsyncs: s.fsyncs,
+        wal_bytes: s.wal_bytes,
+        fsyncs_per_sec: s.fsyncs as f64 / window.as_secs_f64().max(f64::EPSILON),
+    })
+}
+
 /// One output row.
 struct Row {
     bench: String,
@@ -70,6 +101,8 @@ struct Row {
     kv: Option<(f64, u64)>,
     /// HTAP rows only: the scan-side columns.
     scan: Option<ScanFields>,
+    /// Durable-backend rows only: the WAL / group-commit columns.
+    durability: Option<DurabilityFields>,
 }
 
 /// Measurement windows for the two modes.
@@ -232,6 +265,7 @@ fn run_kv_cell(backend: &KvBackend, scenario: &KvScenario, threads: usize, k: &K
         aborts_by_cause,
         kv: Some((m.found_ratio(), KV_KEY_SPACE)),
         scan: None,
+        durability: durability_fields(stats.as_ref(), k.sweep),
     }
 }
 
@@ -276,6 +310,7 @@ fn run_cell(backend: &Backend, scenario: &Scenario, threads: usize, k: &Knobs) -
         aborts_by_cause,
         kv: None,
         scan: None,
+        durability: None,
     }
 }
 
@@ -288,6 +323,7 @@ fn htap_row(
     writers: usize,
     m: &polytm_workload::HtapMeasurement,
     stats: Option<&polytm::StatsSnapshot>,
+    window: Duration,
 ) -> Row {
     let abort_ratio = stats.map_or(0.0, |s| s.abort_ratio());
     let aborts_by_cause =
@@ -312,6 +348,7 @@ fn htap_row(
             p999_ns: lat.p999(),
             aborts: scan_aborts,
         }),
+        durability: durability_fields(stats, window),
     }
 }
 
@@ -327,7 +364,7 @@ fn run_htap_set_cell(backend: &Backend, writers: usize, k: &Knobs) -> Row {
         }
     });
     let stats = instance.stm.as_ref().map(|stm| stm.stats());
-    htap_row(format!("{HTAP_SCENARIO}/{}", backend.name), writers, &m, stats.as_ref())
+    htap_row(format!("{HTAP_SCENARIO}/{}", backend.name), writers, &m, stats.as_ref(), k.sweep)
 }
 
 fn run_htap_kv_cell(backend: &KvBackend, writers: usize, k: &Knobs) -> Row {
@@ -340,7 +377,7 @@ fn run_htap_kv_cell(backend: &KvBackend, writers: usize, k: &Knobs) -> Row {
         }
     });
     let stats = instance.stm.as_ref().map(|stm| stm.stats());
-    htap_row(format!("{HTAP_SCENARIO}/{}", backend.name), writers, &m, stats.as_ref())
+    htap_row(format!("{HTAP_SCENARIO}/{}", backend.name), writers, &m, stats.as_ref(), k.sweep)
 }
 
 fn render_row(rev: &str, label: &str, cores: usize, r: &Row) -> String {
@@ -360,13 +397,24 @@ fn render_row(rev: &str, label: &str, cores: usize, r: &Row) -> String {
             )
         })
         .unwrap_or_default();
+    let durability_fields = r
+        .durability
+        .as_ref()
+        .map(|d| {
+            format!(
+                ",\"commits_durable\":{},\"group_commit_batches\":{},\"fsyncs\":{},\
+                 \"wal_bytes\":{},\"fsyncs_per_sec\":{:.1}",
+                d.commits_durable, d.group_commit_batches, d.fsyncs, d.wal_bytes, d.fsyncs_per_sec
+            )
+        })
+        .unwrap_or_default();
     format!(
         "  {{\"rev\":\"{rev}\",\"label\":\"{label}\",\"bench\":\"{}\",\"threads\":{},\
          \"cores\":{cores},\
          \"ops_per_sec\":{:.1},\"abort_ratio\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
          \"aborts_lock\":{lock},\"aborts_validation\":{validation},\"aborts_cut\":{cut},\
          \"aborts_capacity\":{capacity},\"aborts_unavailable\":{unavailable}\
-         {kv_fields}{scan_fields}}}",
+         {kv_fields}{scan_fields}{durability_fields}}}",
         r.bench, r.threads, r.ops_per_sec, r.abort_ratio, r.p50_ns, r.p99_ns, r.p999_ns
     )
 }

@@ -356,7 +356,8 @@ impl RowSchema {
     /// schema grew per-cause abort counts after the first batches were
     /// recorded, the kv (YCSB) family later added its read-hit ratio
     /// and key-space columns, and the HTAP family added scan-only
-    /// latency quantiles and scan-abort counts; both schemas may carry
+    /// latency quantiles and scan-abort counts, the durable-backend
+    /// rows added the WAL / group-commit bucket; both schemas may carry
     /// the runner's core count. Rows from before any extension stay
     /// valid.
     fn optional_fields(self) -> &'static [&'static str] {
@@ -374,6 +375,11 @@ impl RowSchema {
                 "scan_p99_ns",
                 "scan_p999_ns",
                 "scan_aborts",
+                "commits_durable",
+                "group_commit_batches",
+                "fsyncs",
+                "wal_bytes",
+                "fsyncs_per_sec",
                 "cores",
             ],
         }
@@ -395,6 +401,10 @@ impl RowSchema {
                 "scan_p99_ns",
                 "scan_p999_ns",
                 "scan_aborts",
+                "commits_durable",
+                "group_commit_batches",
+                "fsyncs",
+                "wal_bytes",
                 "cores",
             ],
         }
@@ -487,6 +497,18 @@ fn validate_row(row: &[(String, Json)], schema: RowSchema) -> Result<String, Str
                     "scan quantiles out of order: scan_p50={s50} scan_p99={s99} scan_p999={s999}"
                 ));
             }
+        }
+        // Durable-backend columns travel as a bundle: the counts are
+        // validated as integers above; the fsync rate is a derived
+        // float and must come with them.
+        let durability_cols =
+            ["commits_durable", "group_commit_batches", "fsyncs", "wal_bytes", "fsyncs_per_sec"]
+                .map(|name| field(row, name).is_some());
+        if durability_cols.iter().any(|&p| p) {
+            if !durability_cols.iter().all(|&p| p) {
+                return Err("durability columns must appear as a full bundle".into());
+            }
+            nonneg_finite(row, "fsyncs_per_sec")?;
         }
     }
     for name in schema.optional_integer_fields() {
@@ -700,6 +722,37 @@ mod tests {
         // ...and the core schema accepts none of them.
         let core_bad =
             GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"scan_aborts\":1");
+        assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
+            .unwrap_err()
+            .contains("unknown"));
+    }
+
+    #[test]
+    fn durability_fields_are_accepted_and_typed() {
+        // A durable-backend row carries the whole WAL bucket...
+        let durable_row = GOOD_SCEN.replace(
+            "\"p999_ns\":50000",
+            "\"p999_ns\":50000,\"commits_durable\":800,\"group_commit_batches\":120,\
+             \"fsyncs\":120,\"wal_bytes\":65536,\"fsyncs_per_sec\":400.0",
+        );
+        let (n, _, s) = validate_trajectory(&durable_row, None).unwrap();
+        assert_eq!((n, s), (1, RowSchema::Scenarios));
+        // ...rows from before the extension stay valid, ...
+        assert!(validate_trajectory(GOOD_SCEN, None).is_ok());
+        // ...the counts must be non-negative integers, ...
+        let bad = durable_row.replace("\"fsyncs\":120", "\"fsyncs\":120.5");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("fsyncs"));
+        let bad = durable_row.replace("\"wal_bytes\":65536", "\"wal_bytes\":-1");
+        assert!(validate_trajectory(&bad, None).is_err());
+        // ...the rate is any non-negative number, ...
+        let bad = durable_row.replace("\"fsyncs_per_sec\":400.0", "\"fsyncs_per_sec\":-4");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("fsyncs_per_sec"));
+        // ...a partial bundle is a writer bug, ...
+        let partial = GOOD_SCEN.replace("\"p999_ns\":50000", "\"p999_ns\":50000,\"fsyncs\":120");
+        assert!(validate_trajectory(&partial, None).unwrap_err().contains("bundle"));
+        // ...and the core schema accepts none of them.
+        let core_bad =
+            GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"fsyncs\":1");
         assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
             .unwrap_err()
             .contains("unknown"));

@@ -73,6 +73,7 @@ pub mod clock;
 pub mod cm;
 pub mod error;
 pub(crate) mod gate;
+pub mod redo;
 pub mod semantics;
 pub mod shard;
 pub(crate) mod snapreg;
@@ -90,6 +91,7 @@ pub use cm::{
     Backoff, ConflictArbiter, ConflictDecision, ContentionManager, Greedy, Suicide, TxMeta,
 };
 pub use error::{Abort, AbortCause, Canceled, TxResult};
+pub use redo::{CommitInfo, RedoSink};
 pub use semantics::{NestingPolicy, Semantics, Strength};
 pub use shard::current_thread_index;
 pub use stats::{StatsSnapshot, StmStats};

@@ -1,0 +1,52 @@
+//! Commit-time redo hook.
+//!
+//! A durability layer (see `polytm-durable`) installs a [`RedoSink`] on
+//! the [`crate::Stm`] at construction. Transactions stage opaque redo
+//! bytes with [`crate::Transaction::stage_redo`]; when an attempt
+//! commits, the runtime hands the staged bytes to the sink exactly once,
+//! stamped with the commit's write version, *while the commit still
+//! holds every location lock it acquired*. That placement is the whole
+//! contract: the sink observes commits in an order consistent with
+//! every per-location serialization (a transaction that read this
+//! commit's writes can only enqueue after this commit's enqueue), so a
+//! log that persists a prefix of the enqueue order persists a prefix of
+//! the history.
+//!
+//! The sink must therefore be fast and non-blocking — stage into an
+//! in-memory buffer and assign a sequence number; do I/O elsewhere. It
+//! must also be infallible from the runtime's point of view: a sink
+//! cannot veto a commit (the writes are about to publish regardless).
+//! Durability failures are reported out-of-band, when a caller asks the
+//! durability layer to *wait* for a sequence number.
+
+/// Where committed redo bytes go. Installed once per [`crate::Stm`] via
+/// [`crate::Stm::with_redo_sink`]; see the module docs for the calling
+/// contract.
+pub trait RedoSink: Send + Sync {
+    /// Accept the redo bytes of one committing transaction, stamped
+    /// with the commit's write version `wv`, and return the log
+    /// sequence number assigned to it.
+    ///
+    /// Called with the commit's location locks held: implementations
+    /// must only stage into memory (a short critical section is fine;
+    /// file I/O or unbounded waits are not — apply backpressure
+    /// *before* the transaction runs, not here). Must not panic and
+    /// must not call back into the STM.
+    fn append(&self, wv: u64, redo: &[u8]) -> u64;
+}
+
+/// Commit metadata reported by [`crate::Stm::run_logged`] /
+/// [`crate::Stm::try_run_logged`] for the attempt that committed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// The commit's clock stamp: the write version of an optimistic
+    /// commit, or the commit-time clock value of an irrevocable
+    /// transaction (an upper bound on its eager writes' versions). 0
+    /// when the transaction published nothing and staged no redo
+    /// (read-only commit).
+    pub wv: u64,
+    /// Sequence number the installed [`RedoSink`] assigned to this
+    /// commit's redo bytes. `None` when no sink is installed, no redo
+    /// bytes were staged, or the commit published nothing.
+    pub seq: Option<u64>,
+}

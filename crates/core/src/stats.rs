@@ -36,10 +36,14 @@ struct StatShard {
     irrevocable_upgrades: AtomicU64,
     irrevocable_commits: AtomicU64,
     boxed_writes: AtomicU64,
+    commits_durable: AtomicU64,
+    group_commit_batches: AtomicU64,
+    fsyncs: AtomicU64,
+    wal_bytes: AtomicU64,
 }
 
 impl StatShard {
-    fn counters(&self) -> [&AtomicU64; 13] {
+    fn counters(&self) -> [&AtomicU64; 17] {
         [
             &self.commits,
             &self.aborts_read_conflict,
@@ -54,6 +58,10 @@ impl StatShard {
             &self.irrevocable_upgrades,
             &self.irrevocable_commits,
             &self.boxed_writes,
+            &self.commits_durable,
+            &self.group_commit_batches,
+            &self.fsyncs,
+            &self.wal_bytes,
         ]
     }
 }
@@ -139,13 +147,32 @@ impl StmStats {
         self.shard().boxed_writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record durability work (see [`crate::Stm::record_durable`]): a
+    /// group-commit leader reports its whole batch in one call, so the
+    /// counters cost nothing on unbatched paths.
+    pub(crate) fn record_durable(&self, commits: u64, batches: u64, fsyncs: u64, wal_bytes: u64) {
+        let s = self.shard();
+        if commits > 0 {
+            s.commits_durable.fetch_add(commits, Ordering::Relaxed);
+        }
+        if batches > 0 {
+            s.group_commit_batches.fetch_add(batches, Ordering::Relaxed);
+        }
+        if fsyncs > 0 {
+            s.fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
+        }
+        if wal_bytes > 0 {
+            s.wal_bytes.fetch_add(wal_bytes, Ordering::Relaxed);
+        }
+    }
+
     /// Aggregate all shards into one snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut out = StatsSnapshot::default();
         for shard in self.shards.iter() {
             // Zipped against counters() so the counter list lives in
             // exactly one place; a mismatch is a compile error here.
-            let dst: [&mut u64; 13] = [
+            let dst: [&mut u64; 17] = [
                 &mut out.commits,
                 &mut out.aborts_read_conflict,
                 &mut out.aborts_locked,
@@ -159,6 +186,10 @@ impl StmStats {
                 &mut out.irrevocable_upgrades,
                 &mut out.irrevocable_commits,
                 &mut out.boxed_writes,
+                &mut out.commits_durable,
+                &mut out.group_commit_batches,
+                &mut out.fsyncs,
+                &mut out.wal_bytes,
             ];
             for (src, dst) in shard.counters().iter().zip(dst) {
                 *dst += src.load(Ordering::Relaxed);
@@ -194,6 +225,10 @@ pub struct StatsSnapshot {
     pub irrevocable_upgrades: u64,
     pub irrevocable_commits: u64,
     pub boxed_writes: u64,
+    pub commits_durable: u64,
+    pub group_commit_batches: u64,
+    pub fsyncs: u64,
+    pub wal_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -252,6 +287,10 @@ impl StatsSnapshot {
             irrevocable_upgrades: self.irrevocable_upgrades - earlier.irrevocable_upgrades,
             irrevocable_commits: self.irrevocable_commits - earlier.irrevocable_commits,
             boxed_writes: self.boxed_writes - earlier.boxed_writes,
+            commits_durable: self.commits_durable - earlier.commits_durable,
+            group_commit_batches: self.group_commit_batches - earlier.group_commit_batches,
+            fsyncs: self.fsyncs - earlier.fsyncs,
+            wal_bytes: self.wal_bytes - earlier.wal_bytes,
         }
     }
 }
@@ -363,6 +402,25 @@ mod tests {
         assert_eq!(d.boxed_writes, 2);
         s.reset();
         assert_eq!(s.snapshot().boxed_writes, 0);
+    }
+
+    #[test]
+    fn durability_bucket_batches_and_resets() {
+        let s = StmStats::default();
+        // A group-commit leader reporting a 3-commit batch, then a
+        // solo commit's own fsync.
+        s.record_durable(3, 1, 1, 96);
+        s.record_durable(1, 1, 1, 32);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits_durable, 4);
+        assert_eq!(snap.group_commit_batches, 2);
+        assert_eq!(snap.fsyncs, 2);
+        assert_eq!(snap.wal_bytes, 128);
+        let d = s.snapshot().delta_since(&snap);
+        assert_eq!(d.commits_durable, 0);
+        assert_eq!(d.wal_bytes, 0);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::clock::GlobalClock;
 use crate::cm::{ConflictArbiter, ContentionManager, TxMeta};
 use crate::error::{Abort, Canceled, TxResult};
 use crate::gate::IrrevGate;
+use crate::redo::{CommitInfo, RedoSink};
 use crate::semantics::{NestingPolicy, Semantics};
 use crate::snapreg::SnapshotRegistry;
 use crate::stats::{StatsSnapshot, StmStats};
@@ -118,6 +119,9 @@ pub struct Stm {
     /// tagged with a [`ClassId`]. Fixed at construction so the hot path
     /// reads a plain field, not a synchronized cell.
     advisor: Option<Arc<dyn SemanticsSource>>,
+    /// Installed commit-time redo sink (see `redo.rs`). Fixed at
+    /// construction like the advisor, for the same hot-path reason.
+    redo_sink: Option<Arc<dyn RedoSink>>,
 }
 
 impl std::fmt::Debug for Stm {
@@ -188,6 +192,7 @@ impl Stm {
             config,
             stats: StmStats::default(),
             advisor: None,
+            redo_sink: None,
         }
     }
 
@@ -199,9 +204,24 @@ impl Stm {
         Self { advisor: Some(advisor), ..Self::with_config(config) }
     }
 
+    /// New instance with an installed [`RedoSink`]: every committing
+    /// transaction that staged redo bytes (see
+    /// [`Transaction::stage_redo`]) hands them to the sink, stamped
+    /// with its write version, before its writes become visible. Used
+    /// by the durability layer (`polytm-durable`) to drive a write-ahead
+    /// log off the commit path.
+    pub fn with_redo_sink(config: StmConfig, sink: Arc<dyn RedoSink>) -> Self {
+        Self { redo_sink: Some(sink), ..Self::with_config(config) }
+    }
+
     /// The installed advisor, if any.
     pub fn advisor(&self) -> Option<&Arc<dyn SemanticsSource>> {
         self.advisor.as_ref()
+    }
+
+    /// The installed redo sink, if any.
+    pub fn redo_sink(&self) -> Option<&Arc<dyn RedoSink>> {
+        self.redo_sink.as_ref()
     }
 
     /// Unique instance id (used for debug-mode TVar pairing checks).
@@ -246,6 +266,15 @@ impl Stm {
         self.stats.reset();
     }
 
+    /// Record durability work done on behalf of this instance's commits
+    /// (the [`StatsSnapshot`] durability bucket). Called by the
+    /// attached durability layer — typically once per group-commit
+    /// batch: `commits` transactions made durable, by `batches` batches
+    /// costing `fsyncs` fsync calls over `wal_bytes` appended bytes.
+    pub fn record_durable(&self, commits: u64, batches: u64, fsyncs: u64, wal_bytes: u64) {
+        self.stats.record_durable(commits, batches, fsyncs, wal_bytes);
+    }
+
     /// Create a [`TVar`] tagged to this instance, honouring the configured
     /// snapshot history depth.
     pub fn new_tvar<T: TxValue>(&self, value: T) -> TVar<T> {
@@ -273,7 +302,36 @@ impl Stm {
     /// Like [`Stm::run`], but the closure may cancel the transaction with
     /// [`Transaction::cancel`], which surfaces as `Err(Canceled)` with no
     /// effects published.
-    pub fn try_run<T, F>(&self, params: TxParams, mut f: F) -> Result<T, Canceled>
+    pub fn try_run<T, F>(&self, params: TxParams, f: F) -> Result<T, Canceled>
+    where
+        F: FnMut(&mut Transaction<'_>) -> TxResult<T>,
+    {
+        self.try_run_logged(params, f).map(|(value, _)| value)
+    }
+
+    /// [`Stm::run`] plus the committed attempt's [`CommitInfo`] — its
+    /// clock stamp and, when a [`RedoSink`] is installed and the
+    /// closure staged redo bytes, the log sequence number the sink
+    /// assigned. The durability layer uses the sequence number to wait
+    /// for the commit to become durable *after* the transaction is
+    /// over, keeping I/O off the lock-holding commit path.
+    ///
+    /// # Panics
+    /// As [`Stm::run`].
+    pub fn run_logged<T, F>(&self, params: TxParams, f: F) -> (T, CommitInfo)
+    where
+        F: FnMut(&mut Transaction<'_>) -> TxResult<T>,
+    {
+        self.try_run_logged(params, f)
+            .expect("transaction cancelled; use Stm::try_run_logged to permit cancellation")
+    }
+
+    /// [`Stm::run_logged`] with cancellation, as [`Stm::try_run`].
+    pub fn try_run_logged<T, F>(
+        &self,
+        params: TxParams,
+        mut f: F,
+    ) -> Result<(T, CommitInfo), Canceled>
     where
         F: FnMut(&mut Transaction<'_>) -> TxResult<T>,
     {
@@ -379,7 +437,7 @@ impl Stm {
                             telemetry.wrote |= receipt.writes > 0;
                             src.observe(telemetry);
                         }
-                        return Ok(value);
+                        return Ok((value, CommitInfo { wv: receipt.wv, seq: receipt.log_seq }));
                     }
                     Err((abort, receipt)) => {
                         // The failed attempt's cuts/extensions are real

@@ -405,6 +405,12 @@ pub(crate) struct TxDescriptor {
     /// Commit scratch: `(write index, pre-lock version)` of every lock
     /// held, in acquisition (= address) order.
     pub(crate) acquired: Vec<(u32, u64)>,
+    /// Redo bytes staged by [`crate::Transaction::stage_redo`] for the
+    /// installed [`crate::RedoSink`], appended to the log if (and only
+    /// if) this attempt commits. Cleared with the rest of the
+    /// descriptor between attempts, so a retried closure restages from
+    /// scratch.
+    pub(crate) redo: Vec<u8>,
 }
 
 impl Default for AddrIndex {
@@ -424,6 +430,7 @@ impl TxDescriptor {
         self.window_queue.clear();
         self.order.clear();
         self.acquired.clear();
+        self.redo.clear();
     }
 
     /// Pool-hygiene check: true when no state survives from a previous
@@ -436,6 +443,7 @@ impl TxDescriptor {
             && self.window_queue.is_empty()
             && self.order.is_empty()
             && self.acquired.is_empty()
+            && self.redo.is_empty()
     }
 }
 

@@ -183,6 +183,23 @@ impl<'s> Transaction<'s> {
         Err(Abort::Cancel)
     }
 
+    /// Stage redo bytes for the installed [`crate::RedoSink`]: if this
+    /// attempt commits *and publishes writes*, the concatenation of all
+    /// staged bytes is handed to the sink, stamped with the commit's
+    /// write version, before the writes become visible (see `redo.rs`
+    /// for the ordering contract). On abort or retry the staged bytes
+    /// are discarded with the attempt — a re-executed closure stages
+    /// from scratch — and a commit that publishes nothing (read-only,
+    /// e.g. a delete of an absent key that stages conservatively) drops
+    /// them too: no phantom log entries for no-op commits.
+    ///
+    /// The bytes are opaque to the runtime. No-op without an installed
+    /// sink (the buffer still accumulates; callers that care should
+    /// check [`crate::Stm::redo_sink`] first).
+    pub fn stage_redo(&mut self, bytes: &[u8]) {
+        self.desc.redo.extend_from_slice(bytes);
+    }
+
     /// The cached epoch pin, taken lazily.
     ///
     /// The vendored epoch frees deferred garbage only when the global
@@ -619,11 +636,13 @@ impl<'s> Transaction<'s> {
     /// commit are work that happened and must not vanish from the
     /// statistics.
     pub(crate) fn commit(mut self) -> Result<CommitReceipt, (Abort, CommitReceipt)> {
-        let receipt = CommitReceipt {
+        let mut receipt = CommitReceipt {
             cuts: self.cuts,
             extensions: self.extensions,
             live_reads: self.desc.read_index.len() as u64 + self.direct_reads,
             writes: self.desc.writes.len() as u64 + self.eager_writes,
+            wv: 0,
+            log_seq: None,
         };
         match self.semantics {
             // Snapshot reads were consistent at rv by construction (and
@@ -657,6 +676,15 @@ impl<'s> Transaction<'s> {
                         entry.slot.publish_payload(&mut entry.payload, wv, watermark, guard);
                     }
                 }
+                if receipt.writes > 0 {
+                    // Stamp: the commit-time clock value bounds every
+                    // eager write's tick from above, and the still-open
+                    // era excludes every other committer, so enqueue
+                    // order trivially respects the history here.
+                    let stamp = self.stm.clock().now();
+                    receipt.log_seq = self.append_redo(stamp);
+                    receipt.wv = stamp;
+                }
                 Ok(receipt)
             }
             Semantics::Opaque | Semantics::Elastic { .. } => {
@@ -664,17 +692,34 @@ impl<'s> Transaction<'s> {
                     // Read-only optimistic transactions are consistent at
                     // their (possibly extended) read version; nothing to
                     // publish, nothing to validate (TL2 read-only rule).
+                    // Any staged redo dies with the attempt: no writes,
+                    // nothing to make durable.
                     return Ok(receipt);
                 }
                 match self.commit_writes() {
-                    Ok(()) => Ok(receipt),
+                    Ok((wv, log_seq)) => {
+                        receipt.wv = wv;
+                        receipt.log_seq = log_seq;
+                        Ok(receipt)
+                    }
                     Err(abort) => Err((abort, receipt)),
                 }
             }
         }
     }
 
-    fn commit_writes(&mut self) -> TxResult<()> {
+    /// Hand staged redo bytes to the installed sink, stamped with
+    /// `stamp`. Returns the sink-assigned sequence number, or `None`
+    /// when there is no sink or nothing staged.
+    fn append_redo(&self, stamp: u64) -> Option<u64> {
+        if self.desc.redo.is_empty() {
+            return None;
+        }
+        let sink = self.stm.redo_sink()?;
+        Some(sink.append(stamp, &self.desc.redo))
+    }
+
+    fn commit_writes(&mut self) -> TxResult<(u64, Option<u64>)> {
         // Registration may spin for the whole duration of an open
         // irrevocable era (arbitrary user code): release the cached pin
         // first so a queued committer never stalls epoch reclamation.
@@ -702,7 +747,7 @@ impl<'s> Transaction<'s> {
         &mut self,
         order: &mut Vec<u32>,
         acquired: &mut Vec<(u32, u64)>,
-    ) -> TxResult<()> {
+    ) -> TxResult<(u64, Option<u64>)> {
         debug_assert!(order.is_empty() && acquired.is_empty());
 
         // Acquire write locks in address order (global total order =>
@@ -778,6 +823,17 @@ impl<'s> Transaction<'s> {
         // snapreg.rs relies on).
         let watermark = self.stm.snapreg().watermark(wv);
 
+        // Hand staged redo bytes to the installed sink *here* — after
+        // validation has succeeded (the commit is now certain) and
+        // before any write publishes. Every location lock is still
+        // held, so a transaction that later reads our writes can only
+        // enqueue its own redo after ours: the sink's sequence order
+        // respects every per-location serialization, and a durable
+        // prefix of it is a prefix of the history (redo.rs). The sink
+        // only stages into memory, so the added lock hold time is a
+        // short critical section, not I/O.
+        let log_seq = self.append_redo(wv);
+
         // Publish & unlock, pinned once for the whole batch.
         if self.guard.is_none() {
             self.guard = Some(epoch::pin());
@@ -787,7 +843,7 @@ impl<'s> Transaction<'s> {
             let entry = &mut self.desc.writes[i as usize];
             entry.slot.publish_payload(&mut entry.payload, wv, watermark, guard);
         }
-        Ok(())
+        Ok((wv, log_seq))
     }
 
     fn release_acquired(&self, acquired: &[(u32, u64)]) {
@@ -803,6 +859,8 @@ impl<'s> Transaction<'s> {
             extensions: self.extensions,
             live_reads: self.desc.read_index.len() as u64 + self.direct_reads,
             writes: self.desc.writes.len() as u64 + self.eager_writes,
+            wv: 0,
+            log_seq: None,
         }
     }
 }
@@ -835,6 +893,10 @@ pub(crate) struct CommitReceipt {
     pub extensions: u64,
     pub live_reads: u64,
     pub writes: u64,
+    /// Clock stamp of the commit (see [`crate::CommitInfo::wv`]).
+    pub wv: u64,
+    /// Sequence number the redo sink assigned, if any.
+    pub log_seq: Option<u64>,
 }
 
 #[cfg(test)]

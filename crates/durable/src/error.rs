@@ -1,0 +1,20 @@
+//! The durability failure type.
+
+use std::fmt;
+
+/// The write-ahead log can no longer honor durability: a log I/O error
+/// poisoned the group-commit loop, so new commits could be acknowledged
+/// only by lying about persistence. Instead the store degrades to
+/// read-only — reads keep serving the last consistent in-memory state,
+/// writes return this error, and the recovered-on-restart state is the
+/// durable prefix from before the failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityLost;
+
+impl fmt::Display for DurabilityLost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("durability lost: write-ahead log poisoned by an I/O error; store is read-only")
+    }
+}
+
+impl std::error::Error for DurabilityLost {}

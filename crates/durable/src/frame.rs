@@ -1,0 +1,244 @@
+//! On-disk framing: CRC32, length-prefixed redo entry frames, and the
+//! snapshot file layout.
+//!
+//! ## Entry frame
+//!
+//! ```text
+//! [magic u32][len u32][seq u64][wv u64][crc u32][payload: len bytes]
+//! ```
+//!
+//! All integers little-endian. `crc` is CRC-32 (IEEE) over the `len`,
+//! `seq` and `wv` fields followed by the payload, so a torn header and
+//! a torn payload are equally detectable. Decoding stops at the first
+//! frame that is truncated, mis-magicked, implausibly sized, or fails
+//! its CRC — the **longest valid prefix** rule recovery is built on.
+//!
+//! ## Snapshot file
+//!
+//! ```text
+//! [magic u32][cut W u64][start_seg u64][count u64]
+//! [count × (key u64, vlen u32, vlen bytes)][crc u32]
+//! ```
+//!
+//! `crc` covers everything after the magic. The snapshot is written to
+//! a temporary name, fsynced, then renamed over `snap.bin`, so a valid
+//! file is replaced atomically; recovery treats a missing file as an
+//! empty store and a corrupt one as a hard error (the write protocol
+//! never produces one — see `store.rs`).
+
+/// Entry frame magic: "PLOG".
+pub const ENTRY_MAGIC: u32 = 0x504C_4F47;
+/// Snapshot file magic: "PSNP".
+pub const SNAP_MAGIC: u32 = 0x5053_4E50;
+/// Entry frame header size in bytes.
+pub const ENTRY_HEADER: usize = 4 + 4 + 8 + 8 + 4;
+/// Sanity cap on a single entry's payload — anything larger than this
+/// in a length field is treated as corruption, not an allocation
+/// request.
+pub const MAX_ENTRY_PAYLOAD: u32 = 64 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming CRC-32 step (state in, state out; pre/post-inversion is
+/// the caller's job — use [`crc32`] unless chaining slices).
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state ^= b as u32;
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    state
+}
+
+/// CRC over an entry's protected region: `len`, `seq`, `wv`, payload.
+fn entry_crc(len: u32, seq: u64, wv: u64, payload: &[u8]) -> u32 {
+    let mut state = 0xFFFF_FFFFu32;
+    state = crc32_update(state, &len.to_le_bytes());
+    state = crc32_update(state, &seq.to_le_bytes());
+    state = crc32_update(state, &wv.to_le_bytes());
+    state = crc32_update(state, payload);
+    state ^ 0xFFFF_FFFF
+}
+
+/// Append one framed entry to `buf`.
+pub fn encode_entry(buf: &mut Vec<u8>, seq: u64, wv: u64, payload: &[u8]) {
+    let len = payload.len() as u32;
+    buf.extend_from_slice(&ENTRY_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&wv.to_le_bytes());
+    buf.extend_from_slice(&entry_crc(len, seq, wv, payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// One decoded entry frame, borrowing its payload from the log bytes.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Entry<'a> {
+    /// Log sequence number (monotone across the whole log).
+    pub seq: u64,
+    /// Commit clock stamp.
+    pub wv: u64,
+    /// Opaque redo payload.
+    pub payload: &'a [u8],
+}
+
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("caller checked length"))
+}
+
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("caller checked length"))
+}
+
+/// Decode the next frame at `bytes[at..]`. Returns the entry and the
+/// offset just past it, or `None` for anything that is not a complete,
+/// CRC-valid frame (truncation, torn tail, bit rot — recovery stops
+/// here).
+pub fn decode_entry(bytes: &[u8], at: usize) -> Option<(Entry<'_>, usize)> {
+    let b = bytes.get(at..)?;
+    if b.len() < ENTRY_HEADER {
+        return None;
+    }
+    if read_u32(b) != ENTRY_MAGIC {
+        return None;
+    }
+    let len = read_u32(&b[4..]);
+    if len > MAX_ENTRY_PAYLOAD {
+        return None;
+    }
+    let seq = read_u64(&b[8..]);
+    let wv = read_u64(&b[16..]);
+    let crc = read_u32(&b[24..]);
+    let payload = b.get(ENTRY_HEADER..ENTRY_HEADER + len as usize)?;
+    if entry_crc(len, seq, wv, payload) != crc {
+        return None;
+    }
+    Some((Entry { seq, wv, payload }, at + ENTRY_HEADER + len as usize))
+}
+
+/// Serialize a snapshot file: cut `w`, first live segment `start_seg`,
+/// and the full record set.
+pub fn encode_snapshot(w: u64, start_seg: u64, records: &[(u64, Vec<u8>)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32 + records.len() * 24);
+    buf.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&w.to_le_bytes());
+    buf.extend_from_slice(&start_seg.to_le_bytes());
+    buf.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for (key, value) in records {
+        buf.extend_from_slice(&key.to_le_bytes());
+        buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        buf.extend_from_slice(value);
+    }
+    let crc = crc32(&buf[4..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// A decoded snapshot file.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Checkpoint cut: redo entries stamped `wv <= w` are already
+    /// reflected in `records` and are skipped at replay.
+    pub w: u64,
+    /// First segment number recovery replays; lower-numbered stragglers
+    /// (a crash between snapshot install and segment deletion) are
+    /// ignored.
+    pub start_seg: u64,
+    /// The record set at the cut.
+    pub records: Vec<(u64, Vec<u8>)>,
+}
+
+/// Decode a snapshot file. `None` means structurally invalid (bad
+/// magic, truncated, CRC mismatch) — the caller decides whether that is
+/// "no snapshot" or corruption.
+pub fn decode_snapshot(bytes: &[u8]) -> Option<Snapshot> {
+    if bytes.len() < 4 + 8 + 8 + 8 + 4 {
+        return None;
+    }
+    if read_u32(bytes) != SNAP_MAGIC {
+        return None;
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let crc = read_u32(&bytes[bytes.len() - 4..]);
+    if crc32(&body[4..]) != crc {
+        return None;
+    }
+    let w = read_u64(&body[4..]);
+    let start_seg = read_u64(&body[12..]);
+    let count = read_u64(&body[20..]);
+    let mut at = 28usize;
+    let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let key = read_u64(body.get(at..at + 8)?);
+        let vlen = read_u32(body.get(at + 8..at + 12)?) as usize;
+        let value = body.get(at + 12..at + 12 + vlen)?;
+        records.push((key, value.to_vec()));
+        at += 12 + vlen;
+    }
+    if at != body.len() {
+        return None;
+    }
+    Some(Snapshot { w, start_seg, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn entry_roundtrip_and_tail_rejection() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, 7, 42, b"hello");
+        encode_entry(&mut buf, 8, 43, b"");
+        let (e1, next) = decode_entry(&buf, 0).expect("first frame");
+        assert_eq!((e1.seq, e1.wv, e1.payload), (7, 42, &b"hello"[..]));
+        let (e2, end) = decode_entry(&buf, next).expect("second frame");
+        assert_eq!((e2.seq, e2.wv, e2.payload), (8, 43, &b""[..]));
+        assert_eq!(end, buf.len());
+        assert!(decode_entry(&buf, end).is_none(), "clean end of log");
+        // Every strict prefix of a frame is rejected, never mis-parsed.
+        for cut in next..buf.len() {
+            assert!(decode_entry(&buf[..cut], next).is_none(), "torn tail at {cut}");
+        }
+    }
+
+    #[test]
+    fn entry_bitflips_are_detected() {
+        let mut clean = Vec::new();
+        encode_entry(&mut clean, 1, 2, b"payload-bytes");
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut torn = clean.clone();
+                torn[byte] ^= 1 << bit;
+                let decoded = decode_entry(&torn, 0);
+                assert!(decoded.is_none(), "flip of byte {byte} bit {bit} must not decode");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_corruption() {
+        let records = vec![(1u64, vec![1, 2, 3]), (u64::MAX, vec![]), (9, vec![0; 100])];
+        let bytes = encode_snapshot(55, 3, &records);
+        let snap = decode_snapshot(&bytes).expect("roundtrip");
+        assert_eq!(snap, Snapshot { w: 55, start_seg: 3, records });
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_none(), "truncation at {cut}");
+        }
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 0x40;
+        assert!(decode_snapshot(&flipped).is_none());
+    }
+}

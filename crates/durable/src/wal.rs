@@ -1,0 +1,449 @@
+//! The redo-only write-ahead log with group commit.
+//!
+//! ## Group-commit protocol
+//!
+//! Committers never write to storage themselves. The STM commit path
+//! (holding the transaction's location locks) calls
+//! [`RedoSink::append`], which assigns the next log sequence number and
+//! copies the framed entry into an in-memory staging buffer — O(memcpy)
+//! under a mutex, no I/O. Durability happens in *batches*:
+//!
+//! * In [`Durability::Sync`] mode a committer then calls
+//!   [`Wal::wait_durable`]. The first waiter that finds no flush in
+//!   flight becomes the **leader**: it lingers for
+//!   [`WalConfig::group_window`] (letting concurrent committers pile
+//!   into the staging buffer), then takes the whole buffer, appends it
+//!   to the current segment and issues **one** fsync for every commit
+//!   in the batch. Followers just sleep on the condvar until
+//!   `durable_seq` covers their sequence number. This is the classic
+//!   leader/follower group commit: fsyncs per second is bounded by
+//!   `1 / group_window`, not by the commit rate.
+//! * In [`Durability::Async`] mode nobody waits; a background flusher
+//!   (owned by `DurableKv`) calls [`Wal::flush_tick`] every
+//!   [`WalConfig::async_interval`]. Acked commits may be lost on a
+//!   crash, but recovery still yields a *prefix* of the commit order.
+//!
+//! ## Failure and backpressure
+//!
+//! A failed append or fsync **poisons** the log: `durable_seq` stops
+//! advancing, every `wait_durable` returns [`DurabilityLost`], and the
+//! owning store degrades to read-only. We never retry I/O into a file
+//! whose tail state is unknown — the durable prefix on disk stays
+//! exactly the prefix recovery will replay.
+//!
+//! [`Wal::throttle`] bounds staged-but-unflushed bytes
+//! ([`WalConfig::max_inflight_bytes`]): callers invoke it *before*
+//! entering the STM transaction (the sink itself must never block — it
+//! runs under location locks), so commit admission slows to the flush
+//! rate instead of staging growing without bound.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, Weak};
+use std::time::Duration;
+
+use polytm::{RedoSink, Stm};
+
+use crate::error::DurabilityLost;
+use crate::frame::encode_entry;
+use crate::storage::Storage;
+
+/// When a commit is acknowledged relative to the fsync that persists
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Commit acknowledgement waits for the group fsync: every acked
+    /// commit survives any crash.
+    Sync,
+    /// Commits return immediately; a background flusher persists the
+    /// tail every [`WalConfig::async_interval`]. A crash may lose the
+    /// most recent commits but never yields a torn or reordered state.
+    Async,
+}
+
+/// Write-ahead log tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Sync vs async acknowledgement (see [`Durability`]).
+    pub mode: Durability,
+    /// Rotate to a new segment file once the current one reaches this
+    /// many bytes (checked at flush boundaries, so segments overshoot
+    /// by at most one batch).
+    pub segment_bytes: u64,
+    /// Backpressure cap: [`Wal::throttle`] blocks while staged bytes
+    /// exceed this.
+    pub max_inflight_bytes: usize,
+    /// Leader linger before taking a batch. Zero disables the linger
+    /// (torture tests use zero to maximize distinct crash points).
+    pub group_window: Duration,
+    /// Background flush period in [`Durability::Async`] mode.
+    pub async_interval: Duration,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            mode: Durability::Sync,
+            segment_bytes: 1 << 20,
+            max_inflight_bytes: 4 << 20,
+            group_window: Duration::from_micros(150),
+            async_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Segment file name for segment number `n` (`wal-00000000.log`,
+/// sortable lexicographically up to 10^8 segments).
+pub fn segment_name(n: u64) -> String {
+    format!("wal-{n:08}.log")
+}
+
+/// Inverse of [`segment_name`]; `None` for non-segment files.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() < 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+struct WalInner {
+    /// Framed entries staged since the last flush took the buffer.
+    staging: Vec<u8>,
+    /// Commits staged in `staging`.
+    staged_entries: u64,
+    /// Highest sequence number staged in `staging`.
+    staged_hi_seq: u64,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Highest sequence number known durable on storage.
+    durable_seq: u64,
+    /// A leader is between taking the buffer and publishing the flush
+    /// outcome.
+    flushing: bool,
+    /// A log I/O failed; durability promises can no longer be kept.
+    poisoned: bool,
+    /// Current segment number appends go to.
+    segment: u64,
+    /// Bytes flushed into the current segment so far.
+    segment_fill: u64,
+}
+
+/// The write-ahead log. One per [`crate::DurableKv`]; installed into
+/// the store's [`Stm`] as its [`RedoSink`].
+pub struct Wal {
+    storage: Arc<dyn Storage>,
+    cfg: WalConfig,
+    inner: Mutex<WalInner>,
+    cond: Condvar,
+    /// Stats sink (weak: the `Stm` owns an `Arc` of this log, and a
+    /// strong back-edge would leak both).
+    stm: OnceLock<Weak<Stm>>,
+    /// Highest staging occupancy observed (backpressure test witness).
+    high_water: AtomicU64,
+}
+
+impl Wal {
+    /// A log appending to `storage`, with sequence numbers starting at
+    /// `next_seq` and writes going to segment `segment` (recovery picks
+    /// both; a fresh store uses `1` and `0`).
+    pub fn new(storage: Arc<dyn Storage>, cfg: WalConfig, next_seq: u64, segment: u64) -> Self {
+        Self {
+            storage,
+            cfg,
+            inner: Mutex::new(WalInner {
+                staging: Vec::new(),
+                staged_entries: 0,
+                staged_hi_seq: 0,
+                next_seq,
+                durable_seq: next_seq.saturating_sub(1),
+                flushing: false,
+                poisoned: false,
+                segment,
+                segment_fill: 0,
+            }),
+            cond: Condvar::new(),
+            stm: OnceLock::new(),
+            high_water: AtomicU64::new(0),
+        }
+    }
+
+    /// Install the stats sink. Called once by `DurableKv::open` after
+    /// the `Stm` is built (the log must exist first to be the redo
+    /// sink).
+    pub fn attach_stm(&self, stm: &Arc<Stm>) {
+        let _ = self.stm.set(Arc::downgrade(stm));
+    }
+
+    /// The log's configuration.
+    pub fn config(&self) -> &WalConfig {
+        &self.cfg
+    }
+
+    fn lock(&self) -> MutexGuard<'_, WalInner> {
+        self.inner.lock().expect("wal mutex poisoned")
+    }
+
+    /// Block until every sequence number up to `seq` is durable,
+    /// leading a group flush if nobody else is. Errors once the log is
+    /// poisoned.
+    pub fn wait_durable(&self, seq: u64) -> Result<(), DurabilityLost> {
+        let mut inner = self.lock();
+        loop {
+            if inner.durable_seq >= seq {
+                return Ok(());
+            }
+            if inner.poisoned {
+                return Err(DurabilityLost);
+            }
+            if !inner.flushing && !inner.staging.is_empty() {
+                inner = self.flush_locked(inner);
+            } else {
+                inner = self.cond.wait(inner).expect("wal mutex poisoned");
+            }
+        }
+    }
+
+    /// Flush until nothing is staged (or the log is poisoned). Used by
+    /// checkpoints and shutdown.
+    pub fn flush_all(&self) -> Result<(), DurabilityLost> {
+        let mut inner = self.lock();
+        loop {
+            if inner.poisoned {
+                return Err(DurabilityLost);
+            }
+            if inner.staging.is_empty() && !inner.flushing {
+                return Ok(());
+            }
+            if !inner.flushing && !inner.staging.is_empty() {
+                inner = self.flush_locked(inner);
+            } else {
+                inner = self.cond.wait(inner).expect("wal mutex poisoned");
+            }
+        }
+    }
+
+    /// One background flush attempt (async-mode flusher tick): flush
+    /// the current staging buffer if any and nobody else is flushing;
+    /// never blocks waiting for others.
+    pub fn flush_tick(&self) {
+        let inner = self.lock();
+        if !inner.poisoned && !inner.flushing && !inner.staging.is_empty() {
+            drop(self.flush_locked(inner));
+        }
+    }
+
+    /// Commit-admission backpressure: block while staged bytes are at
+    /// or over [`WalConfig::max_inflight_bytes`]. Call *before*
+    /// starting a logged transaction — never from inside the commit
+    /// path.
+    pub fn throttle(&self) {
+        let mut inner = self.lock();
+        while inner.staging.len() >= self.cfg.max_inflight_bytes && !inner.poisoned {
+            if !inner.flushing {
+                inner = self.flush_locked(inner);
+            } else {
+                inner = self.cond.wait(inner).expect("wal mutex poisoned");
+            }
+        }
+    }
+
+    /// Start a new segment (checkpoint cut); returns the number of the
+    /// segment that was current. Entries staged before the rotation
+    /// flush into the *new* segment — sound for checkpoints because the
+    /// snapshot cut `W` covers every commit whose entry was staged
+    /// before the checkpoint transaction's read point, and replay skips
+    /// `wv <= W`.
+    pub fn rotate(&self) -> u64 {
+        let mut inner = self.lock();
+        let old = inner.segment;
+        inner.segment += 1;
+        inner.segment_fill = 0;
+        old
+    }
+
+    /// True once a log I/O error has poisoned the log.
+    pub fn is_poisoned(&self) -> bool {
+        self.lock().poisoned
+    }
+
+    /// Highest sequence number known durable.
+    pub fn durable_seq(&self) -> u64 {
+        self.lock().durable_seq
+    }
+
+    /// Highest staging-buffer occupancy (bytes) seen so far; the
+    /// backpressure tests assert this stays near the configured cap.
+    pub fn inflight_high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// The leader path: mark a flush in flight, linger for the group
+    /// window, take the whole staging buffer, do one append + one fsync
+    /// for the batch, publish the outcome. Consumes and returns the
+    /// guard because the I/O (and the linger) run unlocked.
+    fn flush_locked<'a>(&'a self, mut inner: MutexGuard<'a, WalInner>) -> MutexGuard<'a, WalInner> {
+        inner.flushing = true;
+        if !self.cfg.group_window.is_zero() {
+            drop(inner);
+            std::thread::sleep(self.cfg.group_window);
+            inner = self.lock();
+        }
+        let buf = std::mem::take(&mut inner.staging);
+        let entries = std::mem::take(&mut inner.staged_entries);
+        let hi = inner.staged_hi_seq;
+        let seg = inner.segment;
+        drop(inner);
+
+        let result = if buf.is_empty() {
+            Ok(())
+        } else {
+            let name = segment_name(seg);
+            self.storage.append(&name, &buf).and_then(|()| self.storage.sync(&name))
+        };
+
+        let mut inner = self.lock();
+        inner.flushing = false;
+        match result {
+            Ok(()) => {
+                if !buf.is_empty() {
+                    inner.durable_seq = inner.durable_seq.max(hi);
+                    // Rotation is a flush-boundary decision, so every
+                    // non-current segment ends exactly at a synced
+                    // batch edge — torn bytes can only exist in the
+                    // highest-numbered segment. Skip the bookkeeping if
+                    // a checkpoint rotated underneath the flush.
+                    if inner.segment == seg {
+                        inner.segment_fill += buf.len() as u64;
+                        if inner.segment_fill >= self.cfg.segment_bytes {
+                            inner.segment += 1;
+                            inner.segment_fill = 0;
+                        }
+                    }
+                    if let Some(stm) = self.stm.get().and_then(Weak::upgrade) {
+                        stm.record_durable(entries, 1, 1, buf.len() as u64);
+                    }
+                }
+            }
+            Err(_) => inner.poisoned = true,
+        }
+        self.cond.notify_all();
+        inner
+    }
+}
+
+impl RedoSink for Wal {
+    /// Stage one commit's redo bytes; called by the STM commit path
+    /// *under the transaction's location locks*, so it only copies into
+    /// memory — the sequence number it returns is the commit's position
+    /// in the durable order. Appends to a poisoned log still consume a
+    /// sequence number but stage nothing (the commit will learn its
+    /// fate from [`Wal::wait_durable`] / the store's read-only latch).
+    fn append(&self, wv: u64, redo: &[u8]) -> u64 {
+        let mut inner = self.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if !inner.poisoned {
+            encode_entry(&mut inner.staging, seq, wv, redo);
+            inner.staged_hi_seq = seq;
+            inner.staged_entries += 1;
+            let occupancy = inner.staging.len() as u64;
+            self.high_water.fetch_max(occupancy, Ordering::Relaxed);
+        }
+        self.cond.notify_all();
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::decode_entry;
+    use crate::storage::FaultFs;
+
+    fn test_cfg() -> WalConfig {
+        WalConfig { group_window: Duration::ZERO, ..WalConfig::default() }
+    }
+
+    #[test]
+    fn segment_names_roundtrip_and_sort() {
+        assert_eq!(segment_name(0), "wal-00000000.log");
+        assert_eq!(parse_segment_name("wal-00000042.log"), Some(42));
+        assert_eq!(parse_segment_name("snap.bin"), None);
+        assert_eq!(parse_segment_name("wal-0000troj.log"), None);
+        assert!(segment_name(9) < segment_name(10));
+    }
+
+    #[test]
+    fn wait_durable_leads_a_flush_and_batches() {
+        let fs = Arc::new(FaultFs::new(3));
+        let wal = Wal::new(fs.clone(), test_cfg(), 1, 0);
+        let s1 = wal.append(10, b"alpha");
+        let s2 = wal.append(11, b"beta");
+        assert_eq!((s1, s2), (1, 2));
+        wal.wait_durable(s2).expect("healthy log");
+        assert_eq!(wal.durable_seq(), 2);
+        let bytes = fs.read(&segment_name(0)).expect("segment exists");
+        let (e1, next) = decode_entry(&bytes, 0).expect("first entry");
+        let (e2, end) = decode_entry(&bytes, next).expect("second entry");
+        assert_eq!((e1.seq, e1.wv, e1.payload), (1, 10, &b"alpha"[..]));
+        assert_eq!((e2.seq, e2.wv, e2.payload), (2, 11, &b"beta"[..]));
+        assert_eq!(end, bytes.len());
+        // One batch, so all bytes are durable (one sync call happened).
+        assert_eq!(fs.durable_len(&segment_name(0)), bytes.len());
+    }
+
+    #[test]
+    fn io_failure_poisons_and_unblocks_waiters() {
+        // Fail the very first mutating storage op (the batch append).
+        let fs = Arc::new(FaultFs::with_crash_after(5, 1));
+        let wal = Wal::new(fs, test_cfg(), 1, 0);
+        let seq = wal.append(7, b"doomed");
+        assert_eq!(wal.wait_durable(seq), Err(DurabilityLost));
+        assert!(wal.is_poisoned());
+        // Later appends still hand out sequence numbers but stage
+        // nothing, and waiting on them fails fast.
+        let seq2 = wal.append(8, b"late");
+        assert_eq!(seq2, seq + 1);
+        assert_eq!(wal.wait_durable(seq2), Err(DurabilityLost));
+    }
+
+    #[test]
+    fn rotation_at_flush_boundary() {
+        let fs = Arc::new(FaultFs::new(9));
+        let cfg = WalConfig { segment_bytes: 64, ..test_cfg() };
+        let wal = Wal::new(fs.clone(), cfg, 1, 0);
+        // Each flush carries one ~60-byte entry; the fill crosses 64
+        // after each batch, so every flush rotates.
+        for i in 0..3u64 {
+            let seq = wal.append(i + 1, &[0u8; 40]);
+            wal.wait_durable(seq).unwrap();
+        }
+        let names = fs.list().unwrap();
+        assert_eq!(
+            names,
+            vec![segment_name(0), segment_name(1), segment_name(2)],
+            "one segment per over-cap batch"
+        );
+    }
+
+    #[test]
+    fn throttle_bounds_staging() {
+        let fs = Arc::new(FaultFs::new(11));
+        let cfg = WalConfig { max_inflight_bytes: 256, ..test_cfg() };
+        let wal = Wal::new(fs, cfg, 1, 0);
+        for i in 0..64u64 {
+            wal.throttle();
+            wal.append(i + 1, &[7u8; 32]);
+        }
+        // Each entry is 28 + 32 = 60 bytes; throttle flushes whenever
+        // staging is at/over 256, so occupancy never exceeds cap + one
+        // entry.
+        assert!(
+            wal.inflight_high_water() <= 256 + 60,
+            "high water {} exceeds cap + one entry",
+            wal.inflight_high_water()
+        );
+        wal.flush_all().unwrap();
+        assert_eq!(wal.durable_seq(), 64);
+    }
+}

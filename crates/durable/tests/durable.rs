@@ -1,0 +1,254 @@
+//! Store-level durability tests: recovery roundtrips, checkpoint
+//! truncation, group-commit amortization, poisoned-log degradation,
+//! and checkpoint-vs-live-snapshot interaction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use polytm_durable::storage::FaultFs;
+use polytm_durable::store::SNAP_TMP;
+use polytm_durable::wal::segment_name;
+use polytm_durable::{
+    Durability, DurabilityLost, DurabilityOutcome, DurableKv, DurableKvConfig, RealFs, Storage,
+    WalConfig, SNAP_NAME,
+};
+use polytm_kv::{KvConfig, Value};
+
+fn small_config(mode: Durability) -> DurableKvConfig {
+    DurableKvConfig {
+        kv: KvConfig { shards: 4, initial_slots: 16, ..KvConfig::default() },
+        wal: WalConfig {
+            mode,
+            segment_bytes: 512,
+            group_window: Duration::ZERO,
+            ..WalConfig::default()
+        },
+    }
+}
+
+fn dump(store: &DurableKv) -> Vec<(u64, Vec<u8>)> {
+    store.scan_range(0, u64::MAX).into_iter().map(|(k, v)| (k, v.as_bytes().to_vec())).collect()
+}
+
+#[test]
+fn sync_commits_survive_reopen() {
+    let fs = Arc::new(FaultFs::new(101));
+    let store = DurableKv::open(fs.clone(), small_config(Durability::Sync)).unwrap();
+    for k in 0..40u64 {
+        store.put(k, Value::from_u64(k * 7)).unwrap();
+    }
+    store.delete(3).unwrap();
+    store.delete(999).unwrap(); // absent: logs nothing
+    let before = dump(&store);
+    drop(store);
+    fs.crash(); // nothing volatile in sync mode: pure reopen
+    let recovered = DurableKv::open(fs, small_config(Durability::Sync)).unwrap();
+    assert_eq!(dump(&recovered), before);
+    assert_eq!(recovered.get(3), None);
+    assert_eq!(recovered.get(5).unwrap().as_u64(), Some(35));
+}
+
+#[test]
+fn async_flush_then_reopen_recovers() {
+    let fs = Arc::new(FaultFs::new(202));
+    let store = DurableKv::open(fs.clone(), small_config(Durability::Async)).unwrap();
+    let mut last = DurabilityOutcome::Durable;
+    for k in 0..20u64 {
+        let (_, _, outcome) = store.txn_logged(|tx| tx.put(k, Value::from_u64(k))).unwrap();
+        last = outcome;
+    }
+    assert_eq!(last, DurabilityOutcome::Pending, "async commits ack before the fsync");
+    store.flush().unwrap();
+    let before = dump(&store);
+    drop(store);
+    fs.crash();
+    let recovered = DurableKv::open(fs, small_config(Durability::Async)).unwrap();
+    assert_eq!(dump(&recovered), before);
+}
+
+#[test]
+fn read_only_txns_log_nothing() {
+    let fs = Arc::new(FaultFs::new(7));
+    let store = DurableKv::open(fs, small_config(Durability::Sync)).unwrap();
+    store.put(1, Value::from_u64(10)).unwrap();
+    let durable_before = store.wal().durable_seq();
+    let (found, info, outcome) = store.txn_logged(|tx| tx.get(1)).unwrap();
+    assert_eq!(found.unwrap().as_u64(), Some(10));
+    assert_eq!(info.seq, None, "pure reads take no log sequence number");
+    assert_eq!(outcome, DurabilityOutcome::Durable);
+    assert_eq!(store.wal().durable_seq(), durable_before, "no flush was needed");
+}
+
+#[test]
+fn checkpoint_truncates_and_recovery_uses_it() {
+    let fs = Arc::new(FaultFs::new(303));
+    let store = DurableKv::open(fs.clone(), small_config(Durability::Sync)).unwrap();
+    for k in 0..30u64 {
+        store.put(k, Value::from_u64(k + 100)).unwrap();
+    }
+    store.checkpoint().unwrap();
+    // Pre-checkpoint segments are gone, the snapshot is installed.
+    let names = fs.list().unwrap();
+    assert!(names.contains(&SNAP_NAME.to_string()), "snapshot installed: {names:?}");
+    assert!(!names.contains(&SNAP_TMP.to_string()), "tmp renamed away: {names:?}");
+    assert!(
+        !names.contains(&segment_name(0)),
+        "wholly-covered segment must be truncated: {names:?}"
+    );
+    // Post-checkpoint writes land in the rotated segment and recover
+    // on top of the snapshot.
+    for k in 0..5u64 {
+        store.put(k, Value::from_u64(k)).unwrap();
+    }
+    store.delete(29).unwrap();
+    let before = dump(&store);
+    drop(store);
+    fs.crash();
+    let recovered = DurableKv::open(fs, small_config(Durability::Sync)).unwrap();
+    assert_eq!(dump(&recovered), before);
+}
+
+#[test]
+fn io_failure_degrades_to_read_only_not_panic() {
+    // Arm the crash point a few storage ops in: some writes succeed,
+    // then the log poisons.
+    let fs = Arc::new(FaultFs::with_crash_after(11, 5));
+    let store = DurableKv::open(fs, small_config(Durability::Sync)).unwrap();
+    let mut lost_at = None;
+    for k in 0..10u64 {
+        match store.txn_logged(|tx| tx.put(k, Value::from_u64(k))) {
+            Ok((_, _, DurabilityOutcome::Lost)) => {
+                lost_at = Some(k);
+                break;
+            }
+            Ok(_) => {}
+            Err(DurabilityLost) => panic!("latch must trip via Lost first"),
+        }
+    }
+    let lost_at = lost_at.expect("the armed op must surface as Lost");
+    assert!(store.is_read_only());
+    // Writes now fail fast; reads keep serving the in-memory state,
+    // including the commit whose durability was lost.
+    assert_eq!(store.put(99, Value::from_u64(1)), Err(DurabilityLost));
+    assert_eq!(store.txn(|tx| tx.delete(0)), Err(DurabilityLost));
+    for k in 0..=lost_at {
+        assert_eq!(store.get(k).unwrap().as_u64(), Some(k));
+    }
+}
+
+#[test]
+fn group_commit_amortizes_fsyncs_across_committers() {
+    let fs = Arc::new(FaultFs::new(404));
+    let cfg = DurableKvConfig {
+        wal: WalConfig {
+            mode: Durability::Sync,
+            // A real linger so concurrent committers pile into one
+            // batch even on a single core.
+            group_window: Duration::from_millis(2),
+            ..WalConfig::default()
+        },
+        ..DurableKvConfig::default()
+    };
+    let store = Arc::new(DurableKv::open(fs, cfg).unwrap());
+    let per_thread = 40u64;
+    std::thread::scope(|scope| {
+        for t in 0..2u64 {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    store.put(t * 1000 + i, Value::from_u64(i)).unwrap();
+                }
+            });
+        }
+    });
+    let stats = store.stm().stats();
+    assert_eq!(stats.commits_durable, 2 * per_thread);
+    assert!(stats.fsyncs >= 1 && stats.group_commit_batches == stats.fsyncs);
+    assert!(
+        stats.fsyncs < stats.commits_durable,
+        "group commit must batch: {} fsyncs for {} commits",
+        stats.fsyncs,
+        stats.commits_durable
+    );
+    assert!(stats.wal_bytes > 0);
+}
+
+#[test]
+fn checkpoint_never_tears_a_concurrent_snapshot_scan() {
+    // Constant-sum invariant: transfers between keys keep the total
+    // fixed; snapshot scans and checkpoints run concurrently. Every
+    // scan must see the full sum, and the checkpointed state (what
+    // recovery yields) must too.
+    const KEYS: u64 = 16;
+    const PER_KEY: u64 = 1000;
+    let fs = Arc::new(FaultFs::new(505));
+    let store = Arc::new(DurableKv::open(fs.clone(), small_config(Durability::Sync)).unwrap());
+    let entries: Vec<(u64, Value)> = (0..KEYS).map(|k| (k, Value::from_u64(PER_KEY))).collect();
+    store.multi_put(&entries).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let writer = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut x = 9u64;
+                while !stop.load(Ordering::Relaxed) {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let from = (x >> 33) % KEYS;
+                    let to = (x >> 13) % KEYS;
+                    store
+                        .txn(|tx| {
+                            let a = tx.get(from)?.and_then(|v| v.as_u64()).unwrap_or(0);
+                            let b = tx.get(to)?.and_then(|v| v.as_u64()).unwrap_or(0);
+                            if from != to && a > 0 {
+                                tx.put(from, Value::from_u64(a - 1))?;
+                                tx.put(to, Value::from_u64(b + 1))?;
+                            }
+                            Ok(())
+                        })
+                        .unwrap();
+                }
+            })
+        };
+        for _ in 0..8 {
+            store.checkpoint().unwrap();
+            let sum: u64 =
+                store.scan_range(0, u64::MAX).iter().filter_map(|(_, v)| v.as_u64()).sum();
+            assert_eq!(sum, KEYS * PER_KEY, "snapshot scan tore during checkpoint");
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    });
+
+    drop(store);
+    fs.crash();
+    let recovered = DurableKv::open(fs, small_config(Durability::Sync)).unwrap();
+    let sum: u64 = recovered.scan_range(0, u64::MAX).iter().filter_map(|(_, v)| v.as_u64()).sum();
+    assert_eq!(sum, KEYS * PER_KEY, "recovered state tore");
+}
+
+#[test]
+fn real_fs_recovery_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("polytm-durable-rt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fs = Arc::new(RealFs::open(&dir).unwrap());
+    let store = DurableKv::open(fs.clone(), small_config(Durability::Sync)).unwrap();
+    for k in 0..25u64 {
+        store.put(k, Value::from_u64(k * k)).unwrap();
+    }
+    store.checkpoint().unwrap();
+    store.put(1, Value::from_u64(777)).unwrap();
+    store.delete(2).unwrap();
+    let before = dump(&store);
+    drop(store);
+    // Reopen against the same directory through a fresh handle cache.
+    let fs2 = Arc::new(RealFs::open(&dir).unwrap());
+    let recovered = DurableKv::open(fs2, small_config(Durability::Sync)).unwrap();
+    assert_eq!(dump(&recovered), before);
+    assert_eq!(recovered.get(1).unwrap().as_u64(), Some(777));
+    assert_eq!(recovered.get(2), None);
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -42,7 +42,7 @@
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
-use polytm::{ClassId, Semantics, Stm, TVar, Transaction, TxParams, TxResult};
+use polytm::{ClassId, CommitInfo, Semantics, Stm, TVar, Transaction, TxParams, TxResult};
 
 use crate::value::Value;
 
@@ -576,6 +576,13 @@ impl KvStore {
     /// acquires the touched slot locks in global address order like any
     /// other transaction. The write-heavy-ingest fast path: one commit
     /// (one clock advance, one validation) amortized over the batch.
+    ///
+    /// **Duplicate keys are last-write-wins**: when `entries` carries a
+    /// key more than once, the store ends up with the value of the
+    /// *latest* occurrence in input order, exactly as if the entries
+    /// had been `put` one by one. (The key-ordered application uses a
+    /// stable sort, so equal keys keep their input order and the last
+    /// occurrence's upsert lands last.)
     pub fn multi_put(&self, entries: &[(u64, Value)]) {
         let mut sorted: Vec<(u64, Value)> = entries.to_vec();
         // Stable by key: duplicate keys keep their input order, so the
@@ -609,6 +616,30 @@ impl KvStore {
         });
         self.apply_growth(requests);
         value
+    }
+
+    /// [`KvStore::txn`] plus the committed attempt's
+    /// [`CommitInfo`] — the entry point the durability layer wraps: the
+    /// closure stages redo bytes alongside its writes (via
+    /// [`KvTxn::tx`] and [`Transaction::stage_redo`]) and the returned
+    /// sequence number is what the write-ahead log's `wait_durable`
+    /// takes. Growth maintenance runs after the commit, exactly as in
+    /// [`KvStore::txn`] (maintenance transactions stage no redo — a
+    /// table swap moves records by handle and changes no value, so
+    /// recovery rebuilds tables from scratch instead of replaying
+    /// them).
+    pub fn txn_logged<T>(
+        &self,
+        mut f: impl FnMut(&mut KvTxn<'_, '_>) -> TxResult<T>,
+    ) -> (T, CommitInfo) {
+        let ((value, requests), info) = self.stm.run_logged(self.params.txn, |tx| {
+            let mut view = KvTxn { store: self, tx, grow: GrowSet::default() };
+            let value = f(&mut view)?;
+            let requests = std::mem::take(&mut view.grow);
+            Ok((value, requests))
+        });
+        self.apply_growth(requests);
+        (value, info)
     }
 
     /// Records in `[lo, hi)` under snapshot semantics, sorted by key:
@@ -931,6 +962,46 @@ mod tests {
         assert_eq!(store.get(5), Some(Value::from_u64(3)), "batch order decides, stably");
         assert_eq!(store.get(9), Some(Value::from_u64(7)));
         assert_eq!(store.len(), 2);
+    }
+
+    /// Last-write-wins under pressure: seeded duplicate-heavy batches
+    /// (few distinct keys, many occurrences each, interleaved with
+    /// overwrites of pre-existing records) must land exactly where a
+    /// one-by-one `put` replay of the batch lands.
+    #[test]
+    fn multi_put_duplicate_heavy_batches_match_sequential_put_replay() {
+        let store = small_store();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for round in 0..20u64 {
+            let batch: Vec<(u64, Value)> = (0..64)
+                .map(|i| {
+                    // 8 distinct keys per round → each key appears ~8
+                    // times per batch, in pseudo-random order.
+                    let key = next() % 8;
+                    let val = round * 1000 + i;
+                    (key, Value::from_u64(val))
+                })
+                .collect();
+            for (k, v) in &batch {
+                model.insert(*k, v.as_u64().unwrap());
+            }
+            store.multi_put(&batch);
+            for (k, expect) in &model {
+                assert_eq!(
+                    store.get(*k).and_then(|v| v.as_u64()),
+                    Some(*expect),
+                    "round {round}: key {k} must hold its latest batch occurrence"
+                );
+            }
+        }
+        assert_eq!(store.len(), model.len());
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! `polytm-durable` demo: a durable KV store that survives a simulated
+//! power loss. The store runs over the deterministic fault-injection
+//! filesystem, commits a batch of transfers under sync durability,
+//! checkpoints, keeps writing — and then the "machine" loses power with
+//! a torn log tail. Reopening the same storage replays the
+//! committed prefix: every acknowledged commit is back, and the torn
+//! tail is gone without a trace.
+//!
+//! ```text
+//! cargo run --release --example recovery
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use polytm_durable::{Durability, DurableKv, DurableKvConfig, FaultFs, Storage, WalConfig};
+use polytm_kv::Value;
+
+fn main() {
+    // A seeded in-memory device, armed to fail its 60th storage
+    // operation the way real disks fail: here the seed picks a torn
+    // append — only a prefix of the batch reaches the platter.
+    let fs = Arc::new(FaultFs::with_crash_after(0xC0FFEE, 60));
+    let config = DurableKvConfig {
+        wal: WalConfig {
+            mode: Durability::Sync,
+            segment_bytes: 512, // tiny segments so rotation shows up
+            group_window: Duration::ZERO,
+            ..WalConfig::default()
+        },
+        ..DurableKvConfig::default()
+    };
+
+    let store = DurableKv::open(Arc::clone(&fs) as Arc<dyn Storage>, config).expect("fresh open");
+    println!("== phase 1: durable commits ==");
+    let mut acked = Vec::new();
+    for account in 0..100u64 {
+        match store.put(account, Value::from_u64(1_000 + account)) {
+            Ok(_) => acked.push(account),
+            Err(lost) => {
+                // The armed crash point fired mid-flush: this commit
+                // was never acknowledged durable, and the store latches
+                // read-only instead of lying about persistence.
+                println!("account {account}: {lost}");
+                break;
+            }
+        }
+        if account == 15 {
+            store.checkpoint().expect("checkpoint while healthy");
+            println!("checkpointed at account 15 (log truncated, snapshot installed)");
+        }
+    }
+    println!(
+        "acknowledged {} commits before the power cut; store read-only: {}",
+        acked.len(),
+        store.is_read_only()
+    );
+
+    // Power loss: volatile bytes resolve (the device keeps a seeded
+    // prefix of its unsynced tail), then the machine reboots.
+    drop(store);
+    fs.crash();
+    println!("\n== phase 2: crash + recovery ==");
+    let files: Vec<String> = fs.list().expect("healthy after reboot");
+    println!("surviving files: {files:?}");
+
+    let recovered = DurableKv::open(Arc::clone(&fs) as Arc<dyn Storage>, config).expect("recovery");
+    let mut missing = 0;
+    for &account in &acked {
+        let value = recovered.get(account);
+        if value.and_then(|v| v.as_u64()) != Some(1_000 + account) {
+            missing += 1;
+        }
+    }
+    println!("recovered {} records; {missing} acknowledged commits missing", recovered.len());
+    assert_eq!(missing, 0, "sync durability: every acked commit must survive");
+
+    // The recovered store accepts new durable writes on a fresh
+    // segment.
+    recovered.put(7_000, Value::from_u64(42)).expect("post-recovery write");
+    println!("post-recovery write acknowledged durable — the wing is live again");
+}
