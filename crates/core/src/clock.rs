@@ -118,6 +118,21 @@ impl GlobalClock {
     pub fn increment(&self) -> u64 {
         self.tick()
     }
+
+    /// Advances the clock to at least `to` (a no-op when it is already
+    /// there): the recovery entry point. A durability layer restoring a
+    /// store must bring the clock back to the highest write version the
+    /// previous incarnation persisted *before* admitting transactions,
+    /// so fresh commits are stamped above every logged or checkpointed
+    /// `wv` — otherwise the next recovery's `wv`-based snapshot cut
+    /// would silently skip them. Monotone: never moves the clock
+    /// backwards, and safe against concurrent `advance`/`tick` (the
+    /// max-RMW keeps every concurrently assigned version unique).
+    #[inline]
+    pub fn catch_up(&self, to: u64) {
+        debug_assert!(to < MAX_VERSION, "global version clock overflow");
+        self.now.fetch_max(to, Ordering::AcqRel);
+    }
 }
 
 impl Default for GlobalClock {

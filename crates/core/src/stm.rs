@@ -255,6 +255,15 @@ impl Stm {
         self.clock.now()
     }
 
+    /// Advance the global version clock to at least `to` (see
+    /// [`GlobalClock::catch_up`]). Recovery support for durability
+    /// layers: call before admitting transactions on a freshly rebuilt
+    /// instance, so new commits are stamped above every write version
+    /// the previous incarnation persisted.
+    pub fn catch_up_clock(&self, to: u64) {
+        self.clock.catch_up(to);
+    }
+
     /// Commit/abort statistics since creation (or the last
     /// [`Stm::reset_stats`]).
     pub fn stats(&self) -> StatsSnapshot {

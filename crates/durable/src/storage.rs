@@ -79,11 +79,17 @@ impl RealFs {
     ) -> io::Result<T> {
         let mut handles = self.handles.lock().expect("storage handle cache poisoned");
         if !handles.contains_key(name) {
-            let file = fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .read(true)
-                .open(self.dir.join(name))?;
+            let path = self.dir.join(name);
+            let existed = path.try_exists()?;
+            let file = fs::OpenOptions::new().create(true).append(true).read(true).open(&path)?;
+            if !existed {
+                // Persist the new directory entry now, before any
+                // caller's sync() can succeed: on filesystems that
+                // require an explicit directory fsync, losing the
+                // entry after a synced batch would drop the whole file
+                // — every acked commit in a freshly rotated segment.
+                self.sync_dir()?;
+            }
             handles.insert(name.to_string(), file);
         }
         f(handles.get_mut(name).expect("inserted above"))
@@ -288,6 +294,17 @@ impl FaultFs {
         drop(files);
         self.crashed.store(false, Ordering::Release);
         self.crash_at.store(u64::MAX, Ordering::Release);
+    }
+
+    /// Re-arm the crash point: the `after`-th mutating operation from
+    /// now (1-based) fails, then every later one, until
+    /// [`FaultFs::crash`] resolves the power loss again. Lets a torture
+    /// run crash the *recovered* incarnation too — multi-incarnation
+    /// invariants (clock restoration, recovery-created segment
+    /// numbering) only surface on the second crash.
+    pub fn arm_after(&self, after: u64) {
+        let now = self.ops.load(Ordering::Acquire);
+        self.crash_at.store(now.saturating_add(after), Ordering::Release);
     }
 
     /// Bytes currently guaranteed durable for `name` (test oracle

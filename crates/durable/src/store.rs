@@ -20,7 +20,10 @@
 //! flush boundaries), and post-recovery appends always start a *fresh*
 //! segment — the log never appends after garbage, so "stop at the first
 //! invalid frame, continue with the next segment" is exactly the
-//! committed-prefix rule.
+//! committed-prefix rule. Before admitting transactions the commit
+//! clock is caught up to `max(W, highest replayed wv)`: the `wv > W`
+//! replay filter is only sound if every post-recovery commit is stamped
+//! above every persisted one.
 //!
 //! ## Checkpoint
 //!
@@ -36,7 +39,7 @@
 
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use polytm::{CommitInfo, Semantics, Stm, StmConfig, TxParams, TxResult};
@@ -165,6 +168,11 @@ pub struct DurableKv {
     storage: Arc<dyn Storage>,
     mode: Durability,
     read_only: AtomicBool,
+    /// Serializes [`DurableKv::checkpoint`]: two interleaved
+    /// checkpoints could install the older cut over the newer one
+    /// *after* the newer one truncated segments the older cut still
+    /// needs.
+    ckpt: Mutex<()>,
     shutdown: Arc<AtomicBool>,
     flusher: Option<JoinHandle<()>>,
 }
@@ -210,6 +218,7 @@ impl DurableKv {
         // (garbage only ever sits where a crash cut a tail; later
         // segments were opened by a recovered incarnation).
         let mut last_seq = 0u64;
+        let mut max_wv = snap.w;
         let mut replay = Vec::new();
         'segments: for n in &live {
             let bytes = storage.read(&crate::wal::segment_name(*n))?;
@@ -219,6 +228,7 @@ impl DurableKv {
                     break 'segments;
                 }
                 last_seq = entry.seq;
+                max_wv = max_wv.max(entry.wv);
                 if entry.wv > snap.w {
                     match decode_redo(entry.payload) {
                         Some(ops) => replay.push(ops),
@@ -238,6 +248,12 @@ impl DurableKv {
         let next_segment = max_seen.map_or(snap.start_seg, |m| (m + 1).max(snap.start_seg));
         let wal = Arc::new(Wal::new(storage.clone(), config.wal, last_seq + 1, next_segment));
         let stm = Arc::new(Stm::with_redo_sink(StmConfig::default(), wal.clone()));
+        // Restore the commit clock before any transaction runs: new
+        // commits must be stamped above every persisted `wv` (the
+        // snapshot cut and the whole replayed prefix), or the *next*
+        // recovery's `wv > W` filter would silently skip them —
+        // acknowledged-durable loss one restart later.
+        stm.catch_up_clock(max_wv);
         wal.attach_stm(&stm);
         let store = KvStore::with_config(stm, config.kv);
         let loaded: Vec<(u64, Value)> =
@@ -278,6 +294,7 @@ impl DurableKv {
             storage,
             mode: config.wal.mode,
             read_only: AtomicBool::new(false),
+            ckpt: Mutex::new(()),
             shutdown,
             flusher,
         })
@@ -425,8 +442,12 @@ impl DurableKv {
     /// snapshot registry: a scan bound registered in `snapreg` pins the
     /// version history it can reach, and this checkpoint reads through
     /// exactly that machinery, so it can never observe (or persist) a
-    /// state newer than its own registered bound allows.
+    /// state newer than its own registered bound allows. Concurrent
+    /// calls are serialized internally: an interleaving where an older
+    /// cut's snapshot renames over a newer one whose truncation already
+    /// ran would lose the segments between the two cuts.
     pub fn checkpoint(&self) -> io::Result<()> {
+        let _serialize = self.ckpt.lock().expect("checkpoint mutex poisoned");
         // Rotate first: everything already flushed lives in segments
         // `<= old_last` with `wv <= W` (their flushes happened before
         // we read W below).

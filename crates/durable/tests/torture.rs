@@ -9,6 +9,15 @@
 //!   reordering;
 //! * that prefix covers at least every acknowledged commit.
 //!
+//! Each seed lives through [`CYCLES`] crash/recover incarnations: after
+//! a recovery checks out against the oracle, the crash point is
+//! re-armed and the *recovered* store is tortured again, with the
+//! oracle carried across incarnations. Single-incarnation sweeps miss
+//! whole classes of bugs that only surface on the second crash —
+//! commit-clock restoration (post-recovery commits stamped below the
+//! checkpoint cut get skipped by the *next* recovery) and
+//! recovery-created segment numbering among them.
+//!
 //! The workload is single-threaded over a sync-mode store with a zero
 //! group window, so a seed replays the exact same storage-op schedule —
 //! a failing seed is a deterministic reproducer.
@@ -80,109 +89,134 @@ impl XorShift {
     }
 }
 
-/// Run one seeded crash cycle; returns whether the armed crash point
-/// actually fired mid-workload (vs. the workload finishing first).
-fn run_seed(seed: u64) -> bool {
-    // Between ~8 and ~160 storage ops in: early enough to hit recovery
-    // of half-written first segments, late enough to cross checkpoints.
-    let crash_after = 8 + seed % 152;
-    let fs =
-        Arc::new(FaultFs::with_crash_after(seed.wrapping_mul(0x9E37_79B9).max(1), crash_after));
-    let store = DurableKv::open(fs.clone(), config()).unwrap_or_else(|e| {
+/// Crash/recover incarnations per seed. Two would already cover the
+/// second-crash invariants; three also crash an incarnation whose
+/// recovery itself replayed a recovered incarnation's log.
+const CYCLES: usize = 3;
+
+/// Run one seed through [`CYCLES`] crash/recover incarnations; returns
+/// how many armed crash points actually fired mid-workload (vs. the
+/// workload finishing first).
+fn run_seed(seed: u64) -> u64 {
+    let fs = Arc::new(FaultFs::new(seed.wrapping_mul(0x9E37_79B9).max(1)));
+    let mut rng = XorShift(seed | 1);
+    let mut store = DurableKv::open(fs.clone(), config()).unwrap_or_else(|e| {
         panic!("seed {seed}: fresh open failed: {e}");
     });
+    // Committed state as of the last recovery: the base every later
+    // incarnation's oracle replays on top of.
+    let mut base: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut fired = 0u64;
 
-    let mut rng = XorShift(seed | 1);
-    // Committed writesets in log-sequence order, plus the count of them
-    // that were acknowledged durable.
-    let mut oracle: Vec<(u64, Vec<Op>)> = Vec::new();
-    let mut acked = 0usize;
+    for cycle in 0..CYCLES {
+        // Between ~8 and ~160 storage ops in: early enough to hit
+        // recovery of half-written first segments, late enough to cross
+        // checkpoints. Armed only now, after open — recovery I/O runs
+        // on healthy storage, like a real reboot.
+        let crash_after = 8 + rng.next() % 152;
+        fs.arm_after(crash_after);
 
-    for i in 0..200usize {
-        if store.is_read_only() {
-            break;
-        }
-        if i % 41 == 40 {
-            // Periodic checkpoint; mid-checkpoint crashes are part of
-            // the sweep (a failed checkpoint must never lose state).
-            let _ = store.checkpoint();
-            continue;
-        }
-        let key = rng.next() % 24;
-        let roll = rng.next();
-        let result = if !roll.is_multiple_of(4) {
-            let value = rng.next();
-            store
-                .txn_logged(|tx| tx.put(key, Value::from_u64(value)))
-                .map(|(_prev, info, outcome)| (vec![Op::Put(key, value)], info, outcome))
-        } else {
-            store.txn_logged(|tx| tx.delete(key)).map(|(prev, info, outcome)| {
-                let ops = if prev.is_some() { vec![Op::Delete(key)] } else { Vec::new() };
-                (ops, info, outcome)
-            })
-        };
-        match result {
-            Err(DurabilityLost) => break,
-            Ok((ops, info, outcome)) => {
-                match info.seq {
-                    Some(seq) => {
-                        assert!(!ops.is_empty(), "seed {seed}: logged commit with empty writeset");
-                        if let Some((last, _)) = oracle.last() {
-                            assert!(*last < seq, "seed {seed}: seq not monotone");
+        // Committed writesets in log-sequence order, plus the count of
+        // them that were acknowledged durable.
+        let mut oracle: Vec<(u64, Vec<Op>)> = Vec::new();
+        let mut acked = 0usize;
+
+        for i in 0..200usize {
+            if store.is_read_only() {
+                break;
+            }
+            if i % 41 == 40 {
+                // Periodic checkpoint; mid-checkpoint crashes are part
+                // of the sweep (a failed checkpoint must never lose
+                // state).
+                let _ = store.checkpoint();
+                continue;
+            }
+            let key = rng.next() % 24;
+            let roll = rng.next();
+            let result = if !roll.is_multiple_of(4) {
+                let value = rng.next();
+                store
+                    .txn_logged(|tx| tx.put(key, Value::from_u64(value)))
+                    .map(|(_prev, info, outcome)| (vec![Op::Put(key, value)], info, outcome))
+            } else {
+                store.txn_logged(|tx| tx.delete(key)).map(|(prev, info, outcome)| {
+                    let ops = if prev.is_some() { vec![Op::Delete(key)] } else { Vec::new() };
+                    (ops, info, outcome)
+                })
+            };
+            match result {
+                Err(DurabilityLost) => break,
+                Ok((ops, info, outcome)) => {
+                    match info.seq {
+                        Some(seq) => {
+                            assert!(
+                                !ops.is_empty(),
+                                "seed {seed} cycle {cycle}: logged commit with empty writeset"
+                            );
+                            if let Some((last, _)) = oracle.last() {
+                                assert!(*last < seq, "seed {seed} cycle {cycle}: seq not monotone");
+                            }
+                            oracle.push((seq, ops));
                         }
-                        oracle.push((seq, ops));
+                        None => assert!(
+                            ops.is_empty(),
+                            "seed {seed} cycle {cycle}: state-changing commit took no sequence \
+                             number"
+                        ),
                     }
-                    None => assert!(
-                        ops.is_empty(),
-                        "seed {seed}: state-changing commit took no sequence number"
-                    ),
-                }
-                match outcome {
-                    DurabilityOutcome::Durable => acked = oracle.len(),
-                    DurabilityOutcome::Lost => break,
-                    DurabilityOutcome::Pending => {
-                        panic!("seed {seed}: sync mode acked Pending")
+                    match outcome {
+                        DurabilityOutcome::Durable => acked = oracle.len(),
+                        DurabilityOutcome::Lost => break,
+                        DurabilityOutcome::Pending => {
+                            panic!("seed {seed} cycle {cycle}: sync mode acked Pending")
+                        }
                     }
                 }
             }
         }
+
+        if fs.is_down() {
+            fired += 1;
+        }
+        // Power loss: the store is dropped cold (Drop does no storage
+        // I/O), the device resolves its volatile tails, the machine
+        // reboots.
+        drop(store);
+        fs.crash();
+
+        store = DurableKv::open(fs.clone(), config())
+            .unwrap_or_else(|e| panic!("seed {seed} cycle {cycle}: recovery failed: {e}"));
+        let got = dump(&store);
+
+        // The recovered state must equal base + replay of oracle[..k]
+        // for some k covering every acked commit.
+        let mut model = base.clone();
+        let mut matched = None;
+        for k in 0..=oracle.len() {
+            if k > 0 {
+                apply(&mut model, &oracle[k - 1].1);
+            }
+            if k >= acked && model == got {
+                matched = Some(k);
+                // Any match at k >= acked satisfies the oracle.
+                break;
+            }
+        }
+        assert!(
+            matched.is_some(),
+            "seed {seed} cycle {cycle} (crash_after {crash_after}): recovered state is not a \
+             committed prefix covering all {acked} acked commits of {} total.\nrecovered: {got:?}",
+            oracle.len()
+        );
+        // The recovered dump — not the matched model — is the next
+        // incarnation's base: they are equal by the assertion above.
+        base = got;
     }
 
-    let fired = fs.is_down();
-    // Power loss: the store is dropped cold (Drop does no storage I/O),
-    // the device resolves its volatile tails, the machine reboots.
-    drop(store);
-    fs.crash();
-
-    let recovered = DurableKv::open(fs, config())
-        .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
-    let got = dump(&recovered);
-
-    // The recovered state must equal replay of oracle[..k] for some k
-    // covering every acked commit.
-    let mut model = BTreeMap::new();
-    let mut matched = None;
-    for k in 0..=oracle.len() {
-        if k > 0 {
-            apply(&mut model, &oracle[k - 1].1);
-        }
-        if k >= acked && model == got {
-            matched = Some(k);
-            // Keep scanning: a later prefix may also match (idempotent
-            // tails); any match at k >= acked satisfies the oracle.
-            break;
-        }
-    }
-    assert!(
-        matched.is_some(),
-        "seed {seed} (crash_after {crash_after}, fired {fired}): recovered state is not a \
-         committed prefix covering all {acked} acked commits of {} total.\nrecovered: {got:?}",
-        oracle.len()
-    );
-
-    // Post-recovery the store must accept new durable writes (fresh
-    // segment, healthy storage).
-    recovered.put(7, Value::from_u64(0xDEAD)).unwrap_or_else(|e| {
+    // After the last incarnation the store must still accept new
+    // durable writes (fresh segment, healthy storage).
+    store.put(7, Value::from_u64(0xDEAD)).unwrap_or_else(|e| {
         panic!("seed {seed}: post-recovery write failed: {e}");
     });
     fired
@@ -204,12 +238,15 @@ fn seeded_crash_torture_recovers_committed_prefix() {
     let seeds = seed_budget();
     let mut fired = 0u64;
     for seed in 0..seeds {
-        if run_seed(seed) {
-            fired += 1;
-        }
+        fired += run_seed(seed);
     }
     // The sweep must actually be exercising crashes, not clean
-    // shutdowns: the crash window tops out at 160 storage ops and the
-    // workload performs more, so nearly every seed should fire.
-    assert!(fired * 10 >= seeds * 8, "only {fired}/{seeds} seeds hit their armed crash point");
+    // shutdowns: the crash window tops out at 160 storage ops and each
+    // incarnation's workload performs more, so nearly every armed point
+    // should fire.
+    let armed = seeds * CYCLES as u64;
+    assert!(
+        fired * 10 >= armed * 8,
+        "only {fired}/{armed} armed crash points fired across {seeds} seeds"
+    );
 }
