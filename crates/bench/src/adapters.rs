@@ -865,6 +865,95 @@ fn make_kv_durable_async() -> KvBackendInstance {
     KvBackendInstance { table: Box::new(table), stm: Some(stm) }
 }
 
+// ---------------------------------------------------------------------
+// Server (network front end) backends
+// ---------------------------------------------------------------------
+
+/// Cleans up a durable server store's WAL directory once the store is
+/// gone (field order in [`ServerStoreInstance`] drops the store
+/// first).
+pub struct WalDirGuard(std::path::PathBuf);
+
+impl Drop for WalDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A live store for the `server-kv` scenario wing: something to put
+/// behind `polytm_server::Server::spawn`, plus the STM whose stats the
+/// row reports.
+pub struct ServerStoreInstance {
+    /// The store the server fronts.
+    pub store: Arc<dyn polytm_server::ServerStore>,
+    /// Its STM, for abort/durability columns.
+    pub stm: Arc<Stm>,
+    /// Deletes the WAL temp directory after the store drops.
+    _guard: Option<WalDirGuard>,
+}
+
+/// A named server-store constructor for the `server-kv` wing.
+pub struct ServerBackend {
+    /// Row name, e.g. `kv-sharded`.
+    pub name: &'static str,
+    /// Family label for `--backend` filtering.
+    pub family: Family,
+    make: fn() -> ServerStoreInstance,
+}
+
+impl ServerBackend {
+    /// Construct a fresh instance of this backend.
+    pub fn make(&self) -> ServerStoreInstance {
+        (self.make)()
+    }
+}
+
+fn make_server_kv_sharded() -> ServerStoreInstance {
+    let stm = Arc::new(Stm::new());
+    let store = Arc::new(KvStore::with_config(
+        Arc::clone(&stm),
+        KvConfig { shards: 16, initial_slots: 64, params: KvParams::fixed() },
+    ));
+    ServerStoreInstance { store, stm, _guard: None }
+}
+
+fn make_server_kv_durable_async() -> ServerStoreInstance {
+    static INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("polytm-bench-server-wal-{}-{n}", std::process::id()));
+    let fs = Arc::new(RealFs::open(&dir).expect("create server bench WAL directory"));
+    let store = Arc::new(
+        DurableKv::open(
+            fs,
+            DurableKvConfig {
+                kv: KvConfig { shards: 16, initial_slots: 64, params: KvParams::fixed() },
+                wal: WalConfig { mode: Durability::Async, ..WalConfig::default() },
+            },
+        )
+        .expect("open durable server bench store"),
+    );
+    let stm = Arc::clone(store.stm());
+    ServerStoreInstance { store, stm, _guard: Some(WalDirGuard(dir)) }
+}
+
+/// The stores the network front end is benchmarked over: the plain
+/// sharded store (pure event-loop + STM cost) and the async-durability
+/// WAL store (adds group commit underneath the server's own
+/// coalescing).
+pub const SERVER_BACKENDS: &[ServerBackend] = &[
+    ServerBackend {
+        name: "kv-sharded",
+        family: Family::Transactional,
+        make: make_server_kv_sharded,
+    },
+    ServerBackend {
+        name: "kv-durable-async",
+        family: Family::Transactional,
+        make: make_server_kv_durable_async,
+    },
+];
+
 /// Every KV backend the YCSB scenario family drives.
 pub const KV_BACKENDS: &[KvBackend] = &[
     KvBackend { name: "kv-sharded", family: Family::Transactional, make: make_kv_sharded },

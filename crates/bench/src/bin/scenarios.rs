@@ -2,10 +2,13 @@
 //! lock-based, lock-free) × every workload scenario × a thread sweep,
 //! reporting throughput, latency quantiles and (for tx backends) abort
 //! ratios as machine-readable rows in `BENCH_scenarios.json`. The
-//! matrix has three wings: the set-shaped scenarios over `BACKENDS`,
+//! matrix has four wings: the set-shaped scenarios over `BACKENDS`,
 //! the YCSB-style record-store family (`ycsb-*`) over `KV_BACKENDS`,
-//! and the HTAP family (`htap`) — long analytical scans concurrent
-//! with YCSB-A-style writers — over both registries.
+//! the HTAP family (`htap`) — long analytical scans concurrent with
+//! YCSB-A-style writers — over both registries, and the network
+//! front-end family (`server-kv`) — an open-loop pipelined wire
+//! workload against a loopback `polytm-server` — over
+//! `SERVER_BACKENDS`.
 //!
 //! ```text
 //! cargo run --release -p polytm-bench --bin scenarios -- --label after
@@ -24,20 +27,28 @@
 //!  p50_ns, p99_ns, p999_ns,
 //!  aborts_lock, aborts_validation, aborts_cut, aborts_capacity, aborts_unavailable
 //!  [, found_ratio, kv_space]
-//!  [, scan_p50_ns, scan_p99_ns, scan_p999_ns, scan_aborts]}
+//!  [, scan_p50_ns, scan_p99_ns, scan_p999_ns, scan_aborts]
+//!  [, conns, batch_ops_per_commit]}
 //! ```
 //!
 //! `bench` is `scenario/backend` (e.g. `hotspot/tx-list`,
-//! `ycsb-a/kv-sharded`, `htap/kv-adaptive`). For `htap/*` rows the
+//! `ycsb-a/kv-sharded`, `htap/kv-adaptive`,
+//! `server-kv/kv-durable-async`). For `htap/*` rows the
 //! `threads` column is the *writer* count (the sweep axis); one
-//! dedicated scanner thread runs alongside. `--quick` shrinks the
+//! dedicated scanner thread runs alongside. For `server-kv/*` rows
+//! `threads` is the client *connection* count swept at a fixed total
+//! offered rate, and latency is the wire round trip measured from
+//! each request's intended (open-loop) send time. `--quick` shrinks the
 //! measured windows so CI can exercise the whole matrix in seconds;
 //! only rows from a quiet machine are trajectory data.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use polytm_bench::report::{append_rows, git_rev, BenchCli};
-use polytm_bench::{Backend, Family, KvBackend, Shape, BACKENDS, KV_BACKENDS};
+use polytm_bench::{
+    Backend, Family, KvBackend, ServerBackend, Shape, BACKENDS, KV_BACKENDS, SERVER_BACKENDS,
+};
 use polytm_workload::{
     run_htap_kv, run_htap_set, run_kv_scenario_with, run_scenario_with, HtapSpec, KeyDist, KvMix,
     KvSpec, MixSchedule, OpMix, WorkloadSpec,
@@ -103,6 +114,15 @@ struct Row {
     scan: Option<ScanFields>,
     /// Durable-backend rows only: the WAL / group-commit columns.
     durability: Option<DurabilityFields>,
+    /// `server-kv` rows only: connection count and the mean number of
+    /// wire write requests coalesced into one STM commit.
+    server: Option<ServerFields>,
+}
+
+/// The network-front-end columns (`server-kv` rows).
+struct ServerFields {
+    conns: usize,
+    batch_ops_per_commit: f64,
 }
 
 /// Measurement windows for the two modes.
@@ -110,6 +130,12 @@ struct Knobs {
     sweep: Duration,
     warmup: Duration,
     threads: &'static [usize],
+    /// `server-kv` wing: the connection sweep (its `threads` axis).
+    server_conns: &'static [usize],
+    /// `server-kv` wing: total offered load (ops/s) split across the
+    /// connections, so the sweep varies coalescing opportunity at
+    /// constant demand rather than demand itself.
+    server_rate: f64,
 }
 
 impl Knobs {
@@ -119,12 +145,16 @@ impl Knobs {
                 sweep: Duration::from_millis(80),
                 warmup: Duration::from_millis(20),
                 threads: &[1, 2],
+                server_conns: &[1, 2],
+                server_rate: 6_000.0,
             }
         } else {
             Self {
                 sweep: Duration::from_millis(300),
                 warmup: Duration::from_millis(60),
                 threads: &[1, 2, 4],
+                server_conns: &[1, 4, 16],
+                server_rate: 20_000.0,
             }
         }
     }
@@ -207,6 +237,14 @@ const KV_SCENARIOS: &[KvScenario] = &[
 /// churn; the analytical side is one dedicated scanner thread).
 const HTAP_SCENARIO: &str = "htap";
 
+/// The network-front-end scenario name: an open-loop, pipelined wire
+/// workload against a loopback `polytm-server`, sweeping connections
+/// at a fixed total offered rate.
+const SERVER_SCENARIO: &str = "server-kv";
+
+/// Key population for the server wing (matches the YCSB family).
+const SERVER_KEY_SPACE: u64 = 8192;
+
 /// Scanners per HTAP cell (the `threads` sweep varies writers).
 const HTAP_SCANNERS: usize = 1;
 
@@ -266,6 +304,7 @@ fn run_kv_cell(backend: &KvBackend, scenario: &KvScenario, threads: usize, k: &K
         kv: Some((m.found_ratio(), KV_KEY_SPACE)),
         scan: None,
         durability: durability_fields(stats.as_ref(), k.sweep),
+        server: None,
     }
 }
 
@@ -311,6 +350,7 @@ fn run_cell(backend: &Backend, scenario: &Scenario, threads: usize, k: &Knobs) -
         kv: None,
         scan: None,
         durability: None,
+        server: None,
     }
 }
 
@@ -349,6 +389,7 @@ fn htap_row(
             aborts: scan_aborts,
         }),
         durability: durability_fields(stats, window),
+        server: None,
     }
 }
 
@@ -380,6 +421,67 @@ fn run_htap_kv_cell(backend: &KvBackend, writers: usize, k: &Knobs) -> Row {
     htap_row(format!("{HTAP_SCENARIO}/{}", backend.name), writers, &m, stats.as_ref(), k.sweep)
 }
 
+/// One `server-kv` cell: spawn a loopback server over the backend's
+/// store, prefill through the coalescing path, then drive the
+/// open-loop load generator at a fixed *total* rate split across
+/// `conns` connections. The `threads` column records the connection
+/// count (the sweep axis); latency quantiles are wire round-trip
+/// times measured from each request's *intended* send time
+/// (coordinated-omission safe), so they include any server-side
+/// queueing the offered load induces.
+fn run_server_cell(backend: &ServerBackend, conns: usize, k: &Knobs) -> Row {
+    let instance = backend.make();
+    let handle = polytm_server::Server::spawn(
+        Arc::clone(&instance.store),
+        "127.0.0.1:0",
+        polytm_server::ServerConfig::default(),
+    )
+    .expect("spawn loopback server");
+
+    // Prefill even keys through the server's own coalescing path so
+    // the measured window starts on a warm store.
+    let prefill: Vec<polytm_server::WriteRequest> = (0..SERVER_KEY_SPACE)
+        .step_by(2)
+        .map(|key| polytm_server::WriteRequest::Put { key, value: vec![0xAB; 12] })
+        .collect();
+    for chunk in prefill.chunks(64) {
+        instance.store.commit_writes(chunk).expect("prefill commit");
+    }
+
+    instance.stm.reset_stats();
+    let spec = polytm_server::LoadSpec {
+        conns,
+        rate: k.server_rate,
+        duration: k.sweep,
+        warmup: k.warmup,
+        key_space: SERVER_KEY_SPACE,
+        seed: 0x5E2_0E2 ^ (conns as u64) << 32,
+        ..Default::default()
+    };
+    let m = polytm_server::run_load(handle.local_addr(), &spec).expect("loopback load run");
+    let stats = instance.stm.stats();
+    // The stats window spans warmup + sweep (reset precedes warmup),
+    // so derive the fsync rate over that same span.
+    let window = k.warmup + k.sweep;
+    let server =
+        ServerFields { conns, batch_ops_per_commit: handle.stats().batch_ops_per_commit() };
+    handle.shutdown();
+    Row {
+        bench: format!("{SERVER_SCENARIO}/{}", backend.name),
+        threads: conns,
+        ops_per_sec: m.throughput(),
+        abort_ratio: stats.abort_ratio(),
+        p50_ns: m.hist.p50(),
+        p99_ns: m.hist.p99(),
+        p999_ns: m.hist.p999(),
+        aborts_by_cause: stats.aborts_by_cause().map(|(_label, count)| count),
+        kv: None,
+        scan: None,
+        durability: durability_fields(Some(&stats), window),
+        server: Some(server),
+    }
+}
+
 fn render_row(rev: &str, label: &str, cores: usize, r: &Row) -> String {
     let [lock, validation, cut, capacity, unavailable] = r.aborts_by_cause;
     let kv_fields =
@@ -408,13 +510,20 @@ fn render_row(rev: &str, label: &str, cores: usize, r: &Row) -> String {
             )
         })
         .unwrap_or_default();
+    let server_fields = r
+        .server
+        .as_ref()
+        .map(|s| {
+            format!(",\"conns\":{},\"batch_ops_per_commit\":{:.3}", s.conns, s.batch_ops_per_commit)
+        })
+        .unwrap_or_default();
     format!(
         "  {{\"rev\":\"{rev}\",\"label\":\"{label}\",\"bench\":\"{}\",\"threads\":{},\
          \"cores\":{cores},\
          \"ops_per_sec\":{:.1},\"abort_ratio\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
          \"aborts_lock\":{lock},\"aborts_validation\":{validation},\"aborts_cut\":{cut},\
          \"aborts_capacity\":{capacity},\"aborts_unavailable\":{unavailable}\
-         {kv_fields}{scan_fields}{durability_fields}}}",
+         {kv_fields}{scan_fields}{durability_fields}{server_fields}}}",
         r.bench, r.threads, r.ops_per_sec, r.abort_ratio, r.p50_ns, r.p99_ns, r.p999_ns
     )
 }
@@ -532,6 +641,33 @@ fn main() {
                 scan.aborts
             );
             rows.push(row);
+        }
+    }
+
+    // The network-front-end wing: the open-loop wire workload against
+    // a loopback server. `threads` sweeps the connection count at
+    // fixed total offered rate.
+    if only_scenario.is_empty() || only_scenario == SERVER_SCENARIO {
+        for backend in SERVER_BACKENDS {
+            if !matches_filter(backend.name, backend.family, &only_backend) {
+                continue;
+            }
+            for &conns in knobs.server_conns {
+                let row = run_server_cell(backend, conns, &knobs);
+                let server = row.server.as_ref().expect("server rows carry server fields");
+                eprintln!(
+                    "  {:<32} c={:<2} {:>12.0} ops/s  abort {:.4}  p50 {:>7}ns  p99 {:>8}ns  \
+                     batch {:.2} ops/commit",
+                    row.bench,
+                    server.conns,
+                    row.ops_per_sec,
+                    row.abort_ratio,
+                    row.p50_ns,
+                    row.p99_ns,
+                    server.batch_ops_per_commit
+                );
+                rows.push(row);
+            }
         }
     }
 

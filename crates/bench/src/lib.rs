@@ -15,6 +15,6 @@ pub mod report;
 
 pub use adapters::{
     make_hash_impl, make_list_impl, AdaptiveHashSet, AdaptiveListSet, Backend, BackendInstance,
-    CoarseLockKv, Family, KvBackend, KvBackendInstance, KvStoreTable, Shape, BACKENDS, HASH_IMPLS,
-    KV_BACKENDS, LIST_IMPLS,
+    CoarseLockKv, Family, KvBackend, KvBackendInstance, KvStoreTable, ServerBackend,
+    ServerStoreInstance, Shape, BACKENDS, HASH_IMPLS, KV_BACKENDS, LIST_IMPLS, SERVER_BACKENDS,
 };

@@ -357,9 +357,10 @@ impl RowSchema {
     /// recorded, the kv (YCSB) family later added its read-hit ratio
     /// and key-space columns, and the HTAP family added scan-only
     /// latency quantiles and scan-abort counts, the durable-backend
-    /// rows added the WAL / group-commit bucket; both schemas may carry
-    /// the runner's core count. Rows from before any extension stay
-    /// valid.
+    /// rows added the WAL / group-commit bucket, and the `server-kv`
+    /// family added its connection count and coalescing factor; both
+    /// schemas may carry the runner's core count. Rows from before any
+    /// extension stay valid.
     fn optional_fields(self) -> &'static [&'static str] {
         match self {
             RowSchema::Core => &["cores"],
@@ -380,6 +381,8 @@ impl RowSchema {
                 "fsyncs",
                 "wal_bytes",
                 "fsyncs_per_sec",
+                "conns",
+                "batch_ops_per_commit",
                 "cores",
             ],
         }
@@ -405,6 +408,7 @@ impl RowSchema {
                 "group_commit_batches",
                 "fsyncs",
                 "wal_bytes",
+                "conns",
                 "cores",
             ],
         }
@@ -509,6 +513,19 @@ fn validate_row(row: &[(String, Json)], schema: RowSchema) -> Result<String, Str
                 return Err("durability columns must appear as a full bundle".into());
             }
             nonneg_finite(row, "fsyncs_per_sec")?;
+        }
+        // Server (network front-end) columns travel as a pair: the
+        // connection sweep axis and the derived coalescing factor.
+        let server_cols = ["conns", "batch_ops_per_commit"].map(|name| field(row, name).is_some());
+        if server_cols.iter().any(|&p| p) {
+            if !server_cols.iter().all(|&p| p) {
+                return Err("server columns (conns, batch_ops_per_commit) travel together".into());
+            }
+            let conns = nonneg_finite(row, "conns")?;
+            if conns < 1.0 {
+                return Err(format!("conns must be >= 1, got {conns}"));
+            }
+            nonneg_finite(row, "batch_ops_per_commit")?;
         }
     }
     for name in schema.optional_integer_fields() {
@@ -753,6 +770,36 @@ mod tests {
         // ...and the core schema accepts none of them.
         let core_bad =
             GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"fsyncs\":1");
+        assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
+            .unwrap_err()
+            .contains("unknown"));
+    }
+
+    #[test]
+    fn server_fields_are_accepted_and_typed() {
+        // A server-kv row carries the connection count and the mean
+        // coalescing factor...
+        let server_row = GOOD_SCEN.replace(
+            "\"p999_ns\":50000",
+            "\"p999_ns\":50000,\"conns\":4,\"batch_ops_per_commit\":3.125",
+        );
+        let (n, _, s) = validate_trajectory(&server_row, None).unwrap();
+        assert_eq!((n, s), (1, RowSchema::Scenarios));
+        // ...conns is a positive integer, ...
+        let bad = server_row.replace("\"conns\":4", "\"conns\":0");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("conns"));
+        let bad = server_row.replace("\"conns\":4", "\"conns\":4.5");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("conns"));
+        // ...the coalescing factor is any non-negative number, ...
+        let bad =
+            server_row.replace("\"batch_ops_per_commit\":3.125", "\"batch_ops_per_commit\":-1");
+        assert!(validate_trajectory(&bad, None).is_err());
+        // ...the pair travels together, ...
+        let partial = GOOD_SCEN.replace("\"p999_ns\":50000", "\"p999_ns\":50000,\"conns\":4");
+        assert!(validate_trajectory(&partial, None).unwrap_err().contains("together"));
+        // ...and the core schema accepts neither column.
+        let core_bad =
+            GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"conns\":4");
         assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
             .unwrap_err()
             .contains("unknown"));

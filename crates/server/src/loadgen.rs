@@ -1,0 +1,246 @@
+//! Open-loop network load generator: target-rate request scheduling
+//! over pipelined [`Client`] connections, with coordinated-omission-
+//! safe latency recording (see `polytm_workload::openloop`).
+//!
+//! Each connection runs its own thread and its own [`Pacer`] slice of
+//! the total target rate, staggered so the fleet's intended instants
+//! interleave instead of arriving in phase. Latency is measured from
+//! an operation's *intended* start to its response — an op stuck
+//! behind a stalled pipeline is charged its full queueing delay, so
+//! the recorded tail reflects what an outside client would see, not
+//! what a polite closed-loop driver would admit to.
+
+use std::io::ErrorKind;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use polytm_workload::openloop::{record_sample, Pacer};
+use polytm_workload::{LatencyHistogram, SplitMix64};
+
+use crate::client::{Client, ClientError};
+use crate::protocol::{Request, Response, WriteOp};
+
+/// Workload shape for [`run_load`].
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSpec {
+    /// Concurrent connections (one thread each).
+    pub conns: usize,
+    /// Total target rate, ops/second, across all connections.
+    pub rate: f64,
+    /// Measured window (after warmup).
+    pub duration: Duration,
+    /// Warmup window; samples intended before its end are discarded.
+    pub warmup: Duration,
+    /// Keys are drawn uniformly from `[0, key_space)`.
+    pub key_space: u64,
+    /// Percentage of operations that are writes (`PUT`), `0..=100`.
+    pub write_pct: u32,
+    /// Every Nth write becomes an atomic `MULTI` of
+    /// [`LoadSpec::multi_size`] puts (0 = never).
+    pub multi_every: u32,
+    /// Ops per `MULTI` batch.
+    pub multi_size: usize,
+    /// Value payload length in bytes.
+    pub value_len: usize,
+    /// Max in-flight requests per connection before the sender blocks
+    /// on a response. Bounds memory; latency accounting stays honest
+    /// because samples are measured from intended time regardless.
+    pub pipeline_cap: usize,
+    /// Deterministic workload seed.
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            conns: 2,
+            rate: 20_000.0,
+            duration: Duration::from_millis(300),
+            warmup: Duration::from_millis(60),
+            key_space: 1 << 14,
+            write_pct: 30,
+            multi_every: 8,
+            multi_size: 8,
+            value_len: 12,
+            pipeline_cap: 64,
+            seed: 0x9E3779B97F4A7C15,
+        }
+    }
+}
+
+/// Aggregated outcome of one [`run_load`] run.
+#[derive(Debug)]
+pub struct LoadMeasurement {
+    /// Operations completed whose intended start fell in the measured
+    /// window.
+    pub ops: u64,
+    /// The measured window length.
+    pub elapsed: Duration,
+    /// Intended-start-to-response latencies for measured ops.
+    pub hist: LatencyHistogram,
+    /// Error responses received (measured window or not).
+    pub errors: u64,
+}
+
+impl LoadMeasurement {
+    /// Completed measured ops per second of measured window.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ops as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// In-flight bookkeeping: one entry per unanswered request, FIFO —
+/// per-connection response order matches request order, so the front
+/// entry always pairs with the next response.
+struct Inflight {
+    intended: Instant,
+    measured: bool,
+}
+
+/// Run the open-loop workload against `addr`. Returns the merged
+/// measurement; any connection-level failure aborts the whole run.
+pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> Result<LoadMeasurement, ClientError> {
+    assert!(spec.conns > 0, "need at least one connection");
+    assert!(spec.pipeline_cap > 0, "pipeline cap must be positive");
+    let origin = Instant::now();
+    let measure_start = origin + spec.warmup;
+    let deadline = measure_start + spec.duration;
+    let per_conn_rate = spec.rate / spec.conns as f64;
+
+    let mut handles = Vec::with_capacity(spec.conns);
+    for t in 0..spec.conns {
+        let spec = *spec;
+        handles.push(std::thread::spawn(move || {
+            conn_loop(addr, &spec, t, origin, measure_start, deadline, per_conn_rate)
+        }));
+    }
+
+    let mut hist = LatencyHistogram::new();
+    let mut ops = 0u64;
+    let mut errors = 0u64;
+    for h in handles {
+        let (conn_hist, conn_ops, conn_errors) =
+            h.join().map_err(|_| ClientError::Protocol("load thread panicked"))??;
+        hist.merge(&conn_hist);
+        ops += conn_ops;
+        errors += conn_errors;
+    }
+    Ok(LoadMeasurement { ops, elapsed: spec.duration, hist, errors })
+}
+
+fn conn_loop(
+    addr: SocketAddr,
+    spec: &LoadSpec,
+    index: usize,
+    origin: Instant,
+    measure_start: Instant,
+    deadline: Instant,
+    rate: f64,
+) -> Result<(LatencyHistogram, u64, u64), ClientError> {
+    let mut client = Client::connect(addr)?;
+    client.set_read_timeout(Some(Duration::from_millis(1)))?;
+    // Stagger this connection's schedule inside one inter-arrival gap
+    // so the fleet doesn't fire in phase.
+    let stagger = Duration::from_nanos((1.0e9 / rate * index as f64 / spec.conns as f64) as u64);
+    let mut pacer = Pacer::starting_at(origin + stagger, rate);
+    let mut rng = SplitMix64::for_thread(spec.seed, index);
+
+    let mut inflight: std::collections::VecDeque<Inflight> = std::collections::VecDeque::new();
+    let mut hist = LatencyHistogram::new();
+    let mut ops = 0u64;
+    let mut errors = 0u64;
+    let mut writes = 0u32;
+    let value = vec![0x5Au8; spec.value_len];
+
+    while pacer.peek() < deadline {
+        // Sleep (draining responses opportunistically) until the next
+        // intended instant.
+        loop {
+            let wait = pacer.due(Instant::now());
+            if wait.is_zero() {
+                break;
+            }
+            if !inflight.is_empty() {
+                drain_one(&mut client, &mut inflight, &mut hist, &mut ops, &mut errors)?;
+            } else {
+                std::thread::sleep(wait.min(Duration::from_millis(1)));
+            }
+        }
+        let intended = pacer.take();
+
+        let r = rng.next_u64();
+        let key = r % spec.key_space.max(1);
+        let req = if (r >> 33) % 100 < spec.write_pct as u64 {
+            writes += 1;
+            if spec.multi_every > 0 && writes.is_multiple_of(spec.multi_every) {
+                let ops = (0..spec.multi_size)
+                    .map(|i| WriteOp::Put {
+                        key: (key + i as u64) % spec.key_space.max(1),
+                        value: value.clone(),
+                    })
+                    .collect();
+                Request::Multi { ops }
+            } else {
+                Request::Put { key, value: value.clone() }
+            }
+        } else {
+            Request::Get { key }
+        };
+        client.send(&req)?;
+        inflight.push_back(Inflight {
+            intended,
+            measured: intended >= measure_start && intended < deadline,
+        });
+
+        // Bound the pipeline: block for one response once full.
+        while inflight.len() >= spec.pipeline_cap {
+            if !drain_one(&mut client, &mut inflight, &mut hist, &mut ops, &mut errors)? {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    // Tail drain: every in-flight request still gets its sample.
+    client.set_read_timeout(Some(Duration::from_secs(5)))?;
+    while !inflight.is_empty() {
+        if !drain_one(&mut client, &mut inflight, &mut hist, &mut ops, &mut errors)? {
+            return Err(ClientError::Protocol("tail drain timed out"));
+        }
+    }
+    Ok((hist, ops, errors))
+}
+
+/// Try to receive one response; `Ok(false)` means the read timed out.
+fn drain_one(
+    client: &mut Client,
+    inflight: &mut std::collections::VecDeque<Inflight>,
+    hist: &mut LatencyHistogram,
+    ops: &mut u64,
+    errors: &mut u64,
+) -> Result<bool, ClientError> {
+    match client.recv() {
+        Ok((_seq, resp)) => {
+            let done = inflight
+                .pop_front()
+                .ok_or(ClientError::Protocol("response without matching request"))?;
+            if matches!(resp, Response::Error(_)) {
+                *errors += 1;
+            }
+            if done.measured {
+                record_sample(hist, done.intended, Instant::now());
+                *ops += 1;
+            }
+            Ok(true)
+        }
+        Err(ClientError::Io(e))
+            if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+        {
+            Ok(false)
+        }
+        Err(e) => Err(e),
+    }
+}

@@ -1,0 +1,559 @@
+//! The non-blocking event loop: acceptor + worker threads, request
+//! admission, write coalescing, and per-connection backpressure.
+//!
+//! ## Shape
+//!
+//! One acceptor thread polls the listener and deals fresh connections
+//! round-robin onto worker inboxes. Each worker owns its connections
+//! outright — no cross-thread handoff after accept — and runs a sweep
+//! loop: poll readiness, read, decode, execute, flush.
+//!
+//! ## Batching / admission
+//!
+//! Everything decodable after one read sweep forms the *batch window*.
+//! Within the window, consecutive write requests (`PUT`, `DELETE`,
+//! `MULTI`) are admitted into a pending run and committed as **one**
+//! STM transaction ([`crate::store::ServerStore::commit_writes`]),
+//! bounded by [`ServerConfig::batch_max_ops`] and
+//! [`ServerConfig::batch_max_bytes`]. Reads and read-modify ops
+//! (`GET`, `SCAN`, `CAS`, `TXN`, `PING`) are barriers: they flush the
+//! pending run first, so every response reflects a state consistent
+//! with its position in the request order. This mirrors the WAL's
+//! group commit one level up: many wire requests, one commit, one
+//! (eventual) log force.
+//!
+//! ## Backpressure
+//!
+//! A worker stops *reading* a connection whose unflushed response
+//! bytes exceed [`ServerConfig::max_backlog`]; reading resumes once
+//! the kernel drains the backlog. Combined with the read-buffer cap,
+//! per-connection memory is bounded — the argument is written out in
+//! `DESIGN.md` §10.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::poll::{Interest, Poller, READ, WRITE};
+use crate::protocol::{
+    decode_frame, encode_response, parse_request, ErrorCode, FrameEvent, Request, Response,
+    MAX_PAYLOAD,
+};
+use crate::store::{ServerStore, StoreError, WriteReply, WriteRequest};
+
+/// Tunables for [`Server::spawn`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Event-loop worker threads (connections are partitioned across
+    /// them at accept time). Defaults to available parallelism.
+    pub workers: usize,
+    /// Max admitted write requests per coalesced commit.
+    pub batch_max_ops: usize,
+    /// Byte budget (payload bytes) per coalesced commit.
+    pub batch_max_bytes: usize,
+    /// Unflushed response bytes above which a connection stops being
+    /// read (backpressure).
+    pub max_backlog: usize,
+    /// Server-side cap on entries returned by one `SCAN`.
+    pub scan_cap: u32,
+    /// Attach CRC-32 trailers to response frames.
+    pub crc: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            batch_max_ops: 64,
+            batch_max_bytes: 256 << 10,
+            max_backlog: 256 << 10,
+            scan_cap: 4096,
+            crc: false,
+        }
+    }
+}
+
+/// Monotonic event-loop counters; all relaxed (they are telemetry,
+/// not synchronisation). `docs/RUNBOOK.md` documents how to read them.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections closed (any reason).
+    pub closed: AtomicU64,
+    /// Well-formed requests decoded.
+    pub requests: AtomicU64,
+    /// Responses encoded (== requests on a healthy stream).
+    pub responses: AtomicU64,
+    /// Coalesced write commits.
+    pub batches: AtomicU64,
+    /// Write requests carried by those commits (`batched_ops /
+    /// batches` = mean coalescing factor, the scenarios table's
+    /// `batch_ops_per_commit` column).
+    pub batched_ops: AtomicU64,
+    /// Bytes read off sockets.
+    pub bytes_in: AtomicU64,
+    /// Bytes flushed to sockets.
+    pub bytes_out: AtomicU64,
+    /// Transitions into the "backlog full, reads paused" state.
+    pub backpressure_stalls: AtomicU64,
+    /// Connections dropped for framing corruption.
+    pub corrupt_conns: AtomicU64,
+    /// Error responses due to the store latching read-only.
+    pub read_only_errors: AtomicU64,
+}
+
+impl ServerStats {
+    /// Mean admitted write requests per coalesced commit so far.
+    pub fn batch_ops_per_commit(&self) -> f64 {
+        let batches = self.batches.load(Ordering::Relaxed);
+        if batches == 0 {
+            0.0
+        } else {
+            self.batched_ops.load(Ordering::Relaxed) as f64 / batches as f64
+        }
+    }
+}
+
+/// A running server; dropping (or calling [`ServerHandle::shutdown`])
+/// stops the acceptor and workers and closes every connection.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// Stop accepting, drain the event loops, and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Namespace for spawning the front end.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` and spawn the acceptor + worker threads serving
+    /// `store`. Returns immediately; the handle owns the threads.
+    pub fn spawn(
+        store: Arc<dyn ServerStore>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let workers = config.workers.max(1);
+
+        let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> =
+            (0..workers).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        for (i, inbox) in inboxes.iter().enumerate() {
+            let inbox = Arc::clone(inbox);
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("polytm-server-w{i}"))
+                    .spawn(move || worker_loop(inbox, store, config, stop, stats))?,
+            );
+        }
+        {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("polytm-server-accept".into())
+                    .spawn(move || accept_loop(listener, inboxes, stop, stats))?,
+            );
+        }
+        Ok(ServerHandle { addr: local, stop, stats, threads })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+) {
+    let poller = Poller::new();
+    let mut next = 0usize;
+    while !stop.load(Ordering::Acquire) {
+        poller.wait(
+            &[Interest { fd: listener.as_raw_fd(), events: READ }],
+            Duration::from_millis(25),
+        );
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    inboxes[next % inboxes.len()].lock().unwrap().push(stream);
+                    next += 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        poller.idle_backoff();
+    }
+}
+
+/// Per-connection state owned by exactly one worker.
+struct Conn {
+    stream: TcpStream,
+    /// Received, not-yet-decoded bytes.
+    in_buf: Vec<u8>,
+    /// Encoded, not-yet-flushed response bytes (`out_pos` is the
+    /// flushed prefix).
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    /// Peer finished sending (half-close): drain and hang up.
+    read_eof: bool,
+    /// Fatal condition (corrupt stream / I/O error): drop after the
+    /// current flush attempt.
+    dead: bool,
+    /// Currently excluded from reads by backpressure (edge-counted).
+    stalled: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+            out_pos: 0,
+            read_eof: false,
+            dead: false,
+            stalled: false,
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.out_buf.len() - self.out_pos
+    }
+
+    fn finished(&self) -> bool {
+        self.dead || (self.read_eof && self.backlog() == 0 && self.in_buf.is_empty())
+    }
+}
+
+/// Bytes read per connection per sweep; bounds the batch window.
+const READ_CHUNK: usize = 64 << 10;
+
+fn worker_loop(
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    store: Arc<dyn ServerStore>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+) {
+    let poller = Poller::new();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+
+    while !stop.load(Ordering::Acquire) {
+        conns.extend(inbox.lock().unwrap().drain(..).map(Conn::new));
+
+        let interests: Vec<Interest> = conns
+            .iter_mut()
+            .map(|c| {
+                let mut events = 0u8;
+                let over = c.backlog() >= config.max_backlog;
+                if over && !c.stalled {
+                    stats.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+                }
+                c.stalled = over;
+                if !c.read_eof && !c.dead && !over {
+                    events |= READ;
+                }
+                if c.backlog() > 0 {
+                    events |= WRITE;
+                }
+                Interest { fd: c.stream.as_raw_fd(), events }
+            })
+            .collect();
+
+        let ready = poller.wait(&interests, Duration::from_millis(25));
+        let mut progressed = false;
+
+        for (conn, ready) in conns.iter_mut().zip(ready) {
+            if ready & READ != 0 && !conn.read_eof && !conn.dead {
+                progressed |= fill(conn, &mut scratch, &stats);
+                process(conn, store.as_ref(), &config, &stats);
+                if conn.read_eof && !conn.in_buf.is_empty() {
+                    // Half-closed with a partial frame: those bytes can
+                    // never complete, so drop them and let the
+                    // connection finish once its backlog drains.
+                    conn.in_buf.clear();
+                }
+            }
+            if conn.backlog() > 0 {
+                // Optimistic flush: fresh responses should not wait a
+                // poll round; a full kernel buffer just says
+                // `WouldBlock` and the WRITE interest wakes us later.
+                progressed |= flush(conn, &stats);
+            }
+        }
+
+        let before = conns.len();
+        conns.retain(|c| !c.finished());
+        stats.closed.fetch_add((before - conns.len()) as u64, Ordering::Relaxed);
+
+        if !progressed {
+            poller.idle_backoff();
+        }
+    }
+    stats.closed.fetch_add(conns.len() as u64, Ordering::Relaxed);
+}
+
+/// Read until `WouldBlock`, EOF, or the sweep cap; returns whether any
+/// bytes arrived.
+fn fill(conn: &mut Conn, scratch: &mut [u8], stats: &ServerStats) -> bool {
+    let mut total = 0usize;
+    while total < READ_CHUNK {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.read_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.in_buf.extend_from_slice(&scratch[..n]);
+                total += n;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    stats.bytes_in.fetch_add(total as u64, Ordering::Relaxed);
+    total > 0
+}
+
+/// Decode and execute everything in `conn.in_buf` — one batch window.
+fn process(conn: &mut Conn, store: &dyn ServerStore, config: &ServerConfig, stats: &ServerStats) {
+    // The pending coalesced run: admitted write requests plus the
+    // wire identity needed to answer each one.
+    let mut run: Vec<(u8, u32, WriteRequest)> = Vec::new();
+    let mut run_bytes = 0usize;
+    let mut cursor = 0usize;
+
+    loop {
+        let event = decode_frame(&conn.in_buf[cursor..]);
+        match event {
+            FrameEvent::Incomplete { .. } => break,
+            FrameEvent::Corrupt(_) => {
+                stats.corrupt_conns.fetch_add(1, Ordering::Relaxed);
+                conn.dead = true;
+                break;
+            }
+            FrameEvent::Frame { consumed, opcode, seq, payload } => {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                let parsed = parse_request(opcode, payload);
+                let payload_len = payload.len();
+                cursor += consumed;
+                match parsed {
+                    Err(code) => {
+                        commit_run(conn, store, &mut run, &mut run_bytes, config, stats);
+                        respond(conn, opcode, seq, &Response::Error(code), config, stats);
+                    }
+                    Ok(req) => match admit(req) {
+                        Admitted::Write(w) => {
+                            run.push((opcode, seq, w));
+                            run_bytes += payload_len;
+                            if run.len() >= config.batch_max_ops
+                                || run_bytes >= config.batch_max_bytes
+                            {
+                                commit_run(conn, store, &mut run, &mut run_bytes, config, stats);
+                            }
+                        }
+                        Admitted::Barrier(req) => {
+                            commit_run(conn, store, &mut run, &mut run_bytes, config, stats);
+                            let resp = execute_barrier(store, &req, config, stats);
+                            respond(conn, opcode, seq, &resp, config, stats);
+                        }
+                    },
+                }
+            }
+        }
+    }
+    // End of the batch window: whatever is still pending commits now.
+    commit_run(conn, store, &mut run, &mut run_bytes, config, stats);
+    conn.in_buf.drain(..cursor);
+}
+
+enum Admitted {
+    Write(WriteRequest),
+    Barrier(Request),
+}
+
+/// Admission: writes coalesce, everything else is a barrier.
+fn admit(req: Request) -> Admitted {
+    match req {
+        Request::Put { key, value } => Admitted::Write(WriteRequest::Put { key, value }),
+        Request::Delete { key } => Admitted::Write(WriteRequest::Delete { key }),
+        Request::Multi { ops } => Admitted::Write(WriteRequest::Multi { ops }),
+        other => Admitted::Barrier(other),
+    }
+}
+
+/// Commit the pending run as one transaction and answer each request.
+fn commit_run(
+    conn: &mut Conn,
+    store: &dyn ServerStore,
+    run: &mut Vec<(u8, u32, WriteRequest)>,
+    run_bytes: &mut usize,
+    config: &ServerConfig,
+    stats: &ServerStats,
+) {
+    if run.is_empty() {
+        return;
+    }
+    *run_bytes = 0;
+    let batch: Vec<WriteRequest> = run.iter().map(|(_, _, w)| w.clone()).collect();
+    match store.commit_writes(&batch) {
+        Ok(replies) => {
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+            stats.batched_ops.fetch_add(run.len() as u64, Ordering::Relaxed);
+            for ((opcode, seq, _), reply) in run.drain(..).zip(replies) {
+                let resp = match reply {
+                    WriteReply::Written { existed } => Response::Written { existed },
+                    WriteReply::Deleted { existed } => Response::Deleted { existed },
+                    WriteReply::Applied { ops } => Response::Applied { ops },
+                };
+                respond(conn, opcode, seq, &resp, config, stats);
+            }
+        }
+        Err(StoreError::ReadOnly) => {
+            for (opcode, seq, _) in run.drain(..) {
+                stats.read_only_errors.fetch_add(1, Ordering::Relaxed);
+                respond(conn, opcode, seq, &Response::Error(ErrorCode::ReadOnly), config, stats);
+            }
+        }
+    }
+}
+
+/// Execute a non-coalescable request as its own transaction.
+fn execute_barrier(
+    store: &dyn ServerStore,
+    req: &Request,
+    config: &ServerConfig,
+    stats: &ServerStats,
+) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Get { key } => Response::Value(store.get(*key)),
+        Request::Scan { lo, hi, limit } => {
+            let cap = config.scan_cap.max(1);
+            let effective = if *limit == 0 { cap } else { (*limit).min(cap) };
+            let (entries, truncated) = store.scan(*lo, *hi, effective as usize);
+            Response::Entries { entries, truncated }
+        }
+        Request::Cas { key, expected, new } => match store.cas(*key, expected.as_deref(), new) {
+            Ok(swapped) => Response::Swapped { swapped },
+            Err(StoreError::ReadOnly) => {
+                stats.read_only_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error(ErrorCode::ReadOnly)
+            }
+        },
+        Request::Txn { ops } => match store.txn(ops) {
+            Ok(gets) => Response::TxnResults { gets },
+            Err(StoreError::ReadOnly) => {
+                stats.read_only_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error(ErrorCode::ReadOnly)
+            }
+        },
+        // Writes never reach here; `admit` coalesces them.
+        Request::Put { .. } | Request::Delete { .. } | Request::Multi { .. } => {
+            Response::Error(ErrorCode::BadRequest)
+        }
+    }
+}
+
+/// Encode a response into the connection's output buffer, demoting
+/// over-cap payloads to `TooLarge`.
+fn respond(
+    conn: &mut Conn,
+    request_op: u8,
+    seq: u32,
+    resp: &Response,
+    config: &ServerConfig,
+    stats: &ServerStats,
+) {
+    let mut wire = encode_response(resp, request_op, seq, config.crc);
+    if wire.len() > MAX_PAYLOAD + 64 {
+        wire = encode_response(&Response::Error(ErrorCode::TooLarge), request_op, seq, config.crc);
+    }
+    stats.responses.fetch_add(1, Ordering::Relaxed);
+    conn.out_buf.extend_from_slice(&wire);
+}
+
+/// Flush pending response bytes until `WouldBlock`; returns whether
+/// any bytes moved.
+fn flush(conn: &mut Conn, stats: &ServerStats) -> bool {
+    let mut moved = 0usize;
+    while conn.out_pos < conn.out_buf.len() {
+        match conn.stream.write(&conn.out_buf[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                moved += n;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.out_pos == conn.out_buf.len() {
+        conn.out_buf.clear();
+        conn.out_pos = 0;
+    }
+    stats.bytes_out.fetch_add(moved as u64, Ordering::Relaxed);
+    moved > 0
+}

@@ -1,0 +1,331 @@
+//! [`ServerStore`]: the narrow storage interface the event loop
+//! drives, implemented for both the in-memory [`KvStore`] and the
+//! write-ahead-logged [`DurableKv`].
+//!
+//! The one interesting method is [`ServerStore::commit_writes`]: it
+//! takes a *run* of admitted write requests — each itself a `PUT`,
+//! `DELETE`, or `MULTI` — and commits them in **one** transaction,
+//! returning one reply per request. That is the coalescing contract
+//! `docs/PROTOCOL.md` §6 promises: per-request replies are computed
+//! inside the same atomic commit, so a reply's `existed` bit reflects
+//! the state the batch actually observed.
+
+use polytm_durable::{DurabilityLost, DurableKv};
+use polytm_kv::{KvStore, Value};
+
+use crate::protocol::{TxnOp, WriteOp};
+
+/// Storage-level failure surfaced to the wire as an error response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The durable store has latched read-only: the commit was not
+    /// acknowledged durable (it may still be visible in memory — see
+    /// `docs/RUNBOOK.md` on degraded mode).
+    ReadOnly,
+}
+
+/// One admitted write request inside a coalesced batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteRequest {
+    /// A single `PUT`.
+    Put {
+        /// Target key.
+        key: u64,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// A single `DELETE`.
+    Delete {
+        /// Target key.
+        key: u64,
+    },
+    /// A whole `MULTI` body (already atomic on its own; coalescing
+    /// nests it into the shared commit).
+    Multi {
+        /// The batch's writes, in order.
+        ops: Vec<WriteOp>,
+    },
+}
+
+/// Per-request outcome of a coalesced commit, in request order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteReply {
+    /// Outcome of a `PUT`.
+    Written {
+        /// Whether the key existed before this batch reached it.
+        existed: bool,
+    },
+    /// Outcome of a `DELETE`.
+    Deleted {
+        /// Whether a value was removed.
+        existed: bool,
+    },
+    /// Outcome of a `MULTI`.
+    Applied {
+        /// Number of ops in the committed batch.
+        ops: u32,
+    },
+}
+
+/// The storage surface the server loop needs. Object-safe so the
+/// event loop can hold `Arc<dyn ServerStore>`.
+pub trait ServerStore: Send + Sync {
+    /// Point read (runs as its own elastic/snapshot transaction).
+    fn get(&self, key: u64) -> Option<Vec<u8>>;
+    /// Snapshot scan of the half-open range `[lo, hi)`, truncated to
+    /// `limit` entries. Returns the entries and whether truncation
+    /// occurred.
+    fn scan(&self, lo: u64, hi: u64, limit: usize) -> (Vec<(u64, Vec<u8>)>, bool);
+    /// Compare-and-swap in one atomic commit.
+    fn cas(&self, key: u64, expected: Option<&[u8]>, new: &[u8]) -> Result<bool, StoreError>;
+    /// Commit a run of admitted writes as **one** transaction,
+    /// producing one reply per request, in order.
+    fn commit_writes(&self, batch: &[WriteRequest]) -> Result<Vec<WriteReply>, StoreError>;
+    /// Run a mixed read/write body in one atomic commit; returns the
+    /// body's `Get` results in body order.
+    fn txn(&self, ops: &[TxnOp]) -> Result<Vec<Option<Vec<u8>>>, StoreError>;
+    /// Whether the store has latched read-only (always `false` for a
+    /// purely in-memory store).
+    fn is_read_only(&self) -> bool {
+        false
+    }
+}
+
+fn to_bytes(v: Value) -> Vec<u8> {
+    v.as_bytes().to_vec()
+}
+
+fn truncate_scan(mut entries: Vec<(u64, Value)>, limit: usize) -> (Vec<(u64, Vec<u8>)>, bool) {
+    let truncated = entries.len() > limit;
+    entries.truncate(limit);
+    (entries.into_iter().map(|(k, v)| (k, to_bytes(v))).collect(), truncated)
+}
+
+impl ServerStore for KvStore {
+    fn get(&self, key: u64) -> Option<Vec<u8>> {
+        KvStore::get(self, key).map(to_bytes)
+    }
+
+    fn scan(&self, lo: u64, hi: u64, limit: usize) -> (Vec<(u64, Vec<u8>)>, bool) {
+        truncate_scan(self.scan_range(lo, hi), limit)
+    }
+
+    fn cas(&self, key: u64, expected: Option<&[u8]>, new: &[u8]) -> Result<bool, StoreError> {
+        let expected = expected.map(Value::from_bytes);
+        Ok(KvStore::cas(self, key, expected.as_ref(), Value::from_bytes(new)))
+    }
+
+    fn commit_writes(&self, batch: &[WriteRequest]) -> Result<Vec<WriteReply>, StoreError> {
+        // The closure may retry on STM aborts: replies are rebuilt
+        // from scratch each attempt so a partial attempt leaves no
+        // trace (the all-or-nothing regression test leans on this).
+        Ok(self.txn(|kv| {
+            let mut replies = Vec::with_capacity(batch.len());
+            for req in batch {
+                match req {
+                    WriteRequest::Put { key, value } => {
+                        let prev = kv.put(*key, Value::from_bytes(value))?;
+                        replies.push(WriteReply::Written { existed: prev.is_some() });
+                    }
+                    WriteRequest::Delete { key } => {
+                        let prev = kv.delete(*key)?;
+                        replies.push(WriteReply::Deleted { existed: prev.is_some() });
+                    }
+                    WriteRequest::Multi { ops } => {
+                        for op in ops {
+                            match op {
+                                WriteOp::Put { key, value } => {
+                                    kv.put(*key, Value::from_bytes(value))?;
+                                }
+                                WriteOp::Delete { key } => {
+                                    kv.delete(*key)?;
+                                }
+                            }
+                        }
+                        replies.push(WriteReply::Applied { ops: ops.len() as u32 });
+                    }
+                }
+            }
+            Ok(replies)
+        }))
+    }
+
+    fn txn(&self, ops: &[TxnOp]) -> Result<Vec<Option<Vec<u8>>>, StoreError> {
+        Ok(KvStore::txn(self, |kv| {
+            let mut gets = Vec::new();
+            for op in ops {
+                match op {
+                    TxnOp::Get { key } => gets.push(kv.get(*key)?.map(to_bytes)),
+                    TxnOp::Put { key, value } => {
+                        kv.put(*key, Value::from_bytes(value))?;
+                    }
+                    TxnOp::Delete { key } => {
+                        kv.delete(*key)?;
+                    }
+                }
+            }
+            Ok(gets)
+        }))
+    }
+}
+
+impl ServerStore for DurableKv {
+    fn get(&self, key: u64) -> Option<Vec<u8>> {
+        DurableKv::get(self, key).map(to_bytes)
+    }
+
+    fn scan(&self, lo: u64, hi: u64, limit: usize) -> (Vec<(u64, Vec<u8>)>, bool) {
+        truncate_scan(self.scan_range(lo, hi), limit)
+    }
+
+    fn cas(&self, key: u64, expected: Option<&[u8]>, new: &[u8]) -> Result<bool, StoreError> {
+        DurableKv::txn(self, |tx| {
+            let current = tx.get(key)?;
+            let matches = match (&current, expected) {
+                (None, None) => true,
+                (Some(cur), Some(exp)) => cur.as_bytes() == exp,
+                _ => false,
+            };
+            if matches {
+                tx.put(key, Value::from_bytes(new))?;
+            }
+            Ok(matches)
+        })
+        .map_err(|DurabilityLost| StoreError::ReadOnly)
+    }
+
+    fn commit_writes(&self, batch: &[WriteRequest]) -> Result<Vec<WriteReply>, StoreError> {
+        DurableKv::txn(self, |tx| {
+            let mut replies = Vec::with_capacity(batch.len());
+            for req in batch {
+                match req {
+                    WriteRequest::Put { key, value } => {
+                        let prev = tx.put(*key, Value::from_bytes(value))?;
+                        replies.push(WriteReply::Written { existed: prev.is_some() });
+                    }
+                    WriteRequest::Delete { key } => {
+                        let prev = tx.delete(*key)?;
+                        replies.push(WriteReply::Deleted { existed: prev.is_some() });
+                    }
+                    WriteRequest::Multi { ops } => {
+                        for op in ops {
+                            match op {
+                                WriteOp::Put { key, value } => {
+                                    tx.put(*key, Value::from_bytes(value))?;
+                                }
+                                WriteOp::Delete { key } => {
+                                    tx.delete(*key)?;
+                                }
+                            }
+                        }
+                        replies.push(WriteReply::Applied { ops: ops.len() as u32 });
+                    }
+                }
+            }
+            Ok(replies)
+        })
+        .map_err(|DurabilityLost| StoreError::ReadOnly)
+    }
+
+    fn txn(&self, ops: &[TxnOp]) -> Result<Vec<Option<Vec<u8>>>, StoreError> {
+        DurableKv::txn(self, |tx| {
+            let mut gets = Vec::new();
+            for op in ops {
+                match op {
+                    TxnOp::Get { key } => gets.push(tx.get(*key)?.map(to_bytes)),
+                    TxnOp::Put { key, value } => {
+                        tx.put(*key, Value::from_bytes(value))?;
+                    }
+                    TxnOp::Delete { key } => {
+                        tx.delete(*key)?;
+                    }
+                }
+            }
+            Ok(gets)
+        })
+        .map_err(|DurabilityLost| StoreError::ReadOnly)
+    }
+
+    fn is_read_only(&self) -> bool {
+        DurableKv::is_read_only(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polytm::Stm;
+    use std::sync::Arc;
+
+    fn store() -> KvStore {
+        KvStore::new(Arc::new(Stm::new()))
+    }
+
+    #[test]
+    fn coalesced_batch_reports_per_request_outcomes() {
+        let kv = store();
+        let batch = vec![
+            WriteRequest::Put { key: 1, value: b"a".to_vec() },
+            WriteRequest::Put { key: 1, value: b"b".to_vec() },
+            WriteRequest::Delete { key: 2 },
+            WriteRequest::Multi {
+                ops: vec![
+                    WriteOp::Put { key: 3, value: b"c".to_vec() },
+                    WriteOp::Delete { key: 1 },
+                ],
+            },
+        ];
+        let replies = ServerStore::commit_writes(&kv, &batch).unwrap();
+        assert_eq!(
+            replies,
+            vec![
+                WriteReply::Written { existed: false },
+                // The second put sees the first one's write: same commit.
+                WriteReply::Written { existed: true },
+                WriteReply::Deleted { existed: false },
+                WriteReply::Applied { ops: 2 },
+            ]
+        );
+        assert_eq!(ServerStore::get(&kv, 1), None, "multi's delete won");
+        assert_eq!(ServerStore::get(&kv, 3), Some(b"c".to_vec()));
+    }
+
+    #[test]
+    fn txn_gets_observe_earlier_writes_in_body() {
+        let kv = store();
+        let gets = ServerStore::txn(
+            &kv,
+            &[
+                TxnOp::Get { key: 9 },
+                TxnOp::Put { key: 9, value: b"now".to_vec() },
+                TxnOp::Get { key: 9 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(gets, vec![None, Some(b"now".to_vec())]);
+    }
+
+    #[test]
+    fn cas_respects_expectation() {
+        let kv = store();
+        assert!(ServerStore::cas(&kv, 5, None, b"v1").unwrap());
+        assert!(!ServerStore::cas(&kv, 5, None, b"v2").unwrap());
+        assert!(!ServerStore::cas(&kv, 5, Some(b"wrong"), b"v2").unwrap());
+        assert!(ServerStore::cas(&kv, 5, Some(b"v1"), b"v2").unwrap());
+        assert_eq!(ServerStore::get(&kv, 5), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn scan_truncation_flags() {
+        let kv = store();
+        for k in 0..10u64 {
+            kv.put(k, polytm_kv::Value::from_u64(k));
+        }
+        let (entries, truncated) = ServerStore::scan(&kv, 0, 100, 4);
+        assert_eq!(entries.len(), 4);
+        assert!(truncated);
+        let (entries, truncated) = ServerStore::scan(&kv, 0, 100, 50);
+        assert_eq!(entries.len(), 10);
+        assert!(!truncated);
+    }
+}

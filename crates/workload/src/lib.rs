@@ -22,6 +22,9 @@
 //!   writer threads, reporting scan-only latency quantiles;
 //! * [`hist`] — a mergeable log-bucketed latency histogram
 //!   (p50/p95/p99/p999);
+//! * [`openloop`] — target-rate (open-loop) scheduling with
+//!   coordinated-omission-safe latency accounting, used by the
+//!   `polytm-server` load generator;
 //! * [`table`] — fixed-width ASCII table and CSV emitters for the
 //!   experiment reports.
 
@@ -34,6 +37,7 @@ pub mod htap;
 pub mod keys;
 pub mod kv;
 pub mod mix;
+pub mod openloop;
 pub mod rng;
 pub mod table;
 
@@ -46,5 +50,6 @@ pub use htap::{run_htap_kv, run_htap_set, HtapMeasurement, HtapSpec};
 pub use keys::{KeyDist, KeyStream};
 pub use kv::{run_kv_scenario, run_kv_scenario_with, KvMeasurement, KvMix, KvOp, KvSpec, KvTable};
 pub use mix::{MixCursor, MixPhase, MixSchedule, OpKind, OpMix};
+pub use openloop::{record_sample, Pacer};
 pub use rng::SplitMix64;
 pub use table::Table;

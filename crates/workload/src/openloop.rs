@@ -1,0 +1,133 @@
+//! Open-loop (target-rate) scheduling with coordinated-omission-safe
+//! latency accounting.
+//!
+//! A *closed-loop* driver issues the next operation only after the
+//! previous one returns, so a slow server quietly slows the request
+//! stream and the recorded latencies omit exactly the samples that
+//! hurt — the coordinated-omission trap. An *open-loop* driver fixes
+//! the schedule up front: operation `i` is *intended* to start at
+//! `start + i / rate`, regardless of how the server is doing, and its
+//! latency is measured from that intended instant to completion. An
+//! operation that waited behind a stalled pipeline therefore charges
+//! its full queueing delay to the tail quantiles, which is the honest
+//! number an end user would see.
+//!
+//! [`Pacer`] hands out the intended schedule; [`record_sample`] folds
+//! a completion into a [`LatencyHistogram`] measured against it. The
+//! network load generator in `polytm-server` drives both; they are
+//! kept here, free of any protocol, so in-process drivers can adopt
+//! the same discipline.
+
+use std::time::{Duration, Instant};
+
+use crate::hist::LatencyHistogram;
+
+/// A fixed-rate intended-start schedule: operation `i` is due at
+/// `origin + i / rate`. The schedule never slips — if the caller falls
+/// behind, [`Pacer::due`] simply reports no wait, and the backlog of
+/// intended instants drains at full speed while each sample still
+/// carries its queueing delay.
+#[derive(Clone, Debug)]
+pub struct Pacer {
+    origin: Instant,
+    interval_ns: f64,
+    issued: u64,
+}
+
+impl Pacer {
+    /// A schedule of `rate` operations per second starting now.
+    /// `rate` must be positive and finite.
+    pub fn new(rate: f64) -> Self {
+        Self::starting_at(Instant::now(), rate)
+    }
+
+    /// A schedule with an explicit origin (lets several pacers share
+    /// one clock so their schedules interleave deterministically).
+    pub fn starting_at(origin: Instant, rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Pacer { origin, interval_ns: 1.0e9 / rate, issued: 0 }
+    }
+
+    /// Intended start instant of the next operation, without
+    /// consuming it.
+    pub fn peek(&self) -> Instant {
+        self.intended(self.issued)
+    }
+
+    /// Consume and return the next intended start instant.
+    pub fn take(&mut self) -> Instant {
+        let at = self.intended(self.issued);
+        self.issued += 1;
+        at
+    }
+
+    /// Intended start instant of operation `i`.
+    pub fn intended(&self, i: u64) -> Instant {
+        self.origin + Duration::from_nanos((i as f64 * self.interval_ns) as u64)
+    }
+
+    /// Operations handed out so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// How long to sleep (from `now`) until the next operation is
+    /// due; `Duration::ZERO` when behind schedule.
+    pub fn due(&self, now: Instant) -> Duration {
+        self.peek().saturating_duration_since(now)
+    }
+}
+
+/// Fold one completed operation into `hist`, measured from its
+/// *intended* start (not its actual send time). Returns the recorded
+/// latency in nanoseconds.
+pub fn record_sample(hist: &mut LatencyHistogram, intended: Instant, completed: Instant) -> u64 {
+    let ns = completed.saturating_duration_since(intended).as_nanos().min(u64::MAX as u128) as u64;
+    hist.record(ns);
+    ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_fixed_and_monotone() {
+        let origin = Instant::now();
+        let mut pacer = Pacer::starting_at(origin, 1000.0); // 1ms apart
+        let first = pacer.take();
+        let second = pacer.take();
+        assert_eq!(first, origin);
+        assert_eq!(second.duration_since(origin), Duration::from_millis(1));
+        assert_eq!(pacer.issued(), 2);
+        // The schedule is a function of the index, not of when the
+        // caller showed up.
+        assert_eq!(pacer.intended(10).duration_since(origin), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn due_reports_zero_when_behind() {
+        let origin = Instant::now() - Duration::from_secs(1);
+        let pacer = Pacer::starting_at(origin, 100.0);
+        assert_eq!(pacer.due(Instant::now()), Duration::ZERO);
+    }
+
+    #[test]
+    fn sample_latency_includes_queueing_delay() {
+        let mut hist = LatencyHistogram::new();
+        let origin = Instant::now();
+        // Completed 5ms after its intended start, even if it was
+        // actually sent 4ms late: the full 5ms is charged.
+        let ns = record_sample(&mut hist, origin, origin + Duration::from_millis(5));
+        assert!(ns >= 5_000_000);
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn completion_before_intended_records_zero() {
+        let mut hist = LatencyHistogram::new();
+        let at = Instant::now();
+        let ns = record_sample(&mut hist, at + Duration::from_millis(1), at);
+        assert_eq!(ns, 0);
+    }
+}
