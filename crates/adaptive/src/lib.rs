@@ -46,6 +46,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod controller;
+pub mod metrics;
 pub mod policy;
 pub mod telemetry;
 
@@ -53,6 +54,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crossbeam_utils::CachePadded;
+use polytm::trace::{self, TraceEvent};
 use polytm::{AttemptPlan, ClassId, RunTelemetry, Semantics, SemanticsSource};
 
 pub use controller::{select, AdvisorConfig};
@@ -167,6 +169,7 @@ impl Advisor {
     /// tools can force a reselection point.
     pub fn close_epoch(&self) {
         let mut control = self.control.lock().expect("controller state poisoned");
+        let mut flips = 0u32;
         for slot in 0..MAX_CLASSES {
             let now = self.stats.totals(slot);
             let delta = now.delta_since(&control.last[slot]);
@@ -179,17 +182,35 @@ impl Advisor {
                 continue;
             }
             control.last[slot] = now;
-            let current = Policy::decode(self.policies[slot].load(Ordering::Relaxed));
+            let old_word = self.policies[slot].load(Ordering::Relaxed);
+            let current = Policy::decode(old_word);
             let wrote = self.stats.has_written(slot);
             let candidate =
                 select(&self.config, wrote, &delta, current.unwrap_or_else(Policy::initial));
             if let Some(admitted) =
                 control.gates[slot].admit(candidate, current, self.config.hysteresis)
             {
-                self.policies[slot].store(admitted.encode(), Ordering::Relaxed);
+                let new_word = admitted.encode();
+                self.policies[slot].store(new_word, Ordering::Relaxed);
+                if new_word != old_word {
+                    flips += 1;
+                    trace::emit(|| {
+                        TraceEvent::new(
+                            trace::code::ADVISOR_FLIP,
+                            trace::semantics_code(admitted.semantics.to_semantics()),
+                            slot as u16,
+                            0,
+                            old_word,
+                            new_word,
+                        )
+                    });
+                }
             }
         }
-        self.epochs.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.epochs.fetch_add(1, Ordering::Relaxed);
+        trace::emit(|| {
+            TraceEvent::new(trace::code::ADVISOR_EPOCH, 0, trace::NO_CLASS, flips, epoch, 0)
+        });
     }
 }
 

@@ -1,0 +1,102 @@
+//! The advisor's view into the unified metrics plane: per-class
+//! telemetry totals and the currently installed policies, flattened
+//! into `polytm-obs`'s canonical key space.
+
+use polytm_obs::MetricsSource;
+
+use crate::policy::CmChoice;
+use crate::telemetry::MAX_CLASSES;
+use crate::Advisor;
+
+/// Numeric code for a [`CmChoice`] in metric values (stable, documented
+/// in `docs/RUNBOOK.md`).
+fn cm_code(cm: CmChoice) -> f64 {
+    match cm {
+        CmChoice::Suicide => 0.0,
+        CmChoice::Backoff => 1.0,
+        CmChoice::BackoffAggressive => 2.0,
+        CmChoice::Greedy => 3.0,
+    }
+}
+
+/// Register an [`Advisor`] under a prefix (conventionally `advisor`) to
+/// export `epochs`, and for every class with observed runs:
+/// `class.<slot>.{runs,retries,reads,writes,upgrades,abort_ratio}`,
+/// the per-cause `class.<slot>.aborts.*` split, and — once a policy is
+/// installed — `class.<slot>.policy.{semantics,cm,escalate_after}`
+/// (semantics uses [`polytm::trace::semantics_code`] values, cm the
+/// codes above).
+impl MetricsSource for Advisor {
+    fn collect(&self, out: &mut Vec<(String, f64)>) {
+        out.push(("epochs".to_string(), self.epochs() as f64));
+        for slot in 0..MAX_CLASSES {
+            let class = polytm::ClassId(slot as u16);
+            let t = self.totals(class);
+            if t.runs == 0 {
+                continue;
+            }
+            let mut push = |suffix: &str, v: f64| {
+                out.push((format!("class.{slot}.{suffix}"), v));
+            };
+            push("runs", t.runs as f64);
+            push("retries", t.retries as f64);
+            push("aborts.lock", t.aborts_lock as f64);
+            push("aborts.validation", t.aborts_validation as f64);
+            push("aborts.cut", t.aborts_cut as f64);
+            push("aborts.capacity", t.aborts_capacity as f64);
+            push("aborts.other", t.aborts_other as f64);
+            push("reads", t.reads as f64);
+            push("writes", t.writes as f64);
+            push("upgrades", t.upgrades as f64);
+            push("abort_ratio", t.abort_ratio());
+            push("wrote", f64::from(u8::from(self.has_written(class))));
+            if let Some(p) = self.policy(class) {
+                push(
+                    "policy.semantics",
+                    f64::from(polytm::trace::semantics_code(p.semantics.to_semantics())),
+                );
+                push("policy.cm", cm_code(p.cm));
+                push("policy.escalate_after", f64::from(p.escalate_after));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polytm::{ClassId, RunTelemetry, Semantics, SemanticsSource};
+
+    #[test]
+    fn exports_only_observed_classes_and_their_policies() {
+        let advisor = Advisor::default();
+        let telemetry = RunTelemetry {
+            class: ClassId(3),
+            requested: Semantics::elastic(),
+            committed_semantics: Semantics::elastic(),
+            retries: 0,
+            aborts_lock: 0,
+            aborts_validation: 0,
+            aborts_cut: 0,
+            aborts_capacity: 0,
+            aborts_unavailable: 0,
+            aborts_other: 0,
+            reads: 8,
+            writes: 0,
+            wrote: false,
+            upgraded: false,
+            read_only_violation: false,
+        };
+        for _ in 0..32 {
+            advisor.observe(&telemetry);
+        }
+        advisor.close_epoch();
+        let mut out = Vec::new();
+        advisor.collect(&mut out);
+        let get = |k: &str| out.iter().find(|(key, _)| key == k).map(|(_, v)| *v);
+        assert_eq!(get("epochs"), Some(1.0));
+        assert_eq!(get("class.3.runs"), Some(32.0));
+        assert!(get("class.3.policy.semantics").is_some(), "policy installed after epoch");
+        assert_eq!(get("class.0.runs"), None, "silent classes are omitted");
+    }
+}

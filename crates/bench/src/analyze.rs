@@ -1,0 +1,429 @@
+//! Offline analysis of `polytm-obs` trace dumps: the library behind
+//! the `traceview` binary.
+//!
+//! The input is the merged, time-sorted event stream of a
+//! [`polytm_obs::TraceDump`]; the output is a [`TraceReport`] holding
+//! the four views the observability PR promises:
+//!
+//! 1. **per-class timelines** — attempts/commits/aborts per transaction
+//!    class, split by semantics and abort cause, plus a coarse
+//!    commit-rate series over the trace span;
+//! 2. **abort attribution by address** — which TVars kill the most
+//!    transactions (the "hottest TVar" table);
+//! 3. **WAL group-commit histograms** — batch sizes and inter-flush
+//!    gaps in power-of-two buckets;
+//! 4. **per-connection coalescing efficiency** — admitted write ops
+//!    per coalesced server commit, per connection.
+//!
+//! Everything here is a pure function of the event slice, so a
+//! deterministic single-threaded run can serve as an oracle in tests.
+
+use std::collections::BTreeMap;
+
+use polytm::trace::{self, code, TraceEvent, NO_CLASS};
+
+/// Number of buckets in a per-class commit-rate series.
+pub const TIMELINE_BUCKETS: usize = 10;
+
+/// Power-of-two histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))`, except bucket 0 which also holds zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Pow2Histogram {
+    /// `counts[i]` = samples whose value has `i` significant bits.
+    pub counts: Vec<u64>,
+    /// Total samples recorded.
+    pub samples: u64,
+    /// Sum of all sample values (for means).
+    pub sum: u64,
+}
+
+impl Pow2Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()).saturating_sub(1) as usize;
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.samples += 1;
+        self.sum += value;
+    }
+
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Iterate `(bucket_lo, bucket_hi_exclusive, count)` for non-empty
+    /// buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let lo = if i == 0 { 0 } else { 1u64 << i };
+            (lo, 1u64 << (i + 1), c)
+        })
+    }
+}
+
+/// One transaction class's life over the trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassTimeline {
+    /// `TXN_BEGIN` events. The core emits a begin only for
+    /// *re*-attempts (retries > 0) — first attempts are implied by
+    /// their commit/abort event — so absent cancels this equals
+    /// [`ClassTimeline::aborts`], and total attempts are
+    /// [`ClassTimeline::attempts`].
+    pub retry_begins: u64,
+    /// Committed transactions, indexed by semantics code (0..=3).
+    pub commits_by_semantics: [u64; 4],
+    /// Aborted attempts, indexed by abort-cause code (1..=6; slot 0
+    /// collects events with an unknown cause byte).
+    pub aborts_by_cause: [u64; 7],
+    /// `TXN_EXTEND` events attributed to this class (elastic cuts).
+    pub extends: u64,
+    /// First event timestamp (ns since the tracer epoch).
+    pub first_ts_ns: u64,
+    /// Last event timestamp.
+    pub last_ts_ns: u64,
+    /// Commits per time bucket over the whole trace span
+    /// ([`TIMELINE_BUCKETS`] equal slices).
+    pub commit_series: [u64; TIMELINE_BUCKETS],
+}
+
+impl ClassTimeline {
+    /// Total commits across semantics.
+    pub fn commits(&self) -> u64 {
+        self.commits_by_semantics.iter().sum()
+    }
+
+    /// Total aborted attempts across causes.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_by_cause.iter().sum()
+    }
+
+    /// Total attempts: every attempt resolves as exactly one commit or
+    /// abort event (cancelled first attempts are invisible by design).
+    pub fn attempts(&self) -> u64 {
+        self.commits() + self.aborts()
+    }
+}
+
+/// Abort attribution for one address (TVar slot).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AbortSite {
+    /// The conflicting address as recorded in the abort event.
+    pub addr: u64,
+    /// Aborts attributed to it, by cause code.
+    pub by_cause: [u64; 7],
+}
+
+impl AbortSite {
+    /// Total aborts at this address.
+    pub fn total(&self) -> u64 {
+        self.by_cause.iter().sum()
+    }
+}
+
+/// One connection's coalescing totals from `SERVER_BATCH` events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConnCoalescing {
+    /// Coalesced commits observed.
+    pub batches: u64,
+    /// Admitted write requests those commits carried.
+    pub ops: u64,
+    /// Payload bytes they carried.
+    pub bytes: u64,
+}
+
+impl ConnCoalescing {
+    /// Mean ops per coalesced commit — the coalescing efficiency.
+    pub fn ops_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Everything `traceview` reports, computed in one pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceReport {
+    /// Events analyzed.
+    pub events: u64,
+    /// Trace span `(first_ts, last_ts)` in ns since the tracer epoch.
+    pub span_ns: (u64, u64),
+    /// Per-class timelines, keyed by class id (`u16::MAX` = unclassed).
+    pub classes: BTreeMap<u16, ClassTimeline>,
+    /// Abort sites sorted hottest-first (address 0 — "no address
+    /// recorded" — is excluded).
+    pub abort_sites: Vec<AbortSite>,
+    /// WAL group-commit batch sizes (commits per flush).
+    pub wal_batch: Pow2Histogram,
+    /// Gaps between consecutive WAL flushes, in nanoseconds.
+    pub wal_gap_ns: Pow2Histogram,
+    /// WAL fsync latencies, in nanoseconds.
+    pub wal_fsync_ns: Pow2Histogram,
+    /// Per-connection coalescing, keyed by connection id.
+    pub conns: BTreeMap<u64, ConnCoalescing>,
+    /// Advisor epochs closed.
+    pub advisor_epochs: u64,
+    /// Advisor policy flips, as `(ts_ns, class, new_semantics_code)`.
+    pub advisor_flips: Vec<(u64, u16, u8)>,
+    /// `TXN_EXTEND` events (recorded below class granularity).
+    pub extends: u64,
+}
+
+/// Analyze a merged, time-sorted event stream (what
+/// [`polytm_obs::TraceDump::merged_events`] returns). Events are
+/// processed in slice order; pass them sorted if bucketed series
+/// should be meaningful.
+pub fn analyze(events: &[TraceEvent]) -> TraceReport {
+    let mut report = TraceReport { events: events.len() as u64, ..TraceReport::default() };
+    if events.is_empty() {
+        return report;
+    }
+    let first_ts = events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+    let last_ts = events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+    report.span_ns = (first_ts, last_ts);
+    let span = (last_ts - first_ts).max(1);
+
+    let mut abort_sites: BTreeMap<u64, AbortSite> = BTreeMap::new();
+    let mut last_flush_ts: Option<u64> = None;
+
+    for ev in events {
+        match ev.code {
+            code::TXN_BEGIN | code::TXN_COMMIT | code::TXN_ABORT => {
+                let t = report.classes.entry(ev.class).or_default();
+                if t.retry_begins == 0 && t.commits() == 0 && t.aborts() == 0 {
+                    t.first_ts_ns = ev.ts_ns;
+                }
+                t.first_ts_ns = t.first_ts_ns.min(ev.ts_ns);
+                t.last_ts_ns = t.last_ts_ns.max(ev.ts_ns);
+                match ev.code {
+                    code::TXN_BEGIN => t.retry_begins += 1,
+                    code::TXN_COMMIT => {
+                        t.commits_by_semantics[(ev.sub as usize).min(3)] += 1;
+                        let bucket = ((ev.ts_ns - first_ts) as u128 * TIMELINE_BUCKETS as u128
+                            / span as u128)
+                            .min(TIMELINE_BUCKETS as u128 - 1)
+                            as usize;
+                        t.commit_series[bucket] += 1;
+                    }
+                    _ => {
+                        let cause = (ev.sub as usize).min(6);
+                        t.aborts_by_cause[cause] += 1;
+                        if ev.a != 0 {
+                            let site = abort_sites
+                                .entry(ev.a)
+                                .or_insert_with(|| AbortSite { addr: ev.a, ..Default::default() });
+                            site.by_cause[cause] += 1;
+                        }
+                    }
+                }
+            }
+            code::TXN_EXTEND => {
+                report.extends += 1;
+                if ev.class != NO_CLASS {
+                    report.classes.entry(ev.class).or_default().extends += 1;
+                }
+            }
+            code::WAL_FLUSH => {
+                report.wal_batch.record(u64::from(ev.n));
+                report.wal_fsync_ns.record(ev.a);
+                if let Some(prev) = last_flush_ts {
+                    report.wal_gap_ns.record(ev.ts_ns.saturating_sub(prev));
+                }
+                last_flush_ts = Some(ev.ts_ns);
+            }
+            code::SERVER_BATCH => {
+                let c = report.conns.entry(ev.a).or_default();
+                c.batches += 1;
+                c.ops += u64::from(ev.n);
+                c.bytes += ev.b;
+            }
+            code::ADVISOR_EPOCH => report.advisor_epochs += 1,
+            code::ADVISOR_FLIP => report.advisor_flips.push((ev.ts_ns, ev.class, ev.sub)),
+            _ => {}
+        }
+    }
+
+    report.abort_sites = abort_sites.into_values().collect();
+    // Hottest first; ties broken by address so the order is total.
+    report.abort_sites.sort_by(|x, y| y.total().cmp(&x.total()).then(x.addr.cmp(&y.addr)));
+    report
+}
+
+/// Render the report as the human-readable text `traceview` prints.
+/// `top` bounds the hottest-TVar and per-connection tables.
+pub fn render(report: &TraceReport, top: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let (lo, hi) = report.span_ns;
+    let _ = writeln!(
+        out,
+        "trace: {} events over {:.3} ms",
+        report.events,
+        (hi.saturating_sub(lo)) as f64 / 1e6
+    );
+
+    let _ = writeln!(out, "\n== per-class timelines ==");
+    for (class, t) in &report.classes {
+        let name =
+            if *class == NO_CLASS { "unclassed".to_string() } else { format!("class {class}") };
+        let _ = writeln!(
+            out,
+            "{name}: attempts {}  commits {}  aborts {}  extends {}  span {:.3} ms",
+            t.attempts(),
+            t.commits(),
+            t.aborts(),
+            t.extends,
+            (t.last_ts_ns.saturating_sub(t.first_ts_ns)) as f64 / 1e6
+        );
+        for sem in 0..4u8 {
+            let n = t.commits_by_semantics[sem as usize];
+            if n > 0 {
+                let _ = writeln!(out, "  commits[{}] {}", trace::semantics_name(sem), n);
+            }
+        }
+        for cause in 0..7u8 {
+            let n = t.aborts_by_cause[cause as usize];
+            if n > 0 {
+                let _ = writeln!(out, "  aborts[{}] {}", trace::cause_name(cause), n);
+            }
+        }
+        let series: Vec<String> = t.commit_series.iter().map(u64::to_string).collect();
+        let _ = writeln!(out, "  commit series [{}]", series.join(" "));
+    }
+
+    let _ = writeln!(out, "\n== hottest TVars (abort attribution by address) ==");
+    if report.abort_sites.is_empty() {
+        let _ = writeln!(out, "(no addressed aborts)");
+    }
+    for site in report.abort_sites.iter().take(top) {
+        let causes: Vec<String> = (0..7u8)
+            .filter(|&c| site.by_cause[c as usize] > 0)
+            .map(|c| format!("{} {}", trace::cause_name(c), site.by_cause[c as usize]))
+            .collect();
+        let _ =
+            writeln!(out, "addr {:#x}: {} aborts ({})", site.addr, site.total(), causes.join(", "));
+    }
+
+    let _ = writeln!(out, "\n== WAL group commit ==");
+    let _ = writeln!(
+        out,
+        "flushes {}  mean batch {:.2} commits/flush",
+        report.wal_batch.samples,
+        report.wal_batch.mean()
+    );
+    for (lo, hi, n) in report.wal_batch.buckets() {
+        let _ = writeln!(out, "  batch [{lo:>6}, {hi:>6})  {n}");
+    }
+    let _ = writeln!(out, "inter-flush gaps (ns):");
+    for (lo, hi, n) in report.wal_gap_ns.buckets() {
+        let _ = writeln!(out, "  gap   [{lo:>12}, {hi:>12})  {n}");
+    }
+    let _ = writeln!(out, "fsync latency (ns):");
+    for (lo, hi, n) in report.wal_fsync_ns.buckets() {
+        let _ = writeln!(out, "  fsync [{lo:>12}, {hi:>12})  {n}");
+    }
+
+    let _ = writeln!(out, "\n== per-connection coalescing ==");
+    if report.conns.is_empty() {
+        let _ = writeln!(out, "(no server batches)");
+    }
+    for (conn, c) in report.conns.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "conn {conn}: {} batches  {} ops  {} bytes  {:.2} ops/commit",
+            c.batches,
+            c.ops,
+            c.bytes,
+            c.ops_per_batch()
+        );
+    }
+
+    if report.advisor_epochs > 0 || !report.advisor_flips.is_empty() {
+        let _ = writeln!(out, "\n== advisor ==");
+        let _ =
+            writeln!(out, "epochs {}  flips {}", report.advisor_epochs, report.advisor_flips.len());
+        for (ts, class, sem) in report.advisor_flips.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "  t={:.3}ms class {class} -> {}",
+                *ts as f64 / 1e6,
+                trace::semantics_name(*sem)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(code: u8, sub: u8, class: u16, n: u32, a: u64, b: u64, ts: u64) -> TraceEvent {
+        let mut e = TraceEvent::new(code, sub, class, n, a, b);
+        e.ts_ns = ts;
+        e
+    }
+
+    #[test]
+    fn pow2_histogram_buckets_are_half_open_powers() {
+        let mut h = Pow2Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        // 0 and 1 share bucket 0; 2..4 bucket 1; 4..8 bucket 2; 8..16
+        // bucket 3; 1024 lands in [1024, 2048).
+        assert_eq!(buckets, vec![(0, 2, 2), (2, 4, 2), (4, 8, 2), (8, 16, 1), (1024, 2048, 1)]);
+        assert_eq!(h.samples, 8);
+    }
+
+    #[test]
+    fn analyze_attributes_aborts_and_coalescing() {
+        // First attempts emit no begin event: the abort at ts 10 is the
+        // transaction's first trace record, then its retry begins.
+        let events = vec![
+            ev(code::TXN_ABORT, 1, 3, 0, 0xAB, 0, 10),
+            ev(code::TXN_BEGIN, 0, 3, 1, 0, 0, 20),
+            ev(code::TXN_COMMIT, 0, 3, 1, 7, 0, 100),
+            ev(code::WAL_FLUSH, 0, NO_CLASS, 4, 5_000, 256, 50),
+            ev(code::WAL_FLUSH, 0, NO_CLASS, 2, 6_000, 128, 80),
+            ev(code::SERVER_BATCH, 0, NO_CLASS, 8, 42, 512, 90),
+            ev(code::SERVER_BATCH, 0, NO_CLASS, 4, 42, 256, 95),
+        ];
+        let r = analyze(&events);
+        let t = &r.classes[&3];
+        assert_eq!((t.retry_begins, t.attempts(), t.commits(), t.aborts()), (1, 2, 1, 1));
+        assert_eq!(r.abort_sites.len(), 1);
+        assert_eq!((r.abort_sites[0].addr, r.abort_sites[0].total()), (0xAB, 1));
+        assert_eq!(r.wal_batch.samples, 2);
+        assert_eq!(r.wal_gap_ns.samples, 1, "two flushes make one gap");
+        let c = &r.conns[&42];
+        assert_eq!((c.batches, c.ops, c.bytes), (2, 12, 768));
+        assert!((c.ops_per_batch() - 6.0).abs() < 1e-9);
+        // The render is total and mentions the headline numbers.
+        let text = render(&r, 10);
+        assert!(text.contains("class 3"));
+        assert!(text.contains("addr 0xab"));
+        assert!(text.contains("ops/commit"));
+    }
+
+    #[test]
+    fn commit_series_buckets_cover_the_span() {
+        let mut events = vec![ev(code::TXN_BEGIN, 0, 0, 0, 0, 0, 0)];
+        for i in 0..100u64 {
+            events.push(ev(code::TXN_COMMIT, 0, 0, 0, 0, 0, i * 10));
+        }
+        let r = analyze(&events);
+        let t = &r.classes[&0];
+        assert_eq!(t.commit_series.iter().sum::<u64>(), 100);
+        assert!(t.commit_series.iter().all(|&b| b > 0), "uniform commits fill every bucket");
+    }
+}

@@ -1,0 +1,127 @@
+//! Compare two perf trajectory files and gate on aggregate regression.
+//!
+//! ```text
+//! perfgate <before.json> <after.json> [--max-loss 0.10]
+//!          [--before-label L] [--after-label L]
+//! ```
+//!
+//! Rows are matched on `(bench, threads)`; when a file holds several
+//! runs of the same cell, the **last** row wins (trajectory files
+//! append, so the last row is the most recent). The gate is the
+//! **geometric mean** of the per-cell `after/before` throughput
+//! ratios: per-cell thresholds would make the fastest microbenches
+//! (tens of ns per op, where even a relaxed counter increment is
+//! visible) un-gateable, while the geomean answers the question the
+//! acceptance criterion actually asks — "did the suite as a whole get
+//! more than X% slower?". Exit status 0 = within budget, 1 = regression
+//! beyond `--max-loss`, 2 = usage/matching error.
+
+use polytm_bench::report::{parse_json, Json};
+
+/// `(bench, threads) -> ops_per_sec`, last row per key wins.
+fn load_cells(
+    path: &str,
+    label: &str,
+) -> Result<std::collections::BTreeMap<(String, u64), f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let rows = match parse_json(&text).map_err(|e| format!("{path}: {e}"))? {
+        Json::Arr(rows) => rows,
+        _ => return Err(format!("{path}: top level must be an array of rows")),
+    };
+    let mut cells = std::collections::BTreeMap::new();
+    for row in rows {
+        let Json::Obj(fields) = row else {
+            return Err(format!("{path}: non-object row"));
+        };
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        if !label.is_empty() {
+            match get("label") {
+                Some(Json::Str(l)) if l == label => {}
+                _ => continue,
+            }
+        }
+        let (Some(Json::Str(bench)), Some(Json::Num(threads)), Some(Json::Num(ops))) =
+            (get("bench"), get("threads"), get("ops_per_sec"))
+        else {
+            return Err(format!("{path}: row missing bench/threads/ops_per_sec"));
+        };
+        cells.insert((bench.clone(), *threads as u64), *ops);
+    }
+    Ok(cells)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0
+                    || !matches!(
+                        args[i - 1].as_str(),
+                        "--max-loss" | "--before-label" | "--after-label"
+                    ))
+        })
+        .map(|(_, a)| a)
+        .collect();
+    let grab = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let [before_path, after_path] = positional.as_slice() else {
+        eprintln!(
+            "usage: perfgate <before.json> <after.json> [--max-loss 0.10] \
+             [--before-label L] [--after-label L]"
+        );
+        std::process::exit(2);
+    };
+    let max_loss: f64 = grab("--max-loss", "0.10").parse().unwrap_or_else(|_| {
+        eprintln!("--max-loss must be a fraction like 0.10");
+        std::process::exit(2);
+    });
+
+    let before = load_cells(before_path, &grab("--before-label", "")).unwrap_or_else(|e| {
+        eprintln!("perfgate: {e}");
+        std::process::exit(2);
+    });
+    let after = load_cells(after_path, &grab("--after-label", "")).unwrap_or_else(|e| {
+        eprintln!("perfgate: {e}");
+        std::process::exit(2);
+    });
+
+    let mut log_sum = 0.0f64;
+    let mut matched = 0usize;
+    for ((bench, threads), b) in &before {
+        let Some(a) = after.get(&(bench.clone(), *threads)) else {
+            continue;
+        };
+        if *b <= 0.0 || *a <= 0.0 {
+            eprintln!("perfgate: skipping {bench} t={threads}: non-positive throughput");
+            continue;
+        }
+        let ratio = a / b;
+        log_sum += ratio.ln();
+        matched += 1;
+        eprintln!("  {bench:<28} t={threads:<2} before {b:>12.0}  after {a:>12.0}  x{ratio:.3}");
+    }
+    if matched == 0 {
+        eprintln!("perfgate: no (bench, threads) cells matched between the two files");
+        std::process::exit(2);
+    }
+    let geomean = (log_sum / matched as f64).exp();
+    let floor = 1.0 - max_loss;
+    eprintln!(
+        "perfgate: geomean x{geomean:.4} over {matched} cells (floor x{floor:.4}, \
+         max loss {:.1}%)",
+        max_loss * 100.0
+    );
+    if geomean < floor {
+        eprintln!("perfgate: FAIL — aggregate regression beyond budget");
+        std::process::exit(1);
+    }
+    eprintln!("perfgate: OK");
+}

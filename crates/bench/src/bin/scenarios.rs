@@ -14,7 +14,12 @@
 //! cargo run --release -p polytm-bench --bin scenarios -- --label after
 //! cargo run --release -p polytm-bench --bin scenarios -- --quick --out /tmp/smoke.json
 //! cargo run --release -p polytm-bench --bin scenarios -- --scenario htap --backend kv-sharded
+//! cargo run --release -p polytm-bench --bin scenarios -- --quick --trace /tmp/run.trace
 //! ```
+//!
+//! `--trace <path>` installs the `polytm-obs` ring tracer before any
+//! cell runs and writes the ring dump to `<path>` at exit; decode it
+//! with `traceview`.
 //!
 //! Rows share `BENCH_core.json`'s shape, extended with latency
 //! quantiles, per-cause abort counts over the measured window and the
@@ -541,6 +546,12 @@ fn main() {
     // Optional axis filters (exact matches) for focused reruns.
     let only_backend = cli.grab("--backend", "");
     let only_scenario = cli.grab("--scenario", "");
+    let trace_out = cli.grab("--trace", "");
+    let tracer = if trace_out.is_empty() {
+        None
+    } else {
+        Some(polytm_obs::RingTracer::install(1 << 16).expect("a trace sink is already installed"))
+    };
 
     let knobs = Knobs::new(cli.quick);
     let rev = git_rev();
@@ -678,4 +689,15 @@ fn main() {
     let lines: Vec<String> = rows.iter().map(|r| render_row(&rev, &cli.label, cores, r)).collect();
     append_rows(&cli.out, &lines, cli.fresh);
     eprintln!("scenarios: wrote {} rows to {}", lines.len(), cli.out);
+
+    if let Some(t) = tracer {
+        let dump = t.drain();
+        let events: usize = dump.rings.iter().map(|r| r.events.len()).sum();
+        dump.write_file(&trace_out).expect("write trace dump");
+        eprintln!(
+            "scenarios: traced {events} events across {} rings ({} dropped) to {trace_out}",
+            dump.rings.len(),
+            dump.dropped_total()
+        );
+    }
 }

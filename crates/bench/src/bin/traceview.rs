@@ -1,0 +1,49 @@
+//! Decode and analyze a `polytm-obs` trace dump.
+//!
+//! ```text
+//! cargo run --release -p polytm-bench --bin traceview -- /tmp/run.trace
+//! cargo run --release -p polytm-bench --bin traceview -- /tmp/run.trace --top 20
+//! ```
+//!
+//! The input is the `PTRC` ring-dump file a traced run writes
+//! (`scenarios --trace <path>`, `perfsuite --trace <path>`, or any
+//! embedder calling `RingTracer::drain().write_file(..)`). The output
+//! is the four-view report from [`polytm_bench::analyze`]: per-class
+//! timelines, abort attribution by address, WAL group-commit
+//! histograms, and per-connection coalescing efficiency.
+
+use polytm_bench::analyze::{analyze, render};
+use polytm_obs::TraceDump;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("usage: traceview <dump.trace> [--top N]");
+            std::process::exit(2);
+        }
+    };
+    let top: usize = args
+        .iter()
+        .position(|a| a == "--top")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+
+    let dump = match TraceDump::read_file(std::path::Path::new(&path)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("traceview: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "traceview: {path}: {} rings (capacity {}), {} dropped",
+        dump.rings.len(),
+        dump.capacity,
+        dump.dropped_total()
+    );
+    let events = dump.merged_events();
+    print!("{}", render(&analyze(&events), top));
+}

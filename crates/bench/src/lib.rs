@@ -10,6 +10,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adapters;
+pub mod analyze;
 pub mod experiments;
 pub mod report;
 

@@ -326,8 +326,8 @@ fn is_json_number(s: &str) -> bool {
 /// Which trajectory file layout a row must satisfy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowSchema {
-    /// `BENCH_core.json`: `{rev, label, bench, threads, ops_per_sec,
-    /// abort_ratio}`.
+    /// `BENCH_core.json`: `{rev, label, bench, threads, cores,
+    /// ops_per_sec, abort_ratio}`.
     Core,
     /// `BENCH_scenarios.json`: the core fields extended with latency
     /// quantiles `{p50_ns, p99_ns, p999_ns}`.
@@ -337,12 +337,15 @@ pub enum RowSchema {
 impl RowSchema {
     fn required_fields(self) -> &'static [&'static str] {
         match self {
-            RowSchema::Core => &["rev", "label", "bench", "threads", "ops_per_sec", "abort_ratio"],
+            RowSchema::Core => {
+                &["rev", "label", "bench", "threads", "cores", "ops_per_sec", "abort_ratio"]
+            }
             RowSchema::Scenarios => &[
                 "rev",
                 "label",
                 "bench",
                 "threads",
+                "cores",
                 "ops_per_sec",
                 "abort_ratio",
                 "p50_ns",
@@ -358,12 +361,13 @@ impl RowSchema {
     /// and key-space columns, and the HTAP family added scan-only
     /// latency quantiles and scan-abort counts, the durable-backend
     /// rows added the WAL / group-commit bucket, and the `server-kv`
-    /// family added its connection count and coalescing factor; both
-    /// schemas may carry the runner's core count. Rows from before any
+    /// family added its connection count and coalescing factor. (The
+    /// runner's core count started optional and was later promoted to
+    /// required; old rows were backfilled.) Rows from before any
     /// extension stay valid.
     fn optional_fields(self) -> &'static [&'static str] {
         match self {
-            RowSchema::Core => &["cores"],
+            RowSchema::Core => &[],
             RowSchema::Scenarios => &[
                 "aborts_lock",
                 "aborts_validation",
@@ -383,7 +387,6 @@ impl RowSchema {
                 "fsyncs_per_sec",
                 "conns",
                 "batch_ops_per_commit",
-                "cores",
             ],
         }
     }
@@ -392,7 +395,7 @@ impl RowSchema {
     /// rest have their own value rules in `validate_row`).
     fn optional_integer_fields(self) -> &'static [&'static str] {
         match self {
-            RowSchema::Core => &["cores"],
+            RowSchema::Core => &[],
             RowSchema::Scenarios => &[
                 "aborts_lock",
                 "aborts_validation",
@@ -409,7 +412,6 @@ impl RowSchema {
                 "fsyncs",
                 "wal_bytes",
                 "conns",
-                "cores",
             ],
         }
     }
@@ -461,6 +463,10 @@ fn validate_row(row: &[(String, Json)], schema: RowSchema) -> Result<String, Str
     match field(row, "threads") {
         Some(Json::Num(v)) if *v >= 1.0 && v.fract() == 0.0 => {}
         _ => return Err("threads must be a positive integer".into()),
+    }
+    match field(row, "cores") {
+        Some(Json::Num(v)) if *v >= 1.0 && v.fract() == 0.0 => {}
+        _ => return Err("cores must be a positive integer".into()),
     }
     nonneg_finite(row, "ops_per_sec")?;
     nonneg_finite(row, "abort_ratio")?;
@@ -600,11 +606,12 @@ mod tests {
     use super::*;
 
     const GOOD_CORE: &str = "[\n  {\"rev\":\"abc1234\",\"label\":\"before\",\"bench\":\"b\",\
-                             \"threads\":2,\"ops_per_sec\":123.4,\"abort_ratio\":0.01}\n]\n";
+                             \"threads\":2,\"cores\":8,\"ops_per_sec\":123.4,\
+                             \"abort_ratio\":0.01}\n]\n";
 
     const GOOD_SCEN: &str =
         "[\n  {\"rev\":\"abc1234\",\"label\":\"run\",\"bench\":\"hotspot/tx-list\",\
-                             \"threads\":4,\"ops_per_sec\":9.5,\"abort_ratio\":0.0,\
+                             \"threads\":4,\"cores\":8,\"ops_per_sec\":9.5,\"abort_ratio\":0.0,\
                              \"p50_ns\":100,\"p99_ns\":2000,\"p999_ns\":50000}\n]\n";
 
     #[test]
@@ -806,13 +813,20 @@ mod tests {
     }
 
     #[test]
-    fn cores_field_is_accepted_on_both_schemas() {
-        let core = GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"cores\":8");
-        assert!(validate_trajectory(&core, Some(RowSchema::Core)).is_ok());
-        let scen = GOOD_SCEN.replace("\"p999_ns\":50000", "\"p999_ns\":50000,\"cores\":8");
-        assert!(validate_trajectory(&scen, Some(RowSchema::Scenarios)).is_ok());
-        // Integer-valued on both.
-        let bad = core.replace("\"cores\":8", "\"cores\":8.5");
+    fn cores_field_is_required_on_both_schemas() {
+        // Rows missing the runner's core count are rejected outright...
+        let core_missing = GOOD_CORE.replace("\"cores\":8,", "");
+        assert!(validate_trajectory(&core_missing, Some(RowSchema::Core))
+            .unwrap_err()
+            .contains("cores"));
+        let scen_missing = GOOD_SCEN.replace("\"cores\":8,", "");
+        assert!(validate_trajectory(&scen_missing, Some(RowSchema::Scenarios))
+            .unwrap_err()
+            .contains("cores"));
+        // ...and the value must be a positive integer on both schemas.
+        let bad = GOOD_CORE.replace("\"cores\":8", "\"cores\":8.5");
+        assert!(validate_trajectory(&bad, Some(RowSchema::Core)).unwrap_err().contains("cores"));
+        let bad = GOOD_CORE.replace("\"cores\":8", "\"cores\":0");
         assert!(validate_trajectory(&bad, Some(RowSchema::Core)).unwrap_err().contains("cores"));
     }
 
@@ -867,8 +881,8 @@ mod tests {
         let row = |label: &str| {
             format!(
                 "  {{\"rev\":\"deadbee\",\"label\":\"{label}\",\"bench\":\"s/b\",\"threads\":1,\
-                 \"ops_per_sec\":10.0,\"abort_ratio\":0.00000,\"p50_ns\":1,\"p99_ns\":2,\
-                 \"p999_ns\":3}}"
+                 \"cores\":1,\"ops_per_sec\":10.0,\"abort_ratio\":0.00000,\"p50_ns\":1,\
+                 \"p99_ns\":2,\"p999_ns\":3}}"
             )
         };
         append_rows(path, &[row("a")], true);

@@ -1,0 +1,193 @@
+//! The traceview acceptance test: a deterministic single-threaded run
+//! with known classes, forced abort addresses, and a sync-mode WAL is
+//! traced through the real `polytm-obs` ring tracer, dumped through the
+//! real `PTRC` file codec, and analyzed with `polytm_bench::analyze` —
+//! then every headline number in the report is checked against counts
+//! the test computed independently (and against the STM's own stats
+//! counters for the WAL histograms).
+//!
+//! One `#[test]` only: `RingTracer::install` claims the process-global
+//! trace sink, so the whole oracle runs as a single scenario.
+
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Duration;
+
+use polytm::{Abort, ClassId, Semantics, Stm, StmConfig, TxParams};
+use polytm_bench::analyze::{analyze, render, TraceReport};
+use polytm_durable::{Durability, DurableKv, DurableKvConfig, RealFs, WalConfig};
+use polytm_kv::{KvConfig, Value};
+use polytm_obs::{RingTracer, TraceDump};
+
+/// Forced-abort addresses: distinct, non-zero, and impossible to
+/// confuse with a real `TVar` slot in this tiny run.
+const HOT: usize = 0xDEAD;
+const WARM: usize = 0xBEEF;
+const COOL: usize = 0xCAFE;
+
+/// Run `runs` transactions under `class`; each one returns
+/// `Err(abort())` for its first `aborts_each` attempts (a user-forced
+/// abort with a chosen address), then commits a real write.
+fn run_classed(
+    stm: &Stm,
+    class: u16,
+    sem: Semantics,
+    runs: u64,
+    aborts_each: u32,
+    abort: impl Fn() -> Abort,
+) {
+    let x = stm.new_tvar(0u64);
+    for _ in 0..runs {
+        let attempt = Cell::new(0u32);
+        stm.run(TxParams::new(sem).with_class(ClassId(class)), |tx| {
+            let n = attempt.get();
+            attempt.set(n + 1);
+            if n < aborts_each {
+                return Err(abort());
+            }
+            x.modify(tx, |v| v + 1)
+        });
+    }
+}
+
+/// The oracle's view of one class: (attempts, commits, `aborts_by_cause`).
+/// Also checks the begin-elision invariant: the core emits `TXN_BEGIN`
+/// only for re-attempts, and every abort here is retried, so the
+/// retry-begin count must equal the abort count exactly.
+fn class_counts(report: &TraceReport, class: u16) -> (u64, u64, [u64; 7]) {
+    let t = report.classes.get(&class).unwrap_or_else(|| panic!("class {class} missing"));
+    assert_eq!(t.retry_begins, t.aborts(), "class {class}: one re-attempt begin per abort");
+    (t.attempts(), t.commits(), t.aborts_by_cause)
+}
+
+#[test]
+fn traceview_report_matches_a_deterministic_oracle() {
+    let tracer = RingTracer::install(1 << 14).expect("first sink install in this process");
+
+    // No fallback escalation: every attempt keeps its requested
+    // semantics, so the oracle's per-semantics commit table is exact.
+    let stm =
+        Stm::with_config(StmConfig { irrevocable_fallback_after: None, ..StmConfig::default() });
+
+    // Class 7: 40 clean opaque commits (one attempt each).
+    run_classed(&stm, 7, Semantics::Opaque, 40, 0, || unreachable!());
+    // Class 9: 25 commits, each preceded by two lock-conflict aborts
+    // at address HOT -> 75 begins, 50 aborts.
+    run_classed(&stm, 9, Semantics::Opaque, 25, 2, || Abort::Locked { addr: HOT, owner: 0 });
+    // Class 11: 10 commits, each preceded by one validation abort at
+    // address WARM.
+    run_classed(&stm, 11, Semantics::Opaque, 10, 1, || Abort::ValidationFailed { addr: WARM });
+    // Class 13: 15 elastic commits, each preceded by one read conflict
+    // at COOL — which under elastic semantics is attributed as a cut.
+    run_classed(&stm, 13, Semantics::Elastic { window: 8 }, 15, 1, || Abort::ReadConflict {
+        addr: COOL,
+    });
+
+    // WAL phase: a sync-mode durable store with a zero group window on
+    // one thread flushes every put as its own batch of one commit.
+    let dir = std::env::temp_dir().join(format!("polytm-traceview-oracle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fs = Arc::new(RealFs::open(&dir).expect("open temp storage dir"));
+    let kv = DurableKv::open(
+        fs,
+        DurableKvConfig {
+            kv: KvConfig { shards: 4, initial_slots: 64, ..KvConfig::default() },
+            wal: WalConfig {
+                mode: Durability::Sync,
+                group_window: Duration::ZERO,
+                ..WalConfig::default()
+            },
+        },
+    )
+    .expect("open durable store");
+    const PUTS: u64 = 20;
+    for k in 0..PUTS {
+        kv.put(k, Value::from_u64(k * 3)).expect("durable put");
+    }
+    let wal_stats = kv.stm().stats();
+    drop(kv);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Dump through the real file codec, exactly like `--trace` runs do.
+    let trace_path =
+        std::env::temp_dir().join(format!("polytm-traceview-oracle-{}.trace", std::process::id()));
+    let dump = tracer.drain();
+    dump.write_file(&trace_path).expect("write trace dump");
+    let reread = TraceDump::read_file(&trace_path).expect("reread trace dump");
+    let _ = std::fs::remove_file(&trace_path);
+    assert_eq!(reread.dropped_total(), 0, "this run fits the ring with room to spare");
+    let events = reread.merged_events();
+    assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns), "merged events are time-sorted");
+    let report = analyze(&events);
+
+    // -- per-class timelines --------------------------------------
+    let lock = trace::cause(polytm::AbortCause::LockConflict);
+    let validation = trace::cause(polytm::AbortCause::Validation);
+    let cut = trace::cause(polytm::AbortCause::Cut);
+
+    let (attempts, commits, aborts) = class_counts(&report, 7);
+    assert_eq!((attempts, commits), (40, 40));
+    assert_eq!(aborts.iter().sum::<u64>(), 0);
+    assert_eq!(report.classes[&7].commits_by_semantics[0], 40, "all class-7 commits opaque");
+    assert_eq!(report.classes[&7].commit_series.iter().sum::<u64>(), 40);
+
+    let (attempts, commits, aborts) = class_counts(&report, 9);
+    assert_eq!((attempts, commits), (75, 25), "25 commits after 2 aborts each");
+    assert_eq!(aborts[lock], 50);
+    assert_eq!(aborts.iter().sum::<u64>(), 50);
+
+    let (attempts, commits, aborts) = class_counts(&report, 11);
+    assert_eq!((attempts, commits), (20, 10));
+    assert_eq!(aborts[validation], 10);
+
+    let (attempts, commits, aborts) = class_counts(&report, 13);
+    assert_eq!((attempts, commits), (30, 15));
+    assert_eq!(aborts[cut], 15, "elastic read conflicts are attributed as cuts");
+    assert_eq!(report.classes[&13].commits_by_semantics[1], 15, "all class-13 commits elastic");
+
+    // -- hottest-TVar table ---------------------------------------
+    let sites: Vec<(u64, u64)> = report.abort_sites.iter().map(|s| (s.addr, s.total())).collect();
+    assert_eq!(
+        sites,
+        vec![(HOT as u64, 50), (COOL as u64, 15), (WARM as u64, 10)],
+        "abort sites ranked hottest-first with exact totals"
+    );
+    assert_eq!(report.abort_sites[0].by_cause[lock], 50);
+    assert_eq!(report.abort_sites[1].by_cause[cut], 15);
+    assert_eq!(report.abort_sites[2].by_cause[validation], 10);
+
+    // -- WAL group-commit histograms ------------------------------
+    // Cross-checked against the STM's own durability counters: every
+    // flush recorded exactly one histogram sample, the batch sizes sum
+    // to the durable commits, and consecutive flushes leave gaps.
+    assert_eq!(report.wal_batch.samples, wal_stats.fsyncs, "one batch sample per fsync");
+    assert_eq!(report.wal_fsync_ns.samples, wal_stats.fsyncs);
+    assert_eq!(report.wal_batch.sum, wal_stats.commits_durable, "batch sizes sum to commits");
+    assert_eq!(wal_stats.commits_durable, PUTS);
+    assert_eq!(report.wal_gap_ns.samples, report.wal_batch.samples - 1, "N flushes leave N-1 gaps");
+    // Single-threaded sync mode with a zero group window: every put is
+    // its own flush, so every batch lands in the [1, 2) bucket.
+    assert_eq!(report.wal_batch.buckets().collect::<Vec<_>>(), vec![(0, 2, PUTS)]);
+
+    // -- the rendered report mentions the headline numbers --------
+    let text = render(&report, 10);
+    for needle in [
+        "class 7",
+        "class 9",
+        "class 13",
+        "aborts[lock-conflict] 50",
+        "aborts[cut] 15",
+        "addr 0xdead: 50 aborts",
+        "addr 0xcafe: 15 aborts",
+        "commits/flush",
+    ] {
+        assert!(text.contains(needle), "render output missing {needle:?}:\n{text}");
+    }
+}
+
+/// `trace::cause_code` as a table index, via the public names.
+mod trace {
+    pub fn cause(c: polytm::AbortCause) -> usize {
+        polytm::trace::cause_code(c) as usize
+    }
+}

@@ -120,6 +120,22 @@ impl Abort {
         })
     }
 
+    /// The shared-memory address this abort implicates, if the variant
+    /// carries one — the attribution key trace analyzers use to rank
+    /// the hottest contended locations.
+    pub fn addr(self) -> Option<usize> {
+        match self {
+            Abort::ReadConflict { addr }
+            | Abort::Locked { addr, .. }
+            | Abort::ValidationFailed { addr }
+            | Abort::SnapshotUnavailable { addr }
+            | Abort::SnapshotCapacity { addr } => Some(addr),
+            Abort::ReadOnlyViolation | Abort::Retry | Abort::RestartIrrevocable | Abort::Cancel => {
+                None
+            }
+        }
+    }
+
     /// Short machine-readable label used by the statistics counters.
     pub fn label(self) -> &'static str {
         match self {

@@ -80,6 +80,7 @@ pub(crate) mod snapreg;
 pub mod stats;
 pub mod stm;
 pub mod tarray;
+pub mod trace;
 pub mod tvar;
 pub(crate) mod txdesc;
 pub mod txn;
@@ -97,6 +98,7 @@ pub use shard::current_thread_index;
 pub use stats::{StatsSnapshot, StmStats};
 pub use stm::{Stm, StmConfig, TxParams};
 pub use tarray::TArray;
+pub use trace::{TraceEvent, TraceSink};
 pub use tvar::{TVar, TxValue};
 pub use txdesc::INLINE_WRITE_WORDS;
 pub use txn::Transaction;

@@ -15,6 +15,7 @@ use crate::redo::{CommitInfo, RedoSink};
 use crate::semantics::{NestingPolicy, Semantics};
 use crate::snapreg::SnapshotRegistry;
 use crate::stats::{StatsSnapshot, StmStats};
+use crate::trace::{self, TraceEvent};
 use crate::tvar::{TVar, TxValue};
 use crate::txn::Transaction;
 
@@ -364,6 +365,23 @@ impl Stm {
         // One-way runtime overrides a per-attempt plan must not undo.
         let mut upgraded = false;
         let mut snapshot_rejected = false;
+        // Tracing: the sink lookup is hoisted out of the attempt loop,
+        // so an uninstalled sink costs one load per *run* and each emit
+        // site below is a register test on a perfectly predicted branch.
+        let tsink = trace::sink();
+        let tclass = params.class.map_or(trace::NO_CLASS, |c| c.0);
+        let trace_abort = |sem: Semantics, attempt_retries: u32, abort: Abort| {
+            if let Some(t) = tsink {
+                t.record(TraceEvent::new(
+                    trace::code::TXN_ABORT,
+                    abort.cause(sem).map_or(0, trace::cause_code),
+                    tclass,
+                    attempt_retries,
+                    abort.addr().unwrap_or(0) as u64,
+                    0,
+                ));
+            }
+        };
         loop {
             let mut arbiter = self.config.arbiter;
             if let Some(src) = advisor {
@@ -425,6 +443,24 @@ impl Stm {
                 }
             }
             let meta = TxMeta { birth_ts, retries };
+            // First attempts emit no begin event: the attempt is implied
+            // by its own commit/abort event (which carries `retries`),
+            // so the commit-on-first-try hot path pays for ONE ring push
+            // per transaction, not two. Only re-attempts (retries > 0)
+            // emit a begin — exactly the attempts whose existence an
+            // analyzer cannot otherwise see until they resolve.
+            if retries > 0 {
+                if let Some(t) = tsink {
+                    t.record(TraceEvent::new(
+                        trace::code::TXN_BEGIN,
+                        trace::semantics_code(semantics),
+                        tclass,
+                        retries,
+                        0,
+                        0,
+                    ));
+                }
+            }
             let mut tx = Transaction::begin(self, semantics, meta, arbiter);
             let outcome = f(&mut tx);
             let abort = match outcome {
@@ -436,6 +472,19 @@ impl Stm {
                             self.stats.record_irrevocable_commit();
                         } else {
                             self.stats.record_commit();
+                        }
+                        if let Some(t) = tsink {
+                            let reads =
+                                (receipt.live_reads + receipt.cuts).min(u64::from(u32::MAX));
+                            let writes = receipt.writes.min(u64::from(u32::MAX));
+                            t.record(TraceEvent::new(
+                                trace::code::TXN_COMMIT,
+                                trace::semantics_code(semantics),
+                                tclass,
+                                retries,
+                                receipt.wv,
+                                (reads << 32) | writes,
+                            ));
                         }
                         if let (Some(src), Some(telemetry)) = (advisor, telemetry.as_mut()) {
                             telemetry.committed_semantics = semantics;
@@ -481,6 +530,15 @@ impl Stm {
                             return Err(Canceled);
                         }
                         Abort::RestartIrrevocable => {
+                            // The restarted attempt is a real abort:
+                            // account it (and report it to the advisor)
+                            // before the one-way upgrade, or attempts
+                            // stop summing to commits + aborts.
+                            self.stats.record_abort(abort, semantics);
+                            if let Some(t) = telemetry.as_mut() {
+                                t.record_abort(abort, semantics);
+                            }
+                            trace_abort(semantics, retries, abort);
                             self.stats.record_irrevocable_upgrade();
                             semantics = Semantics::Irrevocable;
                             upgraded = true;
@@ -501,6 +559,7 @@ impl Stm {
                                 t.wrote = true;
                                 t.read_only_violation = true;
                             }
+                            trace_abort(semantics, retries, abort);
                             snapshot_rejected = true;
                             retries = retries.saturating_add(1);
                             continue;
@@ -514,6 +573,7 @@ impl Stm {
             if let Some(t) = telemetry.as_mut() {
                 t.record_abort(abort, semantics);
             }
+            trace_abort(semantics, retries, abort);
             retries = retries.saturating_add(1);
             if let Some(limit) = self.config.irrevocable_fallback_after {
                 if retries >= limit

@@ -1,0 +1,243 @@
+//! The always-on tracing hook: fixed-size binary events and the
+//! process-wide [`TraceSink`].
+//!
+//! Like [`crate::RedoSink`] and [`crate::SemanticsSource`], the sink is
+//! a trait defined here so the core stays dependency-free; the ring
+//! implementation lives in `polytm-obs`. Unlike those two, the sink is
+//! **process-global** rather than per-[`crate::Stm`]: trace events come
+//! from every layer (the transaction runtime, the advisor's epoch
+//! controller, the WAL's group-commit leader, the server's read-sweep
+//! coalescer), most of which have no `Stm` in hand at the emit site, and
+//! a trace that interleaves all layers on one clock is exactly what the
+//! analyzer wants. One process, one trace.
+//!
+//! ## Hot-path cost
+//!
+//! With no sink installed, every emit site is one `Acquire` load of an
+//! always-cached static and a perfectly predicted branch — the
+//! event-building closure is never evaluated. The transaction loop
+//! hoists even that load out of the per-attempt path (one load per
+//! `run`). With a sink installed, the contract below bounds the cost to
+//! building a 32-byte value and one ring write; see `DESIGN.md` §11 for
+//! the full overhead argument and measured numbers.
+
+use std::sync::OnceLock;
+
+use crate::error::AbortCause;
+use crate::semantics::Semantics;
+
+/// One fixed-size (32-byte) binary trace event.
+///
+/// The field meanings depend on [`TraceEvent::code`]; the per-code
+/// conventions are documented on the [`code`] constants. `ts_ns` is
+/// stamped by the sink (nanoseconds since the sink's own epoch), not by
+/// the emitter — emitters leave it 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceEvent {
+    /// Nanoseconds since the installed sink's epoch (sink-stamped).
+    pub ts_ns: u64,
+    /// Event kind — one of the [`code`] constants.
+    pub code: u8,
+    /// Kind-specific discriminant: a semantics code for transaction
+    /// events, an abort-cause code for aborts (see [`semantics_code`]
+    /// and [`cause_code`]).
+    pub sub: u8,
+    /// Transaction class ([`crate::ClassId`]), or [`NO_CLASS`].
+    pub class: u16,
+    /// Kind-specific small count (retries, batch ops, …).
+    pub n: u32,
+    /// Kind-specific wide payload (address, latency, packed word, …).
+    pub a: u64,
+    /// Second kind-specific wide payload.
+    pub b: u64,
+}
+
+impl TraceEvent {
+    /// Build an event with `ts_ns = 0` (the sink stamps the time).
+    pub fn new(code: u8, sub: u8, class: u16, n: u32, a: u64, b: u64) -> Self {
+        Self { ts_ns: 0, code, sub, class, n, a, b }
+    }
+}
+
+/// `class` value for transactions that carry no [`crate::ClassId`].
+pub const NO_CLASS: u16 = u16::MAX;
+
+/// Event-kind codes and their field conventions.
+pub mod code {
+    /// A *re*-attempt started (after an abort). `sub` = semantics code,
+    /// `n` = retries so far (≥ 1). First attempts emit no begin event —
+    /// they are implied by their own commit/abort event, which carries
+    /// the retry count — so a transaction that commits on its first try
+    /// costs one ring push, not two. Total attempts are therefore
+    /// `commits + aborts`, and (aside from cancelled first attempts,
+    /// which are invisible by design) `begin events == aborts`.
+    pub const TXN_BEGIN: u8 = 1;
+    /// A transaction committed. `sub` = semantics code, `n` = retries,
+    /// `a` = write version (0 for read-only commits), `b` = live reads
+    /// in the high 32 bits | writes in the low 32 bits.
+    pub const TXN_COMMIT: u8 = 2;
+    /// A transaction attempt aborted. `sub` = abort-cause code, `n` =
+    /// retries before this abort, `a` = conflicting address (0 when the
+    /// cause carries none).
+    pub const TXN_ABORT: u8 = 3;
+    /// A read-version extension succeeded. `sub` = semantics code,
+    /// `n` = extensions so far in this attempt, `a` = the address whose
+    /// read triggered the extension.
+    pub const TXN_EXTEND: u8 = 4;
+    /// The advisor closed an epoch. `n` = classes whose policy changed,
+    /// `a` = the epoch's index.
+    pub const ADVISOR_EPOCH: u8 = 5;
+    /// The advisor flipped one class's installed policy. `sub` = the
+    /// new semantics code, `a` = old packed policy word, `b` = new
+    /// packed policy word ([`u64::MAX`] encodes "previously unset").
+    pub const ADVISOR_FLIP: u8 = 6;
+    /// A WAL group-commit leader flushed a batch. `n` = commits in the
+    /// batch, `a` = append+fsync latency in nanoseconds, `b` = bytes
+    /// appended.
+    pub const WAL_FLUSH: u8 = 7;
+    /// The server admitted one coalesced write batch into a single STM
+    /// commit. `n` = pipelined ops in the batch, `a` = connection id,
+    /// `b` = request payload bytes coalesced.
+    pub const SERVER_BATCH: u8 = 8;
+}
+
+/// Human-readable name for an event code (for analyzers; unknown codes
+/// render as `"unknown"`).
+pub fn code_name(c: u8) -> &'static str {
+    match c {
+        code::TXN_BEGIN => "txn-begin",
+        code::TXN_COMMIT => "txn-commit",
+        code::TXN_ABORT => "txn-abort",
+        code::TXN_EXTEND => "txn-extend",
+        code::ADVISOR_EPOCH => "advisor-epoch",
+        code::ADVISOR_FLIP => "advisor-flip",
+        code::WAL_FLUSH => "wal-flush",
+        code::SERVER_BATCH => "server-batch",
+        _ => "unknown",
+    }
+}
+
+/// Stable wire code for a [`Semantics`] (the `sub` of transaction
+/// events). Elastic windows are not encoded — the trace cares about the
+/// discipline, not its tuning.
+pub fn semantics_code(s: Semantics) -> u8 {
+    match s {
+        Semantics::Opaque => 0,
+        Semantics::Elastic { .. } => 1,
+        Semantics::Snapshot => 2,
+        Semantics::Irrevocable => 3,
+    }
+}
+
+/// Name for a [`semantics_code`] value.
+pub fn semantics_name(sub: u8) -> &'static str {
+    match sub {
+        0 => "opaque",
+        1 => "elastic",
+        2 => "snapshot",
+        3 => "irrevocable",
+        _ => "unknown",
+    }
+}
+
+/// Stable wire code for an [`AbortCause`] (the `sub` of
+/// [`code::TXN_ABORT`] events).
+pub fn cause_code(c: AbortCause) -> u8 {
+    match c {
+        AbortCause::LockConflict => 1,
+        AbortCause::Validation => 2,
+        AbortCause::Cut => 3,
+        AbortCause::Capacity => 4,
+        AbortCause::Unavailable => 5,
+        AbortCause::Other => 6,
+    }
+}
+
+/// Name for a [`cause_code`] value.
+pub fn cause_name(sub: u8) -> &'static str {
+    match sub {
+        1 => "lock-conflict",
+        2 => "validation",
+        3 => "cut",
+        4 => "capacity",
+        5 => "unavailable",
+        6 => "other",
+        _ => "unknown",
+    }
+}
+
+/// Where trace events go. Implementations must be wait-free on the
+/// caller: `record` runs on transaction hot paths and inside the WAL
+/// flush leader, so it must never block, never allocate on the steady
+/// state, and shed load (counting drops) rather than push back. The
+/// sink stamps [`TraceEvent::ts_ns`] against its own monotonic epoch.
+pub trait TraceSink: Send + Sync {
+    /// Record one event (see the contract on the trait).
+    fn record(&self, ev: TraceEvent);
+}
+
+static SINK: OnceLock<&'static dyn TraceSink> = OnceLock::new();
+
+/// Install the process-wide sink. Install-once: returns `false` (and
+/// leaves the existing sink) if one is already installed. The `'static`
+/// borrow keeps every emit site a plain load — leak the sink
+/// (`Box::leak`) or store it in a `static`; tracing is a
+/// process-lifetime concern.
+pub fn install(sink: &'static dyn TraceSink) -> bool {
+    SINK.set(sink).is_ok()
+}
+
+/// The installed sink, if any. Hot loops hoist this load and branch on
+/// the returned `Option` per event.
+#[inline]
+pub fn sink() -> Option<&'static dyn TraceSink> {
+    SINK.get().copied()
+}
+
+/// Emit one event through the installed sink, if any. The closure is
+/// only evaluated when a sink is installed.
+#[inline]
+pub fn emit(build: impl FnOnce() -> TraceEvent) {
+    if let Some(s) = SINK.get() {
+        s.record(build());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_names_round_trip() {
+        for s in
+            [Semantics::Opaque, Semantics::elastic(), Semantics::Snapshot, Semantics::Irrevocable]
+        {
+            assert_ne!(semantics_name(semantics_code(s)), "unknown");
+        }
+        for c in [
+            AbortCause::LockConflict,
+            AbortCause::Validation,
+            AbortCause::Cut,
+            AbortCause::Capacity,
+            AbortCause::Unavailable,
+            AbortCause::Other,
+        ] {
+            assert_ne!(cause_name(cause_code(c)), "unknown");
+        }
+        for k in 1..=8u8 {
+            assert_ne!(code_name(k), "unknown");
+        }
+        assert_eq!(code_name(0), "unknown");
+        assert_eq!(code_name(9), "unknown");
+    }
+
+    #[test]
+    fn event_is_32_bytes_of_payload() {
+        // The dump codec serializes exactly these fields; keep the
+        // struct in lockstep with the 32-byte wire layout.
+        assert_eq!(8 + 1 + 1 + 2 + 4 + 8 + 8, 32);
+        let ev = TraceEvent::new(code::TXN_COMMIT, 1, 7, 3, 42, 99);
+        assert_eq!(ev.ts_ns, 0);
+        assert_eq!(ev.class, 7);
+    }
+}

@@ -448,7 +448,7 @@ impl<'s> Transaction<'s> {
 
     /// Read-version extension: move `rv` to `now` if every live read is
     /// still current. `addr` is only for the error value.
-    fn extend(&mut self, _addr: usize) -> TxResult<()> {
+    fn extend(&mut self, addr: usize) -> TxResult<()> {
         // Same rule as at begin: the extended read version must not land
         // inside an irrevocable eager-write window, so sample it through
         // the era double-check (waiting out any irrevocable transaction
@@ -471,6 +471,19 @@ impl<'s> Transaction<'s> {
         }
         self.rv = now;
         self.extensions += 1;
+        // Off the common path (extensions are conflict-driven), so the
+        // un-hoisted emit's extra load is fine here. The run's class is
+        // not visible this deep; the commit/abort event carries it.
+        crate::trace::emit(|| {
+            crate::trace::TraceEvent::new(
+                crate::trace::code::TXN_EXTEND,
+                crate::trace::semantics_code(self.semantics),
+                crate::trace::NO_CLASS,
+                self.extensions.min(u64::from(u32::MAX)) as u32,
+                addr as u64,
+                0,
+            )
+        });
         Ok(())
     }
 

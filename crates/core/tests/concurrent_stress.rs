@@ -292,3 +292,127 @@ fn many_vars_low_contention_scales_without_lost_updates() {
         assert_eq!(v.load_committed(), rounds);
     }
 }
+
+/// The stats-conservation law: every closure invocation (attempt) ends
+/// as exactly one of a commit, a cause-classified abort, or a cancel —
+/// so `attempts == commits + aborts() + cancels` must hold exactly, no
+/// matter how attempts interleave. The workload forces every abort
+/// cause the counters classify: organic lock/validation conflicts on a
+/// hot counter (opaque and elastic), user retries, user-forced
+/// capacity/unavailable aborts, the `RestartIrrevocable` upgrade
+/// (whose restarted attempt must still be accounted), and cancels
+/// (which are deliberately *not* aborts and are counted by the test).
+#[test]
+fn attempts_conserve_as_commits_plus_aborts_plus_cancels() {
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicU64;
+
+    use polytm::Abort;
+
+    let stm = Stm::with_config(StmConfig {
+        // A low fallback keeps the upgrade path itself in play; the
+        // identity must survive upgrades too.
+        irrevocable_fallback_after: Some(8),
+        ..StmConfig::default()
+    });
+    let counter = stm.new_tvar(0u64);
+    let attempts = AtomicU64::new(0);
+    let cancels = AtomicU64::new(0);
+
+    // `.max(20)` guarantees every op variant below runs at least twice
+    // even under an aggressive POLYTM_STRESS_SCALE.
+    let runs = scaled(400).max(20);
+    spawn_workers(threads(), |_| {
+        for i in 0..runs {
+            match i % 10 {
+                // Hot opaque increments: organic lock/validation aborts.
+                0..=3 => {
+                    stm.run(TxParams::default(), |t| {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        counter.modify(t, |v| v + 1)
+                    });
+                }
+                // Elastic increment: read-time conflicts classify as cuts.
+                4 => {
+                    stm.run(TxParams::new(Semantics::Elastic { window: 4 }), |t| {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        counter.modify(t, |v| v + 1)
+                    });
+                }
+                // Snapshot read alongside the writers.
+                5 => {
+                    stm.run(TxParams::new(Semantics::Snapshot), |t| {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        counter.read(t)
+                    });
+                }
+                // User retry twice, then commit.
+                6 => {
+                    let tries = Cell::new(0u32);
+                    stm.run(TxParams::default(), |t| {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        let n = tries.get();
+                        tries.set(n + 1);
+                        if n < 2 {
+                            return Err(Abort::Retry);
+                        }
+                        counter.modify(t, |v| v + 1)
+                    });
+                }
+                // Forced capacity then unavailable aborts, then commit.
+                7 => {
+                    let tries = Cell::new(0u32);
+                    stm.run(TxParams::default(), |t| {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        let n = tries.get();
+                        tries.set(n + 1);
+                        match n {
+                            0 => Err(Abort::SnapshotCapacity { addr: 1 }),
+                            1 => Err(Abort::SnapshotUnavailable { addr: 1 }),
+                            _ => counter.read(t),
+                        }
+                    });
+                }
+                // RestartIrrevocable: the restarted attempt is an abort
+                // (cause Other) and the re-run commits irrevocably.
+                8 => {
+                    let tries = Cell::new(0u32);
+                    stm.run(TxParams::default(), |t| {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        let n = tries.get();
+                        tries.set(n + 1);
+                        if n == 0 {
+                            return Err(Abort::RestartIrrevocable);
+                        }
+                        counter.modify(t, |v| v + 1)
+                    });
+                }
+                // Cancel: reads, then abandons the run entirely.
+                _ => {
+                    let r = stm.try_run(TxParams::default(), |t| -> polytm::TxResult<()> {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        let _ = counter.read(t)?;
+                        Err(Abort::Cancel)
+                    });
+                    assert!(r.is_err(), "a cancelling closure must surface Err(Canceled)");
+                    cancels.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    });
+
+    let s = stm.stats();
+    assert_eq!(
+        attempts.load(Ordering::Relaxed),
+        s.commits + s.aborts() + cancels.load(Ordering::Relaxed),
+        "attempts must equal commits + aborts + cancels; snapshot: {s:?}"
+    );
+    // The workload provably exercised each classified cause at least
+    // once per worker (the forced branches are deterministic).
+    let w = threads() as u64;
+    assert!(s.aborts_user_retry >= 2 * w + w, "retries + restart-irrevocable attempts");
+    assert!(s.aborts_capacity >= w);
+    assert!(s.aborts_unavailable >= w);
+    assert!(s.irrevocable_commits >= w, "each RestartIrrevocable re-run commits irrevocably");
+    assert_eq!(cancels.load(Ordering::Relaxed), w * (runs / 10), "i % 10 == 9 cancels per worker");
+}

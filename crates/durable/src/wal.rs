@@ -294,12 +294,14 @@ impl Wal {
         let seg = inner.segment;
         drop(inner);
 
+        let io_start = std::time::Instant::now();
         let result = if buf.is_empty() {
             Ok(())
         } else {
             let name = segment_name(seg);
             self.storage.append(&name, &buf).and_then(|()| self.storage.sync(&name))
         };
+        let io_ns = io_start.elapsed().as_nanos() as u64;
 
         let mut inner = self.lock();
         inner.flushing = false;
@@ -322,6 +324,19 @@ impl Wal {
                     if let Some(stm) = self.stm.get().and_then(Weak::upgrade) {
                         stm.record_durable(entries, 1, 1, buf.len() as u64);
                     }
+                    // One event per group-commit flush: the batch the
+                    // leader drained, its append+fsync latency, and the
+                    // bytes it made durable.
+                    polytm::trace::emit(|| {
+                        polytm::trace::TraceEvent::new(
+                            polytm::trace::code::WAL_FLUSH,
+                            0,
+                            polytm::trace::NO_CLASS,
+                            entries.min(u64::from(u32::MAX)) as u32,
+                            io_ns,
+                            buf.len() as u64,
+                        )
+                    });
                 }
             }
             Err(_) => inner.poisoned = true,

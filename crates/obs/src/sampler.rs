@@ -1,0 +1,166 @@
+//! The rate sampler: a background thread that snapshots the registry on
+//! a fixed cadence and differentiates counters into per-second rates.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::registry::{MetricsRegistry, MetricsSource};
+
+/// Computed rates shared between the sampler thread and readers.
+#[derive(Default)]
+struct Shared {
+    /// `key.per_sec` entries from the latest completed interval.
+    rates: Mutex<Vec<(String, f64)>>,
+}
+
+/// Periodically turns the registry's monotone counters into rates.
+///
+/// Register the sampler itself as a source (it reports the latest
+/// interval's `<key>.per_sec` values) to make rates part of the same
+/// flat key space the `STATS` opcode and the exposition dump export:
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use polytm_obs::{MetricsRegistry, Sampler};
+///
+/// let registry = Arc::new(MetricsRegistry::new());
+/// let sampler = Arc::new(Sampler::spawn(Arc::clone(&registry), Duration::from_millis(10)));
+/// registry.register("rate", Arc::clone(&sampler) as _);
+/// # sampler.stop();
+/// ```
+///
+/// Keys already ending in `.per_sec` and intervals where a counter
+/// moved backwards (a reset) are skipped, so the sampler never rates
+/// its own output and never reports a negative rate.
+pub struct Sampler {
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Sampler {
+    /// Spawn the sampling thread; it snapshots `registry` every
+    /// `interval` until [`Sampler::stop`] (or drop).
+    pub fn spawn(registry: Arc<MetricsRegistry>, interval: Duration) -> Self {
+        let shared = Arc::new(Shared::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("polytm-obs-sampler".into())
+                .spawn(move || run(&registry, &shared, &stop, interval))
+                .expect("spawning sampler thread")
+        };
+        Self { shared, stop, thread: Mutex::new(Some(thread)) }
+    }
+
+    /// The latest completed interval's rates, as `key.per_sec` pairs.
+    pub fn rates(&self) -> Vec<(String, f64)> {
+        self.shared.rates.lock().expect("sampler rates poisoned").clone()
+    }
+
+    /// Stop and join the sampling thread (idempotent).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.lock().expect("sampler thread poisoned").take() {
+            t.join().expect("sampler thread panicked");
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl MetricsSource for Sampler {
+    fn collect(&self, out: &mut Vec<(String, f64)>) {
+        out.extend(self.rates());
+    }
+}
+
+fn run(registry: &MetricsRegistry, shared: &Shared, stop: &AtomicBool, interval: Duration) {
+    let mut last = registry.snapshot();
+    let mut last_at = Instant::now();
+    // Sleep in short steps so stop() never waits a whole interval.
+    let step = interval.min(Duration::from_millis(20)).max(Duration::from_millis(1));
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(step);
+            slept += step;
+        }
+        let now_at = Instant::now();
+        let now = registry.snapshot();
+        let dt = now_at.duration_since(last_at).as_secs_f64();
+        let mut rates = Vec::new();
+        if dt > 0.0 {
+            for (key, value) in &now {
+                if key.ends_with(".per_sec") {
+                    continue;
+                }
+                let Some((_, prev)) = last.iter().find(|(k, _)| k == key) else { continue };
+                let delta = value - prev;
+                if delta >= 0.0 {
+                    rates.push((format!("{key}.per_sec"), delta / dt));
+                }
+            }
+        }
+        *shared.rates.lock().expect("sampler rates poisoned") = rates;
+        last = now;
+        last_at = now_at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::fn_source;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn differentiates_counters_and_skips_its_own_output() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        registry.register(
+            "t",
+            fn_source(move |out| {
+                out.push(("ops".into(), c.load(Ordering::Relaxed) as f64));
+            }),
+        );
+        let sampler = Arc::new(Sampler::spawn(Arc::clone(&registry), Duration::from_millis(30)));
+        registry.register("rate", Arc::clone(&sampler) as _);
+        // Drive the counter while the sampler watches.
+        for _ in 0..40 {
+            counter.fetch_add(25, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let rate = loop {
+            let rates = sampler.rates();
+            if let Some((_, r)) = rates.iter().find(|(k, _)| k == "t.ops.per_sec") {
+                if *r > 0.0 {
+                    break *r;
+                }
+            }
+            assert!(Instant::now() < deadline, "sampler never produced a rate");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(rate > 0.0);
+        // The registered sampler source exports the same rates into the
+        // registry's key space, and never rates its own output.
+        let snap = registry.snapshot();
+        assert!(snap.iter().any(|(k, _)| k == "rate.t.ops.per_sec"));
+        assert!(snap.iter().all(|(k, _)| !k.ends_with(".per_sec.per_sec")));
+        sampler.stop();
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests over the trace-dump and metrics-entry codecs: every
+//! value round-trips bit-exactly, and the strict decoders face
+//! arbitrary byte soup without panicking.
+
+use proptest::prelude::*;
+
+use polytm::TraceEvent;
+use polytm_obs::dump::{decode_event, encode_event, EVENT_BYTES};
+use polytm_obs::{decode_entries, encode_entries, RingDump, TraceDump};
+
+fn event_strategy() -> impl Strategy<Value = TraceEvent> {
+    (
+        (any::<u64>(), any::<u8>()),
+        (any::<u8>(), any::<u16>()),
+        (any::<u32>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|((ts_ns, code), (sub, class), (n, a, b))| TraceEvent {
+            ts_ns,
+            code,
+            sub,
+            class,
+            n,
+            a,
+            b,
+        })
+}
+
+fn dump_strategy() -> impl Strategy<Value = TraceDump> {
+    (
+        1usize..4096,
+        prop::collection::vec((any::<u64>(), prop::collection::vec(event_strategy(), 0..12)), 0..4),
+    )
+        .prop_map(|(capacity, rings)| TraceDump {
+            capacity,
+            rings: rings
+                .into_iter()
+                .enumerate()
+                .map(|(i, (dropped, events))| RingDump { ring: i as u32, dropped, events })
+                .collect(),
+        })
+}
+
+/// `(key, value)` metric entries from integer seeds: short printable
+/// keys, finite values with a fractional part in half the cases.
+fn entries_strategy() -> impl Strategy<Value = Vec<(String, f64)>> {
+    prop::collection::vec((0u64..u64::MAX, 0u8..32), 0..16).prop_map(|seeds| {
+        seeds
+            .into_iter()
+            .map(|(seed, len)| {
+                let key: String = (0..=len)
+                    .map(|i| {
+                        let c = (seed.rotate_left(u32::from(i) * 7) % 27) as u8;
+                        if c == 26 {
+                            '.'
+                        } else {
+                            (b'a' + c) as char
+                        }
+                    })
+                    .collect();
+                let value = (seed as i64 as f64) / 7.0;
+                (key, value)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn event_codec_round_trips(ev in event_strategy()) {
+        let mut bytes = Vec::new();
+        encode_event(&ev, &mut bytes);
+        prop_assert_eq!(bytes.len(), EVENT_BYTES);
+        prop_assert_eq!(decode_event(&bytes), ev);
+    }
+
+    #[test]
+    fn dump_codec_round_trips(dump in dump_strategy()) {
+        let decoded = TraceDump::from_bytes(&dump.to_bytes());
+        prop_assert_eq!(decoded.expect("well-formed dump must decode"), dump);
+    }
+
+    #[test]
+    fn dump_decoder_never_panics_on_soup(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TraceDump::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncated_dumps_are_rejected_not_misread(dump in dump_strategy(), cut in 1usize..64) {
+        let bytes = dump.to_bytes();
+        if cut < bytes.len() {
+            let truncated = &bytes[..bytes.len() - cut];
+            // Whatever a truncation parses to, it must be an error or a
+            // visibly different dump — never a silent equal decode.
+            if let Ok(d) = TraceDump::from_bytes(truncated) {
+                prop_assert!(d != dump, "truncated dump decoded equal to the original");
+            }
+        }
+    }
+
+    #[test]
+    fn entries_codec_round_trips(entries in entries_strategy()) {
+        let bytes = encode_entries(&entries);
+        prop_assert_eq!(decode_entries(&bytes).expect("decode"), entries);
+    }
+
+    #[test]
+    fn entries_decoder_never_panics_on_soup(bytes in prop::collection::vec(any::<u8>(), 0..192)) {
+        let _ = decode_entries(&bytes);
+    }
+}

@@ -1,0 +1,117 @@
+//! Trace-ring overflow coverage: a fast writer against a slow (or
+//! absent) drain never blocks, sheds with an exact drop count, and the
+//! drained events are never torn.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use polytm::trace::{code, TraceSink};
+use polytm::TraceEvent;
+use polytm_obs::{EventRing, RingTracer};
+
+/// An event whose payload fields are all derived from one sequence
+/// number, so a torn (half-old half-new) slot read is detectable.
+fn sealed(seq: u64) -> TraceEvent {
+    TraceEvent {
+        ts_ns: seq,
+        code: code::TXN_COMMIT,
+        sub: (seq % 251) as u8,
+        class: (seq % 65_521) as u16,
+        n: (seq % 4_294_967_291) as u32,
+        a: seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        b: !seq,
+    }
+}
+
+/// True when `ev`'s fields are mutually consistent with its `ts_ns`.
+fn is_sealed(ev: &TraceEvent) -> bool {
+    *ev == sealed(ev.ts_ns)
+}
+
+#[test]
+fn exact_drop_count_with_no_reader() {
+    let ring = EventRing::new(64);
+    let cap = ring.capacity() as u64;
+    let total = 10_000u64;
+    for seq in 0..total {
+        ring.push(sealed(seq));
+    }
+    assert_eq!(ring.dropped(), total - cap, "everything past capacity sheds, exactly counted");
+    let mut out = Vec::new();
+    ring.drain_into(&mut out);
+    assert_eq!(out.len(), cap as usize);
+    // Drop-newest: the survivors are exactly the first `cap` events.
+    assert!(out.iter().enumerate().all(|(i, e)| e.ts_ns == i as u64));
+}
+
+#[test]
+fn fast_writer_slow_reader_never_blocks_and_never_tears() {
+    let ring = Arc::new(EventRing::new(256));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            let mut max_push = Duration::ZERO;
+            while !stop.load(Ordering::Relaxed) {
+                let t = Instant::now();
+                ring.push(sealed(seq));
+                max_push = max_push.max(t.elapsed());
+                seq += 1;
+            }
+            (seq, max_push)
+        })
+    };
+    // A deliberately slow consumer: drain tiny batches with sleeps so
+    // the writer laps it constantly.
+    let mut drained: Vec<TraceEvent> = Vec::new();
+    let deadline = Instant::now() + Duration::from_millis(400);
+    while Instant::now() < deadline {
+        ring.drain_into(&mut drained);
+        std::thread::sleep(Duration::from_millis(7));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (written, max_push) = writer.join().expect("writer panicked");
+    ring.drain_into(&mut drained);
+    let dropped = ring.dropped();
+
+    assert!(!drained.is_empty(), "slow reader still makes progress");
+    assert!(drained.iter().all(is_sealed), "no drained event is torn");
+    // FIFO per ring: sequence numbers strictly increase.
+    assert!(drained.windows(2).all(|w| w[0].ts_ns < w[1].ts_ns));
+    // Conservation: every pushed event is either drained or counted dropped.
+    assert_eq!(drained.len() as u64 + dropped, written);
+    assert!(dropped > 0, "a lapped reader must actually shed (writer wrote {written})");
+    // "Never blocks": even on a loaded 1-core CI box a push is bounded
+    // by scheduling noise, not by the reader — a generous ceiling that
+    // a blocking push (7ms reader sleeps) would blow through.
+    assert!(max_push < Duration::from_millis(5), "slowest push took {max_push:?}");
+}
+
+#[test]
+fn tracer_drain_reports_exact_per_ring_drops() {
+    let tracer = Arc::new(RingTracer::new(32));
+    let threads: Vec<_> = (0..2)
+        .map(|_| {
+            let tracer = Arc::clone(&tracer);
+            std::thread::spawn(move || {
+                for seq in 0..1000u64 {
+                    tracer.record(sealed(seq));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("emitter panicked");
+    }
+    let dump = tracer.drain();
+    assert_eq!(dump.rings.len(), 2);
+    for ring in &dump.rings {
+        // RingTracer stamps ts_ns, so sealedness is not preserved — but
+        // count conservation is: capacity survived, the rest counted.
+        assert_eq!(ring.events.len() as u64 + ring.dropped, 1000);
+        assert_eq!(ring.dropped, 1000 - dump.capacity as u64);
+    }
+}

@@ -158,6 +158,27 @@ impl Client {
             _ => Err(ClientError::Protocol("unexpected reply to SCAN")),
         }
     }
+
+    /// `STATS` (binary): one snapshot of the server's unified metrics
+    /// plane as sorted `(key, value)` entries. Empty if the server was
+    /// spawned without a metrics registry.
+    pub fn stats(&mut self) -> Result<Vec<(String, f64)>, ClientError> {
+        match self.call(&Request::Stats { text: false })? {
+            Response::Stats { payload } => polytm_obs::decode_entries(&payload)
+                .map_err(|_| ClientError::Protocol("bad STATS entries payload")),
+            _ => Err(ClientError::Protocol("unexpected reply to STATS")),
+        }
+    }
+
+    /// `STATS` (text): the plain-text exposition dump, one
+    /// `key value` line per metric.
+    pub fn stats_text(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats { text: true })? {
+            Response::Stats { payload } => String::from_utf8(payload)
+                .map_err(|_| ClientError::Protocol("STATS exposition is not UTF-8")),
+            _ => Err(ClientError::Protocol("unexpected reply to STATS")),
+        }
+    }
 }
 
 /// A `SCAN` outcome: `(key, value)` entries in ascending key order,

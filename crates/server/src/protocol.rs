@@ -53,6 +53,8 @@ pub mod op {
     pub const MULTI: u8 = 0x07;
     /// Atomic mixed read/write transaction.
     pub const TXN: u8 = 0x08;
+    /// Unified metrics snapshot (binary entries or text exposition).
+    pub const STATS: u8 = 0x09;
 }
 
 /// High bit distinguishing responses from requests.
@@ -181,6 +183,15 @@ pub enum Request {
         /// Operations, applied in order within one commit.
         ops: Vec<TxnOp>,
     },
+    /// Snapshot of the server's unified metrics plane (`polytm-obs`
+    /// flat key space). Acts as a barrier: the pending coalesced run
+    /// commits first, so counters reflect everything pipelined ahead
+    /// of this request on the same connection.
+    Stats {
+        /// `true` for the plain-text exposition format, `false` for
+        /// the binary entries codec (`polytm_obs::decode_entries`).
+        text: bool,
+    },
 }
 
 impl Request {
@@ -195,6 +206,7 @@ impl Request {
             Request::Scan { .. } => op::SCAN,
             Request::Multi { .. } => op::MULTI,
             Request::Txn { .. } => op::TXN,
+            Request::Stats { .. } => op::STATS,
         }
     }
 }
@@ -239,6 +251,14 @@ pub enum Response {
     TxnResults {
         /// One entry per `TxnOp::Get`, in order.
         gets: Vec<Option<Vec<u8>>>,
+    },
+    /// Reply to [`Request::Stats`]: the snapshot in the requested
+    /// format. A server spawned without a metrics registry answers
+    /// with an empty snapshot rather than an error.
+    Stats {
+        /// Binary entries (`polytm_obs::decode_entries`) or UTF-8
+        /// exposition text, per the request's `text` flag.
+        payload: Vec<u8>,
     },
     /// The request failed; carried under [`OP_ERROR`].
     Error(ErrorCode),
@@ -460,6 +480,11 @@ pub fn parse_request(opcode: u8, payload: &[u8]) -> Result<Request, ErrorCode> {
             }
             Request::Txn { ops }
         }
+        op::STATS => match c.u8().ok_or(ErrorCode::BadRequest)? {
+            0 => Request::Stats { text: false },
+            1 => Request::Stats { text: true },
+            _ => return Err(ErrorCode::BadRequest),
+        },
         _ => return Err(ErrorCode::UnknownOpcode),
     };
     if c.done() {
@@ -550,6 +575,7 @@ pub fn encode_request_payload(req: &Request) -> Vec<u8> {
                 }
             }
         }
+        Request::Stats { text } => out.push(u8::from(*text)),
     }
     out
 }
@@ -613,6 +639,7 @@ pub fn encode_response_payload(resp: &Response) -> Vec<u8> {
                 }
             }
         }
+        Response::Stats { payload } => out.extend_from_slice(payload),
         Response::Error(code) => out.push(*code as u8),
     }
     out
@@ -666,6 +693,7 @@ pub fn parse_response(opcode: u8, payload: &[u8]) -> Result<Response, ErrorCode>
             }
             Response::TxnResults { gets }
         }
+        op::STATS => Response::Stats { payload: c.rest().to_vec() },
         _ => return Err(ErrorCode::UnknownOpcode),
     };
     if c.done() {
@@ -702,6 +730,8 @@ mod tests {
                     TxnOp::Delete { key: 3 },
                 ],
             },
+            Request::Stats { text: false },
+            Request::Stats { text: true },
         ]
     }
 
@@ -722,6 +752,8 @@ mod tests {
             ),
             (op::MULTI, Response::Applied { ops: 3 }),
             (op::TXN, Response::TxnResults { gets: vec![None, Some(b"yes".to_vec())] }),
+            (op::STATS, Response::Stats { payload: Vec::new() }),
+            (op::STATS, Response::Stats { payload: b"stm.commits 41\n".to_vec() }),
             (op::PUT, Response::Error(ErrorCode::ReadOnly)),
         ]
     }

@@ -38,6 +38,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use polytm::trace::{self, TraceEvent};
+use polytm_obs::{encode_entries, MetricsRegistry, MetricsSource};
+
 use crate::poll::{Interest, Poller, READ, WRITE};
 use crate::protocol::{
     decode_frame, encode_response, parse_request, ErrorCode, FrameEvent, Request, Response,
@@ -119,6 +122,27 @@ impl ServerStats {
     }
 }
 
+/// Register the event-loop counters under a prefix (conventionally
+/// `server`) in the unified metrics plane. Key names mirror the field
+/// names; `batch_ops_per_commit` is the derived coalescing factor.
+impl MetricsSource for ServerStats {
+    fn collect(&self, out: &mut Vec<(String, f64)>) {
+        let mut push = |key: &str, v: u64| out.push((key.to_string(), v as f64));
+        push("accepted", self.accepted.load(Ordering::Relaxed));
+        push("closed", self.closed.load(Ordering::Relaxed));
+        push("requests", self.requests.load(Ordering::Relaxed));
+        push("responses", self.responses.load(Ordering::Relaxed));
+        push("batches", self.batches.load(Ordering::Relaxed));
+        push("batched_ops", self.batched_ops.load(Ordering::Relaxed));
+        push("bytes_in", self.bytes_in.load(Ordering::Relaxed));
+        push("bytes_out", self.bytes_out.load(Ordering::Relaxed));
+        push("backpressure_stalls", self.backpressure_stalls.load(Ordering::Relaxed));
+        push("corrupt_conns", self.corrupt_conns.load(Ordering::Relaxed));
+        push("read_only_errors", self.read_only_errors.load(Ordering::Relaxed));
+        out.push(("batch_ops_per_commit".to_string(), self.batch_ops_per_commit()));
+    }
+}
+
 /// A running server; dropping (or calling [`ServerHandle::shutdown`])
 /// stops the acceptor and workers and closes every connection.
 pub struct ServerHandle {
@@ -169,11 +193,37 @@ impl Server {
         addr: &str,
         config: ServerConfig,
     ) -> std::io::Result<ServerHandle> {
+        Self::spawn_inner(store, addr, config, None)
+    }
+
+    /// Like [`Server::spawn`], but attach a metrics registry: the
+    /// server registers its own counters under the `server` prefix and
+    /// answers `STATS` requests with snapshots of the whole registry
+    /// (whatever else the embedder registered — STM, WAL, advisor,
+    /// tracer, sampler rates).
+    pub fn spawn_with_metrics(
+        store: Arc<dyn ServerStore>,
+        addr: &str,
+        config: ServerConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> std::io::Result<ServerHandle> {
+        Self::spawn_inner(store, addr, config, Some(registry))
+    }
+
+    fn spawn_inner(
+        store: Arc<dyn ServerStore>,
+        addr: &str,
+        config: ServerConfig,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
+        if let Some(reg) = &registry {
+            reg.register("server", Arc::clone(&stats) as Arc<dyn MetricsSource>);
+        }
         let workers = config.workers.max(1);
 
         let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> =
@@ -185,10 +235,11 @@ impl Server {
             let store = Arc::clone(&store);
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let registry = registry.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("polytm-server-w{i}"))
-                    .spawn(move || worker_loop(inbox, store, config, stop, stats))?,
+                    .spawn(move || worker_loop(inbox, store, config, stop, stats, registry))?,
             );
         }
         {
@@ -235,8 +286,14 @@ fn accept_loop(
     }
 }
 
+/// Process-wide connection sequence; gives every accepted connection a
+/// stable identity for trace attribution (fds get reused, these don't).
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Per-connection state owned by exactly one worker.
 struct Conn {
+    /// Stable identity for `SERVER_BATCH` trace events.
+    id: u64,
     stream: TcpStream,
     /// Received, not-yet-decoded bytes.
     in_buf: Vec<u8>,
@@ -256,6 +313,7 @@ struct Conn {
 impl Conn {
     fn new(stream: TcpStream) -> Self {
         Conn {
+            id: NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed),
             stream,
             in_buf: Vec::new(),
             out_buf: Vec::new(),
@@ -284,6 +342,7 @@ fn worker_loop(
     config: ServerConfig,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    registry: Option<Arc<MetricsRegistry>>,
 ) {
     let poller = Poller::new();
     let mut conns: Vec<Conn> = Vec::new();
@@ -317,7 +376,7 @@ fn worker_loop(
         for (conn, ready) in conns.iter_mut().zip(ready) {
             if ready & READ != 0 && !conn.read_eof && !conn.dead {
                 progressed |= fill(conn, &mut scratch, &stats);
-                process(conn, store.as_ref(), &config, &stats);
+                process(conn, store.as_ref(), &config, &stats, registry.as_deref());
                 if conn.read_eof && !conn.in_buf.is_empty() {
                     // Half-closed with a partial frame: those bytes can
                     // never complete, so drop them and let the
@@ -371,7 +430,13 @@ fn fill(conn: &mut Conn, scratch: &mut [u8], stats: &ServerStats) -> bool {
 }
 
 /// Decode and execute everything in `conn.in_buf` — one batch window.
-fn process(conn: &mut Conn, store: &dyn ServerStore, config: &ServerConfig, stats: &ServerStats) {
+fn process(
+    conn: &mut Conn,
+    store: &dyn ServerStore,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    registry: Option<&MetricsRegistry>,
+) {
     // The pending coalesced run: admitted write requests plus the
     // wire identity needed to answer each one.
     let mut run: Vec<(u8, u32, WriteRequest)> = Vec::new();
@@ -409,7 +474,7 @@ fn process(conn: &mut Conn, store: &dyn ServerStore, config: &ServerConfig, stat
                         }
                         Admitted::Barrier(req) => {
                             commit_run(conn, store, &mut run, &mut run_bytes, config, stats);
-                            let resp = execute_barrier(store, &req, config, stats);
+                            let resp = execute_barrier(store, &req, config, stats, registry);
                             respond(conn, opcode, seq, &resp, config, stats);
                         }
                     },
@@ -449,12 +514,24 @@ fn commit_run(
     if run.is_empty() {
         return;
     }
+    let batch_bytes = *run_bytes as u64;
     *run_bytes = 0;
     let batch: Vec<WriteRequest> = run.iter().map(|(_, _, w)| w.clone()).collect();
     match store.commit_writes(&batch) {
         Ok(replies) => {
             stats.batches.fetch_add(1, Ordering::Relaxed);
             stats.batched_ops.fetch_add(run.len() as u64, Ordering::Relaxed);
+            let ops = run.len().min(u32::MAX as usize) as u32;
+            trace::emit(|| {
+                TraceEvent::new(
+                    trace::code::SERVER_BATCH,
+                    0,
+                    trace::NO_CLASS,
+                    ops,
+                    conn.id,
+                    batch_bytes,
+                )
+            });
             for ((opcode, seq, _), reply) in run.drain(..).zip(replies) {
                 let resp = match reply {
                     WriteReply::Written { existed } => Response::Written { existed },
@@ -479,6 +556,7 @@ fn execute_barrier(
     req: &Request,
     config: &ServerConfig,
     stats: &ServerStats,
+    registry: Option<&MetricsRegistry>,
 ) -> Response {
     match req {
         Request::Ping => Response::Pong,
@@ -503,6 +581,27 @@ fn execute_barrier(
                 Response::Error(ErrorCode::ReadOnly)
             }
         },
+        Request::Stats { text } => {
+            let payload = match registry {
+                Some(reg) => {
+                    if *text {
+                        reg.exposition().into_bytes()
+                    } else {
+                        encode_entries(&reg.snapshot())
+                    }
+                }
+                // No registry attached: an empty snapshot, still
+                // well-formed under either format.
+                None => {
+                    if *text {
+                        Vec::new()
+                    } else {
+                        encode_entries(&[])
+                    }
+                }
+            };
+            Response::Stats { payload }
+        }
         // Writes never reach here; `admit` coalesces them.
         Request::Put { .. } | Request::Delete { .. } | Request::Multi { .. } => {
             Response::Error(ErrorCode::BadRequest)

@@ -479,3 +479,57 @@ fn backpressure_pauses_reads_without_losing_order() {
     );
     handle.shutdown();
 }
+
+/// The `STATS` opcode returns one snapshot of the unified metrics
+/// plane in both wire formats, and reflects work pipelined ahead of
+/// it on the same connection (it is a barrier).
+#[test]
+fn stats_opcode_snapshots_the_metrics_plane() {
+    let stm = Arc::new(Stm::new());
+    let store = Arc::new(KvStore::new(Arc::clone(&stm)));
+    let registry = Arc::new(polytm_obs::MetricsRegistry::new());
+    registry.register("stm", Arc::new(polytm_obs::StmMetrics::new(stm)));
+    let handle = Server::spawn_with_metrics(
+        Arc::clone(&store) as Arc<dyn ServerStore>,
+        "127.0.0.1:0",
+        quick_config(),
+        registry,
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    for k in 0..32u64 {
+        assert!(!client.put(k, b"v").unwrap());
+    }
+    let entries = client.stats().unwrap();
+    let get = |key: &str| entries.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+    assert!(
+        get("stm.commits").unwrap_or(0.0) >= 1.0,
+        "the pipelined puts must have committed before the STATS barrier"
+    );
+    assert!(get("server.requests").unwrap_or(0.0) >= 32.0);
+    assert!(get("server.batches").unwrap_or(0.0) >= 1.0);
+    assert!(
+        entries.windows(2).all(|w| w[0].0 <= w[1].0),
+        "binary snapshot entries arrive sorted by key"
+    );
+
+    let text = client.stats_text().unwrap();
+    assert!(text.lines().any(|l| l.starts_with("server.accepted ")));
+    assert!(text.lines().any(|l| l.starts_with("stm.commits ")));
+    handle.shutdown();
+}
+
+/// A server spawned without a registry still answers `STATS` — with a
+/// well-formed empty snapshot, not an error.
+#[test]
+fn stats_without_a_registry_is_empty_not_an_error() {
+    let store = Arc::new(KvStore::new(Arc::new(Stm::new())));
+    let handle =
+        Server::spawn(Arc::clone(&store) as Arc<dyn ServerStore>, "127.0.0.1:0", quick_config())
+            .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    assert!(client.stats().unwrap().is_empty());
+    assert!(client.stats_text().unwrap().is_empty());
+    handle.shutdown();
+}

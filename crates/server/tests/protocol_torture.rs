@@ -59,6 +59,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         }),
         prop::collection::vec(write_op_strategy(), 0..6).prop_map(|ops| Request::Multi { ops }),
         prop::collection::vec(txn_op_strategy(), 0..6).prop_map(|ops| Request::Txn { ops }),
+        prop::bool::ANY.prop_map(|text| Request::Stats { text }),
     ]
 }
 
@@ -142,6 +143,7 @@ proptest! {
         value in opt_value_strategy(),
         entries in prop::collection::vec((any::<u64>(), value_strategy()), 0..6),
         gets in prop::collection::vec(opt_value_strategy(), 0..6),
+        stats in value_strategy(),
         seq in any::<u32>(),
         crc in prop::bool::ANY,
     ) {
@@ -151,6 +153,7 @@ proptest! {
             (op::SCAN, Response::Entries { entries, truncated: seq % 2 == 0 }),
             (op::TXN, Response::TxnResults { gets }),
             (op::MULTI, Response::Applied { ops: seq }),
+            (op::STATS, Response::Stats { payload: stats }),
         ];
         for (req_op, resp) in cases {
             let wire = encode_response(&resp, req_op, seq, crc);
