@@ -33,8 +33,18 @@
 //!  aborts_lock, aborts_validation, aborts_cut, aborts_capacity, aborts_unavailable
 //!  [, found_ratio, kv_space]
 //!  [, scan_p50_ns, scan_p99_ns, scan_p999_ns, scan_aborts]
-//!  [, conns, batch_ops_per_commit]}
+//!  [, conns, batch_ops_per_commit, wait_stm_ns, wait_wal_ns, wait_net_ns]
+//!  [, trace_dropped]}
 //! ```
+//!
+//! `server-kv` rows decompose where commits waited: `wait_stm_ns`
+//! (era gate + arbitration + backoff), `wait_wal_ns` (group-commit
+//! durability), `wait_net_ns` (reply backpressure) — the same
+//! components `traceview --waterfall` attributes per request. Traced
+//! runs (`--trace`) add `trace_dropped`, the events each cell shed
+//! from its rings (CI fails the quick traced sweep if any cell
+//! dropped), and install the slow-request flight recorder
+//! (`--slow-us`, default 500).
 //!
 //! `bench` is `scenario/backend` (e.g. `hotspot/tx-list`,
 //! `ycsb-a/kv-sharded`, `htap/kv-adaptive`,
@@ -122,12 +132,25 @@ struct Row {
     /// `server-kv` rows only: connection count and the mean number of
     /// wire write requests coalesced into one STM commit.
     server: Option<ServerFields>,
+    /// Traced runs only: events this cell shed from the ring tracer
+    /// (nonzero means the cell's trace is incomplete — CI's perf-smoke
+    /// fails on it).
+    trace_dropped: Option<u64>,
 }
 
 /// The network-front-end columns (`server-kv` rows).
 struct ServerFields {
     conns: usize,
     batch_ops_per_commit: f64,
+    /// Nanoseconds the window's commits spent blocked inside the STM
+    /// (era gate + arbitrated lock waits + contention backoff).
+    wait_stm_ns: u64,
+    /// Nanoseconds the window's commits spent blocked on WAL
+    /// durability (group-commit leader + follower waits).
+    wait_wal_ns: u64,
+    /// Nanoseconds connections spent excluded from reads by reply
+    /// backpressure over the window.
+    wait_net_ns: u64,
 }
 
 /// Measurement windows for the two modes.
@@ -310,6 +333,7 @@ fn run_kv_cell(backend: &KvBackend, scenario: &KvScenario, threads: usize, k: &K
         scan: None,
         durability: durability_fields(stats.as_ref(), k.sweep),
         server: None,
+        trace_dropped: None,
     }
 }
 
@@ -356,6 +380,7 @@ fn run_cell(backend: &Backend, scenario: &Scenario, threads: usize, k: &Knobs) -
         scan: None,
         durability: None,
         server: None,
+        trace_dropped: None,
     }
 }
 
@@ -395,6 +420,7 @@ fn htap_row(
         }),
         durability: durability_fields(stats, window),
         server: None,
+        trace_dropped: None,
     }
 }
 
@@ -450,7 +476,10 @@ fn run_server_cell(backend: &ServerBackend, conns: usize, k: &Knobs) -> Row {
         .map(|key| polytm_server::WriteRequest::Put { key, value: vec![0xAB; 12] })
         .collect();
     for chunk in prefill.chunks(64) {
-        instance.store.commit_writes(chunk).expect("prefill commit");
+        instance
+            .store
+            .commit_writes(chunk, polytm_server::BatchTag::UNTAGGED)
+            .expect("prefill commit");
     }
 
     instance.stm.reset_stats();
@@ -468,8 +497,16 @@ fn run_server_cell(backend: &ServerBackend, conns: usize, k: &Knobs) -> Row {
     // The stats window spans warmup + sweep (reset precedes warmup),
     // so derive the fsync rate over that same span.
     let window = k.warmup + k.sweep;
-    let server =
-        ServerFields { conns, batch_ops_per_commit: handle.stats().batch_ops_per_commit() };
+    let server = ServerFields {
+        conns,
+        batch_ops_per_commit: handle.stats().batch_ops_per_commit(),
+        wait_stm_ns: stats.stm_wait_ns(),
+        wait_wal_ns: stats.wal_wait_ns,
+        wait_net_ns: handle
+            .stats()
+            .backpressure_stalled_ns
+            .load(std::sync::atomic::Ordering::Relaxed),
+    };
     handle.shutdown();
     Row {
         bench: format!("{SERVER_SCENARIO}/{}", backend.name),
@@ -484,6 +521,7 @@ fn run_server_cell(backend: &ServerBackend, conns: usize, k: &Knobs) -> Row {
         scan: None,
         durability: durability_fields(Some(&stats), window),
         server: Some(server),
+        trace_dropped: None,
     }
 }
 
@@ -519,16 +557,22 @@ fn render_row(rev: &str, label: &str, cores: usize, r: &Row) -> String {
         .server
         .as_ref()
         .map(|s| {
-            format!(",\"conns\":{},\"batch_ops_per_commit\":{:.3}", s.conns, s.batch_ops_per_commit)
+            format!(
+                ",\"conns\":{},\"batch_ops_per_commit\":{:.3},\"wait_stm_ns\":{},\
+                 \"wait_wal_ns\":{},\"wait_net_ns\":{}",
+                s.conns, s.batch_ops_per_commit, s.wait_stm_ns, s.wait_wal_ns, s.wait_net_ns
+            )
         })
         .unwrap_or_default();
+    let trace_fields =
+        r.trace_dropped.map(|dropped| format!(",\"trace_dropped\":{dropped}")).unwrap_or_default();
     format!(
         "  {{\"rev\":\"{rev}\",\"label\":\"{label}\",\"bench\":\"{}\",\"threads\":{},\
          \"cores\":{cores},\
          \"ops_per_sec\":{:.1},\"abort_ratio\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
          \"aborts_lock\":{lock},\"aborts_validation\":{validation},\"aborts_cut\":{cut},\
          \"aborts_capacity\":{capacity},\"aborts_unavailable\":{unavailable}\
-         {kv_fields}{scan_fields}{durability_fields}{server_fields}}}",
+         {kv_fields}{scan_fields}{durability_fields}{server_fields}{trace_fields}}}",
         r.bench, r.threads, r.ops_per_sec, r.abort_ratio, r.p50_ns, r.p99_ns, r.p999_ns
     )
 }
@@ -541,15 +585,36 @@ fn matches_filter(name: &str, family: Family, filter: &str) -> bool {
     filter.is_empty() || name == filter || family.label() == filter
 }
 
+/// Run one cell, attributing ring-tracer sheds during the cell to its
+/// row. Deltas, not totals — a cell late in the matrix must not
+/// inherit earlier cells' drops.
+fn with_drop_delta(
+    tracer: Option<&'static polytm_obs::RingTracer>,
+    cell: impl FnOnce() -> Row,
+) -> Row {
+    let before = tracer.map(|t| t.dropped_total());
+    let mut row = cell();
+    if let (Some(t), Some(before)) = (tracer, before) {
+        row.trace_dropped = Some(t.dropped_total().saturating_sub(before));
+    }
+    row
+}
+
 fn main() {
     let cli = BenchCli::parse("BENCH_scenarios.json");
     // Optional axis filters (exact matches) for focused reruns.
     let only_backend = cli.grab("--backend", "");
     let only_scenario = cli.grab("--scenario", "");
     let trace_out = cli.grab("--trace", "");
+    let slow_us: u64 =
+        cli.grab("--slow-us", "500").parse().expect("--slow-us takes whole microseconds");
     let tracer = if trace_out.is_empty() {
         None
     } else {
+        // The slow-request flight recorder rides along with tracing:
+        // coalesced commits whose window exceeds --slow-us are retained
+        // and summarized at exit.
+        polytm_obs::flight::install(slow_us * 1_000, 64);
         Some(polytm_obs::RingTracer::install(1 << 16).expect("a trace sink is already installed"))
     };
 
@@ -573,7 +638,7 @@ fn main() {
                 continue;
             }
             for &threads in knobs.threads {
-                let row = run_cell(backend, scenario, threads, &knobs);
+                let row = with_drop_delta(tracer, || run_cell(backend, scenario, threads, &knobs));
                 eprintln!(
                     "  {:<32} t={:<2} {:>12.0} ops/s  abort {:.4}  p50 {:>7}ns  p99 {:>8}ns  \
                      p999 {:>8}ns",
@@ -600,7 +665,8 @@ fn main() {
                 continue;
             }
             for &threads in knobs.threads {
-                let row = run_kv_cell(backend, scenario, threads, &knobs);
+                let row =
+                    with_drop_delta(tracer, || run_kv_cell(backend, scenario, threads, &knobs));
                 let (found, _) = row.kv.expect("kv cell rows carry kv fields");
                 eprintln!(
                     "  {:<32} t={:<2} {:>12.0} ops/s  abort {:.4}  p50 {:>7}ns  p99 {:>8}ns  \
@@ -627,7 +693,8 @@ fn main() {
                 continue;
             }
             for &writers in knobs.threads {
-                htap_rows.push(run_htap_set_cell(backend, writers, &knobs));
+                htap_rows
+                    .push(with_drop_delta(tracer, || run_htap_set_cell(backend, writers, &knobs)));
             }
         }
         for backend in KV_BACKENDS {
@@ -635,7 +702,8 @@ fn main() {
                 continue;
             }
             for &writers in knobs.threads {
-                htap_rows.push(run_htap_kv_cell(backend, writers, &knobs));
+                htap_rows
+                    .push(with_drop_delta(tracer, || run_htap_kv_cell(backend, writers, &knobs)));
             }
         }
         for row in htap_rows {
@@ -664,7 +732,7 @@ fn main() {
                 continue;
             }
             for &conns in knobs.server_conns {
-                let row = run_server_cell(backend, conns, &knobs);
+                let row = with_drop_delta(tracer, || run_server_cell(backend, conns, &knobs));
                 let server = row.server.as_ref().expect("server rows carry server fields");
                 eprintln!(
                     "  {:<32} c={:<2} {:>12.0} ops/s  abort {:.4}  p50 {:>7}ns  p99 {:>8}ns  \
@@ -699,5 +767,25 @@ fn main() {
             dump.rings.len(),
             dump.dropped_total()
         );
+    }
+    if let Some(recorder) = polytm_obs::flight::get() {
+        let spans = recorder.snapshot();
+        eprintln!(
+            "scenarios: flight recorder retained {} of {} slow spans (threshold {}us)",
+            spans.len(),
+            recorder.recorded_total(),
+            recorder.threshold_ns() / 1_000
+        );
+        for s in spans.iter().rev().take(5) {
+            eprintln!(
+                "  conn {} seq [{},{}] ops {}: total {}us (commit {}us)",
+                s.conn,
+                s.first_seq,
+                s.last_seq,
+                s.ops,
+                s.total_ns / 1_000,
+                s.commit_ns / 1_000
+            );
+        }
     }
 }

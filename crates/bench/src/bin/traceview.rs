@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p polytm-bench --bin traceview -- /tmp/run.trace
 //! cargo run --release -p polytm-bench --bin traceview -- /tmp/run.trace --top 20
+//! cargo run --release -p polytm-bench --bin traceview -- /tmp/run.trace --waterfall
 //! ```
 //!
 //! The input is the `PTRC` ring-dump file a traced run writes
@@ -11,8 +12,25 @@
 //! is the four-view report from [`polytm_bench::analyze`]: per-class
 //! timelines, abort attribution by address, WAL group-commit
 //! histograms, and per-connection coalescing efficiency.
+//!
+//! Flags:
+//!
+//! * `--waterfall` — additionally join causal request spans
+//!   ([`polytm_bench::waterfall`]) and print per-request tail-latency
+//!   decomposition: which layer (batch wait, STM gate/arbitration/
+//!   backoff, WAL, everything else) the p50/p99/p999 went to.
+//! * `--deny-drops` — exit nonzero if the traced run shed any events
+//!   (a dump with drops is an *incomplete* trace; CI uses this so a
+//!   waterfall is never built from a stream with holes).
+//! * `--top N` — widen the top-k lists (default 10).
+//!
+//! Exit status: `0` on a useful report; `1` when the dump is
+//! unreadable, corrupt (bad magic, truncated, version mismatch,
+//! trailing garbage) or contains no events at all; `2` on usage
+//! errors; `3` when `--deny-drops` found shed events.
 
 use polytm_bench::analyze::{analyze, render};
+use polytm_bench::waterfall;
 use polytm_obs::TraceDump;
 
 fn main() {
@@ -20,7 +38,7 @@ fn main() {
     let path = match args.iter().find(|a| !a.starts_with("--")) {
         Some(p) => p.clone(),
         None => {
-            eprintln!("usage: traceview <dump.trace> [--top N]");
+            eprintln!("usage: traceview <dump.trace> [--top N] [--waterfall] [--deny-drops]");
             std::process::exit(2);
         }
     };
@@ -30,6 +48,8 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
+    let want_waterfall = args.iter().any(|a| a == "--waterfall");
+    let deny_drops = args.iter().any(|a| a == "--deny-drops");
 
     let dump = match TraceDump::read_file(std::path::Path::new(&path)) {
         Ok(d) => d,
@@ -38,12 +58,33 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let events = dump.merged_events();
+    if events.is_empty() {
+        eprintln!(
+            "traceview: {path}: dump decodes but holds no events ({} rings, capacity {}); \
+             was the tracer installed before the run?",
+            dump.rings.len(),
+            dump.capacity
+        );
+        std::process::exit(1);
+    }
+    let dropped = dump.dropped_total();
     eprintln!(
-        "traceview: {path}: {} rings (capacity {}), {} dropped",
+        "traceview: {path}: {} rings (capacity {}), {} events, {} dropped",
         dump.rings.len(),
         dump.capacity,
-        dump.dropped_total()
+        events.len(),
+        dropped
     );
-    let events = dump.merged_events();
     print!("{}", render(&analyze(&events), top));
+    if want_waterfall {
+        print!("{}", waterfall::render(&waterfall::join(&dump), top));
+    }
+    if deny_drops && dropped > 0 {
+        eprintln!(
+            "traceview: {path}: {dropped} events dropped — trace is incomplete \
+             (raise the ring capacity or shorten the traced window)"
+        );
+        std::process::exit(3);
+    }
 }

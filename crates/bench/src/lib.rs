@@ -13,6 +13,7 @@ pub mod adapters;
 pub mod analyze;
 pub mod experiments;
 pub mod report;
+pub mod waterfall;
 
 pub use adapters::{
     make_hash_impl, make_list_impl, AdaptiveHashSet, AdaptiveListSet, Backend, BackendInstance,

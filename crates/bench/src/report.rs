@@ -360,8 +360,11 @@ impl RowSchema {
     /// recorded, the kv (YCSB) family later added its read-hit ratio
     /// and key-space columns, and the HTAP family added scan-only
     /// latency quantiles and scan-abort counts, the durable-backend
-    /// rows added the WAL / group-commit bucket, and the `server-kv`
-    /// family added its connection count and coalescing factor. (The
+    /// rows added the WAL / group-commit bucket, the `server-kv`
+    /// family added its connection count and coalescing factor, and
+    /// the span-tracing work added the per-layer wait decomposition
+    /// (`wait_stm_ns`/`wait_wal_ns`/`wait_net_ns`) plus the traced
+    /// runs' `trace_dropped` count. (The
     /// runner's core count started optional and was later promoted to
     /// required; old rows were backfilled.) Rows from before any
     /// extension stay valid.
@@ -387,6 +390,10 @@ impl RowSchema {
                 "fsyncs_per_sec",
                 "conns",
                 "batch_ops_per_commit",
+                "wait_stm_ns",
+                "wait_wal_ns",
+                "wait_net_ns",
+                "trace_dropped",
             ],
         }
     }
@@ -412,6 +419,10 @@ impl RowSchema {
                 "fsyncs",
                 "wal_bytes",
                 "conns",
+                "wait_stm_ns",
+                "wait_wal_ns",
+                "wait_net_ns",
+                "trace_dropped",
             ],
         }
     }
@@ -532,6 +543,22 @@ fn validate_row(row: &[(String, Json)], schema: RowSchema) -> Result<String, Str
                 return Err(format!("conns must be >= 1, got {conns}"));
             }
             nonneg_finite(row, "batch_ops_per_commit")?;
+        }
+        // The tail-latency wait decomposition travels as a triple: a
+        // row that attributes wait time attributes it to every layer
+        // (a zero component is written as 0, not omitted). They ride
+        // on server rows, so the server pair must be there too.
+        let wait_cols =
+            ["wait_stm_ns", "wait_wal_ns", "wait_net_ns"].map(|name| field(row, name).is_some());
+        if wait_cols.iter().any(|&p| p) {
+            if !wait_cols.iter().all(|&p| p) {
+                return Err(
+                    "wait columns (wait_stm_ns, wait_wal_ns, wait_net_ns) travel together".into()
+                );
+            }
+            if !server_cols.iter().all(|&p| p) {
+                return Err("wait columns only appear on server rows (conns present)".into());
+            }
         }
     }
     for name in schema.optional_integer_fields() {
@@ -807,6 +834,59 @@ mod tests {
         // ...and the core schema accepts neither column.
         let core_bad =
             GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"conns\":4");
+        assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
+            .unwrap_err()
+            .contains("unknown"));
+    }
+
+    #[test]
+    fn wait_fields_are_accepted_and_typed() {
+        // A traced server-kv row decomposes its wait time by layer...
+        let wait_row = GOOD_SCEN.replace(
+            "\"p999_ns\":50000",
+            "\"p999_ns\":50000,\"conns\":4,\"batch_ops_per_commit\":3.125,\
+             \"wait_stm_ns\":120000,\"wait_wal_ns\":450000,\"wait_net_ns\":0",
+        );
+        let (n, _, s) = validate_trajectory(&wait_row, None).unwrap();
+        assert_eq!((n, s), (1, RowSchema::Scenarios));
+        // ...the components are integer nanosecond counts, ...
+        let bad = wait_row.replace("\"wait_wal_ns\":450000", "\"wait_wal_ns\":450000.5");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("wait_wal_ns"));
+        let bad = wait_row.replace("\"wait_net_ns\":0", "\"wait_net_ns\":-1");
+        assert!(validate_trajectory(&bad, None).is_err());
+        // ...a partial triple is a writer bug (zero is written as 0,
+        // never omitted), ...
+        let partial = wait_row.replace(",\"wait_net_ns\":0", "");
+        assert!(validate_trajectory(&partial, None).unwrap_err().contains("travel together"));
+        // ...the triple only rides on server rows, ...
+        let no_server = GOOD_SCEN.replace(
+            "\"p999_ns\":50000",
+            "\"p999_ns\":50000,\"wait_stm_ns\":1,\"wait_wal_ns\":2,\"wait_net_ns\":3",
+        );
+        assert!(validate_trajectory(&no_server, None).unwrap_err().contains("server rows"));
+        // ...and the core schema accepts none of them.
+        let core_bad =
+            GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"wait_stm_ns\":1");
+        assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
+            .unwrap_err()
+            .contains("unknown"));
+    }
+
+    #[test]
+    fn trace_dropped_field_is_accepted_and_typed() {
+        // A traced row records its per-run ring-drop delta (0 = the
+        // trace is complete)...
+        let traced =
+            GOOD_SCEN.replace("\"p999_ns\":50000", "\"p999_ns\":50000,\"trace_dropped\":0");
+        assert!(validate_trajectory(&traced, None).is_ok());
+        // ...as an integer count...
+        let bad = traced.replace("\"trace_dropped\":0", "\"trace_dropped\":0.5");
+        assert!(validate_trajectory(&bad, None).unwrap_err().contains("trace_dropped"));
+        let bad = traced.replace("\"trace_dropped\":0", "\"trace_dropped\":-3");
+        assert!(validate_trajectory(&bad, None).is_err());
+        // ...that the core schema does not accept.
+        let core_bad =
+            GOOD_CORE.replace("\"abort_ratio\":0.01", "\"abort_ratio\":0.01,\"trace_dropped\":0");
         assert!(validate_trajectory(&core_bad, Some(RowSchema::Core))
             .unwrap_err()
             .contains("unknown"));

@@ -108,6 +108,29 @@ fn traceview_report_matches_a_deterministic_oracle() {
     drop(kv);
     let _ = std::fs::remove_dir_all(&dir);
 
+    // Server phase: a loopback server answers synchronous puts and
+    // gets, so the dump carries request spans (REQ_RECV … REQ_DONE on
+    // the worker's ring) for the waterfall joiner to reassemble.
+    let server_store = Arc::new(polytm_kv::KvStore::new(Arc::new(Stm::new())));
+    let handle = polytm_server::Server::spawn(
+        server_store,
+        "127.0.0.1:0",
+        polytm_server::ServerConfig::default(),
+    )
+    .expect("spawn loopback server");
+    let mut client = polytm_server::Client::connect(handle.local_addr()).expect("connect");
+    const SERVER_PUTS: u64 = 30;
+    const SERVER_GETS: u64 = 10;
+    for k in 0..SERVER_PUTS {
+        client.put(k, &k.to_le_bytes()).expect("server put");
+    }
+    for k in 0..SERVER_GETS {
+        let got = client.get(k).expect("server get");
+        assert_eq!(got.as_deref(), Some(&k.to_le_bytes()[..]));
+    }
+    drop(client);
+    handle.shutdown();
+
     // Dump through the real file codec, exactly like `--trace` runs do.
     let trace_path =
         std::env::temp_dir().join(format!("polytm-traceview-oracle-{}.trace", std::process::id()));
@@ -168,6 +191,36 @@ fn traceview_report_matches_a_deterministic_oracle() {
     // Single-threaded sync mode with a zero group window: every put is
     // its own flush, so every batch lands in the [1, 2) bucket.
     assert_eq!(report.wal_batch.buckets().collect::<Vec<_>>(), vec![(0, 2, PUTS)]);
+
+    // -- request-span waterfall -----------------------------------
+    // The span-join oracle: a single synchronous client means every
+    // request opened exactly one span, every span closed, and nothing
+    // joined across requests.
+    let wf = polytm_bench::waterfall::join(&reread);
+    assert_eq!(wf.unmatched_done, 0, "every REQ_DONE closed a REQ_RECV");
+    assert_eq!(wf.unclosed_recv, 0, "every REQ_RECV was answered before shutdown");
+    assert_eq!(wf.shed_open, 0);
+    assert_eq!(wf.requests.len() as u64, SERVER_PUTS + SERVER_GETS, "one span per wire request");
+    let batched = wf.requests.iter().filter(|r| r.batch_ops > 0).count() as u64;
+    assert_eq!(batched, SERVER_PUTS, "every put joined to its commit; no get did");
+    for span in &wf.requests {
+        assert!(span.total_ns > 0, "request spans measure real time");
+        assert!(
+            span.components_ns() <= span.total_ns || wf.overflowed > 0,
+            "components never exceed the measured end-to-end time"
+        );
+    }
+    assert_eq!(wf.overflowed, 0, "decomposed waits fit inside every request");
+    for span in &wf.requests {
+        assert_eq!(
+            span.components_ns(),
+            span.total_ns,
+            "batch_wait + stm + wal + other reassembles the whole request"
+        );
+    }
+    let wf_text = polytm_bench::waterfall::render(&wf, 5);
+    assert!(wf_text.contains("40 requests joined"), "waterfall render:\n{wf_text}");
+    assert!(wf_text.contains("batch_wait"), "waterfall table lists the layers:\n{wf_text}");
 
     // -- the rendered report mentions the headline numbers --------
     let text = render(&report, 10);

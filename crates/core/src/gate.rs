@@ -124,10 +124,13 @@ impl IrrevGate {
     /// Samples a read version that is guaranteed not to land inside any
     /// irrevocable eager-write window. The hot path (no irrevocable in
     /// progress) is two plain loads around the clock load — no RMW, no
-    /// store, no shared-line invalidation.
+    /// store, no shared-line invalidation, and no clock read for
+    /// `wait_ns`: the accumulator is only touched (and the monotonic
+    /// clock only consulted) once the sampler has actually had to wait.
     #[inline]
-    pub(crate) fn sample_rv(&self, clock: &GlobalClock) -> u64 {
+    pub(crate) fn sample_rv(&self, clock: &GlobalClock, wait_ns: &mut u64) -> u64 {
         let mut spins = 0u32;
+        let mut wait_start: Option<std::time::Instant> = None;
         loop {
             // Acquire: reading an even value synchronizes-with the
             // Release close of the previous window, so the clock load
@@ -140,10 +143,14 @@ impl IrrevGate {
                 // with `e1` proves no window opened before `c` was
                 // produced — see the module docs for the full argument.
                 if self.era.load(Ordering::Acquire) == e1 {
+                    if let Some(t0) = wait_start {
+                        *wait_ns += t0.elapsed().as_nanos() as u64;
+                    }
                     return c;
                 }
             }
             spins += 1;
+            wait_start.get_or_insert_with(std::time::Instant::now);
             era_wait(spins);
         }
     }
@@ -151,20 +158,26 @@ impl IrrevGate {
     /// Registers this thread as an in-flight writing commit, waiting out
     /// any irrevocable transaction first. The returned guard must be held
     /// across the whole lock/validate/publish window and deregisters on
-    /// drop (including abort and panic paths).
+    /// drop (including abort and panic paths). Time spent waiting out an
+    /// era is added to `wait_ns` (untouched on the no-wait fast path).
     #[inline]
-    pub(crate) fn enter_commit(&self) -> CommitTicket<'_> {
+    pub(crate) fn enter_commit(&self, wait_ns: &mut u64) -> CommitTicket<'_> {
         let slot = &self.committers[current_thread_index() & (COMMIT_STRIPES - 1)];
         let mut spins = 0u32;
+        let mut wait_start: Option<std::time::Instant> = None;
         loop {
             // Register *before* checking the era (SeqCst store→load, see
             // module docs): either we see the odd era and back out, or
             // the irrevocable side sees our registration and drains us.
             slot.fetch_add(1, Ordering::SeqCst);
             if self.era.load(Ordering::SeqCst) & 1 == 0 {
+                if let Some(t0) = wait_start {
+                    *wait_ns += t0.elapsed().as_nanos() as u64;
+                }
                 return CommitTicket { slot };
             }
             slot.fetch_sub(1, Ordering::Release);
+            wait_start.get_or_insert_with(std::time::Instant::now);
             while self.era.load(Ordering::Acquire) & 1 == 1 {
                 spins += 1;
                 era_wait(spins);
@@ -188,8 +201,14 @@ impl IrrevGate {
     /// starved by younger irrevocable arrivals. (`birth_ts` must not be
     /// `u64::MAX`, which encodes "no waiter"; the `Stm` timestamp
     /// source starts at 1 and increments.)
-    pub(crate) fn enter_irrevocable(&self, birth_ts: u64) -> IrrevTicket<'_> {
+    ///
+    /// The whole entry (era race + committer drain) counts as gate wait
+    /// into `wait_ns`: unlike the optimistic paths this one always
+    /// serializes, and it is rare enough that the two clock reads are
+    /// noise against the SeqCst CAS and the 32-slot drain.
+    pub(crate) fn enter_irrevocable(&self, birth_ts: u64, wait_ns: &mut u64) -> IrrevTicket<'_> {
         debug_assert_ne!(birth_ts, u64::MAX, "u64::MAX encodes the absence of a waiter");
+        let entry_start = std::time::Instant::now();
         let mut spins = 0u32;
         loop {
             // Re-assert every round: the previous winner resets the word
@@ -231,6 +250,7 @@ impl IrrevGate {
                 polite_spin(spins);
             }
         }
+        *wait_ns += entry_start.elapsed().as_nanos() as u64;
         IrrevTicket { gate: self }
     }
 
@@ -280,14 +300,16 @@ mod tests {
         let clock = GlobalClock::new();
         clock.increment();
         clock.increment();
-        assert_eq!(gate.sample_rv(&clock), 2);
+        let mut wait_ns = 0u64;
+        assert_eq!(gate.sample_rv(&clock, &mut wait_ns), 2);
         assert_eq!(gate.era(), 0);
+        assert_eq!(wait_ns, 0, "the no-wait fast path never touches the accumulator");
     }
 
     #[test]
     fn irrevocable_ticket_flips_era_parity() {
         let gate = IrrevGate::new();
-        let t = gate.enter_irrevocable(1);
+        let t = gate.enter_irrevocable(1, &mut 0);
         assert_eq!(gate.era() & 1, 1);
         drop(t);
         assert_eq!(gate.era() & 1, 0);
@@ -297,12 +319,16 @@ mod tests {
     #[test]
     fn commit_ticket_registers_and_deregisters() {
         let gate = IrrevGate::new();
-        let t = gate.enter_commit();
+        let mut commit_wait = 0u64;
+        let t = gate.enter_commit(&mut commit_wait);
+        assert_eq!(commit_wait, 0, "uncontended commit entry records no wait");
         // An irrevocable entry must wait for the ticket to drop.
         let entered = AtomicBool::new(false);
         std::thread::scope(|s| {
             s.spawn(|| {
-                let _t = gate.enter_irrevocable(1);
+                let mut wait_ns = 0u64;
+                let _t = gate.enter_irrevocable(1, &mut wait_ns);
+                assert!(wait_ns > 0, "draining the registered committer is counted as wait");
                 entered.store(true, Ordering::SeqCst);
             });
             // Give the irrevocable thread time to reach the drain loop.
@@ -319,11 +345,13 @@ mod tests {
     fn sample_rv_waits_out_an_open_era() {
         let gate = IrrevGate::new();
         let clock = GlobalClock::new();
-        let ticket = gate.enter_irrevocable(1);
+        let ticket = gate.enter_irrevocable(1, &mut 0);
         let done = AtomicBool::new(false);
         std::thread::scope(|s| {
             s.spawn(|| {
-                let _rv = gate.sample_rv(&clock);
+                let mut wait_ns = 0u64;
+                let _rv = gate.sample_rv(&clock, &mut wait_ns);
+                assert!(wait_ns > 0, "waiting out an open era is counted");
                 done.store(true, Ordering::SeqCst);
             });
             for _ in 0..100 {
@@ -345,7 +373,8 @@ mod tests {
             for _ in 0..4 {
                 s.spawn(|| {
                     for _ in 0..200 {
-                        let _t = gate.enter_irrevocable(next_ts.fetch_add(1, Ordering::Relaxed));
+                        let _t =
+                            gate.enter_irrevocable(next_ts.fetch_add(1, Ordering::Relaxed), &mut 0);
                         let v = counter.load(Ordering::Relaxed);
                         std::hint::spin_loop();
                         counter.store(v + 1, Ordering::Relaxed);
@@ -369,7 +398,7 @@ mod tests {
         let entered_young = AtomicBool::new(false);
         std::thread::scope(|s| {
             s.spawn(|| {
-                let _t = gate.enter_irrevocable(9);
+                let _t = gate.enter_irrevocable(9, &mut 0);
                 entered_young.store(true, Ordering::SeqCst);
             });
             for _ in 0..200 {
@@ -381,7 +410,7 @@ mod tests {
             );
             // The older transaction arrives: it enters first, even though
             // the younger one has been spinning the whole time.
-            let old = gate.enter_irrevocable(5);
+            let old = gate.enter_irrevocable(5, &mut 0);
             assert!(!entered_young.load(Ordering::SeqCst));
             drop(old);
         });

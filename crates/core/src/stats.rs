@@ -40,10 +40,14 @@ struct StatShard {
     group_commit_batches: AtomicU64,
     fsyncs: AtomicU64,
     wal_bytes: AtomicU64,
+    wait_gate_ns: AtomicU64,
+    wait_arbitrate_ns: AtomicU64,
+    wait_clock_ns: AtomicU64,
+    wal_wait_ns: AtomicU64,
 }
 
 impl StatShard {
-    fn counters(&self) -> [&AtomicU64; 17] {
+    fn counters(&self) -> [&AtomicU64; 21] {
         [
             &self.commits,
             &self.aborts_read_conflict,
@@ -62,6 +66,10 @@ impl StatShard {
             &self.group_commit_batches,
             &self.fsyncs,
             &self.wal_bytes,
+            &self.wait_gate_ns,
+            &self.wait_arbitrate_ns,
+            &self.wait_clock_ns,
+            &self.wal_wait_ns,
         ]
     }
 }
@@ -166,13 +174,40 @@ impl StmStats {
         }
     }
 
+    /// Record an attempt's accumulated wait nanoseconds (see the
+    /// `wait_*` snapshot fields). Each add is skipped when zero, so
+    /// attempts that never waited — the common case — touch nothing.
+    pub(crate) fn record_waits(&self, gate_ns: u64, arbitrate_ns: u64, clock_ns: u64) {
+        if gate_ns | arbitrate_ns | clock_ns == 0 {
+            return;
+        }
+        let s = self.shard();
+        if gate_ns > 0 {
+            s.wait_gate_ns.fetch_add(gate_ns, Ordering::Relaxed);
+        }
+        if arbitrate_ns > 0 {
+            s.wait_arbitrate_ns.fetch_add(arbitrate_ns, Ordering::Relaxed);
+        }
+        if clock_ns > 0 {
+            s.wait_clock_ns.fetch_add(clock_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Record time a committer spent blocked on WAL durability (group
+    /// commit linger + fsync as seen from the waiting side).
+    pub(crate) fn record_wal_wait(&self, ns: u64) {
+        if ns > 0 {
+            self.shard().wal_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
     /// Aggregate all shards into one snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut out = StatsSnapshot::default();
         for shard in self.shards.iter() {
             // Zipped against counters() so the counter list lives in
             // exactly one place; a mismatch is a compile error here.
-            let dst: [&mut u64; 17] = [
+            let dst: [&mut u64; 21] = [
                 &mut out.commits,
                 &mut out.aborts_read_conflict,
                 &mut out.aborts_locked,
@@ -190,6 +225,10 @@ impl StmStats {
                 &mut out.group_commit_batches,
                 &mut out.fsyncs,
                 &mut out.wal_bytes,
+                &mut out.wait_gate_ns,
+                &mut out.wait_arbitrate_ns,
+                &mut out.wait_clock_ns,
+                &mut out.wal_wait_ns,
             ];
             for (src, dst) in shard.counters().iter().zip(dst) {
                 *dst += src.load(Ordering::Relaxed);
@@ -229,9 +268,19 @@ pub struct StatsSnapshot {
     pub group_commit_batches: u64,
     pub fsyncs: u64,
     pub wal_bytes: u64,
+    pub wait_gate_ns: u64,
+    pub wait_arbitrate_ns: u64,
+    pub wait_clock_ns: u64,
+    pub wal_wait_ns: u64,
 }
 
 impl StatsSnapshot {
+    /// Total nanoseconds transaction attempts spent waiting inside the
+    /// STM (era gate + arbitrated lock waits + contention backoff) —
+    /// the `wait_stm_ns` scenario column.
+    pub fn stm_wait_ns(&self) -> u64 {
+        self.wait_gate_ns + self.wait_arbitrate_ns + self.wait_clock_ns
+    }
     /// Total aborts across all causes.
     pub fn aborts(&self) -> u64 {
         self.aborts_read_conflict
@@ -291,6 +340,10 @@ impl StatsSnapshot {
             group_commit_batches: self.group_commit_batches - earlier.group_commit_batches,
             fsyncs: self.fsyncs - earlier.fsyncs,
             wal_bytes: self.wal_bytes - earlier.wal_bytes,
+            wait_gate_ns: self.wait_gate_ns - earlier.wait_gate_ns,
+            wait_arbitrate_ns: self.wait_arbitrate_ns - earlier.wait_arbitrate_ns,
+            wait_clock_ns: self.wait_clock_ns - earlier.wait_clock_ns,
+            wal_wait_ns: self.wal_wait_ns - earlier.wal_wait_ns,
         }
     }
 }
@@ -426,6 +479,27 @@ mod tests {
     #[test]
     fn abort_ratio_of_empty_snapshot_is_zero() {
         assert_eq!(StatsSnapshot::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn wait_counters_accumulate_and_reset() {
+        let s = StmStats::default();
+        s.record_waits(0, 0, 0); // the common no-wait case touches nothing
+        s.record_waits(100, 20, 0);
+        s.record_waits(0, 0, 7);
+        s.record_wal_wait(500);
+        s.record_wal_wait(0);
+        let snap = s.snapshot();
+        assert_eq!(snap.wait_gate_ns, 100);
+        assert_eq!(snap.wait_arbitrate_ns, 20);
+        assert_eq!(snap.wait_clock_ns, 7);
+        assert_eq!(snap.stm_wait_ns(), 127);
+        assert_eq!(snap.wal_wait_ns, 500);
+        let d = s.snapshot().delta_since(&snap);
+        assert_eq!(d.stm_wait_ns(), 0);
+        assert_eq!(d.wal_wait_ns, 0);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 
     #[test]

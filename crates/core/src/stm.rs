@@ -17,7 +17,7 @@ use crate::snapreg::SnapshotRegistry;
 use crate::stats::{StatsSnapshot, StmStats};
 use crate::trace::{self, TraceEvent};
 use crate::tvar::{TVar, TxValue};
-use crate::txn::Transaction;
+use crate::txn::{CommitReceipt, Transaction};
 
 /// Tuning knobs of an [`Stm`] instance.
 #[derive(Debug, Clone, Copy)]
@@ -285,6 +285,13 @@ impl Stm {
         self.stats.record_durable(commits, batches, fsyncs, wal_bytes);
     }
 
+    /// Record nanoseconds a committer spent blocked on WAL durability
+    /// (the [`StatsSnapshot::wal_wait_ns`] column). Called by the
+    /// attached durability layer from its `wait_durable` path.
+    pub fn record_wal_wait(&self, ns: u64) {
+        self.stats.record_wal_wait(ns);
+    }
+
     /// Create a [`TVar`] tagged to this instance, honouring the configured
     /// snapshot history depth.
     pub fn new_tvar<T: TxValue>(&self, value: T) -> TVar<T> {
@@ -382,6 +389,39 @@ impl Stm {
                 ));
             }
         };
+        // Wait accounting for one finished attempt: stats always (the
+        // adds are skipped when the attempt never waited, the common
+        // case), span events only with a sink — emitted *before* the
+        // attempt's commit/abort event so the span joiner sees an
+        // attempt's waits ahead of its resolution on the same ring.
+        let record_attempt_waits = |sem: Semantics, attempt_retries: u32, r: &CommitReceipt| {
+            let gate_ns: u64 = r.wait_gate_ns.iter().sum();
+            self.stats.record_waits(gate_ns, r.wait_arbitrate_ns, 0);
+            if let Some(t) = tsink {
+                for (site, &ns) in r.wait_gate_ns.iter().enumerate() {
+                    if ns > 0 {
+                        t.record(TraceEvent::new(
+                            trace::code::WAIT_GATE,
+                            site as u8,
+                            tclass,
+                            attempt_retries,
+                            ns,
+                            0,
+                        ));
+                    }
+                }
+                if r.wait_arbitrate_ns > 0 {
+                    t.record(TraceEvent::new(
+                        trace::code::WAIT_ARBITRATE,
+                        trace::semantics_code(sem),
+                        tclass,
+                        attempt_retries,
+                        r.wait_arbitrate_ns,
+                        r.wait_arbitrate_addr,
+                    ));
+                }
+            }
+        };
         loop {
             let mut arbiter = self.config.arbiter;
             if let Some(src) = advisor {
@@ -466,6 +506,7 @@ impl Stm {
             let abort = match outcome {
                 Ok(value) => match tx.commit() {
                     Ok(receipt) => {
+                        record_attempt_waits(semantics, retries, &receipt);
                         self.stats.record_cuts(receipt.cuts);
                         self.stats.record_extensions(receipt.extensions);
                         if semantics == Semantics::Irrevocable {
@@ -498,6 +539,7 @@ impl Stm {
                         return Ok((value, CommitInfo { wv: receipt.wv, seq: receipt.log_seq }));
                     }
                     Err((abort, receipt)) => {
+                        record_attempt_waits(semantics, retries, &receipt);
                         // The failed attempt's cuts/extensions are real
                         // work; account them like the abort path below.
                         self.stats.record_cuts(receipt.cuts);
@@ -518,6 +560,7 @@ impl Stm {
                         );
                     }
                     let receipt = tx.abort_receipt();
+                    record_attempt_waits(semantics, retries, &receipt);
                     self.stats.record_cuts(receipt.cuts);
                     self.stats.record_extensions(receipt.extensions);
                     if let Some(t) = telemetry.as_mut() {
@@ -587,7 +630,23 @@ impl Stm {
             }
             if let Some(d) = arbiter.backoff(retries) {
                 if !d.is_zero() {
+                    // Measure the actual sleep, not the requested
+                    // duration — oversubscribed hosts oversleep, and the
+                    // waterfall should show the time that really passed.
+                    let backoff_start = std::time::Instant::now();
                     std::thread::sleep(d);
+                    let slept_ns = backoff_start.elapsed().as_nanos() as u64;
+                    self.stats.record_waits(0, 0, slept_ns);
+                    if let Some(t) = tsink {
+                        t.record(TraceEvent::new(
+                            trace::code::WAIT_CLOCK,
+                            trace::semantics_code(semantics),
+                            tclass,
+                            retries,
+                            slept_ns,
+                            0,
+                        ));
+                    }
                 }
             }
         }

@@ -99,6 +99,77 @@ pub mod code {
     /// commit. `n` = pipelined ops in the batch, `a` = connection id,
     /// `b` = request payload bytes coalesced.
     pub const SERVER_BATCH: u8 = 8;
+
+    // -- causal span codes (duration-style; emitted only when the
+    // attempt/flush actually waited, so the zero-wait fast path stays at
+    // the PR 9 one-ring-push budget) ---------------------------------
+
+    /// A transaction attempt waited at the era gate. `sub` = gate site
+    /// ([`super::GATE_SAMPLE_RV`] / [`super::GATE_ENTER_COMMIT`] /
+    /// [`super::GATE_ENTER_IRREVOCABLE`]), `n` = retries so far (the
+    /// attempt ordinal), `a` = nanoseconds spent waiting, summed over
+    /// the attempt. Emitted at attempt end, just before its
+    /// commit/abort event.
+    pub const WAIT_GATE: u8 = 9;
+    /// A transaction attempt waited for an owned lock under an
+    /// arbitrated `Wait` decision. `sub` = semantics code, `n` =
+    /// retries, `a` = nanoseconds waited (summed over the attempt),
+    /// `b` = the last contended address.
+    pub const WAIT_ARBITRATE: u8 = 10;
+    /// A transaction waited out a contention backoff between attempts.
+    /// `sub` = semantics code, `n` = retries (the attempt just
+    /// aborted), `a` = nanoseconds slept.
+    pub const WAIT_CLOCK: u8 = 11;
+    /// A committer waited for the WAL group-commit leader to make its
+    /// sequence durable. `a` = nanoseconds waited, `b` = the awaited
+    /// sequence number.
+    pub const WAL_FOLLOWER_WAIT: u8 = 12;
+    /// The WAL flush leader lingered for the group window. `n` =
+    /// entries staged when the linger began, `a` = nanoseconds
+    /// lingered.
+    pub const WAL_LINGER: u8 = 13;
+    /// The WAL flush leader's append+fsync I/O. `n` = entries in the
+    /// batch, `a` = I/O nanoseconds, `b` = bytes appended. (Same
+    /// latency [`WAL_FLUSH`] reports; this event exists so the span
+    /// joiner can attribute the I/O to requests on the leader's ring.)
+    pub const WAL_FSYNC: u8 = 14;
+    /// The server decoded one request frame in a read sweep — a
+    /// request span opens. `sub` = opcode, `n` = request sequence
+    /// number, `a` = connection id, `b` = payload bytes.
+    pub const REQ_RECV: u8 = 15;
+    /// The server finished encoding one request's response — the span
+    /// closes. `sub` = opcode, `n` = request sequence number, `a` =
+    /// connection id, `b` = response bytes.
+    pub const REQ_DONE: u8 = 16;
+    /// A write request joined the connection's coalescing run. `n` =
+    /// request sequence number, `a` = connection id, `b` = ops in the
+    /// run after enqueue.
+    pub const BATCH_ENQUEUE: u8 = 17;
+    /// The coalescing run committed as one STM transaction. `n` = ops,
+    /// `a` = connection id, `b` = first sequence in the high 32 bits |
+    /// last sequence in the low 32 bits (the span joiner ties every
+    /// enqueued request in `[first, last]` to this commit).
+    pub const BATCH_COMMIT: u8 = 18;
+    /// A reply-backpressure stall ended. `a` = connection id, `b` =
+    /// nanoseconds the connection spent stalled.
+    pub const NET_STALL: u8 = 19;
+}
+
+/// [`code::WAIT_GATE`] site: the begin/extend read-version sample.
+pub const GATE_SAMPLE_RV: u8 = 0;
+/// [`code::WAIT_GATE`] site: the commit-side era-gate entry.
+pub const GATE_ENTER_COMMIT: u8 = 1;
+/// [`code::WAIT_GATE`] site: the irrevocable-token acquisition.
+pub const GATE_ENTER_IRREVOCABLE: u8 = 2;
+
+/// Pack a [`code::BATCH_COMMIT`] sequence range into its `b` payload.
+pub fn pack_seq_range(first: u32, last: u32) -> u64 {
+    (u64::from(first) << 32) | u64::from(last)
+}
+
+/// Unpack a [`code::BATCH_COMMIT`] `b` payload into `(first, last)`.
+pub fn unpack_seq_range(b: u64) -> (u32, u32) {
+    ((b >> 32) as u32, b as u32)
 }
 
 /// Human-readable name for an event code (for analyzers; unknown codes
@@ -113,6 +184,17 @@ pub fn code_name(c: u8) -> &'static str {
         code::ADVISOR_FLIP => "advisor-flip",
         code::WAL_FLUSH => "wal-flush",
         code::SERVER_BATCH => "server-batch",
+        code::WAIT_GATE => "wait-gate",
+        code::WAIT_ARBITRATE => "wait-arbitrate",
+        code::WAIT_CLOCK => "wait-clock",
+        code::WAL_FOLLOWER_WAIT => "wal-follower-wait",
+        code::WAL_LINGER => "wal-linger",
+        code::WAL_FSYNC => "wal-fsync",
+        code::REQ_RECV => "req-recv",
+        code::REQ_DONE => "req-done",
+        code::BATCH_ENQUEUE => "batch-enqueue",
+        code::BATCH_COMMIT => "batch-commit",
+        code::NET_STALL => "net-stall",
         _ => "unknown",
     }
 }
@@ -224,11 +306,18 @@ mod tests {
         ] {
             assert_ne!(cause_name(cause_code(c)), "unknown");
         }
-        for k in 1..=8u8 {
+        for k in 1..=19u8 {
             assert_ne!(code_name(k), "unknown");
         }
         assert_eq!(code_name(0), "unknown");
-        assert_eq!(code_name(9), "unknown");
+        assert_eq!(code_name(20), "unknown");
+    }
+
+    #[test]
+    fn seq_range_packs_and_unpacks() {
+        assert_eq!(unpack_seq_range(pack_seq_range(0, 0)), (0, 0));
+        assert_eq!(unpack_seq_range(pack_seq_range(7, 123)), (7, 123));
+        assert_eq!(unpack_seq_range(pack_seq_range(u32::MAX, 1)), (u32::MAX, 1));
     }
 
     #[test]

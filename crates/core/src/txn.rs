@@ -83,6 +83,16 @@ pub struct Transaction<'s> {
     /// Held for the whole transaction when running irrevocably; closes
     /// the era on drop (commit, abort and panic paths alike).
     era: Option<IrrevTicket<'s>>,
+    /// Nanoseconds this attempt spent waiting at the era gate, indexed
+    /// by gate site (`trace::GATE_SAMPLE_RV` / `GATE_ENTER_COMMIT` /
+    /// `GATE_ENTER_IRREVOCABLE`). Zero on the no-contention path — the
+    /// gate only reads a clock once it has actually had to wait.
+    wait_gate_ns: [u64; 3],
+    /// Nanoseconds spent in arbitrated lock waits (the `Wait` arm of
+    /// [`Transaction::arbitrate_lock`]), summed over the attempt.
+    wait_arbitrate_ns: u64,
+    /// The last address an arbitrated wait contended on (0 = none).
+    wait_arbitrate_addr: u64,
 }
 
 impl<'s> Transaction<'s> {
@@ -92,13 +102,17 @@ impl<'s> Transaction<'s> {
         meta: TxMeta,
         arbiter: ConflictArbiter,
     ) -> Self {
+        let mut wait_gate_ns = [0u64; 3];
         let (rv, era, snap_slot) = if semantics == Semantics::Irrevocable {
             // Opening the era excludes other irrevocable transactions and
             // drains every in-flight writing commit, so the committed
             // state observed from here on is frozen: sample directly.
             // Admission is ordered by our birth timestamp, so an aged
             // (upgraded) transaction is not starved by younger ones.
-            let ticket = stm.gate().enter_irrevocable(meta.birth_ts);
+            let ticket = stm.gate().enter_irrevocable(
+                meta.birth_ts,
+                &mut wait_gate_ns[crate::trace::GATE_ENTER_IRREVOCABLE as usize],
+            );
             (stm.clock().now(), Some(ticket), None)
         } else if semantics == Semantics::Snapshot {
             // Protect the read bound from version-chain truncation
@@ -110,11 +124,17 @@ impl<'s> Transaction<'s> {
             // clock advance our rv already observed (snapreg.rs).
             let c0 = stm.clock().now();
             let snap_slot = stm.snapreg().register(c0);
-            (stm.gate().sample_rv(stm.clock()), None, snap_slot)
+            let rv = stm
+                .gate()
+                .sample_rv(stm.clock(), &mut wait_gate_ns[crate::trace::GATE_SAMPLE_RV as usize]);
+            (rv, None, snap_slot)
         } else {
             // Gate-free begin: the era double-check guarantees rv never
             // lands inside an irrevocable eager-write window (gate.rs).
-            (stm.gate().sample_rv(stm.clock()), None, None)
+            let rv = stm
+                .gate()
+                .sample_rv(stm.clock(), &mut wait_gate_ns[crate::trace::GATE_SAMPLE_RV as usize]);
+            (rv, None, None)
         };
         Self {
             stm,
@@ -131,6 +151,9 @@ impl<'s> Transaction<'s> {
             pin_uses: 0,
             snap_slot,
             era,
+            wait_gate_ns,
+            wait_arbitrate_ns: 0,
+            wait_arbitrate_addr: 0,
         }
     }
 
@@ -406,7 +429,14 @@ impl<'s> Transaction<'s> {
             ConflictDecision::Wait => {
                 self.unpin();
                 *spins += 1;
+                // Already the contention slow path: two clock reads
+                // around the spin are noise next to the wait itself, and
+                // they are what make the waterfall's lock-wait component
+                // measurable.
+                let wait_start = std::time::Instant::now();
                 crate::stm::polite_spin(*spins);
+                self.wait_arbitrate_ns += wait_start.elapsed().as_nanos() as u64;
+                self.wait_arbitrate_addr = addr as u64;
                 Ok(())
             }
         }
@@ -461,7 +491,11 @@ impl<'s> Transaction<'s> {
             // The sampler may spin behind an open era: release the pin
             // so the wait cannot stall epoch reclamation.
             self.unpin();
-            self.stm.gate().sample_rv(self.stm.clock())
+            let stm = self.stm;
+            stm.gate().sample_rv(
+                stm.clock(),
+                &mut self.wait_gate_ns[crate::trace::GATE_SAMPLE_RV as usize],
+            )
         };
         for entry in self.desc.reads.iter().filter(|e| !e.dead) {
             let p = entry.slot.probe();
@@ -656,12 +690,15 @@ impl<'s> Transaction<'s> {
             writes: self.desc.writes.len() as u64 + self.eager_writes,
             wv: 0,
             log_seq: None,
+            wait_gate_ns: [0; 3],
+            wait_arbitrate_ns: 0,
+            wait_arbitrate_addr: 0,
         };
-        match self.semantics {
+        let outcome: Result<(), Abort> = match self.semantics {
             // Snapshot reads were consistent at rv by construction (and
             // can hold no buffered writes — writing is a
             // ReadOnlyViolation).
-            Semantics::Snapshot => Ok(receipt),
+            Semantics::Snapshot => Ok(()),
             // The irrevocable transaction's own writes are already
             // published, but a nested *revocable* block (e.g. an elastic
             // traversal under NestingPolicy::Parameter) buffers its
@@ -698,7 +735,7 @@ impl<'s> Transaction<'s> {
                     receipt.log_seq = self.append_redo(stamp);
                     receipt.wv = stamp;
                 }
-                Ok(receipt)
+                Ok(())
             }
             Semantics::Opaque | Semantics::Elastic { .. } => {
                 if self.desc.writes.is_empty() {
@@ -707,17 +744,28 @@ impl<'s> Transaction<'s> {
                     // publish, nothing to validate (TL2 read-only rule).
                     // Any staged redo dies with the attempt: no writes,
                     // nothing to make durable.
-                    return Ok(receipt);
-                }
-                match self.commit_writes() {
-                    Ok((wv, log_seq)) => {
-                        receipt.wv = wv;
-                        receipt.log_seq = log_seq;
-                        Ok(receipt)
+                    Ok(())
+                } else {
+                    match self.commit_writes() {
+                        Ok((wv, log_seq)) => {
+                            receipt.wv = wv;
+                            receipt.log_seq = log_seq;
+                            Ok(())
+                        }
+                        Err(abort) => Err(abort),
                     }
-                    Err(abort) => Err((abort, receipt)),
                 }
             }
+        };
+        // Filled after the arms: the commit path above may have waited
+        // at the era gate or on location locks, and those nanoseconds
+        // belong to this attempt's receipt on both outcomes.
+        receipt.wait_gate_ns = self.wait_gate_ns;
+        receipt.wait_arbitrate_ns = self.wait_arbitrate_ns;
+        receipt.wait_arbitrate_addr = self.wait_arbitrate_addr;
+        match outcome {
+            Ok(()) => Ok(receipt),
+            Err(abort) => Err((abort, receipt)),
         }
     }
 
@@ -742,7 +790,10 @@ impl<'s> Transaction<'s> {
         // irrevocable era first. Registration precedes every per-location
         // lock, preserving the seed's gate -> locations lock order; the
         // ticket deregisters on drop (success and abort paths alike).
-        let _commit = self.stm.gate().enter_commit();
+        let stm = self.stm;
+        let _commit = stm
+            .gate()
+            .enter_commit(&mut self.wait_gate_ns[crate::trace::GATE_ENTER_COMMIT as usize]);
 
         // Commit scratch is pooled; take it out to sidestep overlapping
         // borrows of the descriptor, return it cleared below.
@@ -874,6 +925,9 @@ impl<'s> Transaction<'s> {
             writes: self.desc.writes.len() as u64 + self.eager_writes,
             wv: 0,
             log_seq: None,
+            wait_gate_ns: self.wait_gate_ns,
+            wait_arbitrate_ns: self.wait_arbitrate_ns,
+            wait_arbitrate_addr: self.wait_arbitrate_addr,
         }
     }
 }
@@ -910,6 +964,12 @@ pub(crate) struct CommitReceipt {
     pub wv: u64,
     /// Sequence number the redo sink assigned, if any.
     pub log_seq: Option<u64>,
+    /// Era-gate wait nanoseconds by site (`trace::GATE_*` indices).
+    pub wait_gate_ns: [u64; 3],
+    /// Arbitrated lock-wait nanoseconds.
+    pub wait_arbitrate_ns: u64,
+    /// Last contended address of an arbitrated wait (0 = none).
+    pub wait_arbitrate_addr: u64,
 }
 
 #[cfg(test)]

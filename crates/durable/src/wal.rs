@@ -188,19 +188,45 @@ impl Wal {
     /// poisoned.
     pub fn wait_durable(&self, seq: u64) -> Result<(), DurabilityLost> {
         let mut inner = self.lock();
-        loop {
+        if inner.durable_seq >= seq {
+            return Ok(());
+        }
+        // Past this point the committer genuinely blocks (leading a
+        // flush or sleeping as a follower); charge the whole stretch to
+        // the WAL wait component. The already-durable fast path above
+        // never reads the clock.
+        let wait_start = std::time::Instant::now();
+        let result = loop {
             if inner.durable_seq >= seq {
-                return Ok(());
+                break Ok(());
             }
             if inner.poisoned {
-                return Err(DurabilityLost);
+                break Err(DurabilityLost);
             }
             if !inner.flushing && !inner.staging.is_empty() {
                 inner = self.flush_locked(inner);
             } else {
                 inner = self.cond.wait(inner).expect("wal mutex poisoned");
             }
+        };
+        drop(inner);
+        let wait_ns = wait_start.elapsed().as_nanos() as u64;
+        if wait_ns > 0 {
+            if let Some(stm) = self.stm.get().and_then(Weak::upgrade) {
+                stm.record_wal_wait(wait_ns);
+            }
+            polytm::trace::emit(|| {
+                polytm::trace::TraceEvent::new(
+                    polytm::trace::code::WAL_FOLLOWER_WAIT,
+                    0,
+                    polytm::trace::NO_CLASS,
+                    0,
+                    wait_ns,
+                    seq,
+                )
+            });
         }
+        result
     }
 
     /// Flush until nothing is staged (or the log is poisoned). Used by
@@ -283,9 +309,12 @@ impl Wal {
     /// guard because the I/O (and the linger) run unlocked.
     fn flush_locked<'a>(&'a self, mut inner: MutexGuard<'a, WalInner>) -> MutexGuard<'a, WalInner> {
         inner.flushing = true;
+        let mut linger_ns = 0u64;
         if !self.cfg.group_window.is_zero() {
             drop(inner);
+            let linger_start = std::time::Instant::now();
             std::thread::sleep(self.cfg.group_window);
+            linger_ns = linger_start.elapsed().as_nanos() as u64;
             inner = self.lock();
         }
         let buf = std::mem::take(&mut inner.staging);
@@ -294,12 +323,33 @@ impl Wal {
         let seg = inner.segment;
         drop(inner);
 
+        if linger_ns > 0 {
+            // How long the leader held the batch open — the time every
+            // commit in the group spends waiting for stragglers.
+            polytm::trace::emit(|| {
+                polytm::trace::TraceEvent::new(
+                    polytm::trace::code::WAL_LINGER,
+                    0,
+                    polytm::trace::NO_CLASS,
+                    entries.min(u64::from(u32::MAX)) as u32,
+                    linger_ns,
+                    0,
+                )
+            });
+        }
+
         let io_start = std::time::Instant::now();
+        let mut fsync_ns = 0u64;
         let result = if buf.is_empty() {
             Ok(())
         } else {
             let name = segment_name(seg);
-            self.storage.append(&name, &buf).and_then(|()| self.storage.sync(&name))
+            self.storage.append(&name, &buf).and_then(|()| {
+                let sync_start = std::time::Instant::now();
+                let r = self.storage.sync(&name);
+                fsync_ns = sync_start.elapsed().as_nanos() as u64;
+                r
+            })
         };
         let io_ns = io_start.elapsed().as_nanos() as u64;
 
@@ -334,6 +384,19 @@ impl Wal {
                             polytm::trace::NO_CLASS,
                             entries.min(u64::from(u32::MAX)) as u32,
                             io_ns,
+                            buf.len() as u64,
+                        )
+                    });
+                    // The fsync alone (WAL_FLUSH's `a` also covers the
+                    // append memcpy into the page cache): the floor any
+                    // group-window tuning has to live with.
+                    polytm::trace::emit(|| {
+                        polytm::trace::TraceEvent::new(
+                            polytm::trace::code::WAL_FSYNC,
+                            0,
+                            polytm::trace::NO_CLASS,
+                            entries.min(u64::from(u32::MAX)) as u32,
+                            fsync_ns,
                             buf.len() as u64,
                         )
                     });

@@ -20,6 +20,12 @@
 //!   opcode, and — through the [`Sampler`] thread — as per-second
 //!   rates in the same key space.
 //!
+//! * **Slow-request flight recorder** — [`flight`] retains the worst
+//!   request spans (coalesced commits whose wall time crossed a
+//!   threshold) in a tiny bounded ring that survives runs long after
+//!   the event rings wrapped. Its health counters feed the same
+//!   metrics plane.
+//!
 //! `DESIGN.md` §11 carries the overhead and non-tearing arguments;
 //! `docs/RUNBOOK.md` ("Reading the metrics plane") is the operator's
 //! guide to the key table and traceview recipes.
@@ -28,12 +34,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dump;
+pub mod flight;
 pub mod registry;
 pub mod ring;
 pub mod sampler;
 pub mod tracer;
 
 pub use dump::{RingDump, TraceDump};
+pub use flight::{FlightRecorder, SlowSpan};
 pub use registry::{
     decode_entries, encode_entries, fn_source, MetricsRegistry, MetricsSource, StmMetrics,
 };

@@ -43,4 +43,4 @@ pub use client::{Client, ClientError};
 pub use loadgen::{run_load, LoadMeasurement, LoadSpec};
 pub use protocol::{ErrorCode, Request, Response, TxnOp, WriteOp};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
-pub use store::{ServerStore, StoreError, WriteReply, WriteRequest};
+pub use store::{BatchTag, ServerStore, StoreError, WriteReply, WriteRequest};

@@ -46,7 +46,7 @@ use crate::protocol::{
     decode_frame, encode_response, parse_request, ErrorCode, FrameEvent, Request, Response,
     MAX_PAYLOAD,
 };
-use crate::store::{ServerStore, StoreError, WriteReply, WriteRequest};
+use crate::store::{BatchTag, ServerStore, StoreError, WriteReply, WriteRequest};
 
 /// Tunables for [`Server::spawn`].
 #[derive(Clone, Copy, Debug)]
@@ -104,6 +104,11 @@ pub struct ServerStats {
     pub bytes_out: AtomicU64,
     /// Transitions into the "backlog full, reads paused" state.
     pub backpressure_stalls: AtomicU64,
+    /// Total nanoseconds connections spent in that state (stall entry
+    /// to read-resume, accumulated at resume or close). With the edge
+    /// count above this turns "it stalled" into "it stalled for 40 ms
+    /// of the run" — the `wait_net_ns` column of the scenarios table.
+    pub backpressure_stalled_ns: AtomicU64,
     /// Connections dropped for framing corruption.
     pub corrupt_conns: AtomicU64,
     /// Error responses due to the store latching read-only.
@@ -137,6 +142,7 @@ impl MetricsSource for ServerStats {
         push("bytes_in", self.bytes_in.load(Ordering::Relaxed));
         push("bytes_out", self.bytes_out.load(Ordering::Relaxed));
         push("backpressure_stalls", self.backpressure_stalls.load(Ordering::Relaxed));
+        push("backpressure_stalled_ns", self.backpressure_stalled_ns.load(Ordering::Relaxed));
         push("corrupt_conns", self.corrupt_conns.load(Ordering::Relaxed));
         push("read_only_errors", self.read_only_errors.load(Ordering::Relaxed));
         out.push(("batch_ops_per_commit".to_string(), self.batch_ops_per_commit()));
@@ -306,8 +312,10 @@ struct Conn {
     /// Fatal condition (corrupt stream / I/O error): drop after the
     /// current flush attempt.
     dead: bool,
-    /// Currently excluded from reads by backpressure (edge-counted).
-    stalled: bool,
+    /// When backpressure started excluding this connection from reads
+    /// (`Some` while stalled). Duration accumulates into
+    /// [`ServerStats::backpressure_stalled_ns`] at resume or close.
+    stall_start: Option<std::time::Instant>,
 }
 
 impl Conn {
@@ -320,7 +328,7 @@ impl Conn {
             out_pos: 0,
             read_eof: false,
             dead: false,
-            stalled: false,
+            stall_start: None,
         }
     }
 
@@ -356,10 +364,25 @@ fn worker_loop(
             .map(|c| {
                 let mut events = 0u8;
                 let over = c.backlog() >= config.max_backlog;
-                if over && !c.stalled {
+                if over && c.stall_start.is_none() {
                     stats.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+                    c.stall_start = Some(std::time::Instant::now());
+                } else if !over {
+                    if let Some(t0) = c.stall_start.take() {
+                        let stalled_ns = t0.elapsed().as_nanos() as u64;
+                        stats.backpressure_stalled_ns.fetch_add(stalled_ns, Ordering::Relaxed);
+                        trace::emit(|| {
+                            TraceEvent::new(
+                                trace::code::NET_STALL,
+                                0,
+                                trace::NO_CLASS,
+                                0,
+                                c.id,
+                                stalled_ns,
+                            )
+                        });
+                    }
                 }
-                c.stalled = over;
                 if !c.read_eof && !c.dead && !over {
                     events |= READ;
                 }
@@ -392,6 +415,14 @@ fn worker_loop(
             }
         }
 
+        // A connection that dies while stalled still owes its stall
+        // time to the counter.
+        for c in conns.iter_mut().filter(|c| c.finished()) {
+            if let Some(t0) = c.stall_start.take() {
+                let stalled_ns = t0.elapsed().as_nanos() as u64;
+                stats.backpressure_stalled_ns.fetch_add(stalled_ns, Ordering::Relaxed);
+            }
+        }
         let before = conns.len();
         conns.retain(|c| !c.finished());
         stats.closed.fetch_add((before - conns.len()) as u64, Ordering::Relaxed);
@@ -437,6 +468,9 @@ fn process(
     stats: &ServerStats,
     registry: Option<&MetricsRegistry>,
 ) {
+    // One stamp per batch window: request spans measure from here
+    // (the flight recorder's `total_ns` origin).
+    let sweep_start = std::time::Instant::now();
     // The pending coalesced run: admitted write requests plus the
     // wire identity needed to answer each one.
     let mut run: Vec<(u8, u32, WriteRequest)> = Vec::new();
@@ -456,24 +490,71 @@ fn process(
                 stats.requests.fetch_add(1, Ordering::Relaxed);
                 let parsed = parse_request(opcode, payload);
                 let payload_len = payload.len();
+                // The request span opens here: everything the request
+                // waits on from now until its `REQ_DONE` lands on this
+                // worker's ring, in program order, between the two.
+                trace::emit(|| {
+                    TraceEvent::new(
+                        trace::code::REQ_RECV,
+                        opcode,
+                        trace::NO_CLASS,
+                        seq,
+                        conn.id,
+                        payload_len as u64,
+                    )
+                });
                 cursor += consumed;
                 match parsed {
                     Err(code) => {
-                        commit_run(conn, store, &mut run, &mut run_bytes, config, stats);
+                        commit_run(
+                            conn,
+                            store,
+                            &mut run,
+                            &mut run_bytes,
+                            config,
+                            stats,
+                            sweep_start,
+                        );
                         respond(conn, opcode, seq, &Response::Error(code), config, stats);
                     }
                     Ok(req) => match admit(req) {
                         Admitted::Write(w) => {
                             run.push((opcode, seq, w));
                             run_bytes += payload_len;
+                            trace::emit(|| {
+                                TraceEvent::new(
+                                    trace::code::BATCH_ENQUEUE,
+                                    opcode,
+                                    trace::NO_CLASS,
+                                    seq,
+                                    conn.id,
+                                    run.len() as u64,
+                                )
+                            });
                             if run.len() >= config.batch_max_ops
                                 || run_bytes >= config.batch_max_bytes
                             {
-                                commit_run(conn, store, &mut run, &mut run_bytes, config, stats);
+                                commit_run(
+                                    conn,
+                                    store,
+                                    &mut run,
+                                    &mut run_bytes,
+                                    config,
+                                    stats,
+                                    sweep_start,
+                                );
                             }
                         }
                         Admitted::Barrier(req) => {
-                            commit_run(conn, store, &mut run, &mut run_bytes, config, stats);
+                            commit_run(
+                                conn,
+                                store,
+                                &mut run,
+                                &mut run_bytes,
+                                config,
+                                stats,
+                                sweep_start,
+                            );
                             let resp = execute_barrier(store, &req, config, stats, registry);
                             respond(conn, opcode, seq, &resp, config, stats);
                         }
@@ -483,7 +564,7 @@ fn process(
         }
     }
     // End of the batch window: whatever is still pending commits now.
-    commit_run(conn, store, &mut run, &mut run_bytes, config, stats);
+    commit_run(conn, store, &mut run, &mut run_bytes, config, stats, sweep_start);
     conn.in_buf.drain(..cursor);
 }
 
@@ -510,15 +591,26 @@ fn commit_run(
     run_bytes: &mut usize,
     config: &ServerConfig,
     stats: &ServerStats,
+    sweep_start: std::time::Instant,
 ) {
     if run.is_empty() {
         return;
     }
     let batch_bytes = *run_bytes as u64;
     *run_bytes = 0;
+    let tag = BatchTag {
+        conn: conn.id,
+        first_seq: run.first().map_or(0, |(_, seq, _)| *seq),
+        last_seq: run.last().map_or(0, |(_, seq, _)| *seq),
+    };
     let batch: Vec<WriteRequest> = run.iter().map(|(_, _, w)| w.clone()).collect();
-    match store.commit_writes(&batch) {
+    // Time the commit only when a flight recorder is installed: until
+    // then this is one atomic load per batch, no clock reads.
+    let flight = polytm_obs::flight::get();
+    let commit_start = flight.map(|_| std::time::Instant::now());
+    match store.commit_writes(&batch, tag) {
         Ok(replies) => {
+            let commit_ns = commit_start.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
             stats.batches.fetch_add(1, Ordering::Relaxed);
             stats.batched_ops.fetch_add(run.len() as u64, Ordering::Relaxed);
             let ops = run.len().min(u32::MAX as usize) as u32;
@@ -539,6 +631,19 @@ fn commit_run(
                     WriteReply::Applied { ops } => Response::Applied { ops },
                 };
                 respond(conn, opcode, seq, &resp, config, stats);
+            }
+            if let Some(recorder) = flight {
+                let total_ns = sweep_start.elapsed().as_nanos() as u64;
+                if total_ns >= recorder.threshold_ns() {
+                    recorder.record(polytm_obs::SlowSpan {
+                        conn: conn.id,
+                        first_seq: tag.first_seq,
+                        last_seq: tag.last_seq,
+                        ops,
+                        total_ns,
+                        commit_ns,
+                    });
+                }
             }
         }
         Err(StoreError::ReadOnly) => {
@@ -625,6 +730,19 @@ fn respond(
     }
     stats.responses.fetch_add(1, Ordering::Relaxed);
     conn.out_buf.extend_from_slice(&wire);
+    // The request span closes here: the response is encoded and
+    // buffered (kernel flush time is the NET_STALL event's business,
+    // not the request's).
+    trace::emit(|| {
+        TraceEvent::new(
+            trace::code::REQ_DONE,
+            request_op,
+            trace::NO_CLASS,
+            seq,
+            conn.id,
+            wire.len() as u64,
+        )
+    });
 }
 
 /// Flush pending response bytes until `WouldBlock`; returns whether

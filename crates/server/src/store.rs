@@ -24,6 +24,46 @@ pub enum StoreError {
     ReadOnly,
 }
 
+/// Wire identity of a coalesced batch, threaded from the event loop
+/// into [`ServerStore::commit_writes`] so the commit can stamp its
+/// `BATCH_COMMIT` trace event with the connection and request range it
+/// answers. `Copy` and two words wide — threading it through the store
+/// costs nothing on the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchTag {
+    /// Connection the batch belongs to (`0` = untagged embedder call).
+    pub conn: u64,
+    /// First wire sequence number admitted into the batch.
+    pub first_seq: u32,
+    /// Last wire sequence number admitted into the batch.
+    pub last_seq: u32,
+}
+
+impl BatchTag {
+    /// Tag for calls that did not come off a connection (prefills,
+    /// embedder batches, tests). The waterfall joiner ignores
+    /// connection `0`.
+    pub const UNTAGGED: BatchTag = BatchTag { conn: 0, first_seq: 0, last_seq: 0 };
+}
+
+/// One `BATCH_COMMIT` event per successful coalesced commit. Emitted
+/// from inside the store — *after* the transaction's `WAIT_*` and WAL
+/// wait events, on the same thread's ring — which is exactly the order
+/// the waterfall joiner relies on to attribute those waits to this
+/// batch's requests.
+fn emit_batch_commit(tag: BatchTag, ops: usize) {
+    polytm::trace::emit(|| {
+        polytm::TraceEvent::new(
+            polytm::trace::code::BATCH_COMMIT,
+            0,
+            polytm::trace::NO_CLASS,
+            ops.min(u32::MAX as usize) as u32,
+            tag.conn,
+            polytm::trace::pack_seq_range(tag.first_seq, tag.last_seq),
+        )
+    });
+}
+
 /// One admitted write request inside a coalesced batch.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WriteRequest {
@@ -79,8 +119,14 @@ pub trait ServerStore: Send + Sync {
     /// Compare-and-swap in one atomic commit.
     fn cas(&self, key: u64, expected: Option<&[u8]>, new: &[u8]) -> Result<bool, StoreError>;
     /// Commit a run of admitted writes as **one** transaction,
-    /// producing one reply per request, in order.
-    fn commit_writes(&self, batch: &[WriteRequest]) -> Result<Vec<WriteReply>, StoreError>;
+    /// producing one reply per request, in order. `tag` carries the
+    /// batch's wire identity for trace attribution; callers off the
+    /// wire pass [`BatchTag::UNTAGGED`].
+    fn commit_writes(
+        &self,
+        batch: &[WriteRequest],
+        tag: BatchTag,
+    ) -> Result<Vec<WriteReply>, StoreError>;
     /// Run a mixed read/write body in one atomic commit; returns the
     /// body's `Get` results in body order.
     fn txn(&self, ops: &[TxnOp]) -> Result<Vec<Option<Vec<u8>>>, StoreError>;
@@ -115,11 +161,15 @@ impl ServerStore for KvStore {
         Ok(KvStore::cas(self, key, expected.as_ref(), Value::from_bytes(new)))
     }
 
-    fn commit_writes(&self, batch: &[WriteRequest]) -> Result<Vec<WriteReply>, StoreError> {
+    fn commit_writes(
+        &self,
+        batch: &[WriteRequest],
+        tag: BatchTag,
+    ) -> Result<Vec<WriteReply>, StoreError> {
         // The closure may retry on STM aborts: replies are rebuilt
         // from scratch each attempt so a partial attempt leaves no
         // trace (the all-or-nothing regression test leans on this).
-        Ok(self.txn(|kv| {
+        let replies = self.txn(|kv| {
             let mut replies = Vec::with_capacity(batch.len());
             for req in batch {
                 match req {
@@ -147,7 +197,9 @@ impl ServerStore for KvStore {
                 }
             }
             Ok(replies)
-        }))
+        });
+        emit_batch_commit(tag, batch.len());
+        Ok(replies)
     }
 
     fn txn(&self, ops: &[TxnOp]) -> Result<Vec<Option<Vec<u8>>>, StoreError> {
@@ -194,8 +246,12 @@ impl ServerStore for DurableKv {
         .map_err(|DurabilityLost| StoreError::ReadOnly)
     }
 
-    fn commit_writes(&self, batch: &[WriteRequest]) -> Result<Vec<WriteReply>, StoreError> {
-        DurableKv::txn(self, |tx| {
+    fn commit_writes(
+        &self,
+        batch: &[WriteRequest],
+        tag: BatchTag,
+    ) -> Result<Vec<WriteReply>, StoreError> {
+        let replies = DurableKv::txn(self, |tx| {
             let mut replies = Vec::with_capacity(batch.len());
             for req in batch {
                 match req {
@@ -224,7 +280,11 @@ impl ServerStore for DurableKv {
             }
             Ok(replies)
         })
-        .map_err(|DurabilityLost| StoreError::ReadOnly)
+        .map_err(|DurabilityLost| StoreError::ReadOnly)?;
+        // Only after the durability wait: a batch the WAL never acked
+        // has no commit point to attribute waits to.
+        emit_batch_commit(tag, batch.len());
+        Ok(replies)
     }
 
     fn txn(&self, ops: &[TxnOp]) -> Result<Vec<Option<Vec<u8>>>, StoreError> {
@@ -275,7 +335,7 @@ mod tests {
                 ],
             },
         ];
-        let replies = ServerStore::commit_writes(&kv, &batch).unwrap();
+        let replies = ServerStore::commit_writes(&kv, &batch, BatchTag::UNTAGGED).unwrap();
         assert_eq!(
             replies,
             vec![

@@ -477,7 +477,17 @@ fn backpressure_pauses_reads_without_losing_order() {
         handle.stats().backpressure_stalls.load(Ordering::Relaxed) > 0,
         "a non-draining client must trip the backlog pause"
     );
+    // Duration accounting, not just edges: the 100ms non-draining
+    // window above was spent stalled, and the wait must be visible as
+    // accumulated time (resumed stalls, plus any still-stalled residue
+    // folded in when the connection closed).
+    let stats = Arc::clone(handle.stats());
+    drop(client);
     handle.shutdown();
+    assert!(
+        stats.backpressure_stalled_ns.load(Ordering::Relaxed) > 0,
+        "stalled time must accumulate while the backlog pause holds"
+    );
 }
 
 /// The `STATS` opcode returns one snapshot of the unified metrics
